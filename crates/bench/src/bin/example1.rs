@@ -1,0 +1,54 @@
+//! Example 1 — the Wald zero-width pathology on NELL.
+//!
+//! The paper's worked example: estimating NELL (μ = 0.91) with SRS +
+//! Wald at α = 0.05, ε = 0.05, the procedure halts at n = 30 with
+//! μ̂ = 1.00 and CI = [1.00, 1.00] — an interval asserting absolute
+//! certainty from 30 annotations — in ~7% of 1000 runs (footnote 1;
+//! 0.91³⁰ ≈ 0.059 under with-replacement sampling).
+//!
+//! ```text
+//! cargo run -p kgae-bench --release --bin example1 [-- --reps 1000]
+//! ```
+
+use kgae_bench::reps_from_args;
+use kgae_core::{repeat_evaluation, EvalConfig, IntervalMethod, SamplingDesign};
+
+fn main() {
+    let reps = reps_from_args(1000);
+    let kg = kgae_graph::datasets::nell();
+
+    println!("# Example 1 — Wald zero-width halts on NELL ({reps} repetitions)\n");
+    let runs = repeat_evaluation(
+        &kg,
+        SamplingDesign::Srs,
+        &IntervalMethod::Wald,
+        &EvalConfig::default(),
+        reps,
+        0xE1,
+    );
+    let t = runs.triples_summary();
+    println!("Wald/SRS on NELL: {} triples, coverage of true μ = {:.1}%",
+             kgae_core::report::pm(t.mean, t.std, 0), 100.0 * runs.coverage());
+    println!(
+        "Zero-width halts at n = 30 with μ̂ = 1.00: {} of {} runs = {:.1}%",
+        runs.zero_width_halts,
+        reps,
+        100.0 * runs.zero_width_rate()
+    );
+    println!("\nPaper reference: ~7% of 1,000 iterations (binomial expectation 0.91³⁰ ≈ 5.9%).");
+
+    // Contrast: aHPD never produces a zero-width interval.
+    let ahpd = repeat_evaluation(
+        &kg,
+        SamplingDesign::Srs,
+        &IntervalMethod::ahpd_default(),
+        &EvalConfig::default(),
+        reps,
+        0xE1,
+    );
+    println!(
+        "\naHPD on the same runs: zero-width halts = {}, coverage = {:.1}%.",
+        ahpd.zero_width_halts,
+        100.0 * ahpd.coverage()
+    );
+}

@@ -1,0 +1,51 @@
+//! Example 2 — aHPD with informative priors on DBPEDIA under TWCS.
+//!
+//! The paper's scenario: an analyst knows two similar KGs with
+//! accuracies 0.80 and 0.90, sets the informative priors Beta(80, 20)
+//! and Beta(90, 10), and plugs them into aHPD. Paper numbers (TWCS,
+//! 1000 repetitions): 63 ± 36 triples / 0.72 ± 0.41 h, versus 222 ± 83
+//! triples / 2.55 ± 0.95 h for aHPD with the uninformative {K, J, U}.
+//!
+//! ```text
+//! cargo run -p kgae-bench --release --bin example2 [-- --reps 1000]
+//! ```
+
+use kgae_bench::reps_from_args;
+use kgae_core::report::{pm, MarkdownTable};
+use kgae_core::{repeat_evaluation, EvalConfig, IntervalMethod, SamplingDesign};
+use kgae_intervals::BetaPrior;
+
+fn main() {
+    let reps = reps_from_args(1000);
+    let kg = kgae_graph::datasets::dbpedia();
+    let cfg = EvalConfig::default();
+    let design = SamplingDesign::Twcs { m: 3 };
+
+    let informative = IntervalMethod::AHpd(vec![
+        BetaPrior::informative(80.0, 20.0).expect("valid prior"),
+        BetaPrior::informative(90.0, 10.0).expect("valid prior"),
+    ]);
+    let uninformative = IntervalMethod::ahpd_default();
+
+    println!("# Example 2 — informative priors on DBPEDIA, TWCS m=3 ({reps} repetitions)\n");
+    let mut table = MarkdownTable::new(vec![
+        "aHPD priors".to_string(),
+        "Triples".to_string(),
+        "Cost (h)".to_string(),
+    ]);
+    for (label, method) in [
+        ("Beta(80,20) + Beta(90,10)", &informative),
+        ("{Kerman, Jeffreys, Uniform}", &uninformative),
+    ] {
+        let runs = repeat_evaluation(&kg, design, method, &cfg, reps, 0xE2);
+        let t = runs.triples_summary();
+        let c = runs.cost_summary();
+        table.row(vec![
+            label.to_string(),
+            pm(t.mean, t.std, 0),
+            pm(c.mean, c.std, 2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: 63 ± 36 triples / 0.72 ± 0.41 h (informative) vs 222 ± 83 / 2.55 ± 0.95 (uninformative).");
+}

@@ -1,0 +1,86 @@
+//! Figure 2 — ET vs HPD intervals on three posteriors of increasing
+//! skewness, with the paper's CDF comparison: the probability mass of the
+//! HPD region that ET *excludes* versus the mass of the equally wide
+//! non-HPD region that ET *includes*. The paper reports the latter to be
+//! < 75% of the former in the moderately skewed case and < 20% in the
+//! highly skewed case.
+//!
+//! ```text
+//! cargo run -p kgae-bench --release --bin figure2
+//! ```
+
+use kgae_core::report::MarkdownTable;
+use kgae_intervals::{et_interval, hpd_interval};
+use kgae_stats::dist::Beta;
+
+fn main() {
+    println!("# Figure 2 — ET vs HPD across posterior skewness\n");
+    let scenarios = [
+        ("(a) symmetric", Beta::new(16.0, 16.0).unwrap()),
+        ("(b) moderately skewed", Beta::new(27.5, 3.5).unwrap()),
+        ("(c) highly skewed", Beta::new(32.0, 1.3).unwrap()),
+    ];
+    let alpha = 0.05;
+
+    let mut table = MarkdownTable::new(vec![
+        "Scenario".to_string(),
+        "skewness".to_string(),
+        "ET".to_string(),
+        "HPD".to_string(),
+        "ET width".to_string(),
+        "HPD width".to_string(),
+        "excluded-HPD mass".to_string(),
+        "max equal-width non-HPD mass".to_string(),
+        "ratio".to_string(),
+    ]);
+
+    for (name, post) in &scenarios {
+        let et = et_interval(post, alpha).unwrap();
+        let hpd = hpd_interval(post, alpha).unwrap();
+
+        // These left-skewed (high-accuracy) posteriors shift the HPD
+        // region right of the ET interval: the HPD mass that ET excludes
+        // is the window (et.upper, hpd.upper].
+        let w_excluded = (hpd.upper() - et.upper()).max(0.0);
+        let excluded_hpd = mass(post, et.upper(), hpd.upper());
+
+        // The paper compares against *any equally wide* region that ET
+        // covers but that lies outside the HPD region, i.e. width-w
+        // windows inside [et.lower, hpd.lower). The densest such window
+        // abuts the HPD boundary; report its mass (the maximum).
+        let best_window = mass(post, hpd.lower() - w_excluded, hpd.lower());
+
+        let ratio = if excluded_hpd > 1e-12 {
+            best_window / excluded_hpd
+        } else {
+            f64::NAN
+        };
+        table.row(vec![
+            (*name).to_string(),
+            format!("{:+.2}", post.skewness()),
+            format!("{et}"),
+            format!("{hpd}"),
+            format!("{:.4}", et.width()),
+            format!("{:.4}", hpd.width()),
+            format!("{excluded_hpd:.4}"),
+            format!("{best_window:.4}"),
+            if ratio.is_nan() {
+                "—".to_string()
+            } else {
+                format!("{:.0}%", ratio * 100.0)
+            },
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper claims: symmetric ⇒ ET ≡ HPD; moderate skew ⇒ ratio < 75%; high skew ⇒ ratio < 20%.");
+    println!("(The ratio is the best case for ET: even the densest equally wide region ET");
+    println!("keeps outside the HPD carries far less probability than the HPD mass ET drops.)");
+}
+
+fn mass(post: &Beta, lo: f64, hi: f64) -> f64 {
+    if hi <= lo {
+        0.0
+    } else {
+        post.cdf(hi) - post.cdf(lo)
+    }
+}

@@ -1,0 +1,166 @@
+//! Evolving-KG evaluation — the paper's future-work direction (§8).
+//!
+//! When a KG receives content updates, the previous evaluation's
+//! posterior can seed the next evaluation as an informative prior:
+//! aHPD accepts it alongside the uninformative priors, so reliable prior
+//! knowledge accelerates convergence (Example 2's 63-vs-222 triples)
+//! while the uninformative candidates keep a safety net when the update
+//! changed the accuracy drastically — the "massive deceptive update"
+//! limitation the paper warns about.
+
+use crate::annotator::Annotator;
+use crate::framework::{evaluate, EvalConfig, EvalResult, SamplingDesign};
+use crate::method::IntervalMethod;
+use kgae_graph::{GroundTruth, KnowledgeGraph};
+use kgae_intervals::{BetaPrior, IntervalError};
+use kgae_stats::dist::Beta;
+use rand::Rng;
+
+/// Rescales a posterior into a prior with a chosen evidence weight.
+///
+/// The posterior `Beta(A, B)` carries `A + B` pseudo-observations; the
+/// carried-over prior keeps the posterior *mean* but caps the evidence at
+/// `equivalent_n` pseudo-observations, so stale knowledge cannot drown
+/// out fresh annotations. `equivalent_n = A + B` reproduces the raw
+/// posterior.
+pub fn posterior_as_prior(posterior: &Beta, equivalent_n: f64) -> Result<BetaPrior, IntervalError> {
+    if !(equivalent_n.is_finite() && equivalent_n > 0.0) {
+        return Err(IntervalError::Stats(
+            kgae_stats::StatsError::InvalidParameter {
+                name: "equivalent_n",
+                value: equivalent_n,
+                constraint: "must be finite and > 0",
+            },
+        ));
+    }
+    let mean = posterior.mean();
+    Ok(BetaPrior::informative(
+        (mean * equivalent_n).max(1e-6),
+        ((1.0 - mean) * equivalent_n).max(1e-6),
+    )?)
+}
+
+/// Evaluates an updated KG with aHPD seeded by the previous posterior
+/// (weighted to `carry_weight` pseudo-observations) *plus* the standard
+/// uninformative priors as a hedge.
+pub fn evaluate_with_carryover<K, A, R>(
+    kg_updated: &K,
+    annotator: &A,
+    design: SamplingDesign,
+    previous_posterior: &Beta,
+    carry_weight: f64,
+    cfg: &EvalConfig,
+    rng: &mut R,
+) -> Result<EvalResult, IntervalError>
+where
+    K: KnowledgeGraph + GroundTruth,
+    A: Annotator,
+    R: Rng,
+{
+    let carry = posterior_as_prior(previous_posterior, carry_weight)?;
+    let mut priors = vec![carry];
+    priors.extend(BetaPrior::UNINFORMATIVE);
+    evaluate(
+        kg_updated,
+        annotator,
+        design,
+        &IntervalMethod::AHpd(priors),
+        cfg,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotator::OracleAnnotator;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn posterior_as_prior_preserves_mean_and_caps_weight() {
+        let post = Beta::new(180.0, 20.0).unwrap(); // mean 0.9, weight 200
+        let prior = posterior_as_prior(&post, 50.0).unwrap();
+        assert!((prior.a / (prior.a + prior.b) - 0.9).abs() < 1e-12);
+        assert!((prior.a + prior.b - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_weight() {
+        let post = Beta::new(2.0, 2.0).unwrap();
+        assert!(posterior_as_prior(&post, 0.0).is_err());
+        assert!(posterior_as_prior(&post, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn carryover_accelerates_matching_updates() {
+        // The update batch has the same accuracy as the audited KG: the
+        // carried prior should cut annotations substantially (Example 2's
+        // mechanism).
+        let updated = kgae_graph::datasets::dbpedia(); // μ = 0.85
+        let previous = Beta::new(85.0, 15.0).unwrap(); // accurate knowledge
+        let cfg = EvalConfig::default();
+
+        let mut with_carry = Vec::new();
+        let mut without = Vec::new();
+        for seed in 0..15 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let r = evaluate_with_carryover(
+                &updated,
+                &OracleAnnotator,
+                SamplingDesign::Twcs { m: 3 },
+                &previous,
+                100.0,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+            with_carry.push(r.annotated_triples as f64);
+
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let r = evaluate(
+                &updated,
+                &OracleAnnotator,
+                SamplingDesign::Twcs { m: 3 },
+                &IntervalMethod::ahpd_default(),
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+            without.push(r.annotated_triples as f64);
+        }
+        let mc = kgae_stats::descriptive::mean(&with_carry);
+        let mw = kgae_stats::descriptive::mean(&without);
+        assert!(
+            mc < mw,
+            "carryover should reduce annotations: {mc} vs {mw}"
+        );
+    }
+
+    #[test]
+    fn deceptive_carryover_still_converges_to_the_truth() {
+        // The paper's warned failure mode: prior knowledge says 0.9 but
+        // the updated KG is only 0.54-accurate. The uninformative hedge
+        // priors keep the estimate honest; convergence costs more.
+        let updated = kgae_graph::datasets::factbench(); // μ = 0.54
+        let wrong_knowledge = Beta::new(90.0, 10.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = evaluate_with_carryover(
+            &updated,
+            &OracleAnnotator,
+            SamplingDesign::Srs,
+            &wrong_knowledge,
+            50.0,
+            &EvalConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(r.converged);
+        // The final estimate tracks the data, not the deceptive prior.
+        assert!(
+            (r.mu_hat - 0.54).abs() < 0.08,
+            "μ̂ = {} should be near 0.54",
+            r.mu_hat
+        );
+    }
+}

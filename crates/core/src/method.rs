@@ -1,0 +1,255 @@
+//! Interval-method dispatch: one enum covering every `1-α` interval the
+//! experiments compare, applied uniformly to SRS and cluster samples.
+
+use crate::ahpd::ahpd_select_warm;
+use crate::state::{DesignKind, SampleState};
+use kgae_intervals::{
+    et_interval, hpd_interval_warm, hpd_width_lower_bound, wald_from_variance, wilson, BetaPrior,
+    Interval, IntervalError,
+};
+
+/// Per-run solver state: the previous step's HPD endpoints per prior,
+/// used to warm-start SLSQP (the optimum is unique, so warm starting
+/// changes cost, not results).
+#[derive(Debug, Clone, Default)]
+pub struct MethodState {
+    pub(crate) warm: Vec<Option<(f64, f64)>>,
+}
+
+/// An interval-estimation method under evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntervalMethod {
+    /// Wald CI (Eq. 5) — efficient but unreliable baseline.
+    Wald,
+    /// Wilson CI (Eq. 7) with Kish effective-sample-size adjustment under
+    /// cluster designs — the frequentist state of the art.
+    Wilson,
+    /// Equal-tailed credible interval under one prior (Eq. 9).
+    Et(BetaPrior),
+    /// HPD credible interval under one prior (§4.3).
+    Hpd(BetaPrior),
+    /// The adaptive HPD algorithm over a set of priors (Algorithm 1).
+    AHpd(Vec<BetaPrior>),
+}
+
+impl IntervalMethod {
+    /// aHPD with the paper's default prior set {Kerman, Jeffreys,
+    /// Uniform}.
+    #[must_use]
+    pub fn ahpd_default() -> IntervalMethod {
+        IntervalMethod::AHpd(BetaPrior::UNINFORMATIVE.to_vec())
+    }
+
+    /// Display name used in tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            IntervalMethod::Wald => "Wald".into(),
+            IntervalMethod::Wilson => "Wilson".into(),
+            IntervalMethod::Et(p) => format!("ET[{}]", p.name),
+            IntervalMethod::Hpd(p) => format!("HPD[{}]", p.name),
+            IntervalMethod::AHpd(_) => "aHPD".into(),
+        }
+    }
+
+    /// Fresh solver state for a run of [`Self::interval_stateful`] calls.
+    #[must_use]
+    pub fn new_state(&self) -> MethodState {
+        let slots = match self {
+            IntervalMethod::AHpd(priors) => priors.len(),
+            IntervalMethod::Hpd(_) => 1,
+            _ => 0,
+        };
+        MethodState {
+            warm: vec![None; slots],
+        }
+    }
+
+    /// Builds the `1-α` interval from the current sample.
+    ///
+    /// Degenerate cluster variance (a single stage-1 draw) yields the
+    /// maximally uninformative sentinel interval `[μ̂-0.5, μ̂+0.5]`
+    /// (MoE 0.5), so the stopping rule simply keeps sampling.
+    pub fn interval(
+        &self,
+        state: &SampleState,
+        alpha: f64,
+    ) -> Result<Interval, IntervalError> {
+        self.interval_stateful(state, alpha, &mut self.new_state())
+    }
+
+    /// A certified lower bound on the achievable MoE at the current
+    /// sample, when one is cheap to compute (`(1-α)/(2·f(mode))` for the
+    /// HPD-family methods). The framework skips full interval
+    /// construction while the bound exceeds ε.
+    #[must_use]
+    pub fn moe_lower_bound(&self, state: &SampleState, alpha: f64) -> Option<f64> {
+        let priors: &[BetaPrior] = match self {
+            IntervalMethod::Hpd(p) | IntervalMethod::Et(p) => std::slice::from_ref(p),
+            IntervalMethod::AHpd(ps) => ps,
+            _ => return None,
+        };
+        let eff = state.effective();
+        let mut best: f64 = f64::INFINITY;
+        for prior in priors {
+            let post = prior.posterior_effective(eff.mu, eff.n_eff).ok()?;
+            // ET is at least as wide as HPD, so the HPD bound is valid
+            // for both method families.
+            best = best.min(hpd_width_lower_bound(&post, alpha)? / 2.0);
+        }
+        best.is_finite().then_some(best)
+    }
+
+    /// [`Self::interval`] with warm-start state carried across calls.
+    pub fn interval_stateful(
+        &self,
+        state: &SampleState,
+        alpha: f64,
+        cache: &mut MethodState,
+    ) -> Result<Interval, IntervalError> {
+        match self {
+            IntervalMethod::Wald => {
+                let est = state.estimate();
+                if !est.variance.is_finite() {
+                    let mu = est.mu.clamp(0.0, 1.0);
+                    return Ok(Interval::new(mu - 0.5, mu + 0.5));
+                }
+                Ok(wald_from_variance(est.mu.clamp(0.0, 1.0), est.variance, alpha)?)
+            }
+            IntervalMethod::Wilson => {
+                let eff = state.effective();
+                if state.kind() == DesignKind::Cluster && state.draws() < 2 {
+                    return Ok(Interval::new(eff.mu - 0.5, eff.mu + 0.5));
+                }
+                Ok(wilson(eff.mu, eff.n_eff, alpha)?)
+            }
+            IntervalMethod::Et(prior) => {
+                let eff = state.effective();
+                let post = prior.posterior_effective(eff.mu, eff.n_eff)?;
+                et_interval(&post, alpha)
+            }
+            IntervalMethod::Hpd(prior) => {
+                let eff = state.effective();
+                let post = prior.posterior_effective(eff.mu, eff.n_eff)?;
+                let warm = cache.warm.first().copied().flatten();
+                match hpd_interval_warm(&post, alpha, warm) {
+                    Ok(i) => {
+                        if let Some(slot) = cache.warm.first_mut() {
+                            *slot = Some((i.lower(), i.upper()));
+                        }
+                        Ok(i)
+                    }
+                    // No single HPD interval exists (U-shaped posterior
+                    // from near-zero effective evidence): report the
+                    // maximally uninformative sentinel so the loop keeps
+                    // sampling instead of aborting.
+                    Err(IntervalError::UShapedPosterior { .. }) => Ok(Interval::new(0.0, 1.0)),
+                    Err(e) => Err(e),
+                }
+            }
+            IntervalMethod::AHpd(priors) => {
+                Ok(ahpd_select_warm(state, alpha, priors, &mut cache.warm)?.interval)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srs_state(tau: u64, n: u64) -> SampleState {
+        let mut s = SampleState::new_srs();
+        for i in 0..n {
+            s.record_triple(i < tau);
+        }
+        s
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(IntervalMethod::Wald.name(), "Wald");
+        assert_eq!(IntervalMethod::Wilson.name(), "Wilson");
+        assert_eq!(IntervalMethod::Et(BetaPrior::KERMAN).name(), "ET[Kerman]");
+        assert_eq!(
+            IntervalMethod::Hpd(BetaPrior::UNIFORM).name(),
+            "HPD[Uniform]"
+        );
+        assert_eq!(IntervalMethod::ahpd_default().name(), "aHPD");
+    }
+
+    #[test]
+    fn all_methods_produce_covering_intervals_on_srs() {
+        let state = srs_state(27, 30);
+        let methods = [
+            IntervalMethod::Wald,
+            IntervalMethod::Wilson,
+            IntervalMethod::Et(BetaPrior::JEFFREYS),
+            IntervalMethod::Hpd(BetaPrior::KERMAN),
+            IntervalMethod::ahpd_default(),
+        ];
+        for m in methods {
+            let i = m.interval(&state, 0.05).unwrap();
+            assert!(i.contains(0.9), "{} misses the MLE: {i}", m.name());
+            assert!(i.width() > 0.0 && i.width() < 1.0, "{}: {i}", m.name());
+        }
+    }
+
+    #[test]
+    fn wald_zero_width_on_unanimous_sample() {
+        // Example 1 pathology reproduced through the dispatch layer.
+        let state = srs_state(30, 30);
+        let i = IntervalMethod::Wald.interval(&state, 0.05).unwrap();
+        assert_eq!(i.width(), 0.0);
+        // The Bayesian methods keep a sane interval instead.
+        let h = IntervalMethod::Hpd(BetaPrior::KERMAN)
+            .interval(&state, 0.05)
+            .unwrap();
+        // Reference width 0.04792 (independent numeric integration of the
+        // Beta(30 + 1/3, 1/3) tail).
+        assert!((h.width() - 0.04792).abs() < 5e-4, "width = {}", h.width());
+        assert_eq!(h.upper(), 1.0);
+    }
+
+    #[test]
+    fn single_cluster_draw_yields_sentinel() {
+        let mut s = SampleState::new_cluster();
+        s.record_cluster_draw(1.0, 3, 3);
+        let w = IntervalMethod::Wald.interval(&s, 0.05).unwrap();
+        assert!((w.moe() - 0.5).abs() < 1e-12);
+        let wi = IntervalMethod::Wilson.interval(&s, 0.05).unwrap();
+        assert!((wi.moe() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hpd_never_wider_than_et_through_dispatch() {
+        for tau in [0u64, 1, 15, 29, 30] {
+            let state = srs_state(tau, 30);
+            let hpd = IntervalMethod::Hpd(BetaPrior::KERMAN)
+                .interval(&state, 0.05)
+                .unwrap();
+            let et = IntervalMethod::Et(BetaPrior::KERMAN)
+                .interval(&state, 0.05)
+                .unwrap();
+            assert!(hpd.width() <= et.width() + 1e-9, "τ = {tau}");
+        }
+    }
+
+    #[test]
+    fn ahpd_at_least_as_good_as_every_fixed_prior() {
+        for tau in [0u64, 3, 15, 27, 30] {
+            let state = srs_state(tau, 30);
+            let a = IntervalMethod::ahpd_default()
+                .interval(&state, 0.05)
+                .unwrap();
+            for p in BetaPrior::UNINFORMATIVE {
+                let h = IntervalMethod::Hpd(p).interval(&state, 0.05).unwrap();
+                assert!(
+                    a.width() <= h.width() + 1e-12,
+                    "τ={tau}: aHPD {a} vs HPD[{}] {h}",
+                    p.name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Compact bit vector for per-triple correctness labels.
+//!
+//! A 100M-triple bitmap costs 12.5 MB — small enough to materialize when
+//! labels must be exact (correlated label models), while the hashed label
+//! store covers the i.i.d. case with zero memory.
+
+/// Fixed-length bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl BitVec {
+    /// All-zero bit vector of length `len`.
+    #[must_use]
+    pub fn zeros(len: u64) -> Self {
+        let n_words = len.div_ceil(64) as usize;
+        Self {
+            words: vec![0; n_words],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the vector has zero length.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, i: u64) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: u64, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let w = &mut self.words[(i / 64) as usize];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Heap memory used, in bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut bv = BitVec::zeros(130);
+        assert_eq!(bv.len(), 130);
+        for i in (0..130).step_by(3) {
+            bv.set(i, true);
+        }
+        for i in 0..130 {
+            assert_eq!(bv.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bv.count_ones(), (0..130).step_by(3).count() as u64);
+    }
+
+    #[test]
+    fn clearing_bits() {
+        let mut bv = BitVec::zeros(64);
+        bv.set(10, true);
+        assert!(bv.get(10));
+        bv.set(10, false);
+        assert!(!bv.get(10));
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    fn word_boundary_bits() {
+        let mut bv = BitVec::zeros(129);
+        for i in [0u64, 63, 64, 127, 128] {
+            bv.set(i, true);
+            assert!(bv.get(i), "boundary bit {i}");
+        }
+        assert_eq!(bv.count_ones(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let bv = BitVec::zeros(10);
+        let _ = bv.get(10);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let bv = BitVec::zeros(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.count_ones(), 0);
+    }
+
+    #[test]
+    fn memory_footprint_is_compact() {
+        let bv = BitVec::zeros(1_000_000);
+        assert_eq!(bv.heap_bytes(), 1_000_000usize.div_ceil(64) * 8);
+    }
+}

@@ -1,0 +1,255 @@
+//! In-memory KG with explicit triples, for examples and small datasets.
+//!
+//! This is the representation a user audits their own KG through: real
+//! `(subject, predicate, object)` strings plus gold labels. The builder
+//! groups triples by subject into entity clusters exactly as §2.1 defines
+//! them, then lays them out contiguously per cluster so sampling is O(1).
+
+use crate::bitvec::BitVec;
+use crate::ids::{ClusterId, TripleId};
+use crate::kg::{ClusterIndex, GroundTruth, KnowledgeGraph};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One `(s, p, o)` fact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject entity.
+    pub subject: String,
+    /// Predicate / relationship.
+    pub predicate: String,
+    /// Object entity or attribute value.
+    pub object: String,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Self {
+        Self {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+}
+
+/// Builder accumulating annotated triples before cluster layout.
+#[derive(Debug, Default)]
+pub struct InMemoryKgBuilder {
+    triples: Vec<(Triple, bool)>,
+}
+
+impl InMemoryKgBuilder {
+    /// Empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one triple with its gold correctness label.
+    pub fn add(&mut self, triple: Triple, correct: bool) -> &mut Self {
+        self.triples.push((triple, correct));
+        self
+    }
+
+    /// Adds from parts.
+    pub fn add_fact(
+        &mut self,
+        subject: impl Into<String>,
+        predicate: impl Into<String>,
+        object: impl Into<String>,
+        correct: bool,
+    ) -> &mut Self {
+        self.add(Triple::new(subject, predicate, object), correct)
+    }
+
+    /// Groups by subject and produces the final KG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no triples were added.
+    #[must_use]
+    pub fn build(self) -> InMemoryKg {
+        assert!(!self.triples.is_empty(), "cannot build an empty KG");
+        // Deterministic cluster order: first-seen subject order.
+        let mut cluster_of_subject: HashMap<String, u32> = HashMap::new();
+        let mut subjects: Vec<String> = Vec::new();
+        for (t, _) in &self.triples {
+            if !cluster_of_subject.contains_key(&t.subject) {
+                cluster_of_subject.insert(t.subject.clone(), subjects.len() as u32);
+                subjects.push(t.subject.clone());
+            }
+        }
+        let n_clusters = subjects.len();
+        let mut sizes = vec![0u64; n_clusters];
+        for (t, _) in &self.triples {
+            sizes[cluster_of_subject[&t.subject] as usize] += 1;
+        }
+        let index = ClusterIndex::from_sizes(&sizes);
+
+        // Place triples into their cluster ranges.
+        let mut cursor: Vec<u64> = (0..n_clusters)
+            .map(|c| index.range(ClusterId(c as u32)).start)
+            .collect();
+        let total = self.triples.len() as u64;
+        let mut laid: Vec<Option<Triple>> = (0..total).map(|_| None).collect();
+        let mut labels = BitVec::zeros(total);
+        for (t, correct) in self.triples {
+            let c = cluster_of_subject[&t.subject] as usize;
+            let pos = cursor[c];
+            cursor[c] += 1;
+            labels.set(pos, correct);
+            laid[pos as usize] = Some(t);
+        }
+        let triples: Vec<Triple> = laid
+            .into_iter()
+            .map(|t| t.expect("every slot filled by construction"))
+            .collect();
+        let correct = labels.count_ones();
+        InMemoryKg {
+            index,
+            triples,
+            labels,
+            subjects,
+            true_accuracy: correct as f64 / total as f64,
+        }
+    }
+}
+
+/// A fully materialized, annotated KG.
+#[derive(Debug, Clone)]
+pub struct InMemoryKg {
+    index: ClusterIndex,
+    triples: Vec<Triple>,
+    labels: BitVec,
+    subjects: Vec<String>,
+    true_accuracy: f64,
+}
+
+impl InMemoryKg {
+    /// Starts a builder.
+    #[must_use]
+    pub fn builder() -> InMemoryKgBuilder {
+        InMemoryKgBuilder::new()
+    }
+
+    /// The triple at `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn triple(&self, t: TripleId) -> &Triple {
+        &self.triples[t.index() as usize]
+    }
+
+    /// Subject (entity name) of cluster `c`.
+    #[must_use]
+    pub fn subject(&self, c: ClusterId) -> &str {
+        &self.subjects[c.index() as usize]
+    }
+}
+
+impl KnowledgeGraph for InMemoryKg {
+    fn num_triples(&self) -> u64 {
+        self.index.num_triples()
+    }
+    fn num_clusters(&self) -> u32 {
+        self.index.num_clusters()
+    }
+    fn cluster_size(&self, c: ClusterId) -> u64 {
+        self.index.size(c)
+    }
+    fn cluster_triples(&self, c: ClusterId) -> Range<u64> {
+        self.index.range(c)
+    }
+    fn cluster_of(&self, t: TripleId) -> ClusterId {
+        self.index.cluster_of(t)
+    }
+}
+
+impl GroundTruth for InMemoryKg {
+    fn is_correct(&self, t: TripleId) -> bool {
+        self.labels.get(t.index())
+    }
+    fn true_accuracy(&self) -> f64 {
+        self.true_accuracy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_kg() -> InMemoryKg {
+        let mut b = InMemoryKg::builder();
+        b.add_fact("Turing", "bornIn", "London", true)
+            .add_fact("Turing", "field", "CS", true)
+            .add_fact("Einstein", "bornIn", "Ulm", true)
+            .add_fact("Turing", "bornIn", "Paris", false)
+            .add_fact("Einstein", "wonPrize", "Fields Medal", false)
+            .add_fact("Curie", "wonPrize", "Nobel", true);
+        b.build()
+    }
+
+    #[test]
+    fn clusters_group_by_subject() {
+        let kg = sample_kg();
+        assert_eq!(kg.num_triples(), 6);
+        assert_eq!(kg.num_clusters(), 3);
+        assert_eq!(kg.subject(ClusterId(0)), "Turing");
+        assert_eq!(kg.subject(ClusterId(1)), "Einstein");
+        assert_eq!(kg.subject(ClusterId(2)), "Curie");
+        assert_eq!(kg.cluster_size(ClusterId(0)), 3);
+        assert_eq!(kg.cluster_size(ClusterId(1)), 2);
+        assert_eq!(kg.cluster_size(ClusterId(2)), 1);
+    }
+
+    #[test]
+    fn every_cluster_triple_has_matching_subject() {
+        let kg = sample_kg();
+        for c in 0..kg.num_clusters() {
+            let c = ClusterId(c);
+            for t in kg.cluster_triples(c) {
+                assert_eq!(kg.triple(TripleId(t)).subject, kg.subject(c));
+                assert_eq!(kg.cluster_of(TripleId(t)), c);
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_is_label_proportion() {
+        let kg = sample_kg();
+        assert!((kg.true_accuracy() - 4.0 / 6.0).abs() < 1e-15);
+        let correct = (0..kg.num_triples())
+            .filter(|&t| kg.is_correct(TripleId(t)))
+            .count();
+        assert_eq!(correct, 4);
+    }
+
+    #[test]
+    fn avg_cluster_size() {
+        let kg = sample_kg();
+        assert!((kg.avg_cluster_size() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_build_panics() {
+        let _ = InMemoryKg::builder().build();
+    }
+
+    #[test]
+    fn single_triple_graph() {
+        let mut b = InMemoryKg::builder();
+        b.add_fact("A", "p", "B", true);
+        let kg = b.build();
+        assert_eq!(kg.num_triples(), 1);
+        assert_eq!(kg.true_accuracy(), 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Dataset statistics (the quantities reported in Table 1) and the
+//! intra-cluster correlation diagnostic used to validate the label models.
+
+use crate::ids::{ClusterId, TripleId};
+use crate::kg::{GroundTruth, KnowledgeGraph};
+
+/// The Table 1 row for a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgStatistics {
+    /// Number of facts `M`.
+    pub num_triples: u64,
+    /// Number of entity clusters.
+    pub num_clusters: u32,
+    /// Mean cluster size.
+    pub avg_cluster_size: f64,
+    /// Ground-truth accuracy μ.
+    pub accuracy: f64,
+}
+
+impl KgStatistics {
+    /// Computes the statistics of a KG.
+    #[must_use]
+    pub fn compute<K: KnowledgeGraph + GroundTruth>(kg: &K) -> Self {
+        Self {
+            num_triples: kg.num_triples(),
+            num_clusters: kg.num_clusters(),
+            avg_cluster_size: kg.avg_cluster_size(),
+            accuracy: kg.true_accuracy(),
+        }
+    }
+}
+
+/// One-way ANOVA estimate of the intra-cluster correlation of correctness
+/// labels (`ρ`), the quantity that separates the paper's datasets in how
+/// TWCS behaves relative to SRS.
+///
+/// `ρ > 0`: errors clump inside entities (extracted KGs — TWCS needs more
+/// triples); `ρ < 0`: entities hold a fixed mix (FACTBENCH — TWCS needs
+/// fewer). Scans every triple; intended for generator validation, not hot
+/// paths.
+#[must_use]
+pub fn intra_cluster_correlation<K: KnowledgeGraph + GroundTruth>(kg: &K) -> f64 {
+    let k = kg.num_clusters() as f64;
+    let n_total = kg.num_triples() as f64;
+    let grand_mean = {
+        let correct = (0..kg.num_triples())
+            .filter(|&t| kg.is_correct(TripleId(t)))
+            .count() as f64;
+        correct / n_total
+    };
+
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    let mut sum_sq_sizes = 0.0;
+    for c in 0..kg.num_clusters() {
+        let c = ClusterId(c);
+        let range = kg.cluster_triples(c);
+        let n_i = (range.end - range.start) as f64;
+        let correct = range.clone().filter(|&t| kg.is_correct(TripleId(t))).count() as f64;
+        let mean_i = correct / n_i;
+        ss_between += n_i * (mean_i - grand_mean) * (mean_i - grand_mean);
+        // For binary data, within-cluster sum of squares has a closed form.
+        ss_within += correct * (1.0 - mean_i) * (1.0 - mean_i)
+            + (n_i - correct) * mean_i * mean_i;
+        sum_sq_sizes += n_i * n_i;
+    }
+
+    if k < 2.0 || n_total <= k {
+        return 0.0;
+    }
+    let ms_between = ss_between / (k - 1.0);
+    let ms_within = ss_within / (n_total - k);
+    // Average cluster size adjusted for size variation (ANOVA n₀).
+    let n0 = (n_total - sum_sq_sizes / n_total) / (k - 1.0);
+    let denom = ms_between + (n0 - 1.0) * ms_within;
+    if denom.abs() < 1e-300 {
+        return 0.0;
+    }
+    (ms_between - ms_within) / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+    use crate::synthetic::{ClusterSizeModel, LabelModel, SyntheticSpec};
+
+    fn gen(label_model: LabelModel, seed: u64) -> crate::compact::CompactKg {
+        SyntheticSpec {
+            num_triples: 30_000,
+            num_clusters: 6_000,
+            size_model: ClusterSizeModel::Geometric { mean: 5.0, max: 40 },
+            label_model,
+            seed,
+            exact_accuracy: false,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn iid_labels_have_near_zero_icc() {
+        let kg = gen(LabelModel::Iid { accuracy: 0.7 }, 3);
+        let rho = intra_cluster_correlation(&kg);
+        assert!(rho.abs() < 0.03, "iid ICC = {rho}");
+    }
+
+    #[test]
+    fn beta_binomial_icc_tracks_concentration() {
+        // ρ = 1 / (1 + φ)
+        for &(phi, want) in &[(4.0f64, 0.2f64), (9.0, 0.1), (1.0, 0.5)] {
+            let kg = gen(
+                LabelModel::BetaBinomial {
+                    accuracy: 0.7,
+                    concentration: phi,
+                },
+                17,
+            );
+            let rho = intra_cluster_correlation(&kg);
+            assert!(
+                (rho - want).abs() < 0.05,
+                "φ = {phi}: ICC = {rho}, want ≈ {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_labels_have_negative_icc() {
+        let kg = gen(LabelModel::Balanced { accuracy: 0.54 }, 11);
+        let rho = intra_cluster_correlation(&kg);
+        assert!(rho < -0.05, "balanced ICC = {rho}");
+    }
+
+    #[test]
+    fn statistics_of_presets() {
+        let s = KgStatistics::compute(&datasets::yago());
+        assert_eq!(s.num_triples, 1_386);
+        assert_eq!(s.num_clusters, 822);
+        assert!((s.accuracy - 0.99).abs() < 5e-4);
+    }
+
+    #[test]
+    fn dataset_label_models_produce_expected_icc_signs() {
+        // The design assumption behind the Table 3 substitution.
+        let rho_nell = intra_cluster_correlation(&datasets::nell());
+        let rho_fb = intra_cluster_correlation(&datasets::factbench());
+        assert!(rho_nell > 0.05, "NELL ICC = {rho_nell}");
+        assert!(rho_fb < 0.0, "FACTBENCH ICC = {rho_fb}");
+    }
+}

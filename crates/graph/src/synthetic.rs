@@ -1,0 +1,450 @@
+//! Synthetic KG generation.
+//!
+//! The paper's annotated datasets (YAGO, NELL, DBPEDIA, FACTBENCH samples
+//! with crowd labels) are not redistributable, so the reproduction builds
+//! statistical twins: graphs matching the published triple counts, cluster
+//! counts, mean cluster sizes and accuracies (Table 1), with a *label
+//! model* controlling how correctness correlates within entity clusters —
+//! the one property, beyond marginal accuracy, that changes how the
+//! sampling strategies behave:
+//!
+//! * [`LabelModel::Iid`] — labels are independent `Bernoulli(μ)` (this is
+//!   the construction of SYN 100M);
+//! * [`LabelModel::BetaBinomial`] — each cluster draws its own accuracy
+//!   `p_i ~ Beta(φμ, φ(1-μ))`; small `φ` means errors clump inside
+//!   entities (positive intra-cluster correlation `ρ = 1/(1+φ)`), which is
+//!   what real extraction pipelines produce;
+//! * [`LabelModel::Balanced`] — every cluster holds an (almost) fixed
+//!   fraction `μ` of correct triples (negative intra-cluster correlation),
+//!   mirroring FACTBENCH where incorrect facts are synthesized per entity
+//!   from its correct ones.
+
+use crate::bitvec::BitVec;
+use crate::compact::{CompactKg, LabelStore};
+use kgae_stats::dist::Beta;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Distribution of entity-cluster sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterSizeModel {
+    /// Every cluster has exactly this many triples.
+    Fixed(u64),
+    /// Geometric sizes `P(k) = (1-q) q^{k-1}` with the given mean,
+    /// truncated at `max`. Real KG samples are dominated by 1–3 triple
+    /// entities, which a geometric tail captures well.
+    Geometric {
+        /// Mean cluster size (must be > 1 for a proper geometric).
+        mean: f64,
+        /// Truncation cap (sizes are clamped into `[1, max]`).
+        max: u64,
+    },
+    /// Discretized log-normal with the given mean and log-scale sigma,
+    /// truncated at `max`. Used for the web-scale synthetic dataset where
+    /// entity degrees are heavy-tailed.
+    LogNormal {
+        /// Target mean cluster size.
+        mean: f64,
+        /// Log-space standard deviation (shape of the tail).
+        sigma: f64,
+        /// Truncation cap.
+        max: u64,
+    },
+}
+
+impl ClusterSizeModel {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            ClusterSizeModel::Fixed(k) => k.max(1),
+            ClusterSizeModel::Geometric { mean, max } => {
+                let q = 1.0 - 1.0 / mean.max(1.0 + 1e-9);
+                if q <= 0.0 {
+                    return 1;
+                }
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let k = 1 + (u.ln() / q.ln()).floor() as u64;
+                k.clamp(1, max)
+            }
+            ClusterSizeModel::LogNormal { mean, sigma, max } => {
+                // E[lognormal] = exp(m + σ²/2) = mean ⇒ m = ln(mean) - σ²/2.
+                let m = mean.ln() - 0.5 * sigma * sigma;
+                let z = kgae_stats::dist::Normal::standard().sample(rng);
+                let x = (m + sigma * z).exp();
+                (x.round() as u64).clamp(1, max)
+            }
+        }
+    }
+}
+
+/// Within-cluster correctness-label model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelModel {
+    /// Independent `Bernoulli(accuracy)` labels (zero intra-cluster
+    /// correlation) — SYN 100M's construction.
+    Iid {
+        /// Marginal probability a triple is correct.
+        accuracy: f64,
+    },
+    /// Cluster-level accuracies `p_i ~ Beta(φμ, φ(1-μ))`, labels i.i.d.
+    /// within the cluster given `p_i`. Intra-cluster correlation is
+    /// `ρ = 1 / (1 + φ)`.
+    BetaBinomial {
+        /// Marginal accuracy μ.
+        accuracy: f64,
+        /// Concentration φ (> 0); smaller = stronger clustering of errors.
+        concentration: f64,
+    },
+    /// Each cluster of size `s` receives `⌊sμ⌋ (+1 w.p. frac(sμ))` correct
+    /// triples at random positions: near-deterministic within-cluster
+    /// composition, i.e. negative intra-cluster correlation.
+    Balanced {
+        /// Marginal accuracy μ.
+        accuracy: f64,
+    },
+}
+
+impl LabelModel {
+    /// The marginal accuracy the model targets.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        match *self {
+            LabelModel::Iid { accuracy }
+            | LabelModel::BetaBinomial { accuracy, .. }
+            | LabelModel::Balanced { accuracy } => accuracy,
+        }
+    }
+}
+
+/// Full generation recipe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticSpec {
+    /// Exact number of triples to produce.
+    pub num_triples: u64,
+    /// Exact number of entity clusters to produce.
+    pub num_clusters: u32,
+    /// Cluster-size distribution (rescaled to hit `num_triples` exactly).
+    pub size_model: ClusterSizeModel,
+    /// Correctness-label model.
+    pub label_model: LabelModel,
+    /// RNG seed: same spec + same seed ⇒ identical dataset.
+    pub seed: u64,
+    /// When true, flip a minimal set of random labels so the realized
+    /// accuracy equals `round(num_triples · μ) / num_triples` exactly —
+    /// Table 1 reports exact ground-truth accuracies.
+    pub exact_accuracy: bool,
+}
+
+impl SyntheticSpec {
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clusters == 0` or `num_triples < num_clusters`
+    /// (clusters must be nonempty).
+    #[must_use]
+    pub fn generate(&self) -> CompactKg {
+        assert!(self.num_clusters > 0, "need at least one cluster");
+        assert!(
+            self.num_triples >= u64::from(self.num_clusters),
+            "need at least one triple per cluster"
+        );
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let sizes = self.generate_sizes(&mut rng);
+        debug_assert_eq!(sizes.iter().sum::<u64>(), self.num_triples);
+
+        // The i.i.d. model without exact correction needs no materialized
+        // labels at all — this is what makes SYN 100M cheap.
+        if let (LabelModel::Iid { accuracy }, false) = (&self.label_model, self.exact_accuracy) {
+            return CompactKg::new(
+                &sizes,
+                LabelStore::Hashed {
+                    seed: self.seed ^ 0x5EED_1ABE_15C0_FFEE,
+                    rate: *accuracy,
+                },
+            );
+        }
+
+        let mut bits = self.generate_labels(&sizes, &mut rng);
+        if self.exact_accuracy {
+            self.correct_to_exact_accuracy(&mut bits, &mut rng);
+        }
+        CompactKg::new(&sizes, LabelStore::from_bits(bits))
+    }
+
+    /// Draws cluster sizes, then rescales/adjusts so they sum exactly to
+    /// `num_triples` while every cluster stays nonempty.
+    fn generate_sizes<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let n = self.num_clusters as usize;
+        let mut sizes: Vec<u64> = (0..n).map(|_| self.size_model.sample(rng)).collect();
+        let target = self.num_triples;
+        let mut total: u64 = sizes.iter().sum();
+
+        // Coarse correction by proportional rescaling when far off.
+        if total.abs_diff(target) > n as u64 {
+            let scale = target as f64 / total as f64;
+            for s in &mut sizes {
+                *s = (((*s as f64) * scale).round() as u64).max(1);
+            }
+            total = sizes.iter().sum();
+        }
+        // Fine correction one triple at a time on random clusters.
+        while total < target {
+            let i = rng.gen_range(0..n);
+            sizes[i] += 1;
+            total += 1;
+        }
+        while total > target {
+            let i = rng.gen_range(0..n);
+            if sizes[i] > 1 {
+                sizes[i] -= 1;
+                total -= 1;
+            }
+        }
+        sizes
+    }
+
+    fn generate_labels<R: Rng + ?Sized>(&self, sizes: &[u64], rng: &mut R) -> BitVec {
+        let total: u64 = sizes.iter().sum();
+        let mut bits = BitVec::zeros(total);
+        match self.label_model {
+            LabelModel::Iid { accuracy } => {
+                for t in 0..total {
+                    if rng.gen_bool(accuracy) {
+                        bits.set(t, true);
+                    }
+                }
+            }
+            LabelModel::BetaBinomial {
+                accuracy,
+                concentration,
+            } => {
+                // Clamp the Beta parameters away from zero so μ near the
+                // boundary (e.g. YAGO's 0.99) stays a proper distribution.
+                let a = (concentration * accuracy).max(1e-3);
+                let b = (concentration * (1.0 - accuracy)).max(1e-3);
+                let beta = Beta::new(a, b).expect("validated beta parameters");
+                let mut t = 0u64;
+                for &s in sizes {
+                    let p = beta.sample(rng);
+                    for _ in 0..s {
+                        if rng.gen_bool(p) {
+                            bits.set(t, true);
+                        }
+                        t += 1;
+                    }
+                }
+            }
+            LabelModel::Balanced { accuracy } => {
+                let mut t = 0u64;
+                for &s in sizes {
+                    let exact = s as f64 * accuracy;
+                    let mut k = exact.floor() as u64;
+                    if rng.gen_bool(exact - exact.floor()) {
+                        k += 1;
+                    }
+                    // Floyd-style sample of k positions within the cluster.
+                    let base = t;
+                    let mut chosen = vec![false; s as usize];
+                    let mut remaining = k.min(s);
+                    let mut pool: Vec<usize> = (0..s as usize).collect();
+                    while remaining > 0 {
+                        let j = rng.gen_range(0..pool.len());
+                        chosen[pool.swap_remove(j)] = true;
+                        remaining -= 1;
+                    }
+                    for (off, &c) in chosen.iter().enumerate() {
+                        if c {
+                            bits.set(base + off as u64, true);
+                        }
+                    }
+                    t += s;
+                }
+            }
+        }
+        bits
+    }
+
+    /// Flips random labels until exactly `round(M·μ)` are correct.
+    fn correct_to_exact_accuracy<R: Rng + ?Sized>(&self, bits: &mut BitVec, rng: &mut R) {
+        let total = bits.len();
+        let target = (total as f64 * self.label_model.accuracy()).round() as u64;
+        let mut ones = bits.count_ones();
+        while ones != target {
+            let t = rng.gen_range(0..total);
+            if ones < target && !bits.get(t) {
+                bits.set(t, true);
+                ones += 1;
+            } else if ones > target && bits.get(t) {
+                bits.set(t, false);
+                ones -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kg::{GroundTruth, KnowledgeGraph};
+    use crate::ids::{ClusterId, TripleId};
+
+    fn spec(label_model: LabelModel) -> SyntheticSpec {
+        SyntheticSpec {
+            num_triples: 5_000,
+            num_clusters: 1_500,
+            size_model: ClusterSizeModel::Geometric { mean: 3.3, max: 30 },
+            label_model,
+            seed: 42,
+            exact_accuracy: true,
+        }
+    }
+
+    #[test]
+    fn exact_counts_and_accuracy() {
+        let kg = spec(LabelModel::Iid { accuracy: 0.85 }).generate();
+        assert_eq!(kg.num_triples(), 5_000);
+        assert_eq!(kg.num_clusters(), 1_500);
+        let want = (5_000.0f64 * 0.85).round() / 5_000.0;
+        assert!((kg.true_accuracy() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec(LabelModel::BetaBinomial {
+            accuracy: 0.9,
+            concentration: 4.0,
+        })
+        .generate();
+        let b = spec(LabelModel::BetaBinomial {
+            accuracy: 0.9,
+            concentration: 4.0,
+        })
+        .generate();
+        assert_eq!(a.num_triples(), b.num_triples());
+        for t in (0..a.num_triples()).step_by(7) {
+            assert_eq!(a.is_correct(TripleId(t)), b.is_correct(TripleId(t)));
+        }
+        for c in (0..a.num_clusters()).step_by(13) {
+            assert_eq!(a.cluster_size(ClusterId(c)), b.cluster_size(ClusterId(c)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s1 = spec(LabelModel::Iid { accuracy: 0.5 });
+        let mut s2 = s1.clone();
+        s1.seed = 1;
+        s2.seed = 2;
+        let (a, b) = (s1.generate(), s2.generate());
+        let disagreements = (0..a.num_triples())
+            .filter(|&t| a.is_correct(TripleId(t)) != b.is_correct(TripleId(t)))
+            .count();
+        assert!(disagreements > 1000, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn iid_without_exact_accuracy_uses_hashed_store() {
+        let mut s = spec(LabelModel::Iid { accuracy: 0.7 });
+        s.exact_accuracy = false;
+        let kg = s.generate();
+        // Hashed store ⇒ heap is just the offsets.
+        assert!(kg.heap_bytes() <= (s.num_clusters as usize + 1) * 8);
+        assert_eq!(kg.true_accuracy(), 0.7);
+        assert!((kg.measure_accuracy() - 0.7).abs() < 0.02);
+    }
+
+    /// Per-cluster accuracy variance discriminates the three label models.
+    fn between_cluster_variance(kg: &CompactKg) -> f64 {
+        let mut means = Vec::new();
+        for c in 0..kg.num_clusters() {
+            let r = kg.cluster_triples(ClusterId(c));
+            let n = (r.end - r.start) as f64;
+            if n < 2.0 {
+                continue;
+            }
+            let correct = r.clone().filter(|&t| kg.is_correct(TripleId(t))).count() as f64;
+            means.push(correct / n);
+        }
+        kgae_stats::descriptive::sample_variance(&means)
+    }
+
+    #[test]
+    fn label_models_order_intra_cluster_correlation() {
+        let iid = spec(LabelModel::Iid { accuracy: 0.6 }).generate();
+        let pos = spec(LabelModel::BetaBinomial {
+            accuracy: 0.6,
+            concentration: 2.0,
+        })
+        .generate();
+        let neg = spec(LabelModel::Balanced { accuracy: 0.6 }).generate();
+        let (v_iid, v_pos, v_neg) = (
+            between_cluster_variance(&iid),
+            between_cluster_variance(&pos),
+            between_cluster_variance(&neg),
+        );
+        assert!(
+            v_pos > v_iid && v_iid > v_neg,
+            "variance ordering violated: pos={v_pos:.4}, iid={v_iid:.4}, neg={v_neg:.4}"
+        );
+    }
+
+    #[test]
+    fn fixed_size_model() {
+        let s = SyntheticSpec {
+            num_triples: 300,
+            num_clusters: 100,
+            size_model: ClusterSizeModel::Fixed(3),
+            label_model: LabelModel::Iid { accuracy: 1.0 },
+            seed: 9,
+            exact_accuracy: false,
+        };
+        let kg = s.generate();
+        for c in 0..kg.num_clusters() {
+            assert_eq!(kg.cluster_size(ClusterId(c)), 3);
+        }
+        assert_eq!(kg.true_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn lognormal_sizes_hit_exact_total() {
+        let s = SyntheticSpec {
+            num_triples: 20_280,
+            num_clusters: 1_000,
+            size_model: ClusterSizeModel::LogNormal {
+                mean: 20.28,
+                sigma: 1.0,
+                max: 2_000,
+            },
+            label_model: LabelModel::Iid { accuracy: 0.5 },
+            seed: 5,
+            exact_accuracy: false,
+        };
+        let kg = s.generate();
+        assert_eq!(kg.num_triples(), 20_280);
+        assert!((kg.avg_cluster_size() - 20.28).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_accuracies() {
+        for &mu in &[0.0, 1.0] {
+            let mut s = spec(LabelModel::Iid { accuracy: mu });
+            s.exact_accuracy = true;
+            let kg = s.generate();
+            assert_eq!(kg.true_accuracy(), mu);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one triple per cluster")]
+    fn too_few_triples_rejected() {
+        let s = SyntheticSpec {
+            num_triples: 10,
+            num_clusters: 20,
+            size_model: ClusterSizeModel::Fixed(1),
+            label_model: LabelModel::Iid { accuracy: 0.5 },
+            seed: 0,
+            exact_accuracy: false,
+        };
+        let _ = s.generate();
+    }
+}

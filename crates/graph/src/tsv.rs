@@ -1,0 +1,187 @@
+//! TSV import/export for annotated KGs.
+//!
+//! Real audits start from a dump of `(subject, predicate, object, label)`
+//! rows; this module parses that interchange format into an
+//! [`InMemoryKg`] and writes one back out.
+//! Format: four tab-separated columns, `label ∈ {0, 1, true, false}`,
+//! `#`-prefixed lines and blank lines ignored.
+
+use crate::ids::{ClusterId, TripleId};
+use crate::kg::{GroundTruth, KnowledgeGraph};
+use crate::memory::InMemoryKg;
+use std::fmt;
+
+/// TSV parsing errors with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsvError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for TsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TSV parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+/// Parses an annotated KG from TSV text.
+///
+/// ```
+/// let kg = kgae_graph::tsv::parse_tsv(
+///     "# subject \t predicate \t object \t correct\n\
+///      Turing\tbornIn\tLondon\t1\n\
+///      Turing\tbornIn\tParis\t0\n\
+///      Curie\twonPrize\tNobel\ttrue\n",
+/// )
+/// .unwrap();
+/// use kgae_graph::{KnowledgeGraph, GroundTruth};
+/// assert_eq!(kg.num_triples(), 3);
+/// assert_eq!(kg.num_clusters(), 2);
+/// assert!((kg.true_accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn parse_tsv(text: &str) -> Result<InMemoryKg, TsvError> {
+    let mut builder = InMemoryKg::builder();
+    let mut rows = 0usize;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut cols = raw.split('\t');
+        let (s, p, o, label) = match (cols.next(), cols.next(), cols.next(), cols.next()) {
+            (Some(s), Some(p), Some(o), Some(l)) => (s.trim(), p.trim(), o.trim(), l.trim()),
+            _ => {
+                return Err(TsvError {
+                    line,
+                    reason: format!(
+                        "expected 4 tab-separated columns, got {}",
+                        raw.split('\t').count()
+                    ),
+                })
+            }
+        };
+        if cols.next().is_some() {
+            return Err(TsvError {
+                line,
+                reason: "more than 4 columns".into(),
+            });
+        }
+        if s.is_empty() || p.is_empty() {
+            return Err(TsvError {
+                line,
+                reason: "empty subject or predicate".into(),
+            });
+        }
+        let correct = match label {
+            "1" | "true" | "TRUE" | "True" => true,
+            "0" | "false" | "FALSE" | "False" => false,
+            other => {
+                return Err(TsvError {
+                    line,
+                    reason: format!("label must be 0/1/true/false, got {other:?}"),
+                })
+            }
+        };
+        builder.add_fact(s, p, o, correct);
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err(TsvError {
+            line: 0,
+            reason: "no data rows".into(),
+        });
+    }
+    Ok(builder.build())
+}
+
+/// Serializes an annotated KG back to TSV (stable cluster-major order).
+#[must_use]
+pub fn to_tsv(kg: &InMemoryKg) -> String {
+    let mut out = String::from("# subject\tpredicate\tobject\tcorrect\n");
+    for c in 0..kg.num_clusters() {
+        for t in kg.cluster_triples(ClusterId(c)) {
+            let id = TripleId(t);
+            let triple = kg.triple(id);
+            out.push_str(&triple.subject);
+            out.push('\t');
+            out.push_str(&triple.predicate);
+            out.push('\t');
+            out.push_str(&triple.object);
+            out.push('\t');
+            out.push(if kg.is_correct(id) { '1' } else { '0' });
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# a comment\n\
+        Turing\tbornIn\tLondon\t1\n\
+        \n\
+        Turing\tfield\tCS\ttrue\n\
+        Einstein\tbornIn\tUlm\t1\n\
+        Einstein\twonPrize\tFields\t0\n";
+
+    #[test]
+    fn parses_comments_blanks_and_label_spellings() {
+        let kg = parse_tsv(SAMPLE).unwrap();
+        assert_eq!(kg.num_triples(), 4);
+        assert_eq!(kg.num_clusters(), 2);
+        assert!((kg.true_accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(kg.subject(ClusterId(0)), "Turing");
+    }
+
+    #[test]
+    fn roundtrips_through_tsv() {
+        let kg = parse_tsv(SAMPLE).unwrap();
+        let text = to_tsv(&kg);
+        let back = parse_tsv(&text).unwrap();
+        assert_eq!(back.num_triples(), kg.num_triples());
+        assert_eq!(back.num_clusters(), kg.num_clusters());
+        assert_eq!(back.true_accuracy(), kg.true_accuracy());
+        for t in 0..kg.num_triples() {
+            assert_eq!(back.triple(TripleId(t)), kg.triple(TripleId(t)));
+            assert_eq!(back.is_correct(TripleId(t)), kg.is_correct(TripleId(t)));
+        }
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse_tsv("a\tb\tc\t1\nbroken line\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse_tsv("a\tb\tc\tmaybe\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("label"));
+
+        let err = parse_tsv("a\tb\tc\t1\textra\n").unwrap_err();
+        assert!(err.reason.contains("more than 4"));
+
+        let err = parse_tsv("\tb\tc\t1\n").unwrap_err();
+        assert!(err.reason.contains("empty subject"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse_tsv("").is_err());
+        assert!(parse_tsv("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn object_may_be_empty_attribute() {
+        // Objects can be empty strings (attribute-valued nodes).
+        let kg = parse_tsv("s\tp\t\t1\n").unwrap();
+        assert_eq!(kg.num_triples(), 1);
+        assert_eq!(kg.triple(TripleId(0)).object, "");
+    }
+}

@@ -1,0 +1,136 @@
+//! Interval value type shared by all estimation methods.
+
+use std::fmt;
+
+/// A closed interval `[lower, upper]` on the accuracy scale.
+///
+/// The Margin of Error (MoE) is half the width (paper §2.2); the
+/// evaluation framework stops when `moe() <= ε`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    lower: f64,
+    upper: f64,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either bound is NaN. (Frequentist
+    /// methods may legitimately produce bounds outside `[0, 1]` — Wald
+    /// overshoot is one of the paper's motivating pathologies — so bounds
+    /// are *not* clamped here.)
+    #[must_use]
+    pub fn new(lower: f64, upper: f64) -> Self {
+        assert!(
+            lower <= upper,
+            "interval bounds out of order: [{lower}, {upper}]"
+        );
+        Self { lower, upper }
+    }
+
+    /// Lower bound.
+    #[must_use]
+    #[inline]
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// Upper bound.
+    #[must_use]
+    #[inline]
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Interval width `upper - lower`.
+    #[must_use]
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Margin of Error: half the width.
+    #[must_use]
+    #[inline]
+    pub fn moe(&self) -> f64 {
+        0.5 * self.width()
+    }
+
+    /// Whether `x` lies inside (inclusive).
+    #[must_use]
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lower..=self.upper).contains(&x)
+    }
+
+    /// The same interval clipped to `[0, 1]` (useful for display; the
+    /// paper's MoE accounting uses the *unclipped* width).
+    #[must_use]
+    pub fn clamped_to_unit(&self) -> Interval {
+        Interval {
+            lower: self.lower.clamp(0.0, 1.0),
+            upper: self.upper.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Midpoint of the interval.
+    #[must_use]
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:.4}, {:.4}]", self.lower, self.upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_derived_quantities() {
+        let i = Interval::new(0.2, 0.6);
+        assert_eq!(i.lower(), 0.2);
+        assert_eq!(i.upper(), 0.6);
+        assert!((i.width() - 0.4).abs() < 1e-15);
+        assert!((i.moe() - 0.2).abs() < 1e-15);
+        assert!((i.midpoint() - 0.4).abs() < 1e-15);
+        assert!(i.contains(0.2) && i.contains(0.6) && i.contains(0.35));
+        assert!(!i.contains(0.61));
+    }
+
+    #[test]
+    fn zero_width_interval_is_legal() {
+        // The Wald pathology of Example 1: [1.00, 1.00].
+        let i = Interval::new(1.0, 1.0);
+        assert_eq!(i.width(), 0.0);
+        assert_eq!(i.moe(), 0.0);
+        assert!(i.contains(1.0));
+        assert!(!i.contains(0.999));
+    }
+
+    #[test]
+    fn overshooting_interval_can_be_clamped() {
+        // Wald overshoot: bounds outside the probability domain.
+        let i = Interval::new(0.95, 1.07);
+        let c = i.clamped_to_unit();
+        assert_eq!(c.upper(), 1.0);
+        assert_eq!(c.lower(), 0.95);
+        assert!(c.width() < i.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn inverted_bounds_rejected() {
+        let _ = Interval::new(0.7, 0.3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Interval::new(0.25, 0.75).to_string(), "[0.2500, 0.7500]");
+    }
+}

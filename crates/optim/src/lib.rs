@@ -1,0 +1,34 @@
+//! # kgae-optim
+//!
+//! Numerical optimization substrate for the HPD credible-interval solver.
+//!
+//! The paper computes Highest Posterior Density intervals by minimizing the
+//! interval width `u - l` under the coverage constraint
+//! `F(u) - F(l) = 1 - α` with both endpoints bounded to `[0, 1]`, using the
+//! SLSQP sequential-quadratic-programming method (Kraft 1988). This crate
+//! provides:
+//!
+//! * [`slsqp`] — a dense SQP solver for small smooth problems with equality
+//!   constraints and box bounds (damped BFGS Hessian approximation,
+//!   primal active-set QP subproblems, L1-merit backtracking line search);
+//! * [`root`] — bracketed root finding (bisection and Brent), used for the
+//!   independent "exact" HPD solver that cross-validates SLSQP;
+//! * [`minimize1d`] — derivative-free 1-D minimization (Brent);
+//! * [`linalg`] — the small dense LU factorization backing the QP solves.
+//!
+//! Everything is `f64`, allocation-light, and panic-free on valid input.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod linalg;
+pub mod minimize1d;
+pub mod root;
+pub mod slsqp;
+
+mod error;
+
+pub use error::OptimError;
+
+/// Convenience alias for fallible optimization routines.
+pub type Result<T> = std::result::Result<T, OptimError>;

@@ -1,0 +1,167 @@
+//! Derivative-free one-dimensional minimization (Brent).
+//!
+//! Used by the width-minimization formulation of the exact HPD solver:
+//! minimize `w(l) = F⁻¹(F(l) + 1 - α) - l` over the lower endpoint. Brent's
+//! parabolic-interpolation method needs only function values, which keeps
+//! the solver independent from the SLSQP path it cross-checks.
+
+use crate::{OptimError, Result};
+
+/// Result of a 1-D minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Min1d {
+    /// Argmin location.
+    pub x: f64,
+    /// Function value at the argmin.
+    pub fx: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Minimizes `f` over `[a, b]` with Brent's method (golden-section with
+/// parabolic acceleration).
+///
+/// `tol` is the relative x-tolerance; values below `√ε ≈ 1.5e-8` cannot be
+/// exploited by a quadratic model and are clamped.
+pub fn brent_min<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<Min1d> {
+    if a >= b || a.is_nan() || b.is_nan() {
+        return Err(OptimError::InvalidBracket { lo: a, hi: b });
+    }
+    let tol = tol.max(1e-11);
+    const GOLD: f64 = 0.381_966_011_250_105_1; // (3 - √5) / 2
+    const MAX_ITER: usize = 200;
+
+    let (mut a, mut b) = (a, b);
+    let mut x = a + GOLD * (b - a);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for iter in 0..MAX_ITER {
+        let xm = 0.5 * (a + b);
+        let tol1 = tol * x.abs() + 1e-12;
+        let tol2 = 2.0 * tol1;
+        if (x - xm).abs() <= tol2 - 0.5 * (b - a) {
+            return Ok(Min1d {
+                x,
+                fx,
+                iterations: iter,
+            });
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Trial parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let mut q = (x - v) * (fx - fw);
+            let mut p = (x - v) * q - (x - w) * r;
+            q = 2.0 * (q - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let etemp = e;
+            e = d;
+            if p.abs() < (0.5 * q * etemp).abs() && p > q * (a - x) && p < q * (b - x) {
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = tol1.copysign(xm - x);
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x >= xm { a - x } else { b - x };
+            d = GOLD * e;
+        }
+        let u = if d.abs() >= tol1 {
+            x + d
+        } else {
+            x + tol1.copysign(d)
+        };
+        let fu = f(u);
+        if fu <= fx {
+            if u >= x {
+                a = x;
+            } else {
+                b = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    Err(OptimError::NoConvergence {
+        algorithm: "brent_min",
+        iterations: MAX_ITER,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let r = brent_min(|x| (x - 2.0) * (x - 2.0) + 3.0, 0.0, 5.0, 1e-10).unwrap();
+        assert!((r.x - 2.0).abs() < 1e-7);
+        assert!((r.fx - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quartic_flat_bottom() {
+        let r = brent_min(|x: f64| (x - 1.0).powi(4), -3.0, 4.0, 1e-10).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-3); // quartic bottoms are hard to pin
+        assert!(r.fx < 1e-11);
+    }
+
+    #[test]
+    fn cosine_minimum() {
+        let r = brent_min(|x: f64| x.cos(), 2.0, 5.0, 1e-12).unwrap();
+        assert!((r.x - std::f64::consts::PI).abs() < 1e-6);
+        assert!((r.fx + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_minimum_is_approached() {
+        // Monotone decreasing on the bracket: argmin at the right edge.
+        let r = brent_min(|x| -x, 0.0, 1.0, 1e-10).unwrap();
+        assert!(r.x > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn invalid_bracket_rejected() {
+        assert!(brent_min(|x| x, 1.0, 1.0, 1e-8).is_err());
+        assert!(brent_min(|x| x, 2.0, 1.0, 1e-8).is_err());
+    }
+
+    #[test]
+    fn asymmetric_valley() {
+        // f(x) = x - ln(x): minimum at x = 1.
+        let r = brent_min(|x: f64| x - x.ln(), 0.1, 10.0, 1e-12).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-6);
+        assert!((r.fx - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,652 @@
+//! Sequential Least SQuares Programming (SLSQP).
+//!
+//! A dense SQP method for
+//!
+//! ```text
+//! minimize    f(x)
+//! subject to  c(x) = 0          (m equality constraints)
+//!             lb <= x <= ub     (box bounds)
+//! ```
+//!
+//! following the structure of Kraft (1988), the algorithm the paper adopts
+//! for HPD interval computation (§4.3): a damped-BFGS approximation of the
+//! Lagrangian Hessian, quadratic subproblems with linearized constraints,
+//! and an L1 exact-penalty merit line search for globalization.
+//!
+//! The QP subproblems handle the box bounds with a fix-and-release active
+//! set, which is exact for the small, well-conditioned problems this crate
+//! targets (the HPD problem has two variables and one constraint). The
+//! outer SQP loop is tolerant of approximate subproblem solutions because
+//! the merit line search enforces global progress.
+
+use crate::linalg::{solve, Matrix};
+use crate::{OptimError, Result};
+
+/// Optimization problem interface: smooth objective, `m` smooth equality
+/// constraints, dimensions fixed at construction.
+pub trait Problem {
+    /// Returns `(n, m)`: number of variables and equality constraints.
+    fn dims(&self) -> (usize, usize);
+
+    /// Objective value at `x`.
+    fn objective(&self, x: &[f64]) -> f64;
+
+    /// Gradient of the objective (default: central differences).
+    fn objective_grad(&self, x: &[f64], grad: &mut [f64]) {
+        let mut xt = x.to_vec();
+        for i in 0..x.len() {
+            let h = step(x[i]);
+            xt[i] = x[i] + h;
+            let fp = self.objective(&xt);
+            xt[i] = x[i] - h;
+            let fm = self.objective(&xt);
+            xt[i] = x[i];
+            grad[i] = (fp - fm) / (2.0 * h);
+        }
+    }
+
+    /// Constraint values `c(x)` written into `out` (length `m`).
+    fn constraints(&self, x: &[f64], out: &mut [f64]);
+
+    /// Constraint Jacobian, row-major `m × n` (default: central
+    /// differences).
+    fn constraints_jac(&self, x: &[f64], jac: &mut [f64]) {
+        let (n, m) = self.dims();
+        let mut xt = x.to_vec();
+        let mut cp = vec![0.0; m];
+        let mut cm = vec![0.0; m];
+        for i in 0..n {
+            let h = step(x[i]);
+            xt[i] = x[i] + h;
+            self.constraints(&xt, &mut cp);
+            xt[i] = x[i] - h;
+            self.constraints(&xt, &mut cm);
+            xt[i] = x[i];
+            for j in 0..m {
+                jac[j * n + i] = (cp[j] - cm[j]) / (2.0 * h);
+            }
+        }
+    }
+}
+
+#[inline]
+fn step(x: f64) -> f64 {
+    6e-6 * (1.0 + x.abs())
+}
+
+/// Closure-based [`Problem`] for quick construction.
+pub struct FnProblem<F, C> {
+    n: usize,
+    m: usize,
+    f: F,
+    c: C,
+}
+
+impl<F, C> FnProblem<F, C>
+where
+    F: Fn(&[f64]) -> f64,
+    C: Fn(&[f64], &mut [f64]),
+{
+    /// Wraps an objective closure and a constraint closure.
+    pub fn new(n: usize, m: usize, f: F, c: C) -> Self {
+        Self { n, m, f, c }
+    }
+}
+
+impl<F, C> Problem for FnProblem<F, C>
+where
+    F: Fn(&[f64]) -> f64,
+    C: Fn(&[f64], &mut [f64]),
+{
+    fn dims(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+    fn objective(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+    fn constraints(&self, x: &[f64], out: &mut [f64]) {
+        (self.c)(x, out)
+    }
+}
+
+/// SLSQP stopping and iteration controls.
+#[derive(Debug, Clone, Copy)]
+pub struct SlsqpConfig {
+    /// Maximum outer SQP iterations.
+    pub max_iter: usize,
+    /// Step-size tolerance (relative to `1 + |x|`).
+    pub xtol: f64,
+    /// Feasibility tolerance on `‖c(x)‖∞`.
+    pub ctol: f64,
+}
+
+impl Default for SlsqpConfig {
+    fn default() -> Self {
+        Self {
+            max_iter: 100,
+            xtol: 1e-11,
+            ctol: 1e-11,
+        }
+    }
+}
+
+/// Result of an SLSQP run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Final iterate.
+    pub x: Vec<f64>,
+    /// Objective at the final iterate.
+    pub objective: f64,
+    /// `‖c(x)‖∞` at the final iterate.
+    pub constraint_violation: f64,
+    /// Outer iterations used.
+    pub iterations: usize,
+    /// Whether both the step and feasibility tolerances were met.
+    pub converged: bool,
+}
+
+/// Minimizes `problem` starting from `x0` subject to the box
+/// `lower <= x <= upper`.
+///
+/// Returns an error on dimension mismatches or non-finite evaluations; an
+/// iteration-limit exit is *not* an error (the best iterate is returned
+/// with `converged = false`) because callers like aHPD treat it as a
+/// recoverable quality signal.
+pub fn slsqp<P: Problem>(
+    problem: &P,
+    x0: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    cfg: &SlsqpConfig,
+) -> Result<Solution> {
+    let (n, m) = problem.dims();
+    for (what, len) in [("x0", x0.len()), ("lower", lower.len()), ("upper", upper.len())] {
+        if len != n {
+            let _ = what;
+            return Err(OptimError::DimensionMismatch { expected: n, got: len });
+        }
+    }
+
+    let mut x: Vec<f64> = x0
+        .iter()
+        .zip(lower.iter().zip(upper))
+        .map(|(&v, (&lo, &hi))| v.clamp(lo, hi))
+        .collect();
+
+    let mut b = Matrix::identity(n); // BFGS approximation of ∇²L
+    let mut g = vec![0.0; n];
+    let mut c = vec![0.0; m];
+    let mut jac = vec![0.0; m * n];
+    let mut rho = 1.0f64; // L1 merit penalty weight
+
+    problem.objective_grad(&x, &mut g);
+    problem.constraints(&x, &mut c);
+    problem.constraints_jac(&x, &mut jac);
+    let mut fx = problem.objective(&x);
+    check_finite(fx, &c)?;
+
+    let mut iterations = 0;
+    for iter in 0..cfg.max_iter {
+        iterations = iter + 1;
+
+        // --- QP subproblem -------------------------------------------------
+        let (d, lambda) = solve_qp(&b, &g, &jac, &c, &x, lower, upper, n, m)?;
+
+        let dnorm = d.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        let cnorm = c.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        let xnorm = x.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        if dnorm <= cfg.xtol * (1.0 + xnorm) && cnorm <= cfg.ctol {
+            return Ok(Solution {
+                objective: fx,
+                constraint_violation: cnorm,
+                x,
+                iterations,
+                converged: true,
+            });
+        }
+
+        // --- merit line search ---------------------------------------------
+        let lam_norm = lambda.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        rho = rho.max(2.0 * lam_norm + 1.0);
+        let phi0 = fx + rho * c.iter().map(|v| v.abs()).sum::<f64>();
+        let descent: f64 = g.iter().zip(&d).map(|(gi, di)| gi * di).sum::<f64>()
+            - rho * c.iter().map(|v| v.abs()).sum::<f64>();
+
+        let mut alpha = 1.0f64;
+        let mut xt = x.clone();
+        let mut ct = vec![0.0; m];
+        let mut ft;
+        loop {
+            for i in 0..n {
+                xt[i] = (x[i] + alpha * d[i]).clamp(lower[i], upper[i]);
+            }
+            ft = problem.objective(&xt);
+            problem.constraints(&xt, &mut ct);
+            let phit = ft + rho * ct.iter().map(|v| v.abs()).sum::<f64>();
+            if phit <= phi0 + 1e-4 * alpha * descent || alpha < 1e-12 {
+                break;
+            }
+            alpha *= 0.5;
+        }
+        check_finite(ft, &ct)?;
+
+        // --- damped BFGS update of the Lagrangian Hessian ------------------
+        let mut g_new = vec![0.0; n];
+        let mut jac_new = vec![0.0; m * n];
+        problem.objective_grad(&xt, &mut g_new);
+        problem.constraints_jac(&xt, &mut jac_new);
+
+        let s: Vec<f64> = xt.iter().zip(&x).map(|(a, b)| a - b).collect();
+        // y = ∇L(x⁺, λ) − ∇L(x, λ),  ∇L = g + Jᵀλ.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut jl_new = 0.0;
+            let mut jl_old = 0.0;
+            for j in 0..m {
+                jl_new += jac_new[j * n + i] * lambda[j];
+                jl_old += jac[j * n + i] * lambda[j];
+            }
+            y[i] = (g_new[i] + jl_new) - (g[i] + jl_old);
+        }
+        bfgs_update(&mut b, &s, &y);
+
+        x = xt;
+        fx = ft;
+        g = g_new;
+        jac = jac_new;
+        problem.constraints(&x, &mut c);
+    }
+
+    let cnorm = c.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+    Ok(Solution {
+        objective: fx,
+        constraint_violation: cnorm,
+        x,
+        iterations,
+        converged: false,
+    })
+}
+
+fn check_finite(f: f64, c: &[f64]) -> Result<()> {
+    if !f.is_finite() {
+        return Err(OptimError::NonFiniteValue { what: "objective" });
+    }
+    if c.iter().any(|v| !v.is_finite()) {
+        return Err(OptimError::NonFiniteValue { what: "constraints" });
+    }
+    Ok(())
+}
+
+/// Powell-damped BFGS update keeping `B` positive definite.
+fn bfgs_update(b: &mut Matrix, s: &[f64], y: &[f64]) {
+    let n = s.len();
+    let s_norm2: f64 = s.iter().map(|v| v * v).sum();
+    if s_norm2 < 1e-300 {
+        return;
+    }
+    let bs = b.matvec(s);
+    let s_bs: f64 = s.iter().zip(&bs).map(|(a, v)| a * v).sum();
+    let mut sy: f64 = s.iter().zip(y).map(|(a, v)| a * v).sum();
+    let mut y = y.to_vec();
+    // Powell damping: blend y toward Bs when curvature is too weak.
+    if sy < 0.2 * s_bs {
+        let theta = 0.8 * s_bs / (s_bs - sy);
+        for i in 0..n {
+            y[i] = theta * y[i] + (1.0 - theta) * bs[i];
+        }
+        sy = s.iter().zip(&y).map(|(a, v)| a * v).sum();
+    }
+    if sy <= 1e-300 || s_bs <= 1e-300 {
+        return;
+    }
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] += y[i] * y[j] / sy - bs[i] * bs[j] / s_bs;
+        }
+    }
+}
+
+/// Solves the box-bounded equality QP
+/// `min ½dᵀBd + gᵀd  s.t.  J d + c = 0,  lb - x <= d <= ub - x`
+/// with a fix-and-release active set on the bounds.
+///
+/// Returns the step `d` and the equality multipliers `λ`.
+#[allow(clippy::too_many_arguments)]
+fn solve_qp(
+    b: &Matrix,
+    g: &[f64],
+    jac: &[f64],
+    c: &[f64],
+    x: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    n: usize,
+    m: usize,
+) -> Result<(Vec<f64>, Vec<f64>)> {
+    // Active bound state per coordinate: None = free, Some(v) = fixed at v.
+    let mut fixed: Vec<Option<f64>> = vec![None; n];
+    let lo: Vec<f64> = (0..n).map(|i| lower[i] - x[i]).collect();
+    let hi: Vec<f64> = (0..n).map(|i| upper[i] - x[i]).collect();
+
+    // A coordinate already at a bound that the unconstrained step would
+    // cross is seeded as active; everything else starts free.
+    let max_pass = 3 * (n + 1);
+    let mut d = vec![0.0; n];
+    let mut lambda = vec![0.0; m];
+
+    for _pass in 0..max_pass {
+        let free: Vec<usize> = (0..n).filter(|&i| fixed[i].is_none()).collect();
+        let nf = free.len();
+
+        // Assemble and solve the reduced KKT system:
+        // [ B_ff  J_fᵀ ] [d_f]   [ -g_f - B_fa d_a ]
+        // [ J_f   0    ] [ λ ] = [ -c   - J_a d_a  ]
+        let dim = nf + m;
+        if nf == 0 {
+            // Every coordinate is pinned by a bound: the step is fully
+            // determined and no meaningful multipliers exist.
+            for (a_idx, da) in fixed.iter().enumerate() {
+                if let Some(da) = da {
+                    d[a_idx] = *da;
+                }
+            }
+            lambda.iter_mut().for_each(|l| *l = 0.0);
+            break;
+        }
+        let mut kkt = Matrix::zeros(dim, dim);
+        let mut rhs = vec![0.0; dim];
+        for (ri, &i) in free.iter().enumerate() {
+            for (rj, &j) in free.iter().enumerate() {
+                kkt[(ri, rj)] = b[(i, j)];
+            }
+            for j in 0..m {
+                kkt[(ri, nf + j)] = jac[j * n + i];
+                kkt[(nf + j, ri)] = jac[j * n + i];
+            }
+            let mut r = -g[i];
+            for (a_idx, da) in fixed.iter().enumerate() {
+                if let Some(da) = da {
+                    r -= b[(i, a_idx)] * da;
+                }
+            }
+            rhs[ri] = r;
+        }
+        for j in 0..m {
+            let mut r = -c[j];
+            for (a_idx, da) in fixed.iter().enumerate() {
+                if let Some(da) = da {
+                    r -= jac[j * n + a_idx] * da;
+                }
+            }
+            rhs[nf + j] = r;
+        }
+
+        let sol = match solve(&kkt, &rhs) {
+            Ok(s) => s,
+            Err(OptimError::SingularMatrix) => {
+                // Regularize: proximal term on the Hessian block and a
+                // (negative) dual regularization on the constraint block,
+                // the standard stabilization for saddle-point systems.
+                let mut kkt_reg = kkt.clone();
+                for i in 0..nf {
+                    kkt_reg[(i, i)] += 1e-8;
+                }
+                for j in 0..m {
+                    kkt_reg[(nf + j, nf + j)] -= 1e-10;
+                }
+                match solve(&kkt_reg, &rhs) {
+                    Ok(s) => s,
+                    Err(OptimError::SingularMatrix) => {
+                        // Degenerate subproblem (e.g. the constraint
+                        // Jacobian vanished on the free set). Fall back to
+                        // a projected descent step on f + ½‖c‖²; the merit
+                        // line search keeps the outer loop globally sound.
+                        for i in 0..n {
+                            let mut dir = -g[i];
+                            for j in 0..m {
+                                dir -= jac[j * n + i] * c[j];
+                            }
+                            d[i] = dir.clamp(lo[i], hi[i]);
+                        }
+                        lambda.iter_mut().for_each(|l| *l = 0.0);
+                        return Ok((d, lambda));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        };
+        if sol.iter().any(|v| !v.is_finite()) {
+            for i in 0..n {
+                let mut dir = -g[i];
+                for j in 0..m {
+                    dir -= jac[j * n + i] * c[j];
+                }
+                d[i] = dir.clamp(lo[i], hi[i]);
+            }
+            lambda.iter_mut().for_each(|l| *l = 0.0);
+            return Ok((d, lambda));
+        }
+
+        for (ri, &i) in free.iter().enumerate() {
+            d[i] = sol[ri];
+        }
+        for (a_idx, da) in fixed.iter().enumerate() {
+            if let Some(da) = da {
+                d[a_idx] = *da;
+            }
+        }
+        lambda.copy_from_slice(&sol[nf..nf + m]);
+
+        // Fix the most violated free coordinate, if any.
+        let mut worst: Option<(usize, f64, f64)> = None; // (idx, target, violation)
+        for &i in &free {
+            let (target, viol) = if d[i] < lo[i] {
+                (lo[i], lo[i] - d[i])
+            } else if d[i] > hi[i] {
+                (hi[i], d[i] - hi[i])
+            } else {
+                continue;
+            };
+            if worst.is_none_or(|(_, _, w)| viol > w) {
+                worst = Some((i, target, viol));
+            }
+        }
+        if let Some((i, target, _)) = worst {
+            fixed[i] = Some(target);
+            continue;
+        }
+
+        // All bounds satisfied: check multiplier signs of fixed coords and
+        // release the most wrongly-signed one (μ_i = (Bd + g + Jᵀλ)_i must
+        // be >= 0 at a lower bound, <= 0 at an upper bound).
+        let bd = b.matvec(&d);
+        let mut release: Option<(usize, f64)> = None;
+        for (i, da) in fixed.iter().enumerate() {
+            let Some(da) = da else { continue };
+            let mut mu = bd[i] + g[i];
+            for j in 0..m {
+                mu += jac[j * n + i] * lambda[j];
+            }
+            let wrong = if (*da - lo[i]).abs() < (*da - hi[i]).abs() {
+                (-mu).max(0.0) // lower bound wants μ >= 0
+            } else {
+                mu.max(0.0) // upper bound wants μ <= 0
+            };
+            if wrong > 1e-12 && release.is_none_or(|(_, w)| wrong > w) {
+                release = Some((i, wrong));
+            }
+        }
+        if let Some((i, _)) = release {
+            fixed[i] = None;
+            continue;
+        }
+        break;
+    }
+    Ok((d, lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<P: Problem>(p: &P, x0: &[f64], lo: &[f64], hi: &[f64]) -> Solution {
+        slsqp(p, x0, lo, hi, &SlsqpConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn projected_circle() {
+        // min x² + y²  s.t. x + y = 1  →  (0.5, 0.5).
+        let p = FnProblem::new(
+            2,
+            1,
+            |x: &[f64]| x[0] * x[0] + x[1] * x[1],
+            |x: &[f64], c: &mut [f64]| c[0] = x[0] + x[1] - 1.0,
+        );
+        let s = run(&p, &[0.9, 0.0], &[-10.0, -10.0], &[10.0, 10.0]);
+        assert!(s.converged, "{s:?}");
+        assert!((s.x[0] - 0.5).abs() < 1e-7, "{s:?}");
+        assert!((s.x[1] - 0.5).abs() < 1e-7);
+        assert!(s.constraint_violation < 1e-9);
+    }
+
+    #[test]
+    fn constrained_rosenbrock_on_unit_circle() {
+        // Classic test: min (1-x)² + 100(y-x²)²  s.t.  x² + y² = 1.
+        // Known optimum ≈ (0.78642, 0.61770).
+        let p = FnProblem::new(
+            2,
+            1,
+            |x: &[f64]| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            },
+            |x: &[f64], c: &mut [f64]| c[0] = x[0] * x[0] + x[1] * x[1] - 1.0,
+        );
+        let s = run(&p, &[0.5, 0.5], &[-2.0, -2.0], &[2.0, 2.0]);
+        assert!(s.converged, "{s:?}");
+        assert!((s.x[0] - 0.7864).abs() < 1e-3, "{s:?}");
+        assert!((s.x[1] - 0.6177).abs() < 1e-3, "{s:?}");
+        assert!(s.constraint_violation < 1e-8);
+    }
+
+    #[test]
+    fn unconstrained_with_active_upper_bound() {
+        // min (x-2)², x ∈ [0, 1] → x = 1.
+        let p = FnProblem::new(
+            1,
+            0,
+            |x: &[f64]| (x[0] - 2.0) * (x[0] - 2.0),
+            |_: &[f64], _: &mut [f64]| {},
+        );
+        let s = run(&p, &[0.2], &[0.0], &[1.0]);
+        assert!((s.x[0] - 1.0).abs() < 1e-8, "{s:?}");
+    }
+
+    #[test]
+    fn equality_plus_active_bound() {
+        // min x² + y²  s.t. x + y = 1,  x >= 0.8  →  (0.8, 0.2).
+        let p = FnProblem::new(
+            2,
+            1,
+            |x: &[f64]| x[0] * x[0] + x[1] * x[1],
+            |x: &[f64], c: &mut [f64]| c[0] = x[0] + x[1] - 1.0,
+        );
+        let s = run(&p, &[0.9, 0.1], &[0.8, -10.0], &[10.0, 10.0]);
+        assert!((s.x[0] - 0.8).abs() < 1e-7, "{s:?}");
+        assert!((s.x[1] - 0.2).abs() < 1e-7, "{s:?}");
+    }
+
+    #[test]
+    fn hpd_like_symmetric_smoothstep() {
+        // Interval-width minimization against the Beta(2,2) CDF
+        // F(x) = 3x² - 2x³: minimize (u - l) s.t. F(u) - F(l) = 0.9.
+        // By symmetry the optimum is symmetric around 1/2.
+        let cdf = |x: f64| 3.0 * x * x - 2.0 * x * x * x;
+        let p = FnProblem::new(
+            2,
+            1,
+            |x: &[f64]| x[1] - x[0],
+            move |x: &[f64], c: &mut [f64]| c[0] = cdf(x[1]) - cdf(x[0]) - 0.9,
+        );
+        // Warm start mimicking an ET interval.
+        let s = run(&p, &[0.05, 0.95], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!(s.converged, "{s:?}");
+        assert!(s.constraint_violation < 1e-9);
+        assert!(
+            (s.x[0] + s.x[1] - 1.0).abs() < 1e-6,
+            "not symmetric: {s:?}"
+        );
+        let width = s.x[1] - s.x[0];
+        // Coverage condition at the symmetric solution: F(u)-F(l)=0.9.
+        assert!((cdf(s.x[1]) - cdf(s.x[0]) - 0.9).abs() < 1e-9);
+        assert!(width > 0.6 && width < 0.9, "width = {width}");
+    }
+
+    #[test]
+    fn skewed_cubic_hpd_matches_density_equality() {
+        // With F(x) = x³ (Beta(3,1)-like, increasing density), the optimal
+        // 90% interval pins u = 1 via the upper bound.
+        let p = FnProblem::new(
+            2,
+            1,
+            |x: &[f64]| x[1] - x[0],
+            |x: &[f64], c: &mut [f64]| c[0] = x[1].powi(3) - x[0].powi(3) - 0.9,
+        );
+        let s = run(&p, &[0.05, 0.95], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((s.x[1] - 1.0).abs() < 1e-7, "{s:?}");
+        assert!((s.x[0] - 0.1f64.powf(1.0 / 3.0)).abs() < 1e-6, "{s:?}");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let p = FnProblem::new(2, 0, |_: &[f64]| 0.0, |_: &[f64], _: &mut [f64]| {});
+        assert!(slsqp(&p, &[0.0], &[0.0, 0.0], &[1.0, 1.0], &SlsqpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn non_finite_objective_is_error() {
+        let p = FnProblem::new(
+            1,
+            0,
+            |x: &[f64]| x[0].ln(), // -inf at 0, NaN below
+            |_: &[f64], _: &mut [f64]| {},
+        );
+        let r = slsqp(&p, &[-1.0], &[-2.0], &[2.0], &SlsqpConfig::default());
+        assert!(matches!(r, Err(OptimError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn iteration_limit_reports_not_converged() {
+        let p = FnProblem::new(
+            2,
+            1,
+            |x: &[f64]| {
+                let a = 1.0 - x[0];
+                let b = x[1] - x[0] * x[0];
+                a * a + 100.0 * b * b
+            },
+            |x: &[f64], c: &mut [f64]| c[0] = x[0] * x[0] + x[1] * x[1] - 1.0,
+        );
+        let cfg = SlsqpConfig {
+            max_iter: 2,
+            ..Default::default()
+        };
+        let s = slsqp(&p, &[-1.0, -1.0], &[-2.0, -2.0], &[2.0, 2.0], &cfg).unwrap();
+        assert!(!s.converged);
+        assert_eq!(s.iterations, 2);
+    }
+
+    #[test]
+    fn starting_point_outside_bounds_is_clamped() {
+        let p = FnProblem::new(
+            1,
+            0,
+            |x: &[f64]| x[0] * x[0],
+            |_: &[f64], _: &mut [f64]| {},
+        );
+        let s = run(&p, &[5.0], &[-1.0], &[1.0]);
+        assert!(s.x[0].abs() < 1e-8);
+    }
+}

@@ -1,0 +1,199 @@
+//! Sampling `k` distinct integers from `0..n` without replacement.
+//!
+//! Two complementary algorithms:
+//!
+//! * [`floyd_sample`] — Robert Floyd's algorithm, O(k) time and memory,
+//!   used by TWCS's second stage (`k = min(M_i, m)` with `m ∈ {3, 5}`);
+//! * [`IncrementalWithoutReplacement`] — a lazy Fisher–Yates shuffle that
+//!   hands out a *stream* of distinct draws, used by SRS where the
+//!   iterative framework keeps extending the same sample batch by batch.
+
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Floyd's algorithm: `k` distinct values uniformly from `0..n`.
+///
+/// The returned order is randomized (the classic algorithm returns a set;
+/// we shuffle-insert to make the order usable directly as a sample).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn floyd_sample<R: Rng + ?Sized>(rng: &mut R, n: u64, k: u64) -> Vec<u64> {
+    assert!(k <= n, "cannot draw {k} distinct values from 0..{n}");
+    let mut out: Vec<u64> = Vec::with_capacity(k as usize);
+    for j in n - k..n {
+        let t = rng.gen_range(0..=j);
+        if out.contains(&t) {
+            // Insert j at a random position to keep the order uniform.
+            let pos = rng.gen_range(0..=out.len());
+            out.insert(pos, j);
+        } else {
+            let pos = rng.gen_range(0..=out.len());
+            out.insert(pos, t);
+        }
+    }
+    out
+}
+
+/// Streaming without-replacement sampler over `0..n`: a virtual
+/// Fisher–Yates shuffle materializing only the touched entries.
+///
+/// Memory is O(draws so far); each draw is O(1) expected. This is what
+/// lets SRS extend a sample one triple at a time over a 100M-triple KG
+/// without ever allocating the permutation.
+#[derive(Debug, Clone)]
+pub struct IncrementalWithoutReplacement {
+    n: u64,
+    drawn: u64,
+    displaced: HashMap<u64, u64>,
+}
+
+impl IncrementalWithoutReplacement {
+    /// Sampler over the population `0..n`.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        Self {
+            n,
+            drawn: 0,
+            displaced: HashMap::new(),
+        }
+    }
+
+    /// Number of draws made so far.
+    #[must_use]
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Remaining population size.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.n - self.drawn
+    }
+
+    /// Draws the next distinct value, or `None` when exhausted.
+    pub fn next_draw<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<u64> {
+        if self.drawn >= self.n {
+            return None;
+        }
+        let i = self.drawn;
+        let j = rng.gen_range(i..self.n);
+        let vi = self.displaced.get(&i).copied().unwrap_or(i);
+        let vj = self.displaced.get(&j).copied().unwrap_or(j);
+        // Virtual swap positions i and j, then take position i.
+        self.displaced.insert(j, vi);
+        self.displaced.insert(i, vj);
+        self.drawn += 1;
+        Some(vj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn floyd_produces_distinct_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for &(n, k) in &[(10u64, 10u64), (100, 3), (5, 1), (1, 1), (1000, 999)] {
+            let s = floyd_sample(&mut rng, n, k);
+            assert_eq!(s.len(), k as usize);
+            let set: HashSet<u64> = s.iter().copied().collect();
+            assert_eq!(set.len(), k as usize, "duplicates for n={n}, k={k}");
+            assert!(s.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn floyd_zero_draws() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(floyd_sample(&mut rng, 10, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn floyd_rejects_oversample() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let _ = floyd_sample(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn floyd_is_uniform() {
+        // Every element of 0..6 should appear in a 3-subset with p = 1/2.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut counts = [0u64; 6];
+        let reps = 60_000;
+        for _ in 0..reps {
+            for v in floyd_sample(&mut rng, 6, 3) {
+                counts[v as usize] += 1;
+            }
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let f = c as f64 / reps as f64;
+            assert!((f - 0.5).abs() < 0.01, "element {v}: freq {f}");
+        }
+    }
+
+    #[test]
+    fn incremental_exhausts_population_exactly_once() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut s = IncrementalWithoutReplacement::new(500);
+        let mut seen = HashSet::new();
+        while let Some(v) = s.next_draw(&mut rng) {
+            assert!(v < 500);
+            assert!(seen.insert(v), "value {v} drawn twice");
+        }
+        assert_eq!(seen.len(), 500);
+        assert_eq!(s.remaining(), 0);
+        assert!(s.next_draw(&mut rng).is_none());
+    }
+
+    #[test]
+    fn incremental_first_draw_is_uniform() {
+        let reps = 60_000;
+        let mut counts = [0u64; 10];
+        for seed in 0..reps {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut s = IncrementalWithoutReplacement::new(10);
+            counts[s.next_draw(&mut rng).unwrap() as usize] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let f = c as f64 / reps as f64;
+            assert!((f - 0.1).abs() < 0.01, "value {v}: freq {f}");
+        }
+    }
+
+    #[test]
+    fn incremental_pairwise_inclusion_is_uniform() {
+        // Drawing 2 of 5: each unordered pair should appear w.p. 1/10.
+        let reps = 50_000u64;
+        let mut pair_counts: HashMap<(u64, u64), u64> = HashMap::new();
+        for seed in 0..reps {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut s = IncrementalWithoutReplacement::new(5);
+            let a = s.next_draw(&mut rng).unwrap();
+            let b = s.next_draw(&mut rng).unwrap();
+            let key = (a.min(b), a.max(b));
+            *pair_counts.entry(key).or_default() += 1;
+        }
+        assert_eq!(pair_counts.len(), 10);
+        for (&pair, &c) in &pair_counts {
+            let f = c as f64 / reps as f64;
+            assert!((f - 0.1).abs() < 0.01, "pair {pair:?}: freq {f}");
+        }
+    }
+
+    #[test]
+    fn incremental_memory_tracks_draws_not_population() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut s = IncrementalWithoutReplacement::new(u64::MAX / 2);
+        for _ in 0..100 {
+            s.next_draw(&mut rng).unwrap();
+        }
+        assert!(s.displaced.len() <= 200);
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+/// Errors produced by statistical routines.
+///
+/// Numerical code distinguishes *caller* errors (bad parameters, probability
+/// outside `[0,1]`) from *algorithmic* failures (an iteration that did not
+/// converge). Both are recoverable at the framework level, so they are
+/// reported through `Result` rather than panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be finite and > 0"`.
+        constraint: &'static str,
+    },
+    /// A probability argument was outside `[0, 1]`.
+    InvalidProbability(f64),
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input sample was too small for the requested statistic.
+    InsufficientData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "invalid parameter {name} = {value}: {constraint}"),
+            StatsError::InvalidProbability(p) => {
+                write!(f, "probability {p} outside [0, 1]")
+            }
+            StatsError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "need at least {needed} observations, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            constraint: "must be finite and > 0",
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = StatsError::InvalidProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+
+        let e = StatsError::NoConvergence {
+            algorithm: "betacf",
+            iterations: 300,
+        };
+        assert!(e.to_string().contains("betacf"));
+
+        let e = StatsError::InsufficientData { needed: 2, got: 1 };
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

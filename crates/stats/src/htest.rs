@@ -1,0 +1,268 @@
+//! Two-sample hypothesis tests.
+//!
+//! The paper marks table cells with † / ‡ when "standard independent
+//! t-tests" find the aHPD vs. Wald / Wilson difference significant at
+//! `p < 0.01` (§6.3). Both the classic pooled-variance test and Welch's
+//! unequal-variance variant are provided; the experiment harness uses the
+//! pooled one to match the paper's wording.
+
+use crate::descriptive::{mean, sample_variance};
+use crate::dist::StudentT;
+use crate::special::gammainc_upper;
+use crate::{Result, StatsError};
+
+/// Outcome of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareResult {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (`k - 1`).
+    pub df: f64,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+/// Pearson chi-square goodness-of-fit test of observed counts against
+/// expected probabilities. Used to validate the synthetic dataset
+/// generators (cluster-size models, alias sampling) against their target
+/// distributions.
+pub fn chi_square_gof(observed: &[u64], expected_probs: &[f64]) -> Result<ChiSquareResult> {
+    if observed.len() != expected_probs.len() {
+        return Err(StatsError::InsufficientData {
+            needed: observed.len(),
+            got: expected_probs.len(),
+        });
+    }
+    if observed.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: observed.len(),
+        });
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    let mut stat = 0.0;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        if !(p.is_finite() && p > 0.0) {
+            return Err(StatsError::InvalidProbability(p));
+        }
+        let e = total as f64 * p;
+        stat += (o as f64 - e) * (o as f64 - e) / e;
+    }
+    let df = (observed.len() - 1) as f64;
+    // P(χ²_df >= stat) = Q(df/2, stat/2).
+    let p_value = gammainc_upper(df / 2.0, stat / 2.0)?;
+    Ok(ChiSquareResult {
+        statistic: stat,
+        df,
+        p_value,
+    })
+}
+
+/// Outcome of a two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The t statistic.
+    pub t: f64,
+    /// Degrees of freedom (fractional for Welch).
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTestResult {
+    /// True when the two-sided p-value is below `alpha`.
+    #[must_use]
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Standard (pooled-variance) independent two-sample t-test.
+pub fn pooled_t_test(xs: &[f64], ys: &[f64]) -> Result<TTestResult> {
+    check_sizes(xs, ys)?;
+    pooled_t_test_from_summary(
+        mean(xs),
+        sample_variance(xs),
+        xs.len() as f64,
+        mean(ys),
+        sample_variance(ys),
+        ys.len() as f64,
+    )
+}
+
+/// Pooled t-test from sufficient statistics (mean, sample variance, n).
+pub fn pooled_t_test_from_summary(
+    m1: f64,
+    v1: f64,
+    n1: f64,
+    m2: f64,
+    v2: f64,
+    n2: f64,
+) -> Result<TTestResult> {
+    let df = n1 + n2 - 2.0;
+    if df < 1.0 {
+        return Err(StatsError::InsufficientData {
+            needed: 3,
+            got: (n1 + n2) as usize,
+        });
+    }
+    let pooled = ((n1 - 1.0) * v1 + (n2 - 1.0) * v2) / df;
+    let se = (pooled * (1.0 / n1 + 1.0 / n2)).sqrt();
+    finish(m1 - m2, se, df)
+}
+
+/// Welch's unequal-variance t-test with Satterthwaite degrees of freedom.
+pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Result<TTestResult> {
+    check_sizes(xs, ys)?;
+    let (m1, v1, n1) = (mean(xs), sample_variance(xs), xs.len() as f64);
+    let (m2, v2, n2) = (mean(ys), sample_variance(ys), ys.len() as f64);
+    let se2 = v1 / n1 + v2 / n2;
+    let df = se2 * se2
+        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    finish(m1 - m2, se2.sqrt(), df)
+}
+
+fn check_sizes(xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: xs.len().min(ys.len()),
+        });
+    }
+    Ok(())
+}
+
+fn finish(diff: f64, se: f64, df: f64) -> Result<TTestResult> {
+    if se == 0.0 {
+        // Both samples are constants: identical means ⇒ p = 1, otherwise
+        // the difference is exact ⇒ p = 0.
+        return Ok(TTestResult {
+            t: if diff == 0.0 { 0.0 } else { f64::INFINITY },
+            df,
+            p_value: if diff == 0.0 { 1.0 } else { 0.0 },
+        });
+    }
+    let t = diff / se;
+    let dist = StudentT::new(df)?;
+    Ok(TTestResult {
+        t,
+        df,
+        p_value: dist.two_sided_p(t),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = pooled_t_test(&xs, &xs).unwrap();
+        assert!(r.t.abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+        assert!(!r.significant_at(0.01));
+    }
+
+    #[test]
+    fn textbook_pooled_example() {
+        // Two small samples with a clear mean shift.
+        let a = [30.02, 29.99, 30.11, 29.97, 30.01, 29.99];
+        let b = [29.89, 29.93, 29.72, 29.98, 30.02, 29.98];
+        let r = pooled_t_test(&a, &b).unwrap();
+        // Known worked example: t ≈ 1.959, df = 10.
+        assert!((r.t - 1.959).abs() < 5e-3, "t = {}", r.t);
+        assert_eq!(r.df, 10.0);
+        assert!(r.p_value > 0.05 && r.p_value < 0.10, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_textbook_example() {
+        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
+        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.3];
+        let r = welch_t_test(&a, &b).unwrap();
+        // Reference values computed independently from the Welch formulas:
+        // t = -2.84720..., df = 27.8847... .
+        assert!((r.t + 2.8472044565771).abs() < 1e-10, "t = {}", r.t);
+        assert!((r.df - 27.884749467103).abs() < 1e-9, "df = {}", r.df);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn large_shift_is_significant_at_one_percent() {
+        let xs: Vec<f64> = (0..100).map(|i| 10.0 + (i % 7) as f64 * 0.1).collect();
+        let ys: Vec<f64> = (0..100).map(|i| 11.0 + (i % 7) as f64 * 0.1).collect();
+        let r = pooled_t_test(&xs, &ys).unwrap();
+        assert!(r.significant_at(0.01));
+        assert!(r.t < 0.0);
+    }
+
+    #[test]
+    fn summary_interface_matches_sample_interface() {
+        let xs = [5.0, 6.0, 7.5, 4.5, 6.5, 5.5];
+        let ys = [6.2, 7.0, 8.1, 6.9, 7.4];
+        let from_samples = pooled_t_test(&xs, &ys).unwrap();
+        let from_summary = pooled_t_test_from_summary(
+            mean(&xs),
+            sample_variance(&xs),
+            xs.len() as f64,
+            mean(&ys),
+            sample_variance(&ys),
+            ys.len() as f64,
+        )
+        .unwrap();
+        assert!((from_samples.t - from_summary.t).abs() < 1e-12);
+        assert!((from_samples.p_value - from_summary.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_zero_variance() {
+        let xs = [2.0, 2.0, 2.0];
+        let ys = [3.0, 3.0, 3.0];
+        let r = pooled_t_test(&xs, &ys).unwrap();
+        assert_eq!(r.p_value, 0.0);
+        let r = pooled_t_test(&xs, &xs).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn insufficient_data_is_an_error() {
+        assert!(pooled_t_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(welch_t_test(&[], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn chi_square_detects_fair_and_loaded_dice() {
+        // Near-uniform counts: should not reject.
+        let fair = [166u64, 170, 168, 165, 167, 164];
+        let probs = [1.0 / 6.0; 6];
+        let r = chi_square_gof(&fair, &probs).unwrap();
+        assert_eq!(r.df, 5.0);
+        assert!(r.p_value > 0.5, "fair die p = {}", r.p_value);
+
+        // Heavily loaded: must reject.
+        let loaded = [400u64, 100, 100, 100, 100, 200];
+        let r = chi_square_gof(&loaded, &probs).unwrap();
+        assert!(r.p_value < 1e-6, "loaded die p = {}", r.p_value);
+    }
+
+    #[test]
+    fn chi_square_textbook_value() {
+        // Classic 2-cell example: observed [60, 40] vs p = [0.5, 0.5]
+        // gives χ² = (10² + 10²)/50 = 4, df = 1, p ≈ 0.0455.
+        let r = chi_square_gof(&[60, 40], &[0.5, 0.5]).unwrap();
+        assert!((r.statistic - 4.0).abs() < 1e-12);
+        assert!((r.p_value - 0.04550026).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chi_square_input_validation() {
+        assert!(chi_square_gof(&[1, 2], &[0.5]).is_err());
+        assert!(chi_square_gof(&[5], &[1.0]).is_err());
+        assert!(chi_square_gof(&[0, 0], &[0.5, 0.5]).is_err());
+        assert!(chi_square_gof(&[1, 2], &[0.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the statistical kernels.
+//!
+//! These cover the invariants the interval code relies on across the whole
+//! parameter space the KG evaluation framework can reach: shape parameters
+//! from the Kerman prior (1/3) up to SYN-100M-scale posteriors (~1e4).
+
+use kgae_stats::descriptive::{mean, sample_variance, OnlineMoments};
+use kgae_stats::dist::{std_normal_cdf, std_normal_quantile, Beta, Binomial, StudentT};
+use kgae_stats::special::{betainc, betainc_inv, erf, erfc, ln_beta, ln_gamma};
+use proptest::prelude::*;
+
+/// Shape-parameter strategy spanning priors to large posteriors.
+fn shape() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(1.0 / 3.0),
+        Just(0.5),
+        Just(1.0),
+        0.34f64..3000.0,
+        3000.0f64..20_000.0,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..500.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() <= 1e-10 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn ln_beta_symmetry(a in shape(), b in shape()) {
+        prop_assert!((ln_beta(a, b) - ln_beta(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betainc_bounds_and_symmetry(a in shape(), b in shape(), x in 0.0f64..=1.0) {
+        let v = betainc(a, b, x).unwrap();
+        prop_assert!((0.0..=1.0).contains(&v));
+        let w = betainc(b, a, 1.0 - x).unwrap();
+        prop_assert!((v + w - 1.0).abs() < 1e-8, "v={v}, w={w}");
+    }
+
+    #[test]
+    fn betainc_monotone_in_x(a in shape(), b in shape(), x in 0.01f64..0.98) {
+        let v1 = betainc(a, b, x).unwrap();
+        let v2 = betainc(a, b, x + 0.01).unwrap();
+        prop_assert!(v2 >= v1 - 1e-12);
+    }
+
+    #[test]
+    fn beta_quantile_roundtrip(a in 0.34f64..2000.0, b in 0.34f64..2000.0, p in 0.001f64..0.999) {
+        let x = betainc_inv(a, b, p).unwrap();
+        if x > 0.0 && x < 1.0 {
+            let back = betainc(a, b, x).unwrap();
+            prop_assert!((back - p).abs() < 1e-8, "a={a} b={b} p={p} x={x} back={back}");
+        }
+    }
+
+    #[test]
+    fn erf_erfc_complementarity(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn normal_roundtrip(p in 1e-8f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-8);
+        let x = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(x) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_cdf_pdf_consistency(a in 1.0f64..200.0, b in 1.0f64..200.0, x in 0.02f64..0.97) {
+        // Numerical derivative of the CDF matches the density.
+        let d = Beta::new(a, b).unwrap();
+        let h = 1e-6;
+        let num = (d.cdf(x + h) - d.cdf(x - h)) / (2.0 * h);
+        let pdf = d.pdf(x);
+        prop_assert!(
+            (num - pdf).abs() <= 1e-3 * pdf.max(1.0),
+            "a={a} b={b} x={x}: numeric {num} vs pdf {pdf}"
+        );
+    }
+
+    #[test]
+    fn binomial_cdf_monotone(n in 1u64..500, p in 0.0f64..=1.0) {
+        let d = Binomial::new(n, p).unwrap();
+        let mut prev = 0.0;
+        for k in 0..=n.min(60) {
+            let c = d.cdf(k);
+            prop_assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn binomial_mean_identity(n in 1u64..200, p in 0.0f64..=1.0) {
+        // Σ k·pmf(k) = np
+        let d = Binomial::new(n, p).unwrap();
+        let m: f64 = (0..=n).map(|k| k as f64 * d.pmf(k)).sum();
+        prop_assert!((m - d.mean()).abs() < 1e-8 * d.mean().max(1.0));
+    }
+
+    #[test]
+    fn student_t_symmetry(df in 0.5f64..500.0, t in 0.0f64..20.0) {
+        let d = StudentT::new(df).unwrap();
+        prop_assert!((d.cdf(-t) - (1.0 - d.cdf(t))).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_agrees_with_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut acc = OnlineMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        prop_assert!((acc.mean() - mean(&xs)).abs() <= 1e-7 * mean(&xs).abs().max(1.0));
+        let v = sample_variance(&xs);
+        prop_assert!((acc.sample_variance() - v).abs() <= 1e-6 * v.max(1.0));
+    }
+
+    #[test]
+    fn welford_merge_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        split in 1usize..99,
+    ) {
+        let k = split.min(xs.len() - 1);
+        let mut whole = OnlineMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut l = OnlineMoments::new();
+        let mut r = OnlineMoments::new();
+        for &x in &xs[..k] {
+            l.push(x);
+        }
+        for &x in &xs[k..] {
+            r.push(x);
+        }
+        l.merge(&r);
+        prop_assert_eq!(l.count(), whole.count());
+        prop_assert!((l.mean() - whole.mean()).abs() < 1e-9 * whole.mean().abs().max(1.0));
+    }
+}

@@ -1,0 +1,59 @@
+//! Example 2 from the paper, as an application: auditing a DBpedia-like
+//! KG when accuracies of two similar KGs are already known.
+//!
+//! The analyst encodes the knowledge as informative priors Beta(80, 20)
+//! and Beta(90, 10) and feeds them to aHPD, cutting annotation cost by
+//! ~3–4× versus uninformative priors — while a *wrong* informative prior
+//! is automatically out-competed by the uninformative hedges.
+//!
+//! ```text
+//! cargo run --release --example audit_with_prior_knowledge
+//! ```
+
+use kgae::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let kg = kgae::graph::datasets::dbpedia(); // μ = 0.85
+    let cfg = EvalConfig::default();
+    let design = SamplingDesign::Twcs { m: 3 };
+
+    // Prior knowledge: two similar KGs had accuracies 0.80 and 0.90.
+    let knowledge = IntervalMethod::AHpd(vec![
+        BetaPrior::informative(80.0, 20.0).unwrap(),
+        BetaPrior::informative(90.0, 10.0).unwrap(),
+    ]);
+    let uninformed = IntervalMethod::ahpd_default();
+
+    println!("Auditing a 9,344-triple DBpedia-like KG (true μ = 0.85)\n");
+    for (label, method) in [
+        ("aHPD with informative priors", &knowledge),
+        ("aHPD with {Kerman, Jeffreys, Uniform}", &uninformed),
+    ] {
+        // Average a handful of audits for a stable comparison.
+        let mut triples = 0u64;
+        let mut cost = 0.0;
+        let audits = 20;
+        let mut last = None;
+        for seed in 0..audits {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let r = evaluate(&kg, &OracleAnnotator, design, method, &cfg, &mut rng)
+                .expect("evaluation");
+            triples += r.annotated_triples;
+            cost += r.cost_hours();
+            last = Some(r);
+        }
+        let r = last.expect("at least one audit");
+        println!("{label}:");
+        println!(
+            "  avg annotations: {:.0} triples, avg cost {:.2} h",
+            triples as f64 / audits as f64,
+            cost / audits as f64
+        );
+        println!(
+            "  final audit: μ̂ = {:.3}, 95% CrI = {}\n",
+            r.mu_hat, r.interval
+        );
+    }
+    println!("Paper reference: 63 ± 36 vs 222 ± 83 triples (Example 2).");
+}
