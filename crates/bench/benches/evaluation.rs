@@ -3,8 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use kgae_core::{
-    evaluate_prepared, EvalConfig, IntervalMethod, OracleAnnotator, PreparedDesign,
-    SamplingDesign,
+    evaluate_prepared, EvalConfig, IntervalMethod, OracleAnnotator, PreparedDesign, SamplingDesign,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

@@ -1,0 +1,254 @@
+//! Machine-readable evaluation-loop benchmark: emits `BENCH_eval.json`.
+//!
+//! Measures, on the NELL twin (the paper's canonical mixed-accuracy
+//! dataset):
+//!
+//! * repetitions/second and per-annotation latency for every
+//!   (design × method) cell of {SRS, TWCS(m=3)} × {Wald, Wilson, aHPD},
+//!   single-threaded (scheduling-free numbers);
+//! * the within-PR A/B: the certified-lookahead + incremental-posterior
+//!   path (`StoppingPolicy::CertifiedLookahead`, the default) against
+//!   the naive per-annotation path (`StoppingPolicy::EveryUnit`, paper
+//!   Figure 1 literal) on the aHPD/SRS cell, verifying bit-identical
+//!   stopping statistics across every repetition;
+//! * parallel harness throughput (work-stealing runner) on the same
+//!   cell.
+//!
+//! Usage: `cargo run --release -p kgae-bench --bin bench_eval [--reps N]
+//! [--out PATH]`.
+
+use kgae_bench::{arg_value, reps_from_args};
+use kgae_core::{
+    evaluate_prepared, repeat_evaluation, EvalConfig, EvalResult, IntervalMethod, OracleAnnotator,
+    PreparedDesign, SamplingDesign, StoppingPolicy,
+};
+use kgae_graph::CompactKg;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct CellStats {
+    design: String,
+    method: String,
+    reps: u64,
+    wall_seconds: f64,
+    total_observations: u64,
+    mean_triples: f64,
+}
+
+impl CellStats {
+    fn reps_per_sec(&self) -> f64 {
+        self.reps as f64 / self.wall_seconds
+    }
+
+    fn ns_per_annotation(&self) -> f64 {
+        self.wall_seconds * 1e9 / self.total_observations as f64
+    }
+}
+
+/// Runs `reps` sequential evaluations and also returns the per-rep
+/// results (for the A/B identity check).
+fn run_cell(
+    kg: &CompactKg,
+    design: SamplingDesign,
+    method: &IntervalMethod,
+    cfg: &EvalConfig,
+    reps: u64,
+    base_seed: u64,
+) -> (CellStats, Vec<EvalResult>) {
+    let prepared = PreparedDesign::new(kg, design);
+    // Warm-up pass so one-time costs (PPS table faults, allocator) stay
+    // out of the measurement.
+    let mut rng = SmallRng::seed_from_u64(base_seed);
+    let _ = evaluate_prepared(kg, &OracleAnnotator, &prepared, method, cfg, &mut rng);
+
+    let mut results = Vec::with_capacity(reps as usize);
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        let mut rng = SmallRng::seed_from_u64(base_seed.wrapping_add(rep));
+        let r = evaluate_prepared(kg, &OracleAnnotator, &prepared, method, cfg, &mut rng)
+            .expect("evaluation must not fail");
+        results.push(r);
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let total_observations: u64 = results.iter().map(|r| r.observations).sum();
+    let mean_triples = results
+        .iter()
+        .map(|r| r.annotated_triples as f64)
+        .sum::<f64>()
+        / reps as f64;
+    (
+        CellStats {
+            design: design.name(),
+            method: method.name(),
+            reps,
+            wall_seconds,
+            total_observations,
+            mean_triples,
+        },
+        results,
+    )
+}
+
+fn json_cell(out: &mut String, c: &CellStats) {
+    let _ = write!(
+        out,
+        "    {{\"design\": \"{}\", \"method\": \"{}\", \"reps\": {}, \
+         \"wall_seconds\": {:.6}, \"reps_per_sec\": {:.2}, \
+         \"ns_per_annotation\": {:.1}, \"mean_triples\": {:.2}}}",
+        c.design,
+        c.method,
+        c.reps,
+        c.wall_seconds,
+        c.reps_per_sec(),
+        c.ns_per_annotation(),
+        c.mean_triples,
+    );
+}
+
+fn main() {
+    let reps: u64 = reps_from_args(600);
+    let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_eval.json".into());
+    let kg = kgae_graph::datasets::nell();
+    let base_seed = 0xBE5C_u64;
+
+    let lookahead_cfg = EvalConfig::default(); // CertifiedLookahead
+    let naive_cfg = EvalConfig {
+        stopping: StoppingPolicy::EveryUnit,
+        ..EvalConfig::default()
+    };
+
+    // ------------------------------------------------------------------
+    // Grid: {SRS, TWCS(3)} × {Wald, Wilson, aHPD}, default (fast) path.
+    // ------------------------------------------------------------------
+    let designs = [SamplingDesign::Srs, SamplingDesign::Twcs { m: 3 }];
+    let methods = [
+        IntervalMethod::Wald,
+        IntervalMethod::Wilson,
+        IntervalMethod::ahpd_default(),
+    ];
+    let mut cells = Vec::new();
+    for design in designs {
+        for method in &methods {
+            let (stats, _) = run_cell(&kg, design, method, &lookahead_cfg, reps, base_seed);
+            eprintln!(
+                "{:>9} / {:<6}: {:>9.1} reps/s, {:>8.0} ns/annotation, {:>6.1} triples/rep",
+                stats.design,
+                stats.method,
+                stats.reps_per_sec(),
+                stats.ns_per_annotation(),
+                stats.mean_triples,
+            );
+            cells.push(stats);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // A/B: certified lookahead + incremental posterior vs. naive
+    // per-annotation interval construction, on aHPD/SRS.
+    // ------------------------------------------------------------------
+    let ahpd = IntervalMethod::ahpd_default();
+    let (naive, naive_results) =
+        run_cell(&kg, SamplingDesign::Srs, &ahpd, &naive_cfg, reps, base_seed);
+    let (fast, fast_results) = run_cell(
+        &kg,
+        SamplingDesign::Srs,
+        &ahpd,
+        &lookahead_cfg,
+        reps,
+        base_seed,
+    );
+    let identical_stopping = naive_results.iter().zip(&fast_results).all(|(a, b)| {
+        a.observations == b.observations
+            && a.annotated_triples == b.annotated_triples
+            && a.mu_hat == b.mu_hat
+            && a.converged == b.converged
+    });
+    let speedup = naive.wall_seconds / fast.wall_seconds;
+    eprintln!(
+        "A/B aHPD/SRS: naive {:.1} reps/s vs lookahead {:.1} reps/s → {speedup:.2}× \
+         (identical stopping: {identical_stopping})",
+        naive.reps_per_sec(),
+        fast.reps_per_sec(),
+    );
+
+    // ------------------------------------------------------------------
+    // Parallel harness throughput (work-stealing runner).
+    // ------------------------------------------------------------------
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let t0 = Instant::now();
+    let runs = repeat_evaluation(
+        &kg,
+        SamplingDesign::Srs,
+        &ahpd,
+        &lookahead_cfg,
+        reps,
+        base_seed,
+    );
+    let parallel_wall = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "parallel harness ({threads} threads): {:.1} reps/s (mean triples {:.1})",
+        reps as f64 / parallel_wall,
+        runs.triples_summary().mean,
+    );
+
+    // ------------------------------------------------------------------
+    // Emit JSON.
+    // ------------------------------------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"evaluation_loop\",");
+    let _ = writeln!(out, "  \"dataset\": \"NELL\",");
+    let _ = writeln!(out, "  \"reps_per_cell\": {reps},");
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        json_cell(&mut out, c);
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"ab_lookahead_vs_naive\": {{");
+    let _ = writeln!(out, "    \"cell\": \"aHPD/SRS\",");
+    let _ = writeln!(
+        out,
+        "    \"naive_reps_per_sec\": {:.2},",
+        naive.reps_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "    \"lookahead_reps_per_sec\": {:.2},",
+        fast.reps_per_sec()
+    );
+    let _ = writeln!(
+        out,
+        "    \"naive_ns_per_annotation\": {:.1},",
+        naive.ns_per_annotation()
+    );
+    let _ = writeln!(
+        out,
+        "    \"lookahead_ns_per_annotation\": {:.1},",
+        fast.ns_per_annotation()
+    );
+    let _ = writeln!(out, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(out, "    \"identical_stopping\": {identical_stopping}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"parallel_harness\": {{");
+    let _ = writeln!(out, "    \"threads\": {threads},");
+    let _ = writeln!(
+        out,
+        "    \"reps_per_sec\": {:.2}",
+        reps as f64 / parallel_wall
+    );
+    let _ = writeln!(out, "  }}");
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, &out).expect("write benchmark JSON");
+    eprintln!("wrote {out_path}");
+
+    assert!(
+        identical_stopping,
+        "lookahead changed stopping statistics — certified bound violated"
+    );
+}

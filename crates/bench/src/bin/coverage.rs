@@ -21,7 +21,10 @@ fn main() {
     let methods: Vec<(String, IntervalMethod)> = vec![
         ("Wald".into(), IntervalMethod::Wald),
         ("Wilson".into(), IntervalMethod::Wilson),
-        ("ET[Jeffreys]".into(), IntervalMethod::Et(BetaPrior::JEFFREYS)),
+        (
+            "ET[Jeffreys]".into(),
+            IntervalMethod::Et(BetaPrior::JEFFREYS),
+        ),
         ("HPD[Kerman]".into(), IntervalMethod::Hpd(BetaPrior::KERMAN)),
         ("aHPD".into(), IntervalMethod::ahpd_default()),
     ];
@@ -33,9 +36,7 @@ fn main() {
                 .chain(methods.iter().map(|(name, _)| name.clone()))
                 .collect::<Vec<_>>(),
         );
-        for &mu in &[
-            0.05, 0.10, 0.25, 0.50, 0.54, 0.75, 0.85, 0.91, 0.95, 0.99,
-        ] {
+        for &mu in &[0.05, 0.10, 0.25, 0.50, 0.54, 0.75, 0.85, 0.91, 0.95, 0.99] {
             let mut row = vec![format!("{mu:.2}")];
             for (_, m) in &methods {
                 let c = exact_srs_coverage(m, n, mu, alpha).expect("coverage");

@@ -14,9 +14,7 @@
 use kgae_bench::reps_from_args;
 use kgae_core::dynamic::evaluate_with_carryover;
 use kgae_core::report::{pm, MarkdownTable};
-use kgae_core::{
-    evaluate, EvalConfig, IntervalMethod, OracleAnnotator, SamplingDesign,
-};
+use kgae_core::{evaluate, EvalConfig, IntervalMethod, OracleAnnotator, SamplingDesign};
 use kgae_stats::descriptive::Summary;
 use kgae_stats::dist::Beta;
 use rand::rngs::SmallRng;

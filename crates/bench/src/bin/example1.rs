@@ -27,8 +27,11 @@ fn main() {
         0xE1,
     );
     let t = runs.triples_summary();
-    println!("Wald/SRS on NELL: {} triples, coverage of true μ = {:.1}%",
-             kgae_core::report::pm(t.mean, t.std, 0), 100.0 * runs.coverage());
+    println!(
+        "Wald/SRS on NELL: {} triples, coverage of true μ = {:.1}%",
+        kgae_core::report::pm(t.mean, t.std, 0),
+        100.0 * runs.coverage()
+    );
     println!(
         "Zero-width halts at n = 30 with μ̂ = 1.00: {} of {} runs = {:.1}%",
         runs.zero_width_halts,

@@ -72,7 +72,9 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("Paper claims: symmetric ⇒ ET ≡ HPD; moderate skew ⇒ ratio < 75%; high skew ⇒ ratio < 20%.");
+    println!(
+        "Paper claims: symmetric ⇒ ET ≡ HPD; moderate skew ⇒ ratio < 75%; high skew ⇒ ratio < 20%."
+    );
     println!("(The ratio is the best case for ET: even the densest equally wide region ET");
     println!("keeps outside the HPD carries far less probability than the HPD mass ET drops.)");
 }

@@ -35,14 +35,8 @@ fn main() {
                     min_triples: floor,
                     ..Default::default()
                 };
-                let runs = repeat_evaluation(
-                    &ds.kg,
-                    SamplingDesign::Srs,
-                    &method,
-                    &cfg,
-                    reps,
-                    0xC0FFEE,
-                );
+                let runs =
+                    repeat_evaluation(&ds.kg, SamplingDesign::Srs, &method, &cfg, reps, 0xC0FFEE);
                 let t = runs.triples_summary();
                 cells.push(pm(t.mean, t.std, 0));
                 covs.push(format!("{:.2}", runs.coverage()));

@@ -36,7 +36,12 @@ fn main() {
 
     let (triples, clusters) = syn_scale_from_args();
     for mu in [0.9, 0.5, 0.1] {
-        let kg = kgae_graph::datasets::syn_scaled(triples, clusters, mu, kgae_graph::datasets::DEFAULT_SEED);
+        let kg = kgae_graph::datasets::syn_scaled(
+            triples,
+            clusters,
+            mu,
+            kgae_graph::datasets::DEFAULT_SEED,
+        );
         table.row(vec![
             format!("SYN {} (μ={mu})", scale_label(triples)),
             format!("{}", kg.num_triples()),

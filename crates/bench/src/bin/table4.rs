@@ -39,12 +39,19 @@ fn main() {
         for mu in [0.9, 0.5, 0.1] {
             let ds = Dataset {
                 name: "SYN",
-                kg: kgae_graph::datasets::syn_scaled(triples, clusters, mu, kgae_graph::datasets::DEFAULT_SEED),
+                kg: kgae_graph::datasets::syn_scaled(
+                    triples,
+                    clusters,
+                    mu,
+                    kgae_graph::datasets::DEFAULT_SEED,
+                ),
                 mu,
             };
             let runs: Vec<_> = table3_methods()
                 .iter()
-                .map(|m| repeat_evaluation(&ds.kg, design, m, &cfg, reps, 0x5e11 + (mu * 100.0) as u64))
+                .map(|m| {
+                    repeat_evaluation(&ds.kg, design, m, &cfg, reps, 0x5e11 + (mu * 100.0) as u64)
+                })
                 .collect();
             let (wald, wilson, ahpd) = (&runs[0], &runs[1], &runs[2]);
             let vs_wald = cost_t_test(ahpd, wald)
@@ -73,5 +80,7 @@ fn main() {
         println!("{}", table.render());
     }
     println!("Paper reference (SRS): μ=0.9 122/131/114, μ=0.5 384/380/380, μ=0.1 124/133/117 triples (Wald/Wilson/aHPD).");
-    println!("Paper reference (TWCS): μ=0.9 120/121/106, μ=0.5 384/374/374, μ=0.1 121/121/108 triples.");
+    println!(
+        "Paper reference (TWCS): μ=0.9 120/121/106, μ=0.5 384/374/374, μ=0.1 121/121/108 triples."
+    );
 }

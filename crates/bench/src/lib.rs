@@ -70,7 +70,9 @@ pub fn syn_scale_from_args() -> (u64, u32) {
     }
 }
 
-fn arg_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
+/// Value of a space-separated CLI flag (`--flag value`), parsed; `None`
+/// when the flag is absent or its value fails to parse.
+pub fn arg_value<T: std::str::FromStr>(flag: &str) -> Option<T> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
         .position(|a| a == flag)
@@ -89,10 +91,9 @@ pub fn run_cell(
 ) -> RepeatedRuns {
     // Seed derived from the dataset name so cells are independent but
     // reproducible run to run.
-    let seed = ds
-        .name
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100000001b3));
+    let seed = ds.name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    });
     repeat_evaluation(&ds.kg, design, method, cfg, reps, seed)
 }
 

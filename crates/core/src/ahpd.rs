@@ -13,8 +13,9 @@
 //! 1 lines 10–24); the enclosing sampling loop (lines 5–25) lives in
 //! [`crate::framework`].
 
-use crate::state::SampleState;
+use crate::state::{DesignKind, SampleState};
 use kgae_intervals::{hpd_interval_warm, BetaPrior, Interval, IntervalError};
+use kgae_stats::dist::Beta;
 
 /// Result of one aHPD interval selection.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,16 +63,52 @@ pub fn ahpd_select_warm(
 ) -> Result<AHpdSelection, IntervalError> {
     assert!(!priors.is_empty(), "aHPD needs at least one prior");
     assert!(state.n() > 0, "aHPD needs at least one annotation");
-    warm.resize(priors.len(), None);
 
-    // Lines 10–12: annotation outcome and design-effect correction.
-    let eff = state.effective();
+    // Lines 10–12: annotation outcome (exact integer counts under SRS,
+    // design-effect-corrected effective counts under cluster designs).
+    let posteriors = posteriors_for_state(state, priors)?;
+    ahpd_select_posteriors(&posteriors, alpha, warm)
+}
 
-    // Lines 14–21: per-prior posterior parameters and 1-α HPD intervals.
-    let mut candidates = Vec::with_capacity(priors.len());
-    for (i, prior) in priors.iter().enumerate() {
-        let posterior = prior.posterior_effective(eff.mu, eff.n_eff)?;
-        let interval = match hpd_interval_warm(&posterior, alpha, warm[i]) {
+/// Per-prior posteriors for the current sample: the conjugate update of
+/// Algorithm 1 line 14, with the design-effect correction of line 12
+/// applied only where a complex design requires it. SRS uses the exact
+/// integer counts so the posterior parameters (and the cached
+/// normalization constants maintained incrementally by the framework)
+/// are reproducible to the bit.
+pub(crate) fn posteriors_for_state(
+    state: &SampleState,
+    priors: &[BetaPrior],
+) -> Result<Vec<Beta>, IntervalError> {
+    match state.kind() {
+        DesignKind::Srs => Ok(priors
+            .iter()
+            .map(|p| p.posterior(state.tau(), state.n()))
+            .collect()),
+        DesignKind::Cluster => {
+            let eff = state.effective();
+            priors
+                .iter()
+                .map(|p| p.posterior_effective(eff.mu, eff.n_eff).map_err(Into::into))
+                .collect()
+        }
+    }
+}
+
+/// Algorithm 1 lines 14–24 against precomputed posteriors: build each
+/// `1-α` HPD interval and select the smallest. Exposed to the framework
+/// so incrementally-maintained posteriors skip reconstruction entirely.
+pub(crate) fn ahpd_select_posteriors(
+    posteriors: &[Beta],
+    alpha: f64,
+    warm: &mut Vec<Option<(f64, f64)>>,
+) -> Result<AHpdSelection, IntervalError> {
+    assert!(!posteriors.is_empty(), "aHPD needs at least one prior");
+    warm.resize(posteriors.len(), None);
+
+    let mut candidates = Vec::with_capacity(posteriors.len());
+    for (i, posterior) in posteriors.iter().enumerate() {
+        let interval = match hpd_interval_warm(posterior, alpha, warm[i]) {
             Ok(interval) => {
                 warm[i] = Some((interval.lower(), interval.upper()));
                 interval
@@ -151,7 +188,8 @@ mod tests {
             let state = srs_state(tau, 30);
             let sel = ahpd_select(&state, 0.05, &BetaPrior::UNINFORMATIVE).unwrap();
             assert_ne!(
-                BetaPrior::UNINFORMATIVE[sel.winner].name, "Jeffreys",
+                BetaPrior::UNINFORMATIVE[sel.winner].name,
+                "Jeffreys",
                 "Jeffreys won at τ = {tau}"
             );
         }

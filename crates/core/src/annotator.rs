@@ -87,7 +87,10 @@ impl MajorityVoteAnnotator {
     /// `[0, 1]`.
     #[must_use]
     pub fn new(panel: u64, error_rate: f64) -> Self {
-        assert!(panel % 2 == 1 && panel > 0, "panel must be odd, got {panel}");
+        assert!(
+            panel % 2 == 1 && panel > 0,
+            "panel must be odd, got {panel}"
+        );
         assert!(
             (0.0..=1.0).contains(&error_rate),
             "error_rate {error_rate} outside [0, 1]"

@@ -83,10 +83,7 @@ mod tests {
     fn wilson_is_more_reliable_than_wald_at_the_boundary() {
         let wald = exact_srs_coverage(&IntervalMethod::Wald, 30, 0.97, 0.05).unwrap();
         let wilson = exact_srs_coverage(&IntervalMethod::Wilson, 30, 0.97, 0.05).unwrap();
-        assert!(
-            wilson > wald,
-            "wilson = {wilson} should beat wald = {wald}"
-        );
+        assert!(wilson > wald, "wilson = {wilson} should beat wald = {wald}");
         assert!(wilson > 0.90);
     }
 
@@ -95,10 +92,7 @@ mod tests {
         let m = IntervalMethod::Hpd(BetaPrior::KERMAN);
         for &mu in &[0.1, 0.5, 0.85, 0.95] {
             let c = exact_srs_coverage(&m, 50, mu, 0.05).unwrap();
-            assert!(
-                c > 0.90,
-                "HPD coverage at μ = {mu} is {c}"
-            );
+            assert!(c > 0.90, "HPD coverage at μ = {mu} is {c}");
         }
     }
 

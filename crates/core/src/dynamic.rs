@@ -131,10 +131,7 @@ mod tests {
         }
         let mc = kgae_stats::descriptive::mean(&with_carry);
         let mw = kgae_stats::descriptive::mean(&without);
-        assert!(
-            mc < mw,
-            "carryover should reduce annotations: {mc} vs {mw}"
-        );
+        assert!(mc < mw, "carryover should reduce annotations: {mc} vs {mw}");
     }
 
     #[test]

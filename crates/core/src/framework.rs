@@ -19,11 +19,12 @@ use crate::annotator::Annotator;
 use crate::cost::{CostModel, CostTracker};
 use crate::method::IntervalMethod;
 use crate::state::SampleState;
-use kgae_graph::{GroundTruth, KnowledgeGraph, TripleId};
+use kgae_graph::{ClusterId, GroundTruth, KnowledgeGraph, LabelCache};
 use kgae_intervals::{Interval, IntervalError};
-use kgae_sampling::{pps_by_size_table, AliasTable, ScsSampler, SrsSampler, TwcsSampler, WcsSampler};
+use kgae_sampling::{
+    pps_by_size_table, AliasTable, ScsSampler, SrsSampler, TwcsSampler, WcsSampler,
+};
 use rand::Rng;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The sampling strategy S of the minimization problem.
@@ -57,6 +58,24 @@ impl SamplingDesign {
     }
 }
 
+/// How the stopping rule consults interval construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StoppingPolicy {
+    /// Construct and check the `1-α` interval after every annotated unit
+    /// (every triple under SRS, every stage-1 draw under cluster
+    /// designs) — the literal loop of Figure 1. This is the reference
+    /// path and the baseline of the lookahead A/B benchmark.
+    EveryUnit,
+    /// Certified multi-step lookahead: from Theorem 1's width bound,
+    /// compute the first future unit at which `MoE ≤ ε` is achievable
+    /// and skip interval construction entirely until then. Provably
+    /// halts at the same unit with the same sample as [`EveryUnit`] —
+    /// every skipped unit is one where the bound shows the constructed
+    /// interval would have been wider than `2ε`.
+    #[default]
+    CertifiedLookahead,
+}
+
 /// Evaluation-loop configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalConfig {
@@ -78,6 +97,9 @@ pub struct EvalConfig {
     pub max_cost_seconds: Option<f64>,
     /// Cost constants (Eq. 12).
     pub cost_model: CostModel,
+    /// Stopping-check scheduling (certified lookahead by default;
+    /// [`StoppingPolicy::EveryUnit`] is the reference/benchmark path).
+    pub stopping: StoppingPolicy,
 }
 
 impl Default for EvalConfig {
@@ -91,6 +113,7 @@ impl Default for EvalConfig {
             max_observations: None,
             max_cost_seconds: None,
             cost_model: CostModel::PAPER,
+            stopping: StoppingPolicy::default(),
         }
     }
 }
@@ -124,6 +147,15 @@ pub struct EvalResult {
     pub cost_seconds: f64,
     /// Whether the MoE criterion was met (vs. budget/KG exhaustion).
     pub converged: bool,
+    /// Whether the run halted at the *first* consultation of the
+    /// stopping rule — i.e. at the minimum sample (`min_triples`
+    /// observations under SRS; `min_draws` stage-1 draws reaching
+    /// `min_triples` observations under cluster designs, where
+    /// observations typically overshoot the floor). This is the
+    /// "halted at the minimum sample" condition of the Example 1
+    /// zero-width pathology; comparing raw observation counts against
+    /// `min_triples` misclassifies cluster runs.
+    pub halted_at_floor: bool,
 }
 
 impl EvalResult {
@@ -144,11 +176,16 @@ impl EvalResult {
 pub struct PreparedDesign {
     design: SamplingDesign,
     pps: Option<Arc<AliasTable>>,
+    /// Maximum number of triples a single stage-1 draw can annotate
+    /// (`m` for TWCS, the largest cluster for whole-cluster designs) —
+    /// an input to the certified cluster lookahead's growth bound.
+    max_draw_size: u64,
 }
 
 impl PreparedDesign {
     /// Prepares the design against a KG (builds the PPS table when the
-    /// design needs one).
+    /// design needs one, and records the worst-case draw size for the
+    /// certified lookahead).
     pub fn new<K: KnowledgeGraph>(kg: &K, design: SamplingDesign) -> Self {
         let pps = match design {
             SamplingDesign::Twcs { .. } | SamplingDesign::Wcs => {
@@ -156,13 +193,34 @@ impl PreparedDesign {
             }
             SamplingDesign::Srs | SamplingDesign::Scs => None,
         };
-        Self { design, pps }
+        let max_cluster = || {
+            (0..kg.num_clusters())
+                .map(|c| kg.cluster_size(ClusterId(c)))
+                .max()
+                .unwrap_or(1)
+        };
+        let max_draw_size = match design {
+            SamplingDesign::Srs => 1,
+            SamplingDesign::Twcs { m } => m.max(1),
+            SamplingDesign::Wcs | SamplingDesign::Scs => max_cluster(),
+        };
+        Self {
+            design,
+            pps,
+            max_draw_size,
+        }
     }
 
     /// The underlying design.
     #[must_use]
     pub fn design(&self) -> SamplingDesign {
         self.design
+    }
+
+    /// Maximum observations one stage-1 draw can add.
+    #[must_use]
+    pub fn max_draw_size(&self) -> u64 {
+        self.max_draw_size
     }
 }
 
@@ -184,7 +242,14 @@ where
     A: Annotator,
     R: Rng,
 {
-    evaluate_prepared(kg, annotator, &PreparedDesign::new(kg, design), method, cfg, rng)
+    evaluate_prepared(
+        kg,
+        annotator,
+        &PreparedDesign::new(kg, design),
+        method,
+        cfg,
+        rng,
+    )
 }
 
 /// [`evaluate`] against a [`PreparedDesign`] (shares the PPS table
@@ -215,6 +280,7 @@ where
                 rng,
                 |rng| sampler.next_cluster(rng),
                 ClusterEstimateKind::SampleMean,
+                prepared.max_draw_size,
             )
         }
         SamplingDesign::Wcs => {
@@ -228,6 +294,7 @@ where
                 rng,
                 |rng| sampler.next_cluster(rng),
                 ClusterEstimateKind::SampleMean,
+                prepared.max_draw_size,
             )
         }
         SamplingDesign::Scs => {
@@ -241,6 +308,7 @@ where
                 rng,
                 |rng| sampler.next_cluster(rng),
                 ClusterEstimateKind::HansenHurwitz { scale },
+                prepared.max_draw_size,
             )
         }
     }
@@ -262,6 +330,12 @@ where
     let mut state = SampleState::new_srs();
     let mut cost = CostTracker::new(cfg.cost_model);
     let mut solver_state = method.new_state();
+    let lookahead = cfg.stopping == StoppingPolicy::CertifiedLookahead;
+    // Annotations left to record before the next stopping check. While
+    // positive, interval construction is skipped because the certified
+    // lookahead proved MoE ≤ ε unachievable at those sample sizes.
+    let mut skip_left: u64 = 0;
+    let mut first_check = true;
 
     loop {
         let Some(st) = sampler.next_triple(rng) else {
@@ -274,30 +348,63 @@ where
                 &cost,
                 0,
                 true,
+                false,
             ));
         };
         let label = annotator.annotate(kg.is_correct(st.triple), rng);
         state.record_triple(label);
+        // Advance the per-prior posteriors incrementally (O(1) per
+        // annotation) so checks — whenever they happen — construct from
+        // bit-identical posteriors under either stopping policy.
+        method.record_observation(&mut solver_state, label);
         cost.record(st.triple, st.cluster);
 
         if state.n() >= cfg.min_triples {
-            // Certified skip: while even the best achievable interval is
-            // provably wider than 2ε, don't construct it.
-            let skip = method
-                .moe_lower_bound(&state, cfg.alpha)
-                .is_some_and(|lb| lb > cfg.epsilon);
-            if !skip {
-                let interval = method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
-                if interval.moe() <= cfg.epsilon {
-                    return Ok(finish(state.mu_hat(), interval, &state, &cost, 0, true));
+            let at_floor = first_check;
+            first_check = false;
+            if skip_left > 0 {
+                skip_left -= 1;
+            } else {
+                // Exact one-step gate: construct only when the current
+                // posterior could actually stop (always, in the
+                // reference path).
+                let construct = !lookahead
+                    || method.stop_possible_now(&state, cfg.alpha, cfg.epsilon, &mut solver_state);
+                if construct {
+                    let interval =
+                        method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
+                    if interval.moe() <= cfg.epsilon {
+                        return Ok(finish(
+                            state.mu_hat(),
+                            interval,
+                            &state,
+                            &cost,
+                            0,
+                            true,
+                            at_floor,
+                        ));
+                    }
+                }
+                if lookahead {
+                    skip_left = method.certified_skip_srs(&state, cfg.alpha, cfg.epsilon);
                 }
             }
         }
         let budget_spent = cfg.max_observations.is_some_and(|cap| state.n() >= cap)
-            || cfg.max_cost_seconds.is_some_and(|cap| cost.seconds() >= cap);
+            || cfg
+                .max_cost_seconds
+                .is_some_and(|cap| cost.seconds() >= cap);
         if budget_spent {
             let interval = method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
-            return Ok(finish(state.mu_hat(), interval, &state, &cost, 0, false));
+            return Ok(finish(
+                state.mu_hat(),
+                interval,
+                &state,
+                &cost,
+                0,
+                false,
+                false,
+            ));
         }
     }
 }
@@ -313,6 +420,7 @@ enum ClusterEstimateKind {
     },
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_cluster<K, A, R, F>(
     kg: &K,
     annotator: &A,
@@ -321,6 +429,7 @@ fn evaluate_cluster<K, A, R, F>(
     rng: &mut R,
     mut next_draw: F,
     estimate_kind: ClusterEstimateKind,
+    max_draw_size: u64,
 ) -> Result<EvalResult, IntervalError>
 where
     K: KnowledgeGraph + GroundTruth,
@@ -330,10 +439,22 @@ where
 {
     let mut state = SampleState::new_cluster();
     let mut cost = CostTracker::new(cfg.cost_model);
-    // Labels are recorded once per triple and reused on re-draws.
-    let mut recorded: HashMap<TripleId, bool> = HashMap::new();
+    // Labels are recorded once per triple and reused on re-draws: a flat
+    // two-bit seen/label cache indexed by triple id — no hashing and no
+    // per-redraw allocation. Sizing by the whole KG is cheap even at
+    // SYN-100M scale: the backing `vec![0; n]` is `alloc_zeroed`
+    // (mmap'd zero pages on the large-allocation path), so only the
+    // pages actually touched by the few hundred sampled triple ids ever
+    // materialize.
+    let mut recorded = LabelCache::new(kg.num_triples());
     let mut draws = 0u64;
     let mut solver_state = method.new_state();
+    let lookahead = cfg.stopping == StoppingPolicy::CertifiedLookahead;
+    let hansen_hurwitz = matches!(estimate_kind, ClusterEstimateKind::HansenHurwitz { .. });
+    // Stage-1 draws left before the next stopping check (certified
+    // unreachable in between).
+    let mut skip_left: u64 = 0;
+    let mut first_check = true;
 
     loop {
         let draw = next_draw(rng);
@@ -341,9 +462,15 @@ where
         let mut correct = 0u64;
         let size = draw.triples.len() as u64;
         for st in &draw.triples {
-            let label = *recorded
-                .entry(st.triple)
-                .or_insert_with(|| annotator.annotate(kg.is_correct(st.triple), rng));
+            let t = st.triple.index();
+            let label = match recorded.get(t) {
+                Some(label) => label,
+                None => {
+                    let label = annotator.annotate(kg.is_correct(st.triple), rng);
+                    recorded.insert(t, label);
+                    label
+                }
+            };
             if label {
                 correct += 1;
             }
@@ -356,27 +483,45 @@ where
         state.record_cluster_draw(per_draw, correct, size);
 
         if state.n() >= cfg.min_triples && state.draws() >= cfg.min_draws {
-            let skip = method
-                .moe_lower_bound(&state, cfg.alpha)
-                .is_some_and(|lb| lb > cfg.epsilon);
-            if !skip {
-                let interval = method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
-                if interval.moe() <= cfg.epsilon {
-                    let mu = state.effective().mu;
-                    return Ok(finish(mu, interval, &state, &cost, draws, true));
+            let at_floor = first_check;
+            first_check = false;
+            if skip_left > 0 {
+                skip_left -= 1;
+            } else {
+                let construct = !lookahead
+                    || method.stop_possible_now(&state, cfg.alpha, cfg.epsilon, &mut solver_state);
+                if construct {
+                    let interval =
+                        method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
+                    if interval.moe() <= cfg.epsilon {
+                        let mu = state.effective().mu;
+                        return Ok(finish(mu, interval, &state, &cost, draws, true, at_floor));
+                    }
+                }
+                if lookahead {
+                    skip_left = method.certified_skip_cluster(
+                        &state,
+                        cfg.alpha,
+                        cfg.epsilon,
+                        max_draw_size,
+                        hansen_hurwitz,
+                    );
                 }
             }
         }
         let budget_spent = cfg.max_observations.is_some_and(|cap| state.n() >= cap)
-            || cfg.max_cost_seconds.is_some_and(|cap| cost.seconds() >= cap);
+            || cfg
+                .max_cost_seconds
+                .is_some_and(|cap| cost.seconds() >= cap);
         if budget_spent {
             let interval = method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
             let mu = state.effective().mu;
-            return Ok(finish(mu, interval, &state, &cost, draws, false));
+            return Ok(finish(mu, interval, &state, &cost, draws, false, false));
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     mu_hat: f64,
     interval: Interval,
@@ -384,6 +529,7 @@ fn finish(
     cost: &CostTracker,
     stage1_draws: u64,
     converged: bool,
+    halted_at_floor: bool,
 ) -> EvalResult {
     EvalResult {
         mu_hat,
@@ -394,6 +540,7 @@ fn finish(
         stage1_draws,
         cost_seconds: cost.seconds(),
         converged,
+        halted_at_floor,
     }
 }
 
@@ -593,8 +740,18 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let kg = kgae_graph::datasets::dbpedia();
-        let a = run(&kg, SamplingDesign::Twcs { m: 3 }, IntervalMethod::ahpd_default(), 77);
-        let b = run(&kg, SamplingDesign::Twcs { m: 3 }, IntervalMethod::ahpd_default(), 77);
+        let a = run(
+            &kg,
+            SamplingDesign::Twcs { m: 3 },
+            IntervalMethod::ahpd_default(),
+            77,
+        );
+        let b = run(
+            &kg,
+            SamplingDesign::Twcs { m: 3 },
+            IntervalMethod::ahpd_default(),
+            77,
+        );
         assert_eq!(a, b);
     }
 }

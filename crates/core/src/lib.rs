@@ -65,6 +65,7 @@ pub use annotator::{Annotator, MajorityVoteAnnotator, NoisyAnnotator, OracleAnno
 pub use cost::{CostModel, CostTracker};
 pub use framework::{
     evaluate, evaluate_prepared, EvalConfig, EvalResult, PreparedDesign, SamplingDesign,
+    StoppingPolicy,
 };
 pub use method::{IntervalMethod, MethodState};
 pub use runner::{cost_t_test, repeat_evaluation, triples_t_test, RepeatedRuns};

@@ -1,19 +1,49 @@
 //! Interval-method dispatch: one enum covering every `1-α` interval the
 //! experiments compare, applied uniformly to SRS and cluster samples.
+//!
+//! Two hot-path mechanisms live here alongside the dispatch:
+//!
+//! * **Incremental posteriors** ([`MethodState`]): under SRS the
+//!   posterior of every candidate prior advances by exactly one
+//!   Bernoulli observation per annotation, so the state carries each
+//!   posterior forward via [`Beta::observe`] (two `ln`s per prior) and
+//!   interval construction never re-derives normalization constants.
+//! * **Certified multi-step lookahead**
+//!   ([`IntervalMethod::certified_skip_srs`] /
+//!   [`IntervalMethod::certified_skip_cluster`]): from Theorem 1's width
+//!   bound, compute how many future annotation units *provably* cannot
+//!   satisfy `MoE ≤ ε`, so the evaluation loop skips interval
+//!   construction (and even the one-step bound check) entirely until the
+//!   first unit where stopping is achievable. The stopping decision is
+//!   unchanged — every skipped step is one where the reference
+//!   check-every-unit loop could not have stopped either.
 
-use crate::ahpd::ahpd_select_warm;
+use crate::ahpd::{ahpd_select_posteriors, posteriors_for_state};
 use crate::state::{DesignKind, SampleState};
 use kgae_intervals::{
-    et_interval, hpd_interval_warm, hpd_width_lower_bound, wald_from_variance, wilson, BetaPrior,
+    et_interval, hpd_interval_warm, hpd_width_achievable, wald_from_variance, wilson, BetaPrior,
     Interval, IntervalError,
 };
+use kgae_stats::dist::Beta;
 
-/// Per-run solver state: the previous step's HPD endpoints per prior,
-/// used to warm-start SLSQP (the optimum is unique, so warm starting
-/// changes cost, not results).
+/// Hard cap on a single certified skip, bounding the cost of one
+/// lookahead computation. Re-derived after the cap is reached, so larger
+/// skips simply arrive in installments.
+const MAX_SKIP: u64 = 1 << 16;
+
+/// Per-run solver state carried across the framework's successive calls:
+/// SLSQP warm starts (the optimum is unique, so warm starting changes
+/// cost, not results) and the incrementally-advanced per-prior
+/// posteriors for SRS samples.
 #[derive(Debug, Clone, Default)]
 pub struct MethodState {
     pub(crate) warm: Vec<Option<(f64, f64)>>,
+    /// Per-prior posteriors `Beta(a + τ, b + n − τ)`, advanced by
+    /// [`IntervalMethod::record_observation`]. Empty for methods without
+    /// posteriors (Wald, Wilson).
+    posteriors: Vec<Beta>,
+    /// The `(τ, n)` the cached posteriors reflect.
+    tracked: (u64, u64),
 }
 
 /// An interval-estimation method under evaluation.
@@ -52,17 +82,70 @@ impl IntervalMethod {
         }
     }
 
+    /// The candidate priors of the Bayesian methods (`None` for the
+    /// frequentist ones).
+    fn priors(&self) -> Option<&[BetaPrior]> {
+        match self {
+            IntervalMethod::Hpd(p) | IntervalMethod::Et(p) => Some(std::slice::from_ref(p)),
+            IntervalMethod::AHpd(ps) => Some(ps),
+            IntervalMethod::Wald | IntervalMethod::Wilson => None,
+        }
+    }
+
     /// Fresh solver state for a run of [`Self::interval_stateful`] calls.
     #[must_use]
     pub fn new_state(&self) -> MethodState {
-        let slots = match self {
-            IntervalMethod::AHpd(priors) => priors.len(),
-            IntervalMethod::Hpd(_) => 1,
-            _ => 0,
-        };
+        let priors = self.priors().unwrap_or(&[]);
         MethodState {
-            warm: vec![None; slots],
+            warm: vec![None; priors.len()],
+            posteriors: priors
+                .iter()
+                .map(|p| Beta::new(p.a, p.b).expect("priors have positive parameters"))
+                .collect(),
+            tracked: (0, 0),
         }
+    }
+
+    /// Advances the per-prior posterior cache by one SRS annotation.
+    ///
+    /// O(1) per prior — the beta-function recurrence inside
+    /// [`Beta::observe`] replaces the three `ln_gamma` evaluations a
+    /// fresh construction would pay. Both loop variants (check-every-unit
+    /// and certified lookahead) apply the identical per-observation
+    /// update sequence, so their posteriors agree bit for bit.
+    pub fn record_observation(&self, cache: &mut MethodState, success: bool) {
+        if cache.posteriors.is_empty() {
+            return;
+        }
+        for post in &mut cache.posteriors {
+            *post = post.observe(success);
+        }
+        cache.tracked.1 += 1;
+        if success {
+            cache.tracked.0 += 1;
+        }
+    }
+
+    /// Resynchronizes the cached SRS posteriors from integer counts if
+    /// the cache has not tracked this state (e.g. a fresh
+    /// [`Self::interval`] call mid-run). After the call,
+    /// `cache.posteriors` reflects `(state.tau(), state.n())`.
+    fn resync_srs_posteriors(&self, state: &SampleState, cache: &mut MethodState) {
+        let counts = (state.tau(), state.n());
+        if cache.tracked != counts || cache.posteriors.is_empty() {
+            let priors = self.priors().unwrap_or(&[]);
+            cache.posteriors = priors
+                .iter()
+                .map(|p| p.posterior(counts.0, counts.1))
+                .collect();
+            cache.tracked = counts;
+        }
+    }
+
+    /// [`Self::resync_srs_posteriors`] returning the slice.
+    fn srs_posteriors<'c>(&self, state: &SampleState, cache: &'c mut MethodState) -> &'c [Beta] {
+        self.resync_srs_posteriors(state, cache);
+        &cache.posteriors
     }
 
     /// Builds the `1-α` interval from the current sample.
@@ -70,37 +153,12 @@ impl IntervalMethod {
     /// Degenerate cluster variance (a single stage-1 draw) yields the
     /// maximally uninformative sentinel interval `[μ̂-0.5, μ̂+0.5]`
     /// (MoE 0.5), so the stopping rule simply keeps sampling.
-    pub fn interval(
-        &self,
-        state: &SampleState,
-        alpha: f64,
-    ) -> Result<Interval, IntervalError> {
+    pub fn interval(&self, state: &SampleState, alpha: f64) -> Result<Interval, IntervalError> {
         self.interval_stateful(state, alpha, &mut self.new_state())
     }
 
-    /// A certified lower bound on the achievable MoE at the current
-    /// sample, when one is cheap to compute (`(1-α)/(2·f(mode))` for the
-    /// HPD-family methods). The framework skips full interval
-    /// construction while the bound exceeds ε.
-    #[must_use]
-    pub fn moe_lower_bound(&self, state: &SampleState, alpha: f64) -> Option<f64> {
-        let priors: &[BetaPrior] = match self {
-            IntervalMethod::Hpd(p) | IntervalMethod::Et(p) => std::slice::from_ref(p),
-            IntervalMethod::AHpd(ps) => ps,
-            _ => return None,
-        };
-        let eff = state.effective();
-        let mut best: f64 = f64::INFINITY;
-        for prior in priors {
-            let post = prior.posterior_effective(eff.mu, eff.n_eff).ok()?;
-            // ET is at least as wide as HPD, so the HPD bound is valid
-            // for both method families.
-            best = best.min(hpd_width_lower_bound(&post, alpha)? / 2.0);
-        }
-        best.is_finite().then_some(best)
-    }
-
-    /// [`Self::interval`] with warm-start state carried across calls.
+    /// [`Self::interval`] with warm-start and posterior state carried
+    /// across calls.
     pub fn interval_stateful(
         &self,
         state: &SampleState,
@@ -114,7 +172,11 @@ impl IntervalMethod {
                     let mu = est.mu.clamp(0.0, 1.0);
                     return Ok(Interval::new(mu - 0.5, mu + 0.5));
                 }
-                Ok(wald_from_variance(est.mu.clamp(0.0, 1.0), est.variance, alpha)?)
+                Ok(wald_from_variance(
+                    est.mu.clamp(0.0, 1.0),
+                    est.variance,
+                    alpha,
+                )?)
             }
             IntervalMethod::Wilson => {
                 let eff = state.effective();
@@ -124,13 +186,23 @@ impl IntervalMethod {
                 Ok(wilson(eff.mu, eff.n_eff, alpha)?)
             }
             IntervalMethod::Et(prior) => {
-                let eff = state.effective();
-                let post = prior.posterior_effective(eff.mu, eff.n_eff)?;
+                let post = match state.kind() {
+                    DesignKind::Srs => self.srs_posteriors(state, cache)[0],
+                    DesignKind::Cluster => {
+                        let eff = state.effective();
+                        prior.posterior_effective(eff.mu, eff.n_eff)?
+                    }
+                };
                 et_interval(&post, alpha)
             }
             IntervalMethod::Hpd(prior) => {
-                let eff = state.effective();
-                let post = prior.posterior_effective(eff.mu, eff.n_eff)?;
+                let post = match state.kind() {
+                    DesignKind::Srs => self.srs_posteriors(state, cache)[0],
+                    DesignKind::Cluster => {
+                        let eff = state.effective();
+                        prior.posterior_effective(eff.mu, eff.n_eff)?
+                    }
+                };
                 let warm = cache.warm.first().copied().flatten();
                 match hpd_interval_warm(&post, alpha, warm) {
                     Ok(i) => {
@@ -147,11 +219,209 @@ impl IntervalMethod {
                     Err(e) => Err(e),
                 }
             }
-            IntervalMethod::AHpd(priors) => {
-                Ok(ahpd_select_warm(state, alpha, priors, &mut cache.warm)?.interval)
+            IntervalMethod::AHpd(priors) => match state.kind() {
+                DesignKind::Srs => {
+                    // Match ahpd_select_warm's loud failure on an empty
+                    // sample — a prior-only "posterior" interval would
+                    // look plausible and hide the caller's bug.
+                    assert!(state.n() > 0, "aHPD needs at least one annotation");
+                    self.resync_srs_posteriors(state, cache);
+                    // Split borrows: posteriors immutably, warm mutably.
+                    let MethodState {
+                        warm, posteriors, ..
+                    } = cache;
+                    Ok(ahpd_select_posteriors(posteriors, alpha, warm)?.interval)
+                }
+                DesignKind::Cluster => {
+                    let posteriors = posteriors_for_state(state, priors)?;
+                    Ok(ahpd_select_posteriors(&posteriors, alpha, &mut cache.warm)?.interval)
+                }
+            },
+        }
+    }
+
+    /// Exact one-step gate: can the *current* sample's `1-α` interval
+    /// possibly satisfy `MoE ≤ ε`?
+    ///
+    /// For the HPD-family methods this evaluates [`hpd_width_achievable`]
+    /// on the actual posteriors — the exact indicator `HPD width ≤ 2ε` —
+    /// so full interval construction runs only at steps that actually
+    /// stop (plus measure-zero boundary ties and shapes with no
+    /// certificate). Methods without a certificate (Wald, Wilson)
+    /// return `true` and always construct; ET gates on the HPD predicate
+    /// (ET is at least as wide, so a negative gate is still sound).
+    #[must_use]
+    pub fn stop_possible_now(
+        &self,
+        state: &SampleState,
+        alpha: f64,
+        epsilon: f64,
+        cache: &mut MethodState,
+    ) -> bool {
+        let Some(priors) = self.priors() else {
+            return true;
+        };
+        let width = 2.0 * epsilon;
+        match state.kind() {
+            DesignKind::Srs => self
+                .srs_posteriors(state, cache)
+                .iter()
+                .any(|post| hpd_width_achievable(post, alpha, width)),
+            DesignKind::Cluster => {
+                let eff = state.effective();
+                priors.iter().any(|prior| {
+                    prior
+                        .posterior_effective(eff.mu, eff.n_eff)
+                        .map_or(true, |post| hpd_width_achievable(&post, alpha, width))
+                })
             }
         }
     }
+
+    /// Certified SRS lookahead: the number of further annotations that
+    /// provably cannot satisfy `MoE ≤ ε`, from the current `(τ, n)`.
+    ///
+    /// For each horizon `k`, every achievable posterior has
+    /// `τ' ∈ [τ, τ+k]` at `n + k` observations. HPD width at fixed
+    /// evidence is smallest in the extreme outcome regions (the Fig. 3
+    /// width curves peak centrally), so stopping achievability is
+    /// evaluated — via the *exact* best-window predicate
+    /// [`hpd_width_achievable`] — at the range endpoints plus their
+    /// one-step-inside neighbors (covering the transition into the
+    /// monotone limiting shapes of Eq. 10/11). The smallest achievable
+    /// `k` is found by exponential + binary search; everything before it
+    /// is skipped.
+    ///
+    /// Returns 0 (check the very next annotation) for methods without a
+    /// certified bound (Wald, Wilson).
+    #[must_use]
+    pub fn certified_skip_srs(&self, state: &SampleState, alpha: f64, epsilon: f64) -> u64 {
+        let Some(priors) = self.priors() else {
+            return 0;
+        };
+        debug_assert_eq!(state.kind(), DesignKind::Srs);
+        let (tau, n) = (state.tau(), state.n());
+        find_certified_skip(|k| srs_stoppable_at(priors, tau, n, k, alpha, epsilon))
+    }
+
+    /// Certified cluster lookahead: the number of further stage-1 draws
+    /// that provably cannot satisfy `MoE ≤ ε`.
+    ///
+    /// The effective sample size after `j` more draws is bounded by
+    /// `n_eff' = μ̂'(1−μ̂')/V̂' ≤ (d+j)(d+j−1)/(4·SS)` because the sum of
+    /// squared deviations `SS` of the per-draw estimates is monotone
+    /// non-decreasing under Welford updates, together with the Kish
+    /// clamp bound `n_eff' ≤ 10³·n'` (each draw annotates at most
+    /// `max_draw_size` triples). The reachable estimate-mean range after
+    /// `j` draws is `[μ̂·d/(d+j), (μ̂·d+j)/(d+j)]` for sample-mean
+    /// designs; Hansen–Hurwitz per-draw estimates are unbounded, so SCS
+    /// widens the range to `[0, 1]` and admits the degenerate
+    /// `deff = 1 ⇒ n_eff' = n'` case. Zero draw spread certifies
+    /// nothing (the Kish clamp can explode `n_eff` on the next draw), so
+    /// the method returns 0 and the loop checks every draw.
+    #[must_use]
+    pub fn certified_skip_cluster(
+        &self,
+        state: &SampleState,
+        alpha: f64,
+        epsilon: f64,
+        max_draw_size: u64,
+        hansen_hurwitz: bool,
+    ) -> u64 {
+        let Some(priors) = self.priors() else {
+            return 0;
+        };
+        debug_assert_eq!(state.kind(), DesignKind::Cluster);
+        let ss = state.draw_sum_sq_dev();
+        if ss <= 0.0 {
+            return 0;
+        }
+        let d = state.draws() as u64;
+        let n = state.n();
+        let mu = state.draw_mean().clamp(0.0, 1.0);
+        find_certified_skip(|j| {
+            let d_j = (d + j) as f64;
+            let n_j = (n + j * max_draw_size.max(1)) as f64;
+            let mut nu = (d_j * (d_j - 1.0) / (4.0 * ss)).min(1e3 * n_j);
+            let (mu_lo, mu_hi) = if hansen_hurwitz {
+                nu = nu.max(n_j);
+                (0.0, 1.0)
+            } else {
+                (mu * d as f64 / d_j, (mu * d as f64 + j as f64) / d_j)
+            };
+            let nu = nu.max(1.0);
+            priors.iter().any(|prior| {
+                [mu_lo, mu_hi].into_iter().any(|mu_p| {
+                    let post = Beta::new(prior.a + mu_p * nu, prior.b + (1.0 - mu_p) * nu)
+                        .expect("positive posterior parameters");
+                    hpd_width_achievable(&post, alpha, 2.0 * epsilon)
+                })
+            })
+        })
+    }
+}
+
+/// Whether `MoE ≤ ε` is achievable at horizon `k` under SRS: the exact
+/// best-window predicate evaluated over priors and the extreme
+/// achievable outcomes (plus their one-step-inside neighbors, covering
+/// the monotone-shape transitions).
+fn srs_stoppable_at(
+    priors: &[BetaPrior],
+    tau: u64,
+    n: u64,
+    k: u64,
+    alpha: f64,
+    epsilon: f64,
+) -> bool {
+    let n_k = n + k;
+    let mut candidates = [tau, tau + k, tau + k - 1, tau + 1];
+    candidates.sort_unstable();
+    let mut prev = u64::MAX;
+    for &t in &candidates {
+        if t == prev || t < tau || t > tau + k {
+            continue;
+        }
+        prev = t;
+        for prior in priors {
+            let post = Beta::new(prior.a + t as f64, prior.b + (n_k - t) as f64)
+                .expect("positive posterior parameters");
+            if hpd_width_achievable(&post, alpha, 2.0 * epsilon) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Searches for the number of units to skip: one less than the smallest
+/// horizon at which stopping becomes achievable, exploiting that
+/// achievability is monotone in the horizon (more evidence can only
+/// narrow the best achievable interval). Exponential bracketing plus
+/// binary search: O(log k) predicate evaluations, most of which
+/// short-circuit on the one-density-evaluation necessary condition.
+fn find_certified_skip(stoppable_at: impl Fn(u64) -> bool) -> u64 {
+    if stoppable_at(1) {
+        return 0;
+    }
+    let mut lo = 1u64; // invariant: !stoppable(lo)
+    let mut hi = 2u64;
+    while !stoppable_at(hi) {
+        if hi >= MAX_SKIP {
+            return hi;
+        }
+        lo = hi;
+        hi = (hi * 2).min(MAX_SKIP);
+    }
+    // invariant: !stoppable(lo) && stoppable(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if stoppable_at(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -251,5 +521,132 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn incremental_posteriors_match_fresh_construction() {
+        // Drive the cache one observation at a time; intervals must
+        // agree with a cold cache resynced from integer counts.
+        let method = IntervalMethod::ahpd_default();
+        let mut cache = method.new_state();
+        let mut state = SampleState::new_srs();
+        for i in 0..120u64 {
+            let label = i % 11 != 5;
+            state.record_triple(label);
+            method.record_observation(&mut cache, label);
+            if i >= 29 && i % 13 == 0 {
+                let warm = method.interval_stateful(&state, 0.05, &mut cache).unwrap();
+                let cold = method.interval(&state, 0.05).unwrap();
+                assert!(
+                    (warm.lower() - cold.lower()).abs() < 1e-9
+                        && (warm.upper() - cold.upper()).abs() < 1e-9,
+                    "step {i}: warm {warm} vs cold {cold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn certified_skip_srs_is_sound_against_brute_force() {
+        // Every skipped step must have an actual constructed MoE > ε —
+        // the defining property that keeps the stopping point identical.
+        for (tau, n) in [(27u64, 30u64), (30, 30), (15, 30), (0, 30), (90, 100)] {
+            for method in [
+                IntervalMethod::ahpd_default(),
+                IntervalMethod::Hpd(BetaPrior::KERMAN),
+                IntervalMethod::Et(BetaPrior::UNIFORM),
+            ] {
+                let state = srs_state(tau, n);
+                let skip = method.certified_skip_srs(&state, 0.05, 0.05);
+                // Brute-force: for each skipped horizon k and each
+                // achievable τ', the constructed interval is wider than ε.
+                for k in 1..=skip.min(60) {
+                    for t in [0u64, k / 2, k] {
+                        let future = srs_state(tau + t, n + k);
+                        let i = method.interval(&future, 0.05).unwrap();
+                        assert!(
+                            i.moe() > 0.05,
+                            "{} at (τ={tau}, n={n}): skipped k={k}, τ'=+{t} \
+                             but moe = {} ≤ ε",
+                            method.name(),
+                            i.moe()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certified_skip_srs_reaches_stoppable_horizons() {
+        // The lookahead must not be trivially zero: a central sample
+        // (μ̂ = 0.5 needs ~380 annotations to stop at ε = 0.05) should
+        // certify a long skip even under the loose f(mode) bound.
+        let state = srs_state(15, 30);
+        let skip = IntervalMethod::ahpd_default().certified_skip_srs(&state, 0.05, 0.05);
+        assert!(skip >= 30, "skip = {skip} is uselessly small");
+        // And frequentist methods certify nothing.
+        assert_eq!(
+            IntervalMethod::Wald.certified_skip_srs(&state, 0.05, 0.05),
+            0
+        );
+        assert_eq!(
+            IntervalMethod::Wilson.certified_skip_srs(&state, 0.05, 0.05),
+            0
+        );
+    }
+
+    #[test]
+    fn certified_skip_cluster_requires_draw_spread() {
+        let mut s = SampleState::new_cluster();
+        for _ in 0..10 {
+            s.record_cluster_draw(0.9, 9, 10);
+        }
+        // Zero spread: the Kish clamp could explode n_eff next draw —
+        // nothing is certifiable.
+        assert_eq!(
+            IntervalMethod::ahpd_default().certified_skip_cluster(&s, 0.05, 0.05, 3, false),
+            0
+        );
+    }
+
+    #[test]
+    fn certified_skip_cluster_is_sound_against_simulation() {
+        // Whatever mixture of future draws arrives, no skipped draw may
+        // reach MoE ≤ ε. Simulate adversarially favorable futures: all
+        // draws agreeing on the majority side at several sizes.
+        let method = IntervalMethod::ahpd_default();
+        let mut s = SampleState::new_cluster();
+        for i in 0..12 {
+            let m = if i % 3 == 0 { 1.0 } else { 0.5 };
+            s.record_cluster_draw(m, (m * 2.0) as u64, 2);
+        }
+        let skip = method.certified_skip_cluster(&s, 0.05, 0.05, 3, false);
+        for j in 1..=skip.min(40) {
+            for future_mean in [0.0, 1.0] {
+                let mut fut = s.clone();
+                for _ in 0..j {
+                    fut.record_cluster_draw(future_mean, (future_mean * 3.0) as u64, 3);
+                }
+                let i = method.interval(&fut, 0.05).unwrap();
+                assert!(
+                    i.moe() > 0.05,
+                    "skipped draw {j} (future mean {future_mean}) has moe {}",
+                    i.moe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_certified_skip_search_is_consistent() {
+        // Synthetic monotone predicate: first stoppable horizon k = 100
+        // ⇒ 99 units are skippable.
+        let skip = find_certified_skip(|k| k >= 100);
+        assert_eq!(skip, 99);
+        // Immediately stoppable ⇒ no skip.
+        assert_eq!(find_certified_skip(|_| true), 0);
+        // Never stoppable within the cap ⇒ capped skip.
+        assert_eq!(find_certified_skip(|_| false), MAX_SKIP);
     }
 }

@@ -117,11 +117,7 @@ pub fn runs_to_csv(runs: &crate::runner::RepeatedRuns) -> String {
         .zip(&runs.mu_hats)
         .enumerate()
     {
-        let _ = writeln!(
-            out,
-            "{i},{},{},{t},{c},{m}",
-            runs.method, runs.design
-        );
+        let _ = writeln!(out, "{i},{},{},{t},{c},{m}", runs.method, runs.design);
     }
     out
 }

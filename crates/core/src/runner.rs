@@ -5,6 +5,15 @@
 //! (crossbeam scoped threads, deterministic per-repetition seeding) and
 //! aggregates the metrics the tables report, plus diagnostics (coverage
 //! of the true μ, zero-width-halt rate for Example 1).
+//!
+//! Scheduling is **work-stealing**: workers pull repetition indices from
+//! a shared atomic counter instead of owning static chunks. Per-rep
+//! wall-time is heavily skewed — a FACTBENCH rep (μ = 0.54, ~380
+//! triples) costs an order of magnitude more than a YAGO rep halting at
+//! the 30-triple floor — so static chunking leaves threads idle at the
+//! tail. Determinism is unaffected: each repetition is seeded by
+//! `base_seed + rep` regardless of which worker runs it, and results are
+//! re-ordered by repetition index before aggregation.
 
 use crate::annotator::OracleAnnotator;
 use crate::framework::{evaluate_prepared, EvalConfig, EvalResult, PreparedDesign, SamplingDesign};
@@ -14,6 +23,7 @@ use kgae_stats::descriptive::Summary;
 use kgae_stats::htest::{pooled_t_test, TTestResult};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Aggregated outcome of `reps` independent evaluation runs.
 #[derive(Debug, Clone)]
@@ -102,33 +112,32 @@ where
         .map(|n| n.get())
         .unwrap_or(1)
         .min(reps.max(1) as usize);
-    let chunk = reps.div_ceil(threads as u64);
     // Build PPS tables once; every repetition on every thread shares them.
     let prepared = PreparedDesign::new(kg, design);
 
-    let mut all_results: Vec<Vec<EvalResult>> = Vec::with_capacity(threads);
+    // Work-stealing dispenser: each worker claims the next unclaimed
+    // repetition index; skewed per-rep costs self-balance.
+    let next_rep = AtomicU64::new(0);
+    let mut all_results: Vec<Vec<(u64, EvalResult)>> = Vec::with_capacity(threads);
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads as u64 {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(reps);
+        for _ in 0..threads {
             let method = method.clone();
             let cfg = cfg.clone();
             let prepared = prepared.clone();
+            let next_rep = &next_rep;
             handles.push(scope.spawn(move |_| {
-                let mut out = Vec::with_capacity((hi.saturating_sub(lo)) as usize);
-                for rep in lo..hi {
+                let mut out = Vec::new();
+                loop {
+                    let rep = next_rep.fetch_add(1, Ordering::Relaxed);
+                    if rep >= reps {
+                        break;
+                    }
                     let mut rng = SmallRng::seed_from_u64(base_seed.wrapping_add(rep));
-                    let r = evaluate_prepared(
-                        kg,
-                        &OracleAnnotator,
-                        &prepared,
-                        &method,
-                        &cfg,
-                        &mut rng,
-                    )
-                    .expect("evaluation must not fail under valid configuration");
-                    out.push(r);
+                    let r =
+                        evaluate_prepared(kg, &OracleAnnotator, &prepared, &method, &cfg, &mut rng)
+                            .expect("evaluation must not fail under valid configuration");
+                    out.push((rep, r));
                 }
                 out
             }));
@@ -138,6 +147,11 @@ where
         }
     })
     .expect("crossbeam scope failed");
+
+    // Restore repetition order so aggregates (and the per-rep vectors
+    // exposed to t-tests) are independent of scheduling.
+    let mut ordered: Vec<(u64, EvalResult)> = all_results.into_iter().flatten().collect();
+    ordered.sort_unstable_by_key(|(rep, _)| *rep);
 
     let mu = kg.true_accuracy();
     let mut runs = RepeatedRuns {
@@ -150,14 +164,20 @@ where
         zero_width_halts: 0,
         non_converged: 0,
     };
-    for r in all_results.into_iter().flatten() {
+    for (_, r) in ordered {
         runs.triples.push(r.annotated_triples as f64);
         runs.cost_hours.push(r.cost_hours());
         runs.mu_hats.push(r.mu_hat);
         if r.interval.contains(mu) {
             runs.coverage_hits += 1;
         }
-        if r.converged && r.interval.width() == 0.0 && r.observations == cfg.min_triples {
+        // "Halted at the minimum sample" is reported by the framework
+        // itself (first consultation of the stopping rule). The previous
+        // detector compared `observations == min_triples`, which under
+        // cluster designs silently missed floor halts whose draws
+        // overshoot the 30-observation floor (observations ≠ distinct
+        // triples ≠ the check schedule).
+        if r.converged && r.interval.width() == 0.0 && r.halted_at_floor {
             runs.zero_width_halts += 1;
         }
         if !r.converged {
@@ -188,8 +208,7 @@ mod tests {
         let s = runs.triples_summary();
         assert!(s.mean >= 30.0);
         // Estimates unbiased: mean μ̂ close to 0.91.
-        let mean_mu =
-            runs.mu_hats.iter().sum::<f64>() / runs.mu_hats.len() as f64;
+        let mean_mu = runs.mu_hats.iter().sum::<f64>() / runs.mu_hats.len() as f64;
         assert!((mean_mu - 0.91).abs() < 0.05, "mean μ̂ = {mean_mu}");
     }
 
@@ -244,6 +263,60 @@ mod tests {
         assert!(!t.significant_at(0.01), "identical runs must not differ");
         let t2 = triples_t_test(&wald, &same).unwrap();
         assert!((t2.t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_width_halt_detector_counts_cluster_floor_halts() {
+        // Regression: the old detector compared `observations ==
+        // min_triples`, but cluster draws land in batches, so a run that
+        // halts at its *first* stopping check usually holds 31–32
+        // observations and was silently missed. YAGO (μ = 0.99) under
+        // TWCS/Wald produces such floor halts with zero-width intervals
+        // in a large fraction of runs.
+        let kg = kgae_graph::datasets::yago();
+        let reps = 60;
+        let runs = repeat_evaluation(
+            &kg,
+            SamplingDesign::Twcs { m: 3 },
+            &IntervalMethod::Wald,
+            &EvalConfig::default(),
+            reps,
+            11,
+        );
+        assert!(
+            runs.zero_width_halts > 0,
+            "no zero-width floor halts detected on YAGO/TWCS/Wald"
+        );
+
+        // Demonstrate the miscount directly: among the individual runs,
+        // floor halts with observations ≠ min_triples exist — exactly
+        // the runs the old `observations == min_triples` test dropped.
+        let cfg = EvalConfig::default();
+        let prepared = crate::framework::PreparedDesign::new(&kg, SamplingDesign::Twcs { m: 3 });
+        let mut overshooting_floor_halts = 0u64;
+        for rep in 0..reps {
+            let mut rng = SmallRng::seed_from_u64(11u64.wrapping_add(rep));
+            let r = evaluate_prepared(
+                &kg,
+                &OracleAnnotator,
+                &prepared,
+                &IntervalMethod::Wald,
+                &cfg,
+                &mut rng,
+            )
+            .unwrap();
+            if r.converged
+                && r.interval.width() == 0.0
+                && r.halted_at_floor
+                && r.observations != cfg.min_triples
+            {
+                overshooting_floor_halts += 1;
+            }
+        }
+        assert!(
+            overshooting_floor_halts > 0,
+            "expected floor halts whose observations overshoot min_triples"
+        );
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Accumulated annotation state — the sufficient statistics every
 //! interval method reads (phase 3 of Figure 1).
 
-use kgae_sampling::{cluster_estimate, design_effect, effective_sample_size, srs_estimate, Estimate};
+use kgae_sampling::{
+    cluster_estimate_from_moments, design_effect, effective_sample_size, srs_estimate, Estimate,
+};
+use kgae_stats::descriptive::OnlineMoments;
 
 /// Which estimator family the sample feeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,6 +17,12 @@ pub enum DesignKind {
 }
 
 /// Running annotation tallies.
+///
+/// Cluster draws feed a Welford accumulator rather than a growing vector
+/// of per-draw estimates, so the estimator (and hence the per-draw
+/// stopping check) is O(1) per draw instead of O(draws) — the quadratic
+/// re-summation was measurable on low-accuracy datasets that run for
+/// hundreds of draws.
 #[derive(Debug, Clone)]
 pub struct SampleState {
     kind: DesignKind,
@@ -22,10 +31,11 @@ pub struct SampleState {
     n: u64,
     /// Observations annotated correct.
     tau: u64,
-    /// Per-stage-1-draw estimates (cluster designs only). For TWCS/WCS
-    /// these are cluster sample means `μ̂_i ∈ [0, 1]`; for SCS they are
-    /// the Hansen–Hurwitz per-draw estimates (possibly > 1).
-    draw_estimates: Vec<f64>,
+    /// Online moments of the per-stage-1-draw estimates (cluster designs
+    /// only). For TWCS/WCS the draws push cluster sample means
+    /// `μ̂_i ∈ [0, 1]`; for SCS the Hansen–Hurwitz per-draw estimates
+    /// (possibly > 1).
+    draw_moments: OnlineMoments,
 }
 
 /// Design-effect-adjusted view of the sample, the inputs to Wilson and
@@ -48,7 +58,7 @@ impl SampleState {
             kind: DesignKind::Srs,
             n: 0,
             tau: 0,
-            draw_estimates: Vec::new(),
+            draw_moments: OnlineMoments::new(),
         }
     }
 
@@ -59,7 +69,7 @@ impl SampleState {
             kind: DesignKind::Cluster,
             n: 0,
             tau: 0,
-            draw_estimates: Vec::new(),
+            draw_moments: OnlineMoments::new(),
         }
     }
 
@@ -91,7 +101,7 @@ impl SampleState {
         assert!(size > 0, "empty cluster draw");
         self.n += size;
         self.tau += correct;
-        self.draw_estimates.push(estimate);
+        self.draw_moments.push(estimate);
     }
 
     /// Design kind.
@@ -115,7 +125,28 @@ impl SampleState {
     /// Number of stage-1 draws (0 for SRS).
     #[must_use]
     pub fn draws(&self) -> usize {
-        self.draw_estimates.len()
+        self.draw_moments.count() as usize
+    }
+
+    /// Sum of squared deviations of the per-draw estimates from their
+    /// mean (`Σ(μ̂_i − μ̂)²`; 0 for SRS or fewer than two draws).
+    ///
+    /// Monotone non-decreasing draw over draw — the invariant behind the
+    /// certified cluster lookahead's effective-sample-size upper bound.
+    #[must_use]
+    pub fn draw_sum_sq_dev(&self) -> f64 {
+        if self.draw_moments.count() < 2 {
+            0.0
+        } else {
+            self.draw_moments.sum_sq_dev()
+        }
+    }
+
+    /// Mean of the per-draw estimates (cluster designs; `NaN` before the
+    /// first draw).
+    #[must_use]
+    pub fn draw_mean(&self) -> f64 {
+        self.draw_moments.mean()
     }
 
     /// Point estimate with variance under the design's estimator.
@@ -127,7 +158,11 @@ impl SampleState {
     pub fn estimate(&self) -> Estimate {
         match self.kind {
             DesignKind::Srs => srs_estimate(self.tau, self.n),
-            DesignKind::Cluster => cluster_estimate(&self.draw_estimates),
+            DesignKind::Cluster => cluster_estimate_from_moments(
+                self.draw_moments.mean(),
+                self.draw_moments.sum_sq_dev(),
+                self.draw_moments.count(),
+            ),
         }
     }
 
@@ -221,6 +256,23 @@ mod tests {
     fn wrong_recorder_panics() {
         let mut s = SampleState::new_cluster();
         s.record_triple(true);
+    }
+
+    #[test]
+    fn welford_getters_track_draws() {
+        let mut s = SampleState::new_cluster();
+        assert_eq!(s.draw_sum_sq_dev(), 0.0);
+        s.record_cluster_draw(1.0, 3, 3);
+        assert_eq!(s.draw_sum_sq_dev(), 0.0, "single draw has no spread");
+        s.record_cluster_draw(0.5, 1, 2);
+        s.record_cluster_draw(0.75, 3, 4);
+        // Σ(μ_i - 0.75)² = 0.0625 + 0.0625 + 0 = 0.125.
+        assert!((s.draw_sum_sq_dev() - 0.125).abs() < 1e-12);
+        assert!((s.draw_mean() - 0.75).abs() < 1e-12);
+        // Monotone growth draw over draw.
+        let before = s.draw_sum_sq_dev();
+        s.record_cluster_draw(0.9, 2, 2);
+        assert!(s.draw_sum_sq_dev() >= before);
     }
 
     #[test]

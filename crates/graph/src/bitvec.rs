@@ -76,6 +76,71 @@ impl BitVec {
     }
 }
 
+/// Flat two-bit per-triple seen/label cache.
+///
+/// The evaluation framework's cluster designs draw clusters *with
+/// replacement*, so a triple can be re-drawn after it was annotated; its
+/// recorded label must be reused (Eq. 12's set semantics). A
+/// `HashMap<TripleId, bool>` does that with a hash + probe + possible
+/// allocation per lookup; this cache does it with two bit reads — one
+/// "seen" bit and one "label" bit per triple — sized once by
+/// `kg.num_triples()` (2 bits/triple: 25 MB even for SYN 100M).
+#[derive(Debug, Clone)]
+pub struct LabelCache {
+    seen: BitVec,
+    label: BitVec,
+}
+
+impl LabelCache {
+    /// Empty cache covering triple ids `0..num_triples`.
+    #[must_use]
+    pub fn new(num_triples: u64) -> Self {
+        Self {
+            seen: BitVec::zeros(num_triples),
+            label: BitVec::zeros(num_triples),
+        }
+    }
+
+    /// The recorded label of triple `t`, or `None` if it has not been
+    /// annotated yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside the id range the cache was sized for.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, t: u64) -> Option<bool> {
+        if self.seen.get(t) {
+            Some(self.label.get(t))
+        } else {
+            None
+        }
+    }
+
+    /// Records the label of triple `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is outside the id range the cache was sized for.
+    #[inline]
+    pub fn insert(&mut self, t: u64, label: bool) {
+        self.seen.set(t, true);
+        self.label.set(t, label);
+    }
+
+    /// Number of distinct triples recorded so far.
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        self.seen.count_ones()
+    }
+
+    /// Heap memory used, in bytes.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.seen.heap_bytes() + self.label.heap_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +196,44 @@ mod tests {
     fn memory_footprint_is_compact() {
         let bv = BitVec::zeros(1_000_000);
         assert_eq!(bv.heap_bytes(), 1_000_000usize.div_ceil(64) * 8);
+    }
+
+    #[test]
+    fn label_cache_miss_insert_hit() {
+        let mut cache = LabelCache::new(100);
+        assert_eq!(cache.get(42), None);
+        assert_eq!(cache.distinct(), 0);
+        cache.insert(42, true);
+        cache.insert(7, false);
+        assert_eq!(cache.get(42), Some(true));
+        assert_eq!(cache.get(7), Some(false));
+        assert_eq!(cache.get(8), None);
+        assert_eq!(cache.distinct(), 2);
+        // Overwriting keeps one seen bit and the latest label.
+        cache.insert(42, false);
+        assert_eq!(cache.get(42), Some(false));
+        assert_eq!(cache.distinct(), 2);
+    }
+
+    #[test]
+    fn label_cache_distinguishes_false_label_from_unseen() {
+        // The regression the two-bit layout exists for: a recorded
+        // `false` must not look like "never annotated".
+        let mut cache = LabelCache::new(10);
+        cache.insert(3, false);
+        assert_eq!(cache.get(3), Some(false));
+    }
+
+    #[test]
+    fn label_cache_is_two_bits_per_triple() {
+        let cache = LabelCache::new(1_000_000);
+        assert_eq!(cache.heap_bytes(), 2 * 1_000_000usize.div_ceil(64) * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_cache_out_of_range_panics() {
+        let cache = LabelCache::new(5);
+        let _ = cache.get(5);
     }
 }

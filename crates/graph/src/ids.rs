@@ -58,7 +58,9 @@ mod tests {
     fn ids_are_ordered_and_hashable() {
         assert!(TripleId(1) < TripleId(2));
         assert!(ClusterId(0) < ClusterId(10));
-        let set: HashSet<TripleId> = [TripleId(1), TripleId(1), TripleId(2)].into_iter().collect();
+        let set: HashSet<TripleId> = [TripleId(1), TripleId(1), TripleId(2)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
     }
 

@@ -38,6 +38,7 @@ pub mod stats;
 pub mod synthetic;
 pub mod tsv;
 
+pub use bitvec::LabelCache;
 pub use compact::{CompactKg, LabelStore};
 pub use ids::{ClusterId, TripleId};
 pub use kg::{ClusterIndex, GroundTruth, KnowledgeGraph};

@@ -56,12 +56,14 @@ pub fn intra_cluster_correlation<K: KnowledgeGraph + GroundTruth>(kg: &K) -> f64
         let c = ClusterId(c);
         let range = kg.cluster_triples(c);
         let n_i = (range.end - range.start) as f64;
-        let correct = range.clone().filter(|&t| kg.is_correct(TripleId(t))).count() as f64;
+        let correct = range
+            .clone()
+            .filter(|&t| kg.is_correct(TripleId(t)))
+            .count() as f64;
         let mean_i = correct / n_i;
         ss_between += n_i * (mean_i - grand_mean) * (mean_i - grand_mean);
         // For binary data, within-cluster sum of squares has a closed form.
-        ss_within += correct * (1.0 - mean_i) * (1.0 - mean_i)
-            + (n_i - correct) * mean_i * mean_i;
+        ss_within += correct * (1.0 - mean_i) * (1.0 - mean_i) + (n_i - correct) * mean_i * mean_i;
         sum_sq_sizes += n_i * n_i;
     }
 

@@ -285,8 +285,8 @@ impl SyntheticSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kg::{GroundTruth, KnowledgeGraph};
     use crate::ids::{ClusterId, TripleId};
+    use crate::kg::{GroundTruth, KnowledgeGraph};
 
     fn spec(label_model: LabelModel) -> SyntheticSpec {
         SyntheticSpec {

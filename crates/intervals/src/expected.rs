@@ -97,10 +97,7 @@ mod tests {
         for i in 0..=20 {
             let mu = i as f64 / 20.0;
             let best = best_prior_index(&priors, 30, 0.05, mu).unwrap();
-            assert_ne!(
-                priors[best].name, "Jeffreys",
-                "Jeffreys won at μ = {mu}"
-            );
+            assert_ne!(priors[best].name, "Jeffreys", "Jeffreys won at μ = {mu}");
         }
     }
 

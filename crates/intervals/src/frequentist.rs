@@ -224,7 +224,10 @@ mod tests {
         let wi = wilson(mu, n as f64, 0.05).unwrap().width();
         let ac = agresti_coull(tau as f64, n as f64, 0.05).unwrap().width();
         let cp = clopper_pearson(tau, n, 0.05).unwrap().width();
-        assert!(cp >= wi && cp >= wd && cp >= ac, "cp={cp} wi={wi} wd={wd} ac={ac}");
+        assert!(
+            cp >= wi && cp >= wd && cp >= ac,
+            "cp={cp} wi={wi} wd={wd} ac={ac}"
+        );
     }
 
     #[test]

@@ -55,8 +55,14 @@ pub fn hpd_interval(posterior: &Beta, alpha: f64) -> Result<Interval, IntervalEr
 /// previous solution is an excellent initial iterate. SLSQP converges to
 /// the *unique* HPD optimum (Theorem 2) from any interior start, so the
 /// result is identical to the cold-started one within tolerance — this
-/// is purely a constant-factor optimization. An invalid or missing warm
-/// start falls back to the ET initial guess of Algorithm 1.
+/// is purely a constant-factor optimization.
+///
+/// Without a usable warm start the *exact* Brent solver is used instead
+/// of cold SLSQP: on the strongly skewed posteriors high-accuracy KGs
+/// produce, SLSQP from the ET initial guess can burn its whole iteration
+/// budget before the fallback fires (~60× the Brent cost, see the
+/// `hpd_solvers` bench), while Theorem 2 guarantees both land on the
+/// same optimum.
 pub fn hpd_interval_warm(
     posterior: &Beta,
     alpha: f64,
@@ -72,7 +78,7 @@ pub fn hpd_interval_warm(
                     }
                 }
             }
-            hpd_interval(posterior, alpha)
+            unimodal_exact(posterior, alpha)
         }
         _ => hpd_interval(posterior, alpha),
     }
@@ -80,9 +86,14 @@ pub fn hpd_interval_warm(
 
 /// Certified lower bound on the `1-α` HPD width of a *unimodal*
 /// posterior, from `1 - α = ∫_l^u f ≤ (u - l)·f(mode)`:
-/// `width ≥ (1-α) / f(mode)`. One density evaluation — used by the
-/// framework to skip full interval construction while stopping is
-/// provably impossible. `None` when the posterior is not unimodal.
+/// `width ≥ (1-α) / f(mode)`. One density evaluation. `None` when the
+/// posterior is not unimodal.
+///
+/// This is the reference form of the bound whose contrapositive
+/// short-circuits [`hpd_width_achievable`]; the evaluation framework
+/// consumes the bound through that predicate rather than calling this
+/// directly, but the inequality (and its tests below) document why the
+/// short-circuit is sound.
 #[must_use]
 pub fn hpd_width_lower_bound(posterior: &Beta, alpha: f64) -> Option<f64> {
     let mode = posterior.mode()?;
@@ -91,6 +102,84 @@ pub fn hpd_width_lower_bound(posterior: &Beta, alpha: f64) -> Option<f64> {
         return None;
     }
     Some((1.0 - alpha) / f_max)
+}
+
+/// Exact stopping-achievability predicate: can **some** interval of
+/// width `w` hold `1-α` posterior mass? Equivalently, is the `1-α` HPD
+/// width at most `w`?
+///
+/// For a unimodal posterior the best-placed window of width `w` either
+/// straddles the mode with `f(l) = f(l+w)` (found by Brent on the
+/// monotone density difference) or abuts the boundary nearest the mode;
+/// its mass is then two CDF evaluations. Monotone and uniform shapes
+/// have closed-form best windows. U-shaped posteriors return `true`
+/// (nothing can be certified, so the caller must construct and check).
+///
+/// A cheap necessary condition — `w·f(mode) ≥ 1-α`, the contrapositive
+/// of Theorem 1's width bound — short-circuits the common "clearly not
+/// yet" case with a single density evaluation, so the evaluation
+/// framework's lookahead search pays the Brent solve only near the
+/// achievability boundary.
+#[must_use]
+pub fn hpd_width_achievable(post: &Beta, alpha: f64, w: f64) -> bool {
+    if w >= 1.0 {
+        return true;
+    }
+    if w <= 0.0 {
+        return false;
+    }
+    let target = 1.0 - alpha;
+    match post.shape() {
+        BetaShape::Uniform => w >= target,
+        BetaShape::UShaped => true,
+        BetaShape::Increasing => 1.0 - post.cdf(1.0 - w) >= target,
+        BetaShape::Decreasing => post.cdf(w) >= target,
+        BetaShape::Unimodal => {
+            let mode = post.mode().expect("unimodal posterior has a mode");
+            // Necessary condition: mass in any width-w window ≤ w·f(mode).
+            if w * post.pdf(mode) < target {
+                return false;
+            }
+            // Sufficient condition: the mode-centered window is *a*
+            // width-w window, so its mass lower-bounds the best one —
+            // two CDF evaluations, no root find.
+            let c_lo = (mode - 0.5 * w).clamp(0.0, 1.0 - w);
+            if post.cdf(c_lo + w) - post.cdf(c_lo) >= target {
+                return true;
+            }
+            // Best window position: f(l) = f(l+w) around the mode, or a
+            // boundary-anchored window when the mode sits within w of a
+            // boundary.
+            let lo = (mode - w).max(0.0);
+            let hi = mode.min(1.0 - w);
+            let h = |l: f64| post.pdf(l) - post.pdf(l + w);
+            let l = if hi <= lo {
+                // Window wider than the space around the mode allows:
+                // anchor at the nearer boundary.
+                lo.min(hi.max(0.0)).clamp(0.0, 1.0 - w)
+            } else {
+                let h_lo = h(lo);
+                let h_hi = h(hi);
+                if h_lo >= 0.0 {
+                    lo // left-anchored (mode close to 0)
+                } else if h_hi <= 0.0 {
+                    hi // right-anchored (mode close to 1)
+                } else {
+                    brent(
+                        h,
+                        lo,
+                        hi,
+                        RootConfig {
+                            xtol: 1e-12,
+                            max_iter: 200,
+                        },
+                    )
+                    .unwrap_or(0.5 * (lo + hi))
+                }
+            };
+            post.cdf(l + w) - post.cdf(l) >= target
+        }
+    }
 }
 
 /// Computes the `1-α` HPD interval with the exact solver only (Brent on
@@ -173,17 +262,21 @@ fn unimodal_slsqp_from(
     };
     let sol = slsqp(&problem, &[l0, u0], &[0.0, 0.0], &[1.0, 1.0], &cfg)?;
     if !sol.converged || sol.constraint_violation > 1e-8 {
-        return Err(IntervalError::Optim(kgae_optim::OptimError::NoConvergence {
-            algorithm: "slsqp-hpd",
-            iterations: sol.iterations,
-        }));
+        return Err(IntervalError::Optim(
+            kgae_optim::OptimError::NoConvergence {
+                algorithm: "slsqp-hpd",
+                iterations: sol.iterations,
+            },
+        ));
     }
     let (l, u) = (sol.x[0].clamp(0.0, 1.0), sol.x[1].clamp(0.0, 1.0));
     if l > u {
-        return Err(IntervalError::Optim(kgae_optim::OptimError::NoConvergence {
-            algorithm: "slsqp-hpd",
-            iterations: sol.iterations,
-        }));
+        return Err(IntervalError::Optim(
+            kgae_optim::OptimError::NoConvergence {
+                algorithm: "slsqp-hpd",
+                iterations: sol.iterations,
+            },
+        ));
     }
     Ok(Interval::new(l, u))
 }
@@ -197,9 +290,7 @@ fn unimodal_exact(post: &Beta, alpha: f64) -> Result<Interval, IntervalError> {
     let l_max = post.quantile(alpha)?;
     let h = |l: f64| {
         let fl = post.cdf(l);
-        let u = post
-            .quantile((fl + 1.0 - alpha).min(1.0))
-            .unwrap_or(1.0);
+        let u = post.quantile((fl + 1.0 - alpha).min(1.0)).unwrap_or(1.0);
         post.pdf(l) - post.pdf(u)
     };
     // h(0) = -f(u(0)) < 0 and h(l_max) = f(l_max) - f(1) > 0 since the
@@ -304,8 +395,7 @@ mod tests {
                 let a = hpd_interval(&post, alpha).unwrap();
                 let b = hpd_interval_exact(&post, alpha).unwrap();
                 assert!(
-                    (a.lower() - b.lower()).abs() < 1e-6
-                        && (a.upper() - b.upper()).abs() < 1e-6,
+                    (a.lower() - b.lower()).abs() < 1e-6 && (a.upper() - b.upper()).abs() < 1e-6,
                     "Beta({}, {}), α={alpha}: slsqp={a}, exact={b}",
                     post.alpha(),
                     post.beta()
@@ -346,8 +436,7 @@ mod tests {
             let hpd = hpd_interval(&post, 0.05).unwrap();
             let et = et_interval(&post, 0.05).unwrap();
             assert!(
-                (hpd.lower() - et.lower()).abs() < 1e-7
-                    && (hpd.upper() - et.upper()).abs() < 1e-7,
+                (hpd.lower() - et.lower()).abs() < 1e-7 && (hpd.upper() - et.upper()).abs() < 1e-7,
                 "Beta({a},{b}): hpd={hpd}, et={et}"
             );
         }
@@ -453,7 +542,10 @@ mod tests {
             let cold = hpd_interval(&post, 0.05).unwrap();
             for warm in [
                 Some((cold.lower(), cold.upper())),
-                Some(((cold.lower() - 0.05).max(0.0), (cold.upper() + 0.05).min(1.0))),
+                Some((
+                    (cold.lower() - 0.05).max(0.0),
+                    (cold.upper() + 0.05).min(1.0),
+                )),
                 Some((0.3, 0.6)),
                 None,
             ] {
@@ -521,6 +613,52 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn width_achievable_matches_actual_hpd_width() {
+        // The predicate must be the exact indicator `w ≥ hpd_width`:
+        // true just above the actual width, false just below.
+        let mut posts = posterior_grid();
+        for prior in BetaPrior::UNINFORMATIVE {
+            posts.push(prior.posterior(30, 30));
+            posts.push(prior.posterior(0, 30));
+        }
+        for post in posts {
+            for &alpha in &[0.10, 0.05, 0.01] {
+                let w = hpd_interval(&post, alpha).unwrap().width();
+                if w >= 1.0 {
+                    continue;
+                }
+                assert!(
+                    hpd_width_achievable(&post, alpha, w + 1e-6),
+                    "Beta({}, {}), α={alpha}: width {w} + δ not achievable",
+                    post.alpha(),
+                    post.beta()
+                );
+                if w > 1e-5 {
+                    assert!(
+                        !hpd_width_achievable(&post, alpha, w - 1e-5),
+                        "Beta({}, {}), α={alpha}: width {w} − δ achievable",
+                        post.alpha(),
+                        post.beta()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn width_achievable_boundary_inputs() {
+        let post = BetaPrior::KERMAN.posterior(27, 30);
+        assert!(hpd_width_achievable(&post, 0.05, 1.0));
+        assert!(!hpd_width_achievable(&post, 0.05, 0.0));
+        // U-shaped: conservatively achievable.
+        assert!(hpd_width_achievable(
+            &Beta::new(0.5, 0.5).unwrap(),
+            0.05,
+            0.01
+        ));
     }
 
     #[test]

@@ -44,6 +44,9 @@ pub use et::et_interval;
 pub use frequentist::{
     agresti_coull, clopper_pearson, wald_from_variance, wald_srs, wilson, z_critical,
 };
-pub use hpd::{hpd_interval, hpd_interval_exact, hpd_interval_warm, hpd_width_lower_bound};
+pub use hpd::{
+    hpd_interval, hpd_interval_exact, hpd_interval_warm, hpd_width_achievable,
+    hpd_width_lower_bound,
+};
 pub use prior::BetaPrior;
 pub use types::Interval;

@@ -42,7 +42,10 @@ impl fmt::Display for OptimError {
             OptimError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             OptimError::SingularMatrix => write!(f, "singular linear system"),
             OptimError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: expected {expected}, got {got}")

@@ -135,11 +135,7 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, cfg: RootConfig) ->
         }
         a = b;
         fa = fb;
-        b += if d.abs() > tol1 {
-            d
-        } else {
-            tol1.copysign(xm)
-        };
+        b += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
         fb = f(b);
         if (fb > 0.0) == (fc > 0.0) {
             c = a;
@@ -161,7 +157,13 @@ mod tests {
     #[test]
     fn brent_polynomial_roots() {
         // x³ - 2x - 5 = 0 has the classic Brent test root ≈ 2.0945514815.
-        let r = brent(|x| x * x * x - 2.0 * x - 5.0, 2.0, 3.0, RootConfig::default()).unwrap();
+        let r = brent(
+            |x| x * x * x - 2.0 * x - 5.0,
+            2.0,
+            3.0,
+            RootConfig::default(),
+        )
+        .unwrap();
         assert!((r - 2.094551481542327).abs() < 1e-12);
     }
 

@@ -160,10 +160,17 @@ pub fn slsqp<P: Problem>(
     cfg: &SlsqpConfig,
 ) -> Result<Solution> {
     let (n, m) = problem.dims();
-    for (what, len) in [("x0", x0.len()), ("lower", lower.len()), ("upper", upper.len())] {
+    for (what, len) in [
+        ("x0", x0.len()),
+        ("lower", lower.len()),
+        ("upper", upper.len()),
+    ] {
         if len != n {
             let _ = what;
-            return Err(OptimError::DimensionMismatch { expected: n, got: len });
+            return Err(OptimError::DimensionMismatch {
+                expected: n,
+                got: len,
+            });
         }
     }
 
@@ -272,7 +279,9 @@ fn check_finite(f: f64, c: &[f64]) -> Result<()> {
         return Err(OptimError::NonFiniteValue { what: "objective" });
     }
     if c.iter().any(|v| !v.is_finite()) {
-        return Err(OptimError::NonFiniteValue { what: "constraints" });
+        return Err(OptimError::NonFiniteValue {
+            what: "constraints",
+        });
     }
     Ok(())
 }
@@ -574,10 +583,7 @@ mod tests {
         let s = run(&p, &[0.05, 0.95], &[0.0, 0.0], &[1.0, 1.0]);
         assert!(s.converged, "{s:?}");
         assert!(s.constraint_violation < 1e-9);
-        assert!(
-            (s.x[0] + s.x[1] - 1.0).abs() < 1e-6,
-            "not symmetric: {s:?}"
-        );
+        assert!((s.x[0] + s.x[1] - 1.0).abs() < 1e-6, "not symmetric: {s:?}");
         let width = s.x[1] - s.x[0];
         // Coverage condition at the symmetric solution: F(u)-F(l)=0.9.
         assert!((cdf(s.x[1]) - cdf(s.x[0]) - 0.9).abs() < 1e-9);
@@ -602,7 +608,14 @@ mod tests {
     #[test]
     fn dimension_mismatch_is_error() {
         let p = FnProblem::new(2, 0, |_: &[f64]| 0.0, |_: &[f64], _: &mut [f64]| {});
-        assert!(slsqp(&p, &[0.0], &[0.0, 0.0], &[1.0, 1.0], &SlsqpConfig::default()).is_err());
+        assert!(slsqp(
+            &p,
+            &[0.0],
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &SlsqpConfig::default()
+        )
+        .is_err());
     }
 
     #[test]
@@ -640,12 +653,7 @@ mod tests {
 
     #[test]
     fn starting_point_outside_bounds_is_clamped() {
-        let p = FnProblem::new(
-            1,
-            0,
-            |x: &[f64]| x[0] * x[0],
-            |_: &[f64], _: &mut [f64]| {},
-        );
+        let p = FnProblem::new(1, 0, |x: &[f64]| x[0] * x[0], |_: &[f64], _: &mut [f64]| {});
         let s = run(&p, &[5.0], &[-1.0], &[1.0]);
         assert!(s.x[0].abs() < 1e-8);
     }

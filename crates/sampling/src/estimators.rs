@@ -45,16 +45,31 @@ pub fn cluster_estimate(cluster_means: &[f64]) -> Estimate {
     );
     let n_c = cluster_means.len() as f64;
     let mu = cluster_means.iter().sum::<f64>() / n_c;
-    if cluster_means.len() < 2 {
+    let ss: f64 = cluster_means.iter().map(|m| (m - mu) * (m - mu)).sum();
+    cluster_estimate_from_moments(mu, ss, cluster_means.len() as u64)
+}
+
+/// The Eq. 3 cluster estimator from sufficient statistics: mean of the
+/// per-draw estimates and their sum of squared deviations. This is the
+/// O(1)-per-draw form used by the evaluation framework's Welford
+/// accumulator; [`cluster_estimate`] is the slice convenience over it.
+///
+/// # Panics
+///
+/// Panics if `draws == 0`.
+#[must_use]
+pub fn cluster_estimate_from_moments(mu: f64, sum_sq_dev: f64, draws: u64) -> Estimate {
+    assert!(draws > 0, "cluster estimate needs at least one draw");
+    if draws < 2 {
         return Estimate {
             mu,
             variance: f64::INFINITY,
         };
     }
-    let ss: f64 = cluster_means.iter().map(|m| (m - mu) * (m - mu)).sum();
+    let n_c = draws as f64;
     Estimate {
         mu,
-        variance: ss / (n_c * (n_c - 1.0)),
+        variance: sum_sq_dev / (n_c * (n_c - 1.0)),
     }
 }
 

@@ -112,11 +112,7 @@ mod tests {
         let reps = 40_000;
         for _ in 0..reps {
             let d = s.next_cluster(&mut rng);
-            let correct = d
-                .triples
-                .iter()
-                .filter(|t| kg.is_correct(t.triple))
-                .count() as f64;
+            let correct = d.triples.iter().filter(|t| kg.is_correct(t.triple)).count() as f64;
             total += correct / d.triples.len() as f64;
         }
         let mean = total / reps as f64;
@@ -137,11 +133,7 @@ mod tests {
         let reps = 40_000;
         for _ in 0..reps {
             let d = s.next_cluster(&mut rng);
-            let tau = d
-                .triples
-                .iter()
-                .filter(|t| kg.is_correct(t.triple))
-                .count() as f64;
+            let tau = d.triples.iter().filter(|t| kg.is_correct(t.triple)).count() as f64;
             total += scale * tau;
         }
         let mean = total / reps as f64;

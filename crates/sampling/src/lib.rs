@@ -42,8 +42,8 @@ mod twcs;
 
 pub use alias::AliasTable;
 pub use estimators::{
-    cluster_estimate, design_effect, effective_sample_size, hansen_hurwitz_estimate,
-    srs_estimate, Estimate,
+    cluster_estimate, cluster_estimate_from_moments, design_effect, effective_sample_size,
+    hansen_hurwitz_estimate, srs_estimate, Estimate,
 };
 pub use extra::{ScsSampler, WcsSampler};
 pub use srs::{SampledTriple, SrsSampler};

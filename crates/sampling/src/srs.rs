@@ -69,13 +69,7 @@ mod tests {
     use std::collections::HashSet;
 
     fn small_kg() -> CompactKg {
-        CompactKg::new(
-            &[3, 1, 4, 2],
-            LabelStore::Hashed {
-                seed: 5,
-                rate: 0.7,
-            },
-        )
+        CompactKg::new(&[3, 1, 4, 2], LabelStore::Hashed { seed: 5, rate: 0.7 })
     }
 
     #[test]

@@ -157,11 +157,7 @@ mod tests {
         let reps = 60_000;
         for _ in 0..reps {
             let d = s.next_cluster(&mut rng);
-            let correct = d
-                .triples
-                .iter()
-                .filter(|t| kg.is_correct(t.triple))
-                .count() as f64;
+            let correct = d.triples.iter().filter(|t| kg.is_correct(t.triple)).count() as f64;
             total += correct / d.triples.len() as f64;
         }
         let mean = total / reps as f64;

@@ -136,6 +136,15 @@ impl OnlineMoments {
         self.sample_variance().sqrt()
     }
 
+    /// Sum of squared deviations from the mean (`Σ(x_i − x̄)²`, Welford's
+    /// `M2`). Monotone non-decreasing under [`OnlineMoments::push`] —
+    /// the invariant the evaluation framework's certified cluster
+    /// lookahead builds its effective-sample-size bound on.
+    #[must_use]
+    pub fn sum_sq_dev(&self) -> f64 {
+        self.m2
+    }
+
     /// Snapshot as a [`Summary`].
     #[must_use]
     pub fn summary(&self) -> Summary {
@@ -218,7 +227,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 101) as f64 * 0.37).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 101) as f64 * 0.37)
+            .collect();
         let mut acc = OnlineMoments::new();
         for &x in &xs {
             acc.push(x);

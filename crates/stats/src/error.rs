@@ -49,7 +49,10 @@ impl fmt::Display for StatsError {
             StatsError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             StatsError::InsufficientData { needed, got } => {
                 write!(f, "need at least {needed} observations, got {got}")
             }

@@ -120,8 +120,7 @@ pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Result<TTestResult> {
     let (m1, v1, n1) = (mean(xs), sample_variance(xs), xs.len() as f64);
     let (m2, v2, n2) = (mean(ys), sample_variance(ys), ys.len() as f64);
     let se2 = v1 / n1 + v2 / n2;
-    let df = se2 * se2
-        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    let df = se2 * se2 / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
     finish(m1 - m2, se2.sqrt(), df)
 }
 
@@ -181,8 +180,14 @@ mod tests {
 
     #[test]
     fn welch_textbook_example() {
-        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
-        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.3];
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5,
+            24.3,
+        ];
         let r = welch_t_test(&a, &b).unwrap();
         // Reference values computed independently from the Welch formulas:
         // t = -2.84720..., df = 27.8847... .

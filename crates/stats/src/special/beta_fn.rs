@@ -46,6 +46,26 @@ fn check_shape(name: &'static str, v: f64) -> Result<()> {
 pub fn betainc(a: f64, b: f64, x: f64) -> Result<f64> {
     check_shape("a", a)?;
     check_shape("b", b)?;
+    betainc_checked_pre(a, b, x, None)
+}
+
+/// [`betainc`] with the normalization constant `ln B(a, b)` supplied by
+/// the caller.
+///
+/// The continued-fraction prefactor needs `ln B(a, b)` — three `ln_gamma`
+/// evaluations — on every call. Posterior objects cache that constant
+/// once at construction (and advance it incrementally across conjugate
+/// updates), so the per-`cdf` cost drops to the continued fraction alone.
+/// Passing a wrong constant silently yields a wrong result; callers are
+/// expected to own the invariant.
+pub fn betainc_pre(a: f64, b: f64, x: f64, ln_beta_ab: f64) -> Result<f64> {
+    check_shape("a", a)?;
+    check_shape("b", b)?;
+    betainc_checked_pre(a, b, x, Some(ln_beta_ab))
+}
+
+/// Shared body of [`betainc`] / [`betainc_pre`] after shape validation.
+fn betainc_checked_pre(a: f64, b: f64, x: f64, ln_beta_ab: Option<f64>) -> Result<f64> {
     if !(0.0..=1.0).contains(&x) {
         return Err(StatsError::InvalidParameter {
             name: "x",
@@ -60,10 +80,12 @@ pub fn betainc(a: f64, b: f64, x: f64) -> Result<f64> {
         return Ok(1.0);
     }
     if a > QUAD_THRESHOLD && b > QUAD_THRESHOLD {
+        // The quadrature path normalizes through ln_gamma directly and
+        // has no use for the cached constant.
         return Ok(betai_quadrature(a, b, x));
     }
     // Prefactor x^a (1-x)^b / (a B(a, b)) shared by both CF branches.
-    let ln_bt = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let ln_bt = a * x.ln() + b * (1.0 - x).ln() - ln_beta_ab.unwrap_or_else(|| ln_beta(a, b));
     if x < (a + 1.0) / (a + b + 2.0) {
         Ok((ln_bt.exp() * betacf(a, b, x)? / a).clamp(0.0, 1.0))
     } else {
@@ -188,8 +210,8 @@ fn betai_quadrature(a: f64, b: f64, x: f64) -> f64 {
     let mut sum = 0.0;
     for j in 0..18 {
         let xt = x + (xu - x) * GL_Y[j];
-        sum += GL_W[j]
-            * ((a - 1.0) * (xt.ln() - lnmu) + (b - 1.0) * ((1.0 - xt).ln() - lnmuc)).exp();
+        sum +=
+            GL_W[j] * ((a - 1.0) * (xt.ln() - lnmu) + (b - 1.0) * ((1.0 - xt).ln() - lnmuc)).exp();
     }
     let ans = sum
         * (xu - x)
@@ -216,6 +238,21 @@ fn betai_quadrature(a: f64, b: f64, x: f64) -> f64 {
 pub fn betainc_inv(a: f64, b: f64, p: f64) -> Result<f64> {
     check_shape("a", a)?;
     check_shape("b", b)?;
+    betainc_inv_checked_pre(a, b, p, None)
+}
+
+/// [`betainc_inv`] with the normalization constant `ln B(a, b)` supplied
+/// by the caller — same contract as [`betainc_pre`]: the Newton/Halley
+/// refinement evaluates the CDF and density at every iterate, so a
+/// cached constant removes all `ln_gamma` work from the inversion.
+pub fn betainc_inv_pre(a: f64, b: f64, p: f64, ln_beta_ab: f64) -> Result<f64> {
+    check_shape("a", a)?;
+    check_shape("b", b)?;
+    betainc_inv_checked_pre(a, b, p, Some(ln_beta_ab))
+}
+
+/// Shared body of [`betainc_inv`] / [`betainc_inv_pre`].
+fn betainc_inv_checked_pre(a: f64, b: f64, p: f64, ln_beta_ab: Option<f64>) -> Result<f64> {
     if !(0.0..=1.0).contains(&p) {
         return Err(StatsError::InvalidProbability(p));
     }
@@ -226,8 +263,9 @@ pub fn betainc_inv(a: f64, b: f64, p: f64) -> Result<f64> {
         return Ok(1.0);
     }
 
+    let lnb = ln_beta_ab.unwrap_or_else(|| ln_beta(a, b));
     let mut x = initial_guess(a, b, p);
-    let afac = -ln_beta(a, b);
+    let afac = -lnb;
     let a1 = a - 1.0;
     let b1 = b - 1.0;
 
@@ -236,7 +274,7 @@ pub fn betainc_inv(a: f64, b: f64, p: f64) -> Result<f64> {
         if x <= 0.0 || x >= 1.0 {
             break; // fall through to bisection
         }
-        let err = betainc(a, b, x)? - p;
+        let err = betainc_checked_pre(a, b, x, Some(lnb))? - p;
         let ln_pdf = a1 * x.ln() + b1 * (1.0 - x).ln() + afac;
         let t = ln_pdf.exp();
         if t == 0.0 {
@@ -258,10 +296,10 @@ pub fn betainc_inv(a: f64, b: f64, p: f64) -> Result<f64> {
         }
     }
 
-    if converged || betainc(a, b, x).map(|v| (v - p).abs() < 1e-11)? {
+    if converged || betainc_checked_pre(a, b, x, Some(lnb)).map(|v| (v - p).abs() < 1e-11)? {
         return Ok(x.clamp(0.0, 1.0));
     }
-    bisect_quantile(a, b, p)
+    bisect_quantile(a, b, p, lnb)
 }
 
 /// Closed-form starting point for the quantile Newton iteration.
@@ -270,16 +308,14 @@ fn initial_guess(a: f64, b: f64, p: f64) -> f64 {
         // Normal-score based guess (Abramowitz & Stegun 26.5.22).
         let pp = if p < 0.5 { p } else { 1.0 - p };
         let t = (-2.0 * pp.ln()).sqrt();
-        let mut w =
-            (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
+        let mut w = (2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t;
         if p < 0.5 {
             w = -w;
         }
         let al = (w * w - 3.0) / 6.0;
         let h = 2.0 / (1.0 / (2.0 * a - 1.0) + 1.0 / (2.0 * b - 1.0));
         let ww = w * (al + h).sqrt() / h
-            - (1.0 / (2.0 * b - 1.0) - 1.0 / (2.0 * a - 1.0))
-                * (al + 5.0 / 6.0 - 2.0 / (3.0 * h));
+            - (1.0 / (2.0 * b - 1.0) - 1.0 / (2.0 * a - 1.0)) * (al + 5.0 / 6.0 - 2.0 / (3.0 * h));
         a / (a + b * (2.0 * ww).exp())
     } else {
         // Power-law tails dominate for shape parameters below one.
@@ -299,7 +335,7 @@ fn initial_guess(a: f64, b: f64, p: f64) -> f64 {
 
 /// Bisection fallback: ~55 iterations guarantee full double precision on
 /// the unit interval, at the price of one `betainc` call each.
-fn bisect_quantile(a: f64, b: f64, p: f64) -> Result<f64> {
+fn bisect_quantile(a: f64, b: f64, p: f64, lnb: f64) -> Result<f64> {
     let mut lo = 0.0f64;
     let mut hi = 1.0f64;
     for _ in 0..200 {
@@ -307,7 +343,7 @@ fn bisect_quantile(a: f64, b: f64, p: f64) -> Result<f64> {
         if mid <= lo || mid >= hi {
             return Ok(mid); // interval exhausted at double precision
         }
-        if betainc(a, b, mid)? < p {
+        if betainc_checked_pre(a, b, mid, Some(lnb))? < p {
             lo = mid;
         } else {
             hi = mid;
@@ -354,12 +390,7 @@ mod tests {
         for &x in &[0.01, 0.2, 0.5, 0.77, 0.99] {
             // I_x(a, 1) = x^a
             for &a in &[0.5, 1.0, 2.0, 7.0] {
-                assert_close(
-                    betainc(a, 1.0, x).unwrap(),
-                    x.powf(a),
-                    1e-12,
-                    "I_x(a,1)",
-                );
+                assert_close(betainc(a, 1.0, x).unwrap(), x.powf(a), 1e-12, "I_x(a,1)");
             }
             // I_x(1, b) = 1 - (1-x)^b
             for &b in &[0.5, 3.0, 10.0] {
@@ -394,7 +425,12 @@ mod tests {
     #[test]
     fn binomial_sum_identity_for_integer_parameters() {
         // I_x(a, b) = Σ_{j=a}^{n} C(n, j) x^j (1-x)^{n-j}, n = a + b - 1.
-        let cases = [(3u64, 5u64, 0.3f64), (7, 2, 0.8), (10, 10, 0.5), (1, 9, 0.05)];
+        let cases = [
+            (3u64, 5u64, 0.3f64),
+            (7, 2, 0.8),
+            (10, 10, 0.5),
+            (1, 9, 0.05),
+        ];
         for &(a, b, x) in &cases {
             let n = a + b - 1;
             let mut sum = 0.0;

@@ -13,8 +13,7 @@ pub fn erf(x: f64) -> f64 {
     if x == 0.0 {
         return 0.0;
     }
-    let v = gammainc_lower(0.5, x * x)
-        .expect("gammainc_lower is defined for a = 1/2, x² >= 0");
+    let v = gammainc_lower(0.5, x * x).expect("gammainc_lower is defined for a = 1/2, x² >= 0");
     if x > 0.0 {
         v
     } else {
@@ -31,8 +30,7 @@ pub fn erfc(x: f64) -> f64 {
     if x == 0.0 {
         return 1.0;
     }
-    let q = gammainc_upper(0.5, x * x)
-        .expect("gammainc_upper is defined for a = 1/2, x² >= 0");
+    let q = gammainc_upper(0.5, x * x).expect("gammainc_upper is defined for a = 1/2, x² >= 0");
     if x > 0.0 {
         q
     } else {

@@ -72,10 +72,12 @@ pub fn digamma(x: f64) -> f64 {
     // Asymptotic expansion with Bernoulli-number coefficients.
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result += x.ln() - 0.5 * inv
+    result += x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
-                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
+                - inv2
+                    * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))));
     result
 }
 
@@ -99,12 +101,12 @@ mod tests {
     /// Reference values from Python `math.lgamma` (IEEE double).
     #[allow(clippy::approx_constant)] // these are test references, ln 2 included
     const LGAMMA_REFS: &[(f64, f64)] = &[
-        (0.5, 0.5723649429247001),   // ln √π
+        (0.5, 0.5723649429247001), // ln √π
         (1.0, 0.0),
         (1.5, -0.12078223763524522),
         (2.0, 0.0),
-        (3.0, 0.6931471805599453),   // ln 2
-        (5.0, 3.1780538303479458),   // ln 24
+        (3.0, 0.6931471805599453), // ln 2
+        (5.0, 3.1780538303479458), // ln 24
         (10.5, 13.940625219403763),
         (100.0, 359.1342053695754),
         (1e6, 12815504.569147902),

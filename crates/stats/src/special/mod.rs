@@ -13,7 +13,7 @@ mod erf;
 mod gamma;
 mod gamma_inc;
 
-pub use beta_fn::{betainc, betainc_inv, ln_beta};
+pub use beta_fn::{betainc, betainc_inv, betainc_inv_pre, betainc_pre, ln_beta};
 pub use erf::{erf, erfc, erfc_inv};
 pub use gamma::{digamma, ln_choose, ln_gamma};
 pub use gamma_inc::{gammainc_lower, gammainc_upper};

@@ -34,8 +34,7 @@ fn recommended_configuration_converges_on_every_real_dataset() {
         assert!(r.observations >= 30);
         assert!(r.annotated_triples <= r.observations);
         // Cost accounting is consistent with Eq. 12.
-        let expect =
-            r.annotated_entities as f64 * 45.0 + r.annotated_triples as f64 * 25.0;
+        let expect = r.annotated_entities as f64 * 45.0 + r.annotated_triples as f64 * 25.0;
         assert!((r.cost_seconds - expect).abs() < 1e-9);
     }
 }
@@ -45,7 +44,14 @@ fn ahpd_beats_wilson_on_skewed_accuracy() {
     // Finding F2 at small scale: fewer annotated triples on YAGO (μ=0.99).
     let kg = kgae::graph::datasets::yago();
     let cfg = EvalConfig::default();
-    let wilson = repeat_evaluation(&kg, SamplingDesign::Srs, &IntervalMethod::Wilson, &cfg, 60, 3);
+    let wilson = repeat_evaluation(
+        &kg,
+        SamplingDesign::Srs,
+        &IntervalMethod::Wilson,
+        &cfg,
+        60,
+        3,
+    );
     let ahpd = repeat_evaluation(
         &kg,
         SamplingDesign::Srs,
@@ -67,7 +73,14 @@ fn ahpd_matches_wilson_on_quasi_symmetric_accuracy() {
     // Finding F2's flip side on FACTBENCH (μ = 0.54): parity, no penalty.
     let kg = kgae::graph::datasets::factbench();
     let cfg = EvalConfig::default();
-    let wilson = repeat_evaluation(&kg, SamplingDesign::Srs, &IntervalMethod::Wilson, &cfg, 40, 5);
+    let wilson = repeat_evaluation(
+        &kg,
+        SamplingDesign::Srs,
+        &IntervalMethod::Wilson,
+        &cfg,
+        40,
+        5,
+    );
     let ahpd = repeat_evaluation(
         &kg,
         SamplingDesign::Srs,
@@ -115,8 +128,22 @@ fn scalability_mirror_small_and_large_syn_agree() {
     let small = kgae::graph::datasets::syn_scaled(101_415, 5_000, 0.9, 1);
     let large = kgae::graph::datasets::syn_scaled(2_028_300, 100_000, 0.9, 1);
     let cfg = EvalConfig::default();
-    let rs = repeat_evaluation(&small, SamplingDesign::Srs, &IntervalMethod::ahpd_default(), &cfg, 40, 9);
-    let rl = repeat_evaluation(&large, SamplingDesign::Srs, &IntervalMethod::ahpd_default(), &cfg, 40, 9);
+    let rs = repeat_evaluation(
+        &small,
+        SamplingDesign::Srs,
+        &IntervalMethod::ahpd_default(),
+        &cfg,
+        40,
+        9,
+    );
+    let rl = repeat_evaluation(
+        &large,
+        SamplingDesign::Srs,
+        &IntervalMethod::ahpd_default(),
+        &cfg,
+        40,
+        9,
+    );
     let (ms, ml) = (rs.triples_summary().mean, rl.triples_summary().mean);
     assert!(
         (ms - ml).abs() < 0.25 * ms,
@@ -147,7 +174,10 @@ fn noisy_annotators_shift_the_estimate_toward_one_half() {
     }
     let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
     let expected = 0.99 * 0.8 + 0.01 * 0.2;
-    assert!((mean - expected).abs() < 0.06, "mean = {mean}, expected ≈ {expected}");
+    assert!(
+        (mean - expected).abs() < 0.06,
+        "mean = {mean}, expected ≈ {expected}"
+    );
 }
 
 #[test]

@@ -1,0 +1,249 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! wall-clock harness: a short warm-up, then `sample_size` timed samples,
+//! reporting min / median / mean per iteration (and elements/sec when a
+//! throughput is declared).
+//!
+//! Environment knobs:
+//! * `KGAE_BENCH_SAMPLES` — overrides every group's sample size;
+//! * `KGAE_BENCH_FAST=1` — caps samples at 5 for smoke runs.
+
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared per-iteration workload, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+    /// The iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n== group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.id.clone();
+        self.run_one(&id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        let mut n = self.sample_size;
+        if let Ok(v) = std::env::var("KGAE_BENCH_SAMPLES") {
+            if let Ok(v) = v.parse::<usize>() {
+                n = v.max(2);
+            }
+        }
+        if std::env::var("KGAE_BENCH_FAST").is_ok_and(|v| v == "1") {
+            n = n.min(5);
+        }
+        n
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let samples = self.effective_samples();
+        let mut bencher = Bencher {
+            samples,
+            per_iter: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        let mut times = bencher.per_iter;
+        if times.is_empty() {
+            eprintln!("{}/{id}: no measurements", self.name);
+            return;
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean_ns =
+            times.iter().map(Duration::as_nanos).sum::<u128>() as f64 / times.len() as f64;
+        let mut line = format!(
+            "{}/{id}: min {} | median {} | mean {}",
+            self.name,
+            fmt_ns(min.as_nanos() as f64),
+            fmt_ns(median.as_nanos() as f64),
+            fmt_ns(mean_ns),
+        );
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let rate = count as f64 / (mean_ns / 1e9);
+            line.push_str(&format!(" | {rate:.0} {unit}/s"));
+        }
+        eprintln!("{line}");
+    }
+
+    /// Ends the group (report already emitted incrementally).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per call after a short warm-up.
+    ///
+    /// Very fast bodies are batched so each sample spans at least ~20 µs
+    /// of wall clock, keeping timer resolution out of the measurement.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch-size calibration.
+        let t0 = Instant::now();
+        black_box(f());
+        let one = t0.elapsed();
+        let batch = if one < Duration::from_micros(20) {
+            let per = one.as_nanos().max(1) as u64;
+            (20_000 / per).clamp(1, 100_000)
+        } else {
+            1
+        };
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.per_iter.push(t0.elapsed() / batch as u32);
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut acc = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,94 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API the workspace uses is provided:
+//! [`scope`], [`Scope::spawn`], and [`ScopedJoinHandle::join`] — a thin
+//! wrapper over `std::thread::scope`, which has been stable since Rust
+//! 1.63 and provides the same borrow-from-the-enclosing-stack guarantee
+//! crossbeam pioneered.
+
+#![warn(clippy::all)]
+
+use std::any::Any;
+
+/// Result type of [`scope`], matching crossbeam's signature: the error
+/// side carries a payload from a panicked worker.
+pub type ScopeResult<R> = Result<R, Box<dyn Any + Send + 'static>>;
+
+/// A handle to the running scope, passed to the closure and to every
+/// spawned thread (crossbeam's closures take `|scope|` / `|_|`).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread that may borrow from the enclosing stack
+    /// frame. The closure receives the scope handle (crossbeam-style),
+    /// enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&handle)),
+        }
+    }
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which threads can borrow non-`'static` data.
+///
+/// All threads spawned inside are joined before `scope` returns. Unlike
+/// crossbeam, an unjoined panicked thread propagates its panic (std
+/// semantics) rather than surfacing through the `Err` branch — every
+/// caller in this workspace joins explicitly, so the difference is
+/// unobservable here.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(|_| chunk.iter().sum::<u64>()));
+            }
+            for h in handles {
+                total.fetch_add(h.join().unwrap(), Ordering::Relaxed);
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = scope(|s| s.spawn(|_| 7).join().unwrap()).unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,201 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! re-implements the subset of proptest the workspace's property tests
+//! use: the [`strategy::Strategy`] trait over numeric ranges, [`Just`],
+//! tuples, `prop_oneof!`, `prop::collection::vec`, `prop_flat_map`, the
+//! `proptest!` test macro with `#![proptest_config]`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` assertion macros.
+//!
+//! Differences from upstream, by design:
+//! * cases are sampled from a deterministic per-test seed (derived from
+//!   the test name), so failures are reproducible run-to-run;
+//! * no shrinking — the failing inputs are printed verbatim instead.
+//!
+//! [`Just`]: strategy::Just
+
+#![warn(clippy::all)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for collections (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Element-count specification for [`vec`]: an exact length or a
+    /// half-open range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = rng.gen_range(self.size.0.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy over both boolean values, uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_range(0u32..2) == 1
+        }
+    }
+}
+
+/// Namespace alias so tests can write `prop::collection::vec(...)`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// One-stop imports for property tests.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Fails the current test case with a formatted message when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        $crate::prop_assert!(
+            left_val == right_val,
+            "assertion failed: `{:?}` != `{:?}`",
+            left_val,
+            right_val
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        $crate::prop_assert!(left_val == right_val, $($fmt)*);
+    }};
+}
+
+/// Discards the current case (counted separately from failures) when the
+/// assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Declares property-test functions: each `arg in strategy` binding is
+/// sampled per case, and the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:pat in $strategy:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ( $( $strategy, )+ );
+            $crate::test_runner::run_cases(&config, stringify!($name), &strategy, |values| {
+                let ( $($arg,)+ ) = values;
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}

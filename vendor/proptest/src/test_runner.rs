@@ -1,0 +1,139 @@
+//! Case loop, configuration, and failure reporting.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// Configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the test fails.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`; another is drawn.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed so runs are
+/// deterministic and failures reproduce.
+fn seed_for(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+/// Drives the case loop for one property test. Called by the expansion
+/// of `proptest!`; not intended for direct use.
+pub fn run_cases<S, F>(config: &Config, name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = SmallRng::seed_from_u64(seed_for(name));
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    let max_rejects = u64::from(config.cases) * 20 + 100;
+    while passed < config.cases {
+        let values = strategy.generate(&mut rng);
+        let repr = format!("{values:?}");
+        match body(values) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest '{name}': too many rejected cases ({rejected}) — \
+                     prop_assume! conditions are too strict"
+                );
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest '{name}' failed after {passed} passing case(s)\n  \
+                     inputs: {repr}\n  {message}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(seed_for("abc"), seed_for("abc"));
+        assert_ne!(seed_for("abc"), seed_for("abd"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in -1.0f64..=1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn flat_map_dependent_values(
+            (n, k) in (1u64..100).prop_flat_map(|n| (Just(n), 0..=n)),
+        ) {
+            prop_assert!(k <= n, "k = {k} exceeds n = {n}");
+        }
+
+        #[test]
+        fn oneof_and_vec(
+            choice in prop_oneof![Just(1u64), Just(2u64), 10u64..20],
+            xs in prop::collection::vec(0.0f64..1.0, 2..10),
+        ) {
+            prop_assert!(choice == 1 || choice == 2 || (10..20).contains(&choice));
+            prop_assert_eq!(xs.iter().filter(|v| **v < 0.0).count(), 0);
+            prop_assume!(!xs.is_empty());
+        }
+
+        #[test]
+        fn bool_any_produces_both(flag in crate::bool::ANY) {
+            // Either value is acceptable; this just exercises the path.
+            let materialized = u8::from(flag);
+            prop_assert!(materialized <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failing_case_reports_inputs() {
+        run_cases(&Config::with_cases(10), "always_fails", &(0u64..10), |_v| {
+            Err(TestCaseError::fail("nope".into()))
+        });
+    }
+}
