@@ -12,12 +12,15 @@
 //!   Figure 1 literal) on the aHPD/SRS cell, verifying bit-identical
 //!   stopping statistics across every repetition;
 //! * parallel harness throughput (work-stealing runner) on the same
-//!   cell.
+//!   cell;
+//! * poll-based `EvaluationSession` throughput on the same cell at
+//!   annotation batch sizes 1/16/256, each verified bit-identical to
+//!   the closed-loop path.
 //!
 //! Usage: `cargo run --release -p kgae-bench --bin bench_eval [--reps N]
 //! [--out PATH]`.
 
-use kgae_bench::{arg_value, reps_from_args};
+use kgae_bench::{arg_value, drive_session_oracle, reps_from_args};
 use kgae_core::{
     evaluate_prepared, repeat_evaluation, EvalConfig, EvalResult, IntervalMethod, OracleAnnotator,
     PreparedDesign, SamplingDesign, StoppingPolicy,
@@ -174,6 +177,49 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
+    // Poll-based session engine at several annotation batch sizes, on
+    // the same aHPD/SRS cell; results must match the closed-loop path
+    // bit for bit at every batch size.
+    // ------------------------------------------------------------------
+    struct SessionRow {
+        batch: u64,
+        wall_seconds: f64,
+        total_observations: u64,
+        identical: bool,
+    }
+    let prepared_srs = PreparedDesign::new(&kg, SamplingDesign::Srs);
+    let mut session_rows = Vec::new();
+    for batch in [1u64, 16, 256] {
+        let _ = drive_session_oracle(&kg, &prepared_srs, &ahpd, &lookahead_cfg, base_seed, batch);
+        let mut results = Vec::with_capacity(reps as usize);
+        let t0 = Instant::now();
+        for rep in 0..reps {
+            let (r, _requests) = drive_session_oracle(
+                &kg,
+                &prepared_srs,
+                &ahpd,
+                &lookahead_cfg,
+                base_seed.wrapping_add(rep),
+                batch,
+            );
+            results.push(r);
+        }
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let identical = fast_results == results;
+        let total_observations: u64 = results.iter().map(|r| r.observations).sum();
+        eprintln!(
+            "session aHPD/SRS batch {batch:>3}: {:>9.1} reps/s (identical to loop: {identical})",
+            reps as f64 / wall_seconds,
+        );
+        session_rows.push(SessionRow {
+            batch,
+            wall_seconds,
+            total_observations,
+            identical,
+        });
+    }
+
+    // ------------------------------------------------------------------
     // Parallel harness throughput (work-stealing runner).
     // ------------------------------------------------------------------
     let threads = std::thread::available_parallelism()
@@ -201,6 +247,7 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"evaluation_loop\",");
+    let _ = writeln!(out, "  \"schema_version\": 2,");
     let _ = writeln!(out, "  \"dataset\": \"NELL\",");
     let _ = writeln!(out, "  \"reps_per_cell\": {reps},");
     let _ = writeln!(out, "  \"cells\": [");
@@ -234,6 +281,24 @@ fn main() {
     let _ = writeln!(out, "    \"speedup\": {speedup:.3},");
     let _ = writeln!(out, "    \"identical_stopping\": {identical_stopping}");
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"session_batched\": [");
+    for (i, row) in session_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cell\": \"aHPD/SRS\", \"batch\": {}, \"reps_per_sec\": {:.2}, \
+             \"ns_per_annotation\": {:.1}, \"identical_stopping\": {}}}",
+            row.batch,
+            reps as f64 / row.wall_seconds,
+            row.wall_seconds * 1e9 / row.total_observations as f64,
+            row.identical,
+        );
+        out.push_str(if i + 1 < session_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"parallel_harness\": {{");
     let _ = writeln!(out, "    \"threads\": {threads},");
     let _ = writeln!(

@@ -9,8 +9,13 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
-use kgae_core::{repeat_evaluation, EvalConfig, IntervalMethod, RepeatedRuns, SamplingDesign};
-use kgae_graph::CompactKg;
+use kgae_core::{
+    repeat_evaluation, AnnotationRequest, EvalConfig, EvalResult, EvaluationSession,
+    IntervalMethod, PreparedDesign, RepeatedRuns, SamplingDesign,
+};
+use kgae_graph::{CompactKg, GroundTruth};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// A named dataset with its ground-truth accuracy.
 pub struct Dataset {
@@ -95,6 +100,40 @@ pub fn run_cell(
         (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
     });
     repeat_evaluation(&ds.kg, design, method, cfg, reps, seed)
+}
+
+/// Drives a poll-based [`EvaluationSession`] to completion with oracle
+/// labels, submitting annotation batches of `batch` stage-1 units.
+/// Returns the final result and the number of annotation requests the
+/// external "annotator" served — the round-trip count a real annotation
+/// service would pay at that batch size.
+#[must_use]
+pub fn drive_session_oracle(
+    kg: &CompactKg,
+    prepared: &PreparedDesign,
+    method: &IntervalMethod,
+    cfg: &EvalConfig,
+    seed: u64,
+    batch: u64,
+) -> (EvalResult, u64) {
+    let mut session =
+        EvaluationSession::from_prepared(kg, prepared, method, cfg, SmallRng::seed_from_u64(seed));
+    let mut request = AnnotationRequest::default();
+    let mut labels: Vec<bool> = Vec::new();
+    let mut requests = 0u64;
+    while session
+        .next_request_into(batch, &mut request)
+        .expect("session protocol")
+    {
+        requests += 1;
+        labels.clear();
+        labels.extend(request.triples.iter().map(|st| kg.is_correct(st.triple)));
+        session.submit(&labels).expect("label submission");
+    }
+    (
+        session.into_result().expect("stopped session has a result"),
+        requests,
+    )
 }
 
 /// The standard method lineup of Table 3/4.

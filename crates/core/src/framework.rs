@@ -1,4 +1,5 @@
-//! The iterative evaluation framework (paper Figure 1).
+//! The iterative evaluation framework (paper Figure 1), as the legacy
+//! closed-loop facade over the poll-based engine.
 //!
 //! ```text
 //! loop:
@@ -14,16 +15,21 @@
 //! reproduces the paper's numbers — e.g. Wald on NELL halting at exactly
 //! `n = 30` with `μ̂ = 1.0` in ~7% of runs (Example 1), and Wald/SRS on
 //! SYN-0.5 needing `z²·0.25/ε² ≈ 384` triples (Table 4).
+//!
+//! Since the session refactor, [`evaluate`] / [`evaluate_prepared`] are
+//! thin drivers over [`crate::session::EvaluationSession`]: they poll
+//! one unit at a time, annotate it with the in-process [`Annotator`] on
+//! the session's own RNG, and submit the labels — reproducing the
+//! historical seed-for-seed behavior exactly while the engine itself
+//! stays external-annotation-ready.
 
 use crate::annotator::Annotator;
-use crate::cost::{CostModel, CostTracker};
+use crate::cost::CostModel;
 use crate::method::IntervalMethod;
-use crate::state::SampleState;
-use kgae_graph::{ClusterId, GroundTruth, KnowledgeGraph, LabelCache};
+use crate::session::{AnnotationRequest, EvaluationSession, SessionError};
+use kgae_graph::{ClusterId, GroundTruth, KnowledgeGraph};
 use kgae_intervals::{Interval, IntervalError};
-use kgae_sampling::{
-    pps_by_size_table, AliasTable, ScsSampler, SrsSampler, TwcsSampler, WcsSampler,
-};
+use kgae_sampling::{pps_by_size_table, AliasTable};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -69,7 +75,8 @@ pub enum StoppingPolicy {
     /// Certified multi-step lookahead: from Theorem 1's width bound,
     /// compute the first future unit at which `MoE ≤ ε` is achievable
     /// and skip interval construction entirely until then. Provably
-    /// halts at the same unit with the same sample as [`EveryUnit`] —
+    /// halts at the same unit with the same sample as
+    /// [`StoppingPolicy::EveryUnit`] —
     /// every skipped unit is one where the bound shows the constructed
     /// interval would have been wider than `2ε`.
     #[default]
@@ -175,6 +182,8 @@ impl EvalResult {
 #[derive(Debug, Clone)]
 pub struct PreparedDesign {
     design: SamplingDesign,
+    /// Arc-shared so per-repetition sessions/samplers clone a pointer,
+    /// never the O(#clusters) table.
     pps: Option<Arc<AliasTable>>,
     /// Maximum number of triples a single stage-1 draw can annotate
     /// (`m` for TWCS, the largest cluster for whole-cluster designs) —
@@ -186,7 +195,7 @@ impl PreparedDesign {
     /// Prepares the design against a KG (builds the PPS table when the
     /// design needs one, and records the worst-case draw size for the
     /// certified lookahead).
-    pub fn new<K: KnowledgeGraph>(kg: &K, design: SamplingDesign) -> Self {
+    pub fn new<K: KnowledgeGraph + ?Sized>(kg: &K, design: SamplingDesign) -> Self {
         let pps = match design {
             SamplingDesign::Twcs { .. } | SamplingDesign::Wcs => {
                 Some(Arc::new(pps_by_size_table(kg)))
@@ -222,6 +231,12 @@ impl PreparedDesign {
     pub fn max_draw_size(&self) -> u64 {
         self.max_draw_size
     }
+
+    /// The shared PPS alias table (an `Arc` clone — pointer copy, not
+    /// table copy), for the designs that have one.
+    pub(crate) fn pps(&self) -> Option<Arc<AliasTable>> {
+        self.pps.clone()
+    }
 }
 
 /// Runs the full iterative evaluation of Figure 1.
@@ -253,7 +268,14 @@ where
 }
 
 /// [`evaluate`] against a [`PreparedDesign`] (shares the PPS table
-/// across repetitions).
+/// across repetitions via `Arc` — per-repetition setup copies a
+/// pointer, never the O(#clusters) table).
+///
+/// Implemented as a thin driver over the poll-based
+/// [`EvaluationSession`]: poll one unit, annotate its triples with the
+/// in-process annotator on the session's own RNG stream (preserving the
+/// historical sample-then-annotate interleaving seed for seed), submit,
+/// repeat until the session stops.
 pub fn evaluate_prepared<K, A, R>(
     kg: &K,
     annotator: &A,
@@ -267,280 +289,35 @@ where
     A: Annotator,
     R: Rng,
 {
-    match prepared.design {
-        SamplingDesign::Srs => evaluate_srs(kg, annotator, method, cfg, rng),
-        SamplingDesign::Twcs { m } => {
-            let table = prepared.pps.clone().expect("prepared TWCS has a table");
-            let mut sampler = TwcsSampler::with_table(kg, m, table);
-            evaluate_cluster(
-                kg,
-                annotator,
-                method,
-                cfg,
-                rng,
-                |rng| sampler.next_cluster(rng),
-                ClusterEstimateKind::SampleMean,
-                prepared.max_draw_size,
-            )
-        }
-        SamplingDesign::Wcs => {
-            let table = prepared.pps.clone().expect("prepared WCS has a table");
-            let mut sampler = WcsSampler::with_table(kg, table);
-            evaluate_cluster(
-                kg,
-                annotator,
-                method,
-                cfg,
-                rng,
-                |rng| sampler.next_cluster(rng),
-                ClusterEstimateKind::SampleMean,
-                prepared.max_draw_size,
-            )
-        }
-        SamplingDesign::Scs => {
-            let scale = f64::from(kg.num_clusters()) / kg.num_triples() as f64;
-            let mut sampler = ScsSampler::new(kg);
-            evaluate_cluster(
-                kg,
-                annotator,
-                method,
-                cfg,
-                rng,
-                |rng| sampler.next_cluster(rng),
-                ClusterEstimateKind::HansenHurwitz { scale },
-                prepared.max_draw_size,
-            )
-        }
-    }
-}
-
-fn evaluate_srs<K, A, R>(
-    kg: &K,
-    annotator: &A,
-    method: &IntervalMethod,
-    cfg: &EvalConfig,
-    rng: &mut R,
-) -> Result<EvalResult, IntervalError>
-where
-    K: KnowledgeGraph + GroundTruth,
-    A: Annotator,
-    R: Rng,
-{
-    let mut sampler = SrsSampler::new(kg);
-    let mut state = SampleState::new_srs();
-    let mut cost = CostTracker::new(cfg.cost_model);
-    let mut solver_state = method.new_state();
-    let lookahead = cfg.stopping == StoppingPolicy::CertifiedLookahead;
-    // Annotations left to record before the next stopping check. While
-    // positive, interval construction is skipped because the certified
-    // lookahead proved MoE ≤ ε unachievable at those sample sizes.
-    let mut skip_left: u64 = 0;
-    let mut first_check = true;
-
+    let mut session = EvaluationSession::from_prepared(kg, prepared, method, cfg, rng);
+    let mut request = AnnotationRequest::default();
+    let mut labels: Vec<bool> = Vec::new();
     loop {
-        let Some(st) = sampler.next_triple(rng) else {
-            // Whole KG annotated: the estimate is the population value.
-            let mu = state.mu_hat();
-            return Ok(finish(
-                mu,
-                Interval::new(mu, mu),
-                &state,
-                &cost,
-                0,
-                true,
-                false,
-            ));
-        };
-        let label = annotator.annotate(kg.is_correct(st.triple), rng);
-        state.record_triple(label);
-        // Advance the per-prior posteriors incrementally (O(1) per
-        // annotation) so checks — whenever they happen — construct from
-        // bit-identical posteriors under either stopping policy.
-        method.record_observation(&mut solver_state, label);
-        cost.record(st.triple, st.cluster);
-
-        if state.n() >= cfg.min_triples {
-            let at_floor = first_check;
-            first_check = false;
-            if skip_left > 0 {
-                skip_left -= 1;
-            } else {
-                // Exact one-step gate: construct only when the current
-                // posterior could actually stop (always, in the
-                // reference path).
-                let construct = !lookahead
-                    || method.stop_possible_now(&state, cfg.alpha, cfg.epsilon, &mut solver_state);
-                if construct {
-                    let interval =
-                        method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
-                    if interval.moe() <= cfg.epsilon {
-                        return Ok(finish(
-                            state.mu_hat(),
-                            interval,
-                            &state,
-                            &cost,
-                            0,
-                            true,
-                            at_floor,
-                        ));
-                    }
-                }
-                if lookahead {
-                    skip_left = method.certified_skip_srs(&state, cfg.alpha, cfg.epsilon);
-                }
-            }
+        match session.next_request_into(1, &mut request) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => return Err(unwrap_interval_error(e)),
         }
-        let budget_spent = cfg.max_observations.is_some_and(|cap| state.n() >= cap)
-            || cfg
-                .max_cost_seconds
-                .is_some_and(|cap| cost.seconds() >= cap);
-        if budget_spent {
-            let interval = method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
-            return Ok(finish(
-                state.mu_hat(),
-                interval,
-                &state,
-                &cost,
-                0,
-                false,
-                false,
-            ));
+        labels.clear();
+        for st in &request.triples {
+            let truth = kg.is_correct(st.triple);
+            labels.push(annotator.annotate(truth, session.rng_mut()));
+        }
+        if let Err(e) = session.submit(&labels) {
+            return Err(unwrap_interval_error(e));
         }
     }
+    Ok(session
+        .into_result()
+        .expect("a stopped session has a result"))
 }
 
-/// How a stage-1 draw converts into a per-draw estimate.
-enum ClusterEstimateKind {
-    /// TWCS/WCS: the cluster sample mean `μ̂_i`.
-    SampleMean,
-    /// SCS: the Hansen–Hurwitz per-draw estimate `N·τ_i/M`.
-    HansenHurwitz {
-        /// `N / M`.
-        scale: f64,
-    },
-}
-
-#[allow(clippy::too_many_arguments)]
-fn evaluate_cluster<K, A, R, F>(
-    kg: &K,
-    annotator: &A,
-    method: &IntervalMethod,
-    cfg: &EvalConfig,
-    rng: &mut R,
-    mut next_draw: F,
-    estimate_kind: ClusterEstimateKind,
-    max_draw_size: u64,
-) -> Result<EvalResult, IntervalError>
-where
-    K: KnowledgeGraph + GroundTruth,
-    A: Annotator,
-    R: Rng,
-    F: FnMut(&mut R) -> kgae_sampling::ClusterDraw,
-{
-    let mut state = SampleState::new_cluster();
-    let mut cost = CostTracker::new(cfg.cost_model);
-    // Labels are recorded once per triple and reused on re-draws: a flat
-    // two-bit seen/label cache indexed by triple id — no hashing and no
-    // per-redraw allocation. Sizing by the whole KG is cheap even at
-    // SYN-100M scale: the backing `vec![0; n]` is `alloc_zeroed`
-    // (mmap'd zero pages on the large-allocation path), so only the
-    // pages actually touched by the few hundred sampled triple ids ever
-    // materialize.
-    let mut recorded = LabelCache::new(kg.num_triples());
-    let mut draws = 0u64;
-    let mut solver_state = method.new_state();
-    let lookahead = cfg.stopping == StoppingPolicy::CertifiedLookahead;
-    let hansen_hurwitz = matches!(estimate_kind, ClusterEstimateKind::HansenHurwitz { .. });
-    // Stage-1 draws left before the next stopping check (certified
-    // unreachable in between).
-    let mut skip_left: u64 = 0;
-    let mut first_check = true;
-
-    loop {
-        let draw = next_draw(rng);
-        draws += 1;
-        let mut correct = 0u64;
-        let size = draw.triples.len() as u64;
-        for st in &draw.triples {
-            let t = st.triple.index();
-            let label = match recorded.get(t) {
-                Some(label) => label,
-                None => {
-                    let label = annotator.annotate(kg.is_correct(st.triple), rng);
-                    recorded.insert(t, label);
-                    label
-                }
-            };
-            if label {
-                correct += 1;
-            }
-            cost.record(st.triple, st.cluster);
-        }
-        let per_draw = match estimate_kind {
-            ClusterEstimateKind::SampleMean => correct as f64 / size as f64,
-            ClusterEstimateKind::HansenHurwitz { scale } => correct as f64 * scale,
-        };
-        state.record_cluster_draw(per_draw, correct, size);
-
-        if state.n() >= cfg.min_triples && state.draws() >= cfg.min_draws {
-            let at_floor = first_check;
-            first_check = false;
-            if skip_left > 0 {
-                skip_left -= 1;
-            } else {
-                let construct = !lookahead
-                    || method.stop_possible_now(&state, cfg.alpha, cfg.epsilon, &mut solver_state);
-                if construct {
-                    let interval =
-                        method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
-                    if interval.moe() <= cfg.epsilon {
-                        let mu = state.effective().mu;
-                        return Ok(finish(mu, interval, &state, &cost, draws, true, at_floor));
-                    }
-                }
-                if lookahead {
-                    skip_left = method.certified_skip_cluster(
-                        &state,
-                        cfg.alpha,
-                        cfg.epsilon,
-                        max_draw_size,
-                        hansen_hurwitz,
-                    );
-                }
-            }
-        }
-        let budget_spent = cfg.max_observations.is_some_and(|cap| state.n() >= cap)
-            || cfg
-                .max_cost_seconds
-                .is_some_and(|cap| cost.seconds() >= cap);
-        if budget_spent {
-            let interval = method.interval_stateful(&state, cfg.alpha, &mut solver_state)?;
-            let mu = state.effective().mu;
-            return Ok(finish(mu, interval, &state, &cost, draws, false, false));
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn finish(
-    mu_hat: f64,
-    interval: Interval,
-    state: &SampleState,
-    cost: &CostTracker,
-    stage1_draws: u64,
-    converged: bool,
-    halted_at_floor: bool,
-) -> EvalResult {
-    EvalResult {
-        mu_hat,
-        interval,
-        annotated_triples: cost.triples(),
-        annotated_entities: cost.entities(),
-        observations: state.n(),
-        stage1_draws,
-        cost_seconds: cost.seconds(),
-        converged,
-        halted_at_floor,
+/// The closed-loop driver obeys the session protocol by construction,
+/// so the only session error it can surface is a solver failure.
+fn unwrap_interval_error(e: SessionError) -> IntervalError {
+    match e {
+        SessionError::Interval(err) => err,
+        other => unreachable!("closed-loop driver violated the session protocol: {other}"),
     }
 }
 

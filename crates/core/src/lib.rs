@@ -35,7 +35,8 @@
 //!
 //! | module | paper element |
 //! |--------|---------------|
-//! | [`framework`] | the iterative loop of Figure 1 + stopping rule |
+//! | [`session`] | the Figure 1 loop inverted into a poll-based engine |
+//! | [`framework`] | the legacy closed-loop facade + stopping rule |
 //! | [`ahpd`] | Algorithm 1 (lines 10–24) |
 //! | [`method`] | Wald / Wilson / ET / HPD / aHPD dispatch |
 //! | [`state`] | sufficient statistics + design-effect adjustment |
@@ -58,6 +59,8 @@ pub mod framework;
 pub mod method;
 pub mod report;
 pub mod runner;
+pub mod session;
+mod snapshot;
 pub mod state;
 
 pub use ahpd::{ahpd_select, ahpd_select_warm, AHpdSelection};
@@ -69,6 +72,9 @@ pub use framework::{
 };
 pub use method::{IntervalMethod, MethodState};
 pub use runner::{cost_t_test, repeat_evaluation, triples_t_test, RepeatedRuns};
+pub use session::{
+    AnnotationRequest, EvaluationSession, SessionError, SessionStatus, SnapshotRng, StopReason,
+};
 pub use state::{DesignKind, EffectiveSample, SampleState};
 
 /// Common imports for applications.

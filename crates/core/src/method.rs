@@ -41,9 +41,9 @@ pub struct MethodState {
     /// Per-prior posteriors `Beta(a + τ, b + n − τ)`, advanced by
     /// [`IntervalMethod::record_observation`]. Empty for methods without
     /// posteriors (Wald, Wilson).
-    posteriors: Vec<Beta>,
+    pub(crate) posteriors: Vec<Beta>,
     /// The `(τ, n)` the cached posteriors reflect.
-    tracked: (u64, u64),
+    pub(crate) tracked: (u64, u64),
 }
 
 /// An interval-estimation method under evaluation.
@@ -84,7 +84,7 @@ impl IntervalMethod {
 
     /// The candidate priors of the Bayesian methods (`None` for the
     /// frequentist ones).
-    fn priors(&self) -> Option<&[BetaPrior]> {
+    pub(crate) fn priors(&self) -> Option<&[BetaPrior]> {
         match self {
             IntervalMethod::Hpd(p) | IntervalMethod::Et(p) => Some(std::slice::from_ref(p)),
             IntervalMethod::AHpd(ps) => Some(ps),

@@ -112,8 +112,10 @@ where
         .map(|n| n.get())
         .unwrap_or(1)
         .min(reps.max(1) as usize);
-    // Build PPS tables once; every repetition on every thread shares them.
-    let prepared = PreparedDesign::new(kg, design);
+    // Build PPS tables once; every repetition on every thread shares
+    // the same PreparedDesign by reference (the alias table inside is
+    // Arc-shared, so even per-session setup copies a pointer at most).
+    let prepared = &PreparedDesign::new(kg, design);
 
     // Work-stealing dispenser: each worker claims the next unclaimed
     // repetition index; skewed per-rep costs self-balance.
@@ -124,7 +126,6 @@ where
         for _ in 0..threads {
             let method = method.clone();
             let cfg = cfg.clone();
-            let prepared = prepared.clone();
             let next_rep = &next_rep;
             handles.push(scope.spawn(move |_| {
                 let mut out = Vec::new();
@@ -135,7 +136,7 @@ where
                     }
                     let mut rng = SmallRng::seed_from_u64(base_seed.wrapping_add(rep));
                     let r =
-                        evaluate_prepared(kg, &OracleAnnotator, &prepared, &method, &cfg, &mut rng)
+                        evaluate_prepared(kg, &OracleAnnotator, prepared, &method, &cfg, &mut rng)
                             .expect("evaluation must not fail under valid configuration");
                     out.push((rep, r));
                 }

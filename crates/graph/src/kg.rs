@@ -18,6 +18,12 @@ use crate::ids::{ClusterId, TripleId};
 use std::ops::Range;
 
 /// Structural view of a KG: triple count and entity-cluster partition.
+///
+/// **Object safety is part of this trait's contract**: the evaluation
+/// engine (`kgae-core`'s `EvaluationSession`) and the sampling drivers
+/// hold backends as `&dyn KnowledgeGraph`, so any backend — in-memory,
+/// compact, mmap'd, remote — plugs in behind one pointer. Do not add
+/// generic methods here; a compile-time assertion below enforces this.
 pub trait KnowledgeGraph: Send + Sync {
     /// Total number of triples `M`.
     fn num_triples(&self) -> u64;
@@ -54,6 +60,12 @@ pub trait GroundTruth: Send + Sync {
     /// only for reporting, never for estimation.
     fn true_accuracy(&self) -> f64;
 }
+
+// Compile-time guard: both traits must stay usable as trait objects —
+// the session engine and the design drivers depend on it. Adding a
+// generic method to either trait fails here, at the source, instead of
+// deep inside kgae-core.
+const _: fn(&dyn KnowledgeGraph, &dyn GroundTruth) = |_, _| {};
 
 /// Cluster partition stored as prefix offsets.
 ///

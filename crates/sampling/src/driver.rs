@@ -1,0 +1,637 @@
+//! Unified stage-1 sampling drivers — the design-specific half of the
+//! poll-based evaluation engine.
+//!
+//! The evaluation loop of paper Figure 1 needs exactly three things from
+//! a sampling design: the next *unit* to annotate (one triple under SRS,
+//! one stage-1 cluster draw under the cluster designs), how a labeled
+//! unit converts into a per-unit estimate, and the worst-case unit size
+//! (an input to the certified stopping lookahead). [`DesignDriver`]
+//! captures that contract behind an object-safe trait, so the engine
+//! (`kgae-core`'s `EvaluationSession`) runs one control flow over SRS,
+//! TWCS, WCS and SCS instead of duplicating the loop per design.
+//!
+//! Drivers borrow the KG as `&dyn KnowledgeGraph` — any backend
+//! implementing the trait plugs in — and the PPS designs share one
+//! prebuilt alias table via `Arc`, so constructing a driver per
+//! evaluation repetition never re-pays the O(#clusters) table build.
+//!
+//! Randomness crosses the trait boundary as `&mut dyn RngCore` (the
+//! object-safe core of the vendored `rand`); the generic sampling code
+//! underneath monomorphizes against it and produces the exact same
+//! stream as when driven with a concrete generator.
+
+use crate::alias::AliasTable;
+use crate::extra::{ScsSampler, WcsSampler};
+use crate::srs::{SampledTriple, SrsSampler};
+use crate::twcs::{pps_by_size_table, TwcsSampler};
+use kgae_graph::{ClusterId, KnowledgeGraph};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// How one labeled sampling unit feeds the design's estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitEstimator {
+    /// SRS: units are single triples pooled into the sample proportion
+    /// (Eq. 2); there is no per-unit estimate.
+    Triple,
+    /// TWCS/WCS: the per-draw estimate is the cluster sample mean
+    /// `μ̂_i` (Eq. 3).
+    SampleMean,
+    /// SCS: the Hansen–Hurwitz per-draw estimate `scale · τ_i` with
+    /// `scale = N / M`.
+    HansenHurwitz {
+        /// `N / M` (clusters over triples).
+        scale: f64,
+    },
+}
+
+/// Error restoring a driver from serialized state (snapshot corrupt or
+/// from a different design/KG).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverStateError(
+    /// What was wrong with the state bytes.
+    pub &'static str,
+);
+
+impl std::fmt::Display for DriverStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "driver state restore failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DriverStateError {}
+
+/// A sampling design reduced to its poll contract: hand out stage-1
+/// units until the stream is exhausted.
+///
+/// Object-safe on purpose — the evaluation session stores
+/// `Box<dyn DesignDriver>` and swaps designs without re-monomorphizing
+/// the engine.
+pub trait DesignDriver {
+    /// Samples the next stage-1 unit into `out` (cleared first) and
+    /// returns its cluster, or `None` when the design's stream is
+    /// exhausted (SRS: every triple drawn; bounded streams: the draw
+    /// limit reached). Exhaustion is a state, not a panic: every
+    /// subsequent call keeps returning `None`.
+    fn next_unit(
+        &mut self,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SampledTriple>,
+    ) -> Option<ClusterId>;
+
+    /// How labeled units feed the estimator.
+    fn estimator(&self) -> UnitEstimator;
+
+    /// Maximum number of triples a single unit can annotate (`1` for
+    /// SRS, `m` for TWCS, the largest cluster for whole-cluster
+    /// designs) — the growth bound of the certified stopping lookahead.
+    fn max_unit_size(&self) -> u64;
+
+    /// Units handed out so far.
+    fn units_drawn(&self) -> u64;
+
+    /// Appends the driver's dynamic state to `out` (canonical bytes:
+    /// identical logical state ⇒ identical encoding).
+    fn save_state(&self, out: &mut Vec<u8>);
+
+    /// Restores dynamic state captured by [`DesignDriver::save_state`]
+    /// on a driver constructed identically (same design, same KG).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated/oversized input or out-of-range entries.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), DriverStateError>;
+}
+
+// ---------------------------------------------------------------------
+// Minimal canonical byte codec for driver state.
+// ---------------------------------------------------------------------
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, DriverStateError> {
+    let end = cursor
+        .checked_add(8)
+        .ok_or(DriverStateError("cursor overflow"))?;
+    let chunk = bytes
+        .get(*cursor..end)
+        .ok_or(DriverStateError("truncated state"))?;
+    *cursor = end;
+    Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+}
+
+fn expect_consumed(bytes: &[u8], cursor: usize) -> Result<(), DriverStateError> {
+    if cursor == bytes.len() {
+        Ok(())
+    } else {
+        Err(DriverStateError("trailing bytes in state"))
+    }
+}
+
+fn max_cluster_size(kg: &dyn KnowledgeGraph) -> u64 {
+    (0..kg.num_clusters())
+        .map(|c| kg.cluster_size(ClusterId(c)))
+        .max()
+        .unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------
+// SRS
+// ---------------------------------------------------------------------
+
+/// SRS driver: units are single triples, drawn without replacement;
+/// the stream exhausts once the whole KG has been drawn.
+pub struct SrsDriver<'a> {
+    sampler: SrsSampler<'a, dyn KnowledgeGraph + 'a>,
+    num_triples: u64,
+}
+
+impl<'a> SrsDriver<'a> {
+    /// Driver over all triples of `kg`.
+    #[must_use]
+    pub fn new(kg: &'a dyn KnowledgeGraph) -> Self {
+        Self {
+            sampler: SrsSampler::new(kg),
+            num_triples: kg.num_triples(),
+        }
+    }
+}
+
+impl DesignDriver for SrsDriver<'_> {
+    fn next_unit(
+        &mut self,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SampledTriple>,
+    ) -> Option<ClusterId> {
+        out.clear();
+        let st = self.sampler.next_triple(rng)?;
+        out.push(st);
+        Some(st.cluster)
+    }
+
+    fn estimator(&self) -> UnitEstimator {
+        UnitEstimator::Triple
+    }
+
+    fn max_unit_size(&self) -> u64 {
+        1
+    }
+
+    fn units_drawn(&self) -> u64 {
+        self.sampler.drawn()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        let stream = self.sampler.stream();
+        push_u64(out, stream.drawn());
+        let entries = stream.displaced_entries();
+        push_u64(out, entries.len() as u64);
+        for (k, v) in entries {
+            push_u64(out, k);
+            push_u64(out, v);
+        }
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), DriverStateError> {
+        let mut cursor = 0;
+        let drawn = read_u64(bytes, &mut cursor)?;
+        if drawn > self.num_triples {
+            return Err(DriverStateError("drawn exceeds population"));
+        }
+        let len = read_u64(bytes, &mut cursor)?;
+        if len > 2 * drawn {
+            // Each draw displaces at most two positions.
+            return Err(DriverStateError("displaced table larger than draws allow"));
+        }
+        let mut entries = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let k = read_u64(bytes, &mut cursor)?;
+            let v = read_u64(bytes, &mut cursor)?;
+            if k >= self.num_triples || v >= self.num_triples {
+                return Err(DriverStateError("displaced entry out of range"));
+            }
+            entries.push((k, v));
+        }
+        expect_consumed(bytes, cursor)?;
+        self.sampler
+            .restore_stream(crate::distinct::IncrementalWithoutReplacement::from_saved(
+                self.num_triples,
+                drawn,
+                &entries,
+            ));
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// TWCS
+// ---------------------------------------------------------------------
+
+/// TWCS driver: PPS stage-1 clusters (with replacement), capped SRS
+/// second stage. Stateless across draws, so the stream never exhausts.
+pub struct TwcsDriver<'a> {
+    sampler: TwcsSampler<'a, dyn KnowledgeGraph + 'a>,
+    drawn: u64,
+}
+
+impl<'a> TwcsDriver<'a> {
+    /// Builds the driver, constructing the PPS table (O(#clusters);
+    /// prefer [`TwcsDriver::with_table`] for repeated evaluations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(kg: &'a dyn KnowledgeGraph, m: u64) -> Self {
+        Self::with_table(kg, m, Arc::new(pps_by_size_table(kg)))
+    }
+
+    /// Builds the driver around a shared, prebuilt PPS table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or the table size disagrees with the KG.
+    #[must_use]
+    pub fn with_table(kg: &'a dyn KnowledgeGraph, m: u64, table: Arc<AliasTable>) -> Self {
+        Self {
+            sampler: TwcsSampler::with_table(kg, m, table),
+            drawn: 0,
+        }
+    }
+}
+
+impl DesignDriver for TwcsDriver<'_> {
+    fn next_unit(
+        &mut self,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SampledTriple>,
+    ) -> Option<ClusterId> {
+        out.clear();
+        let draw = self.sampler.next_cluster(rng);
+        out.extend_from_slice(&draw.triples);
+        self.drawn += 1;
+        Some(draw.cluster)
+    }
+
+    fn estimator(&self) -> UnitEstimator {
+        UnitEstimator::SampleMean
+    }
+
+    fn max_unit_size(&self) -> u64 {
+        self.sampler.m().max(1)
+    }
+
+    fn units_drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        push_u64(out, self.drawn);
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), DriverStateError> {
+        let mut cursor = 0;
+        self.drawn = read_u64(bytes, &mut cursor)?;
+        expect_consumed(bytes, cursor)
+    }
+}
+
+// ---------------------------------------------------------------------
+// WCS
+// ---------------------------------------------------------------------
+
+/// WCS driver: PPS stage-1 clusters (with replacement), whole-cluster
+/// annotation.
+pub struct WcsDriver<'a> {
+    sampler: WcsSampler<'a, dyn KnowledgeGraph + 'a>,
+    max_unit_size: u64,
+    drawn: u64,
+}
+
+impl<'a> WcsDriver<'a> {
+    /// Builds the driver, constructing the PPS table and scanning the
+    /// largest cluster (both O(#clusters); prefer
+    /// [`WcsDriver::with_table`] for repeated evaluations).
+    #[must_use]
+    pub fn new(kg: &'a dyn KnowledgeGraph) -> Self {
+        let max = max_cluster_size(kg);
+        Self::with_table(kg, Arc::new(pps_by_size_table(kg)), max)
+    }
+
+    /// Builds the driver around a shared table and a precomputed
+    /// largest-cluster size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table size disagrees with the KG.
+    #[must_use]
+    pub fn with_table(
+        kg: &'a dyn KnowledgeGraph,
+        table: Arc<AliasTable>,
+        max_unit_size: u64,
+    ) -> Self {
+        Self {
+            sampler: WcsSampler::with_table(kg, table),
+            max_unit_size: max_unit_size.max(1),
+            drawn: 0,
+        }
+    }
+}
+
+impl DesignDriver for WcsDriver<'_> {
+    fn next_unit(
+        &mut self,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SampledTriple>,
+    ) -> Option<ClusterId> {
+        out.clear();
+        let draw = self.sampler.next_cluster(rng);
+        out.extend_from_slice(&draw.triples);
+        self.drawn += 1;
+        Some(draw.cluster)
+    }
+
+    fn estimator(&self) -> UnitEstimator {
+        UnitEstimator::SampleMean
+    }
+
+    fn max_unit_size(&self) -> u64 {
+        self.max_unit_size
+    }
+
+    fn units_drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        push_u64(out, self.drawn);
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), DriverStateError> {
+        let mut cursor = 0;
+        self.drawn = read_u64(bytes, &mut cursor)?;
+        expect_consumed(bytes, cursor)
+    }
+}
+
+// ---------------------------------------------------------------------
+// SCS
+// ---------------------------------------------------------------------
+
+/// SCS driver: uniform stage-1 clusters (with replacement),
+/// whole-cluster annotation, Hansen–Hurwitz estimation.
+///
+/// Supports an optional stage-1 draw limit
+/// ([`ScsDriver::limit_draws`]) modeling a bounded external annotation
+/// stream (e.g. a crowdsourcing batch that ends): once the limit is
+/// reached the stream reports exhaustion instead of drawing further.
+pub struct ScsDriver<'a> {
+    sampler: ScsSampler<'a, dyn KnowledgeGraph + 'a>,
+    scale: f64,
+    max_unit_size: u64,
+    drawn: u64,
+    draw_limit: Option<u64>,
+}
+
+impl<'a> ScsDriver<'a> {
+    /// Builds the driver, scanning the largest cluster (O(#clusters);
+    /// prefer [`ScsDriver::with_max_unit_size`] for repeated
+    /// evaluations).
+    #[must_use]
+    pub fn new(kg: &'a dyn KnowledgeGraph) -> Self {
+        let max = max_cluster_size(kg);
+        Self::with_max_unit_size(kg, max)
+    }
+
+    /// Builds the driver with a precomputed largest-cluster size.
+    #[must_use]
+    pub fn with_max_unit_size(kg: &'a dyn KnowledgeGraph, max_unit_size: u64) -> Self {
+        let scale = f64::from(kg.num_clusters()) / kg.num_triples() as f64;
+        Self {
+            sampler: ScsSampler::new(kg),
+            scale,
+            max_unit_size: max_unit_size.max(1),
+            drawn: 0,
+            draw_limit: None,
+        }
+    }
+
+    /// Caps the stream at `limit` stage-1 draws; the driver reports
+    /// exhaustion afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit == 0` (a stream that can never produce a unit
+    /// has no defined estimate).
+    #[must_use]
+    pub fn limit_draws(mut self, limit: u64) -> Self {
+        assert!(limit > 0, "draw limit must be positive");
+        self.draw_limit = Some(limit);
+        self
+    }
+}
+
+impl DesignDriver for ScsDriver<'_> {
+    fn next_unit(
+        &mut self,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SampledTriple>,
+    ) -> Option<ClusterId> {
+        out.clear();
+        if self.draw_limit.is_some_and(|cap| self.drawn >= cap) {
+            return None;
+        }
+        let draw = self.sampler.next_cluster(rng);
+        out.extend_from_slice(&draw.triples);
+        self.drawn += 1;
+        Some(draw.cluster)
+    }
+
+    fn estimator(&self) -> UnitEstimator {
+        UnitEstimator::HansenHurwitz { scale: self.scale }
+    }
+
+    fn max_unit_size(&self) -> u64 {
+        self.max_unit_size
+    }
+
+    fn units_drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        push_u64(out, self.drawn);
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), DriverStateError> {
+        let mut cursor = 0;
+        self.drawn = read_u64(bytes, &mut cursor)?;
+        expect_consumed(bytes, cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgae_graph::compact::{CompactKg, LabelStore};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn kg(sizes: &[u64]) -> CompactKg {
+        CompactKg::new(sizes, LabelStore::Hashed { seed: 9, rate: 0.8 })
+    }
+
+    #[test]
+    fn srs_driver_streams_distinct_singletons_then_exhausts() {
+        let kg = kg(&[3, 1, 4, 2]);
+        let mut d = SrsDriver::new(&kg);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buf = Vec::new();
+        let mut seen = HashSet::new();
+        while let Some(cluster) = d.next_unit(&mut rng, &mut buf) {
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf[0].cluster, cluster);
+            assert!(seen.insert(buf[0].triple));
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(d.units_drawn(), 10);
+        // Exhaustion is sticky.
+        assert!(d.next_unit(&mut rng, &mut buf).is_none());
+        assert_eq!(d.estimator(), UnitEstimator::Triple);
+        assert_eq!(d.max_unit_size(), 1);
+    }
+
+    #[test]
+    fn srs_driver_matches_plain_sampler_stream() {
+        // The driver must not perturb the RNG consumption of the
+        // underlying sampler — same seed, same triple sequence.
+        let kg = kg(&[5, 7, 2]);
+        let mut d = SrsDriver::new(&kg);
+        let mut s = SrsSampler::new(&kg);
+        let mut rng_d = SmallRng::seed_from_u64(3);
+        let mut rng_s = SmallRng::seed_from_u64(3);
+        let mut buf = Vec::new();
+        for _ in 0..14 {
+            d.next_unit(&mut rng_d, &mut buf).unwrap();
+            let st = s.next_triple(&mut rng_s).unwrap();
+            assert_eq!(buf[0], st);
+        }
+    }
+
+    #[test]
+    fn twcs_driver_with_m_at_least_every_cluster_size_takes_whole_clusters() {
+        // m ≥ the largest cluster (and ≥ the number of clusters): the
+        // capped second stage degenerates to whole-cluster draws.
+        let kg = kg(&[3, 1, 4, 2]);
+        let mut d = TwcsDriver::new(&kg, 64);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut buf = Vec::new();
+        for _ in 0..50 {
+            let cluster = d.next_unit(&mut rng, &mut buf).unwrap();
+            assert_eq!(buf.len() as u64, kg.cluster_size(cluster));
+            let distinct: HashSet<_> = buf.iter().map(|t| t.triple).collect();
+            assert_eq!(distinct.len(), buf.len());
+        }
+        assert_eq!(d.max_unit_size(), 64);
+        assert_eq!(d.units_drawn(), 50);
+    }
+
+    #[test]
+    fn cluster_drivers_handle_single_triple_clusters() {
+        // Every cluster has exactly one triple: cluster designs
+        // degenerate to (weighted) triple sampling and every unit is a
+        // singleton.
+        let kg = kg(&[1; 40]);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut buf = Vec::new();
+        let mut twcs = TwcsDriver::new(&kg, 3);
+        let mut wcs = WcsDriver::new(&kg);
+        let mut scs = ScsDriver::new(&kg);
+        // Whole-cluster designs bound units by the largest cluster (1);
+        // TWCS by its second-stage cap m.
+        assert_eq!(wcs.max_unit_size(), 1);
+        assert_eq!(scs.max_unit_size(), 1);
+        assert_eq!(twcs.max_unit_size(), 3);
+        let drivers: [&mut dyn DesignDriver; 3] = [&mut twcs, &mut wcs, &mut scs];
+        for d in drivers {
+            for _ in 0..30 {
+                let cluster = d.next_unit(&mut rng, &mut buf).unwrap();
+                assert_eq!(buf.len(), 1);
+                assert_eq!(buf[0].cluster, cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn scs_driver_reports_exhaustion_at_the_draw_limit() {
+        let kg = kg(&[3, 1, 4, 2]);
+        let mut d = ScsDriver::new(&kg).limit_draws(5);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut buf = Vec::new();
+        for _ in 0..5 {
+            assert!(d.next_unit(&mut rng, &mut buf).is_some());
+        }
+        // Exhausted: keeps returning None without panicking, and the
+        // buffer is left cleared.
+        for _ in 0..3 {
+            assert!(d.next_unit(&mut rng, &mut buf).is_none());
+            assert!(buf.is_empty());
+        }
+        assert_eq!(d.units_drawn(), 5);
+        match d.estimator() {
+            UnitEstimator::HansenHurwitz { scale } => {
+                assert!((scale - 4.0 / 10.0).abs() < 1e-12);
+            }
+            other => panic!("SCS estimator is {other:?}"),
+        }
+    }
+
+    #[test]
+    fn srs_driver_state_round_trip_resumes_the_exact_stream() {
+        let kg = kg(&[10, 10, 10]);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut buf = Vec::new();
+        let mut original = SrsDriver::new(&kg);
+        for _ in 0..12 {
+            original.next_unit(&mut rng, &mut buf).unwrap();
+        }
+        let mut state = Vec::new();
+        original.save_state(&mut state);
+        let rng_state = rng.state();
+
+        let mut resumed = SrsDriver::new(&kg);
+        resumed.restore_state(&state).unwrap();
+        assert_eq!(resumed.units_drawn(), 12);
+        let mut rng_resumed = SmallRng::from_state(rng_state);
+        let mut buf_resumed = Vec::new();
+        // Both continuations must emit the identical remaining stream.
+        loop {
+            let a = original.next_unit(&mut rng, &mut buf);
+            let b = resumed.next_unit(&mut rng_resumed, &mut buf_resumed);
+            assert_eq!(a, b);
+            assert_eq!(buf, buf_resumed);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn driver_state_restore_rejects_garbage() {
+        let kg = kg(&[4, 4]);
+        let mut d = SrsDriver::new(&kg);
+        assert!(d.restore_state(&[1, 2, 3]).is_err(), "truncated");
+        let mut bad = Vec::new();
+        push_u64(&mut bad, 99); // drawn > population
+        push_u64(&mut bad, 0);
+        assert!(d.restore_state(&bad).is_err());
+        let mut trailing = Vec::new();
+        push_u64(&mut trailing, 0);
+        push_u64(&mut trailing, 0);
+        trailing.push(0xFF);
+        assert!(d.restore_state(&trailing).is_err(), "trailing bytes");
+    }
+}

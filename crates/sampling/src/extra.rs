@@ -22,11 +22,11 @@ use std::sync::Arc;
 
 /// Simple Cluster Sampling: uniform clusters, full-cluster annotation.
 #[derive(Debug)]
-pub struct ScsSampler<'a, K: KnowledgeGraph> {
+pub struct ScsSampler<'a, K: KnowledgeGraph + ?Sized> {
     kg: &'a K,
 }
 
-impl<'a, K: KnowledgeGraph> ScsSampler<'a, K> {
+impl<'a, K: KnowledgeGraph + ?Sized> ScsSampler<'a, K> {
     /// Creates the sampler.
     pub fn new(kg: &'a K) -> Self {
         Self { kg }
@@ -41,12 +41,12 @@ impl<'a, K: KnowledgeGraph> ScsSampler<'a, K> {
 
 /// Weighted Cluster Sampling: PPS clusters, full-cluster annotation.
 #[derive(Debug)]
-pub struct WcsSampler<'a, K: KnowledgeGraph> {
+pub struct WcsSampler<'a, K: KnowledgeGraph + ?Sized> {
     kg: &'a K,
     alias: Arc<AliasTable>,
 }
 
-impl<'a, K: KnowledgeGraph> WcsSampler<'a, K> {
+impl<'a, K: KnowledgeGraph + ?Sized> WcsSampler<'a, K> {
     /// Creates the sampler (builds the PPS alias table).
     pub fn new(kg: &'a K) -> Self {
         Self::with_table(kg, Arc::new(pps_by_size_table(kg)))
@@ -73,7 +73,7 @@ impl<'a, K: KnowledgeGraph> WcsSampler<'a, K> {
     }
 }
 
-fn full_cluster<K: KnowledgeGraph>(kg: &K, cluster: ClusterId) -> ClusterDraw {
+fn full_cluster<K: KnowledgeGraph + ?Sized>(kg: &K, cluster: ClusterId) -> ClusterDraw {
     let triples = kg
         .cluster_triples(cluster)
         .map(|t| SampledTriple {

@@ -35,12 +35,16 @@
 
 pub mod alias;
 pub mod distinct;
+pub mod driver;
 pub mod estimators;
 mod extra;
 mod srs;
 mod twcs;
 
 pub use alias::AliasTable;
+pub use driver::{
+    DesignDriver, DriverStateError, ScsDriver, SrsDriver, TwcsDriver, UnitEstimator, WcsDriver,
+};
 pub use estimators::{
     cluster_estimate, cluster_estimate_from_moments, design_effect, effective_sample_size,
     hansen_hurwitz_estimate, srs_estimate, Estimate,

@@ -21,12 +21,12 @@ pub struct SampledTriple {
 
 /// Incremental SRS-without-replacement over a KG's triples.
 #[derive(Debug)]
-pub struct SrsSampler<'a, K: KnowledgeGraph> {
+pub struct SrsSampler<'a, K: KnowledgeGraph + ?Sized> {
     kg: &'a K,
     stream: IncrementalWithoutReplacement,
 }
 
-impl<'a, K: KnowledgeGraph> SrsSampler<'a, K> {
+impl<'a, K: KnowledgeGraph + ?Sized> SrsSampler<'a, K> {
     /// Creates a sampler over all triples of `kg`.
     pub fn new(kg: &'a K) -> Self {
         Self {
@@ -56,6 +56,18 @@ impl<'a, K: KnowledgeGraph> SrsSampler<'a, K> {
     #[must_use]
     pub fn remaining(&self) -> u64 {
         self.stream.remaining()
+    }
+
+    /// The underlying without-replacement stream (for suspend/resume
+    /// snapshots of in-flight evaluations).
+    #[must_use]
+    pub fn stream(&self) -> &IncrementalWithoutReplacement {
+        &self.stream
+    }
+
+    /// Replaces the underlying stream with one rebuilt from a snapshot.
+    pub fn restore_stream(&mut self, stream: IncrementalWithoutReplacement) {
+        self.stream = stream;
     }
 }
 

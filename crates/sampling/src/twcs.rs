@@ -21,7 +21,7 @@ use std::sync::Arc;
 /// evaluation runs via [`TwcsSampler::with_table`] — rebuilding it per
 /// run would dominate the cost on 5M-cluster graphs.
 #[must_use]
-pub fn pps_by_size_table<K: KnowledgeGraph>(kg: &K) -> AliasTable {
+pub fn pps_by_size_table<K: KnowledgeGraph + ?Sized>(kg: &K) -> AliasTable {
     let weights: Vec<f64> = (0..kg.num_clusters())
         .map(|c| kg.cluster_size(ClusterId(c)) as f64)
         .collect();
@@ -39,7 +39,7 @@ pub struct ClusterDraw {
 
 /// TWCS sampler with a precomputed PPS alias table.
 #[derive(Debug)]
-pub struct TwcsSampler<'a, K: KnowledgeGraph> {
+pub struct TwcsSampler<'a, K: KnowledgeGraph + ?Sized> {
     kg: &'a K,
     alias: Arc<AliasTable>,
     /// Second-stage sample size `m` (the paper uses 3 for the small KGs
@@ -47,7 +47,7 @@ pub struct TwcsSampler<'a, K: KnowledgeGraph> {
     m: u64,
 }
 
-impl<'a, K: KnowledgeGraph> TwcsSampler<'a, K> {
+impl<'a, K: KnowledgeGraph + ?Sized> TwcsSampler<'a, K> {
     /// Builds the sampler; `m` is the second-stage size.
     ///
     /// Building the alias table is O(#clusters); for repeated runs over

@@ -97,6 +97,38 @@ impl Beta {
         self.ln_norm
     }
 
+    /// Rebuilds a `Beta` from raw parts captured off a live instance
+    /// (`alpha()`, `beta()`, `ln_norm()`), **preserving the cached
+    /// normalizer bit for bit**.
+    ///
+    /// This exists for suspend/resume snapshots: a posterior advanced by
+    /// a chain of [`Beta::observe`] recurrences carries a normalizer
+    /// that can differ in the last ulp from a fresh `ln_beta(α, β)`
+    /// evaluation, and resumed evaluations must construct bit-identical
+    /// intervals. Do not feed this parameters that did not come from a
+    /// live instance.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive shape parameters (the same
+    /// domain as [`Beta::new`]) and a non-finite normalizer.
+    pub fn from_raw_parts(alpha: f64, beta: f64, ln_norm: f64) -> Result<Beta> {
+        check_positive("alpha", alpha)?;
+        check_positive("beta", beta)?;
+        if !ln_norm.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "ln_norm",
+                value: ln_norm,
+                constraint: "must be finite",
+            });
+        }
+        Ok(Beta {
+            alpha,
+            beta,
+            ln_norm,
+        })
+    }
+
     /// Posterior after one more Bernoulli observation: `α+1` on success,
     /// `β+1` on failure. The normalization constant is advanced by the
     /// beta-function recurrence (two `ln`s; no `ln_gamma`), so a chain of

@@ -53,8 +53,9 @@ pub use kgae_stats as stats;
 /// One-stop imports for typical auditing applications.
 pub mod prelude {
     pub use kgae_core::{
-        evaluate, repeat_evaluation, Annotator, EvalConfig, EvalResult, IntervalMethod,
-        OracleAnnotator, SamplingDesign,
+        evaluate, repeat_evaluation, AnnotationRequest, Annotator, EvalConfig, EvalResult,
+        EvaluationSession, IntervalMethod, OracleAnnotator, SamplingDesign, SessionStatus,
+        StopReason,
     };
     pub use kgae_graph::{GroundTruth, InMemoryKg, KnowledgeGraph, Triple};
     pub use kgae_intervals::{BetaPrior, Interval};

@@ -27,7 +27,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact length or a
+    /// Element-count specification for [`vec()`]: an exact length or a
     /// half-open range of lengths.
     #[derive(Debug, Clone)]
     pub struct SizeRange(Range<usize>);
@@ -53,7 +53,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

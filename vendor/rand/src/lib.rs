@@ -2,11 +2,19 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! crate implements — from scratch — exactly the API surface the
-//! workspace uses: the [`Rng`] trait (`gen_range`, `gen_bool`), the
+//! workspace uses: the object-safe [`RngCore`] trait (`next_u64`), the
+//! [`Rng`] extension trait (`gen_range`, `gen_bool`, blanket-implemented
+//! for every `RngCore`, mirroring upstream `rand` 0.8's split), the
 //! [`SeedableRng`] trait (`seed_from_u64`), and [`rngs::SmallRng`]
 //! (xoshiro256++ behind a SplitMix64 seed expander, the same generator
 //! family the real `rand` 0.8 `small_rng` feature ships on 64-bit
 //! targets).
+//!
+//! The [`RngCore`] / [`Rng`] split matters for trait objects: `Rng` has
+//! generic methods and cannot be a `dyn` object, but `&mut dyn RngCore`
+//! can cross an object-safe trait boundary (the sampling crate's
+//! `DesignDriver`) and still expose the full `Rng` surface through the
+//! blanket impl.
 //!
 //! Determinism contract: a given seed produces the same stream on every
 //! platform and every run; the whole evaluation harness relies on this
@@ -16,12 +24,23 @@
 
 use std::ops::{Range, RangeInclusive};
 
-/// A source of randomness: the minimal core plus the convenience
-/// methods the workspace calls.
-pub trait Rng {
+/// The object-safe core of a random generator: a stream of 64-bit
+/// words. Everything else ([`Rng`]) derives from this.
+pub trait RngCore {
     /// Returns the next 64 uniformly random bits.
     fn next_u64(&mut self) -> u64;
+}
 
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every
+/// [`RngCore`] (sized or not — `dyn RngCore` gets them too).
+pub trait Rng: RngCore {
     /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
     #[inline]
     fn next_f64(&mut self) -> f64 {
@@ -55,12 +74,7 @@ pub trait Rng {
     }
 }
 
-impl<R: Rng + ?Sized> Rng for &mut R {
-    #[inline]
-    fn next_u64(&mut self) -> u64 {
-        (**self).next_u64()
-    }
-}
+impl<R: RngCore + ?Sized> Rng for R {}
 
 /// A range that [`Rng::gen_range`] can sample from.
 pub trait SampleRange<T> {
@@ -161,7 +175,7 @@ pub trait SeedableRng: Sized {
 
 /// Concrete generators.
 pub mod rngs {
-    use super::{Rng, SeedableRng};
+    use super::{RngCore, SeedableRng};
 
     /// Small, fast, non-cryptographic RNG: xoshiro256++.
     ///
@@ -196,7 +210,26 @@ pub mod rngs {
         }
     }
 
-    impl Rng for SmallRng {
+    impl SmallRng {
+        /// The generator's full internal state, for suspend/resume
+        /// snapshots: `from_state(state())` continues the exact stream.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ (the
+        /// stream degenerates to constant zero); only feed this values
+        /// obtained from [`SmallRng::state`].
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;
@@ -217,7 +250,7 @@ pub mod rngs {
 #[cfg(test)]
 mod tests {
     use super::rngs::SmallRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_streams() {
