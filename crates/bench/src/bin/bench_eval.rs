@@ -25,7 +25,7 @@ use kgae_core::{
     evaluate_prepared, repeat_evaluation, EvalConfig, EvalResult, IntervalMethod, OracleAnnotator,
     PreparedDesign, SamplingDesign, StoppingPolicy,
 };
-use kgae_graph::CompactKg;
+use kgae_graph::{CompactKg, KnowledgeGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -111,9 +111,21 @@ fn json_cell(out: &mut String, c: &CellStats) {
 }
 
 fn main() {
+    // CI smoke steps gate on the exit code: any failure — I/O included —
+    // must exit non-zero, never print-and-return.
+    if let Err(message) = run() {
+        eprintln!("bench_eval: FAILED: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let reps: u64 = reps_from_args(600);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_eval.json".into());
     let kg = kgae_graph::datasets::nell();
+    if kg.num_triples() == 0 {
+        return Err("NELL dataset loaded empty".into());
+    }
     let base_seed = 0xBE5C_u64;
 
     let lookahead_cfg = EvalConfig::default(); // CertifiedLookahead
@@ -247,7 +259,7 @@ fn main() {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"evaluation_loop\",");
-    let _ = writeln!(out, "  \"schema_version\": 2,");
+    let _ = writeln!(out, "  \"schema_version\": 3,");
     let _ = writeln!(out, "  \"dataset\": \"NELL\",");
     let _ = writeln!(out, "  \"reps_per_cell\": {reps},");
     let _ = writeln!(out, "  \"cells\": [");
@@ -309,11 +321,11 @@ fn main() {
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
 
-    std::fs::write(&out_path, &out).expect("write benchmark JSON");
+    std::fs::write(&out_path, &out).map_err(|e| format!("writing {out_path}: {e}"))?;
     eprintln!("wrote {out_path}");
 
-    assert!(
-        identical_stopping,
-        "lookahead changed stopping statistics — certified bound violated"
-    );
+    if !identical_stopping {
+        return Err("lookahead changed stopping statistics — certified bound violated".into());
+    }
+    Ok(())
 }

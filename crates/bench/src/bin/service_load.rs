@@ -1,0 +1,423 @@
+//! Load generator for the session service: boots a live `kgae-serve`
+//! stack (or targets an already-running one), replays NELL annotation
+//! streams from N concurrent HTTP clients, and reports
+//! throughput/latency into `BENCH_eval.json` (schema_version 3).
+//!
+//! Every client completes whole evaluation campaigns — create → poll →
+//! label (ground truth) → submit → converge — over real TCP with
+//! keep-alive connections, exactly the traffic shape of a crowdsourcing
+//! frontend. After the load phase, one session is driven through the
+//! suspend → evict → resume path and must restore **bit-identically**:
+//! the stored snapshot bytes before and after the disk round trip are
+//! compared, and the interrupted campaign's final status must equal an
+//! uninterrupted same-seed run.
+//!
+//! ```text
+//! service_load [--clients N] [--reps R] [--batch B] [--workers W]
+//!              [--out PATH]            # load mode (default)
+//! service_load --smoke [--port P]     # CI smoke: one campaign + parity
+//! ```
+//!
+//! Exits non-zero on any failure — a broken server cannot green-wash a
+//! CI run.
+
+use kgae_bench::arg_value;
+use kgae_client::Client;
+use kgae_core::StopReason;
+use kgae_graph::{CompactKg, GroundTruth, TripleId};
+use kgae_service::api::SessionSpec;
+use kgae_service::json::{self, Json};
+use kgae_service::manager::{DatasetRegistry, SessionState};
+use kgae_service::{Server, SessionManager, SnapshotStore};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+fn spec(id: &str, seed: u64) -> SessionSpec {
+    SessionSpec {
+        id: id.into(),
+        dataset: "nell".into(),
+        design: "srs".parse().expect("srs parses"),
+        method: "ahpd".parse().expect("ahpd parses"),
+        seed,
+        alpha: 0.05,
+        epsilon: 0.05,
+        max_observations: None,
+    }
+}
+
+/// Drives one campaign to convergence; returns the number of HTTP calls
+/// and pushes per-call latencies (seconds).
+fn run_campaign(
+    client: &mut Client,
+    kg: &CompactKg,
+    id: &str,
+    seed: u64,
+    batch: u64,
+    latencies: &mut Vec<f64>,
+) -> Result<u64, String> {
+    let mut calls = 0u64;
+    let mut timed = |f: &mut dyn FnMut() -> Result<(), String>| -> Result<(), String> {
+        let t0 = Instant::now();
+        f()?;
+        latencies.push(t0.elapsed().as_secs_f64());
+        calls += 1;
+        Ok(())
+    };
+    timed(&mut || {
+        client
+            .create(&spec(id, seed))
+            .map(|_| ())
+            .map_err(|e| format!("create {id}: {e}"))
+    })?;
+    loop {
+        let mut done = false;
+        let mut labels: Vec<bool> = Vec::new();
+        timed(&mut || {
+            let request = client
+                .next_request(id, batch)
+                .map_err(|e| format!("next {id}: {e}"))?;
+            done = request.done;
+            labels = request
+                .triples
+                .iter()
+                .map(|t| kg.is_correct(TripleId(t.triple)))
+                .collect();
+            Ok(())
+        })?;
+        if done {
+            break;
+        }
+        timed(&mut || {
+            client
+                .submit(id, &labels)
+                .map(|_| ())
+                .map_err(|e| format!("submit {id}: {e}"))
+        })?;
+    }
+    let status = client.status(id).map_err(|e| format!("status {id}: {e}"))?;
+    if status.state != SessionState::Finished
+        || status.status.stopped != Some(StopReason::MoeSatisfied)
+    {
+        return Err(format!("campaign {id} did not converge: {status:?}"));
+    }
+    Ok(calls + 1)
+}
+
+/// Suspend → evict → resume on a mid-flight campaign; verifies snapshot
+/// byte-identity across the disk round trip and final-status parity
+/// with an uninterrupted same-seed campaign.
+fn verify_suspend_evict_resume(addr: SocketAddr, kg: &CompactKg, batch: u64) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let seed = 0x5E55_1011;
+    client
+        .create(&spec("parity-probe", seed))
+        .map_err(|e| format!("create probe: {e}"))?;
+    for _ in 0..3 {
+        let request = client
+            .next_request("parity-probe", batch)
+            .map_err(|e| format!("probe next: {e}"))?;
+        let labels: Vec<bool> = request
+            .triples
+            .iter()
+            .map(|t| kg.is_correct(TripleId(t.triple)))
+            .collect();
+        client
+            .submit("parity-probe", &labels)
+            .map_err(|e| format!("probe submit: {e}"))?;
+    }
+    client
+        .suspend("parity-probe")
+        .map_err(|e| format!("suspend: {e}"))?;
+    let before = client
+        .snapshot("parity-probe")
+        .map_err(|e| format!("snapshot before: {e}"))?;
+    client
+        .evict("parity-probe")
+        .map_err(|e| format!("evict: {e}"))?;
+    client
+        .resume("parity-probe")
+        .map_err(|e| format!("resume: {e}"))?;
+    client
+        .suspend("parity-probe")
+        .map_err(|e| format!("re-suspend: {e}"))?;
+    let after = client
+        .snapshot("parity-probe")
+        .map_err(|e| format!("snapshot after: {e}"))?;
+    if before != after {
+        return Err(format!(
+            "snapshot bytes diverged across the disk round trip \
+             ({} vs {} bytes)",
+            before.len(),
+            after.len()
+        ));
+    }
+    client
+        .resume("parity-probe")
+        .map_err(|e| format!("resume 2: {e}"))?;
+
+    // Drive both the interrupted probe and a straight twin to the end.
+    let mut scratch = Vec::new();
+    for (id, seed) in [("parity-probe", seed), ("parity-straight", seed)] {
+        if id == "parity-straight" {
+            run_campaign(&mut client, kg, id, seed, batch, &mut scratch)?;
+        } else {
+            loop {
+                let request = client
+                    .next_request(id, batch)
+                    .map_err(|e| format!("{id} next: {e}"))?;
+                if request.done {
+                    break;
+                }
+                let labels: Vec<bool> = request
+                    .triples
+                    .iter()
+                    .map(|t| kg.is_correct(TripleId(t.triple)))
+                    .collect();
+                client
+                    .submit(id, &labels)
+                    .map_err(|e| format!("{id} submit: {e}"))?;
+            }
+        }
+    }
+    let interrupted = client
+        .status("parity-probe")
+        .map_err(|e| format!("probe status: {e}"))?;
+    let straight = client
+        .status("parity-straight")
+        .map_err(|e| format!("straight status: {e}"))?;
+    if interrupted.status != straight.status {
+        return Err(format!(
+            "suspend→evict→resume changed the outcome:\n  interrupted {:?}\n  straight {:?}",
+            interrupted.status, straight.status
+        ));
+    }
+    eprintln!(
+        "parity: suspend→evict→resume byte-identical ({} B snapshot), \
+         final status equals the uninterrupted twin",
+        before.len()
+    );
+    Ok(())
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct LoadReport {
+    clients: u64,
+    sessions: u64,
+    requests: u64,
+    wall_seconds: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    batch: u64,
+}
+
+fn run_load(
+    addr: SocketAddr,
+    kg: &CompactKg,
+    clients: u64,
+    reps: u64,
+    batch: u64,
+) -> Result<LoadReport, String> {
+    let t0 = Instant::now();
+    let mut all_latencies: Vec<Vec<f64>> = Vec::new();
+    let mut total_requests = 0u64;
+    let outcomes: Vec<Result<(u64, Vec<f64>), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<(u64, Vec<f64>), String> {
+                    let mut client =
+                        Client::connect(addr).map_err(|e| format!("client {c} connect: {e}"))?;
+                    let mut latencies = Vec::new();
+                    let mut requests = 0u64;
+                    for r in 0..reps {
+                        let id = format!("load-c{c}-r{r}");
+                        let seed = 0xBE5C_0000 + c * 1000 + r;
+                        requests +=
+                            run_campaign(&mut client, kg, &id, seed, batch, &mut latencies)?;
+                    }
+                    Ok((requests, latencies))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("load client thread"))
+            .collect()
+    });
+    for outcome in outcomes {
+        let (requests, latencies) = outcome?;
+        total_requests += requests;
+        all_latencies.push(latencies);
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+
+    // A parity failure aborts the whole run (non-zero exit) before any
+    // report is written, so a written report always reflects a pass.
+    verify_suspend_evict_resume(addr, kg, batch)?;
+
+    let mut latencies: Vec<f64> = all_latencies.into_iter().flatten().collect();
+    latencies.sort_by(f64::total_cmp);
+    let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+    Ok(LoadReport {
+        clients,
+        sessions: clients * reps,
+        requests: total_requests,
+        wall_seconds,
+        mean_ms: mean * 1e3,
+        p50_ms: percentile(&latencies, 0.50) * 1e3,
+        p99_ms: percentile(&latencies, 0.99) * 1e3,
+        batch,
+    })
+}
+
+/// Merges the `service_load` row into the benchmark JSON, bumping it to
+/// schema 3 (creates a minimal document when the file is absent).
+fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
+    let mut doc = match std::fs::read_to_string(out_path) {
+        Ok(text) => json::parse(&text).map_err(|e| format!("parsing {out_path}: {e}"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Json::obj(vec![
+            ("benchmark", Json::str("evaluation_loop")),
+            ("dataset", Json::str("NELL")),
+        ]),
+        Err(e) => return Err(format!("reading {out_path}: {e}")),
+    };
+    doc.set("schema_version", Json::int(3));
+    doc.set(
+        "service_load",
+        Json::obj(vec![
+            ("dataset", Json::str("NELL")),
+            ("design", Json::str("srs")),
+            ("method", Json::str("ahpd")),
+            ("clients", Json::int(report.clients)),
+            ("sessions_completed", Json::int(report.sessions)),
+            ("http_requests", Json::int(report.requests)),
+            ("batch", Json::int(report.batch)),
+            (
+                "sessions_per_sec",
+                Json::Num(report.sessions as f64 / report.wall_seconds),
+            ),
+            (
+                "requests_per_sec",
+                Json::Num(report.requests as f64 / report.wall_seconds),
+            ),
+            ("latency_mean_ms", Json::Num(report.mean_ms)),
+            ("latency_p50_ms", Json::Num(report.p50_ms)),
+            ("latency_p99_ms", Json::Num(report.p99_ms)),
+            // Always true in a written report: a parity failure exits
+            // non-zero before reporting.
+            ("suspend_evict_resume_bit_identical", Json::Bool(true)),
+        ]),
+    );
+    std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    eprintln!("wrote {out_path} (schema_version 3)");
+    Ok(())
+}
+
+/// Runs `f` against a fresh in-process server on an ephemeral port.
+fn with_local_server(
+    workers: usize,
+    f: impl FnOnce(SocketAddr, &CompactKg) -> Result<(), String>,
+) -> Result<(), String> {
+    let registry = DatasetRegistry::standard();
+    let store_dir = std::env::temp_dir().join(format!("kgae-service-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SnapshotStore::open(&store_dir).map_err(|e| format!("store: {e}"))?;
+    let manager = SessionManager::new(&registry, store, 16);
+    let server = Server::bind("127.0.0.1:0", workers).map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let handle = server.handle().map_err(|e| format!("handle: {e}"))?;
+    let kg = registry.get("nell").expect("standard registry hosts nell");
+    let outcome = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| server.run(&manager));
+        let outcome = f(addr, kg);
+        handle.shutdown();
+        server_thread.join().expect("server thread");
+        outcome
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
+    outcome
+}
+
+/// The CI smoke sequence against an already-listening server.
+fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
+    let mut latencies = Vec::new();
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.health().map_err(|e| format!("health: {e}"))?;
+    run_campaign(
+        &mut client,
+        kg,
+        "smoke-full",
+        0x0051_400E,
+        16,
+        &mut latencies,
+    )?;
+    eprintln!(
+        "smoke: one SRS campaign converged over HTTP ({} calls)",
+        latencies.len()
+    );
+    verify_suspend_evict_resume(addr, kg, 16)?;
+    // Leave nothing behind on a shared server.
+    for id in ["smoke-full", "parity-probe", "parity-straight"] {
+        let _ = client.delete(id);
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        let kg = kgae_graph::datasets::nell();
+        return match arg_value::<u16>("--port") {
+            Some(port) => {
+                let addr: SocketAddr = format!("127.0.0.1:{port}")
+                    .parse()
+                    .map_err(|e| format!("bad port: {e}"))?;
+                run_smoke_against(addr, &kg)
+            }
+            None => with_local_server(4, run_smoke_against),
+        };
+    }
+
+    let clients: u64 = arg_value("--clients").unwrap_or(8);
+    let reps: u64 = arg_value("--reps").unwrap_or(5);
+    let batch: u64 = arg_value("--batch").unwrap_or(32);
+    let workers: usize = arg_value("--workers").unwrap_or(clients as usize);
+    let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_eval.json".into());
+    if clients < 8 {
+        eprintln!("note: acceptance calls for ≥ 8 concurrent clients (got {clients})");
+    }
+
+    with_local_server(workers, |addr, kg| {
+        let report = run_load(addr, kg, clients, reps, batch)?;
+        eprintln!(
+            "service_load: {} clients × {} campaigns (batch {}), {:.1} sessions/s, \
+             {:.0} requests/s, latency mean {:.2} ms / p50 {:.2} ms / p99 {:.2} ms",
+            report.clients,
+            reps,
+            report.batch,
+            report.sessions as f64 / report.wall_seconds,
+            report.requests as f64 / report.wall_seconds,
+            report.mean_ms,
+            report.p50_ms,
+            report.p99_ms,
+        );
+        write_report(&out_path, &report)
+    })
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("service_load: FAILED: {message}");
+        std::process::exit(1);
+    }
+}

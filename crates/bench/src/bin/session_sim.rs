@@ -17,7 +17,7 @@ use kgae_core::{
     AnnotationRequest, EvalConfig, EvalResult, EvaluationSession, IntervalMethod, PreparedDesign,
     SamplingDesign,
 };
-use kgae_graph::{CompactKg, GroundTruth};
+use kgae_graph::{CompactKg, GroundTruth, KnowledgeGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -39,7 +39,7 @@ fn run_cell(
     reps: u64,
     batch: u64,
     baseline: Option<&[EvalResult]>,
-) -> (CellRow, Vec<EvalResult>) {
+) -> Result<(CellRow, Vec<EvalResult>), String> {
     // Warm-up rep to keep one-time costs out of the measurement.
     let _ = drive_session_oracle(kg, prepared, method, cfg, 0, batch);
     let mut results = Vec::with_capacity(reps as usize);
@@ -53,15 +53,16 @@ fn run_cell(
     let wall = t0.elapsed().as_secs_f64();
     if let Some(base) = baseline {
         for (seed, (a, b)) in base.iter().zip(&results).enumerate() {
-            assert_eq!(
-                a, b,
-                "batch {batch} diverged from batch 1 at seed {seed} — batching must not \
-                 change statistics"
-            );
+            if a != b {
+                return Err(format!(
+                    "batch {batch} diverged from batch 1 at seed {seed} — batching must not \
+                     change statistics"
+                ));
+            }
         }
     }
     let total_obs: u64 = results.iter().map(|r| r.observations).sum();
-    (
+    Ok((
         CellRow {
             batch,
             reps_per_sec: reps as f64 / wall,
@@ -69,7 +70,7 @@ fn run_cell(
             requests_per_rep: total_requests as f64 / reps as f64,
         },
         results,
-    )
+    ))
 }
 
 /// Drives one session to completion, suspending to a snapshot and
@@ -124,6 +125,15 @@ fn run_interrupted(
 }
 
 fn main() {
+    // CI smoke steps gate on the exit code: verification or dataset
+    // failures must exit non-zero, never print-and-return.
+    if let Err(message) = run() {
+        eprintln!("session_sim: FAILED: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let reps = reps_from_args(200);
     let method = IntervalMethod::ahpd_default();
     let cfg = EvalConfig::default();
@@ -131,6 +141,9 @@ fn main() {
         ("NELL", kgae_graph::datasets::nell()),
         ("YAGO", kgae_graph::datasets::yago()),
     ];
+    if datasets.iter().any(|(_, kg)| kg.num_triples() == 0) {
+        return Err("a dataset loaded empty".into());
+    }
     let designs = [SamplingDesign::Srs, SamplingDesign::Twcs { m: 3 }];
 
     eprintln!("session_sim: aHPD, {reps} reps/cell, batches {BATCHES:?}");
@@ -151,7 +164,7 @@ fn main() {
                     reps,
                     batch,
                     baseline.as_deref(),
-                );
+                )?;
                 eprintln!(
                     "{:>6} {:>10} {:>6} {:>12.1} {:>16.1} {:>14.2}",
                     name,
@@ -173,12 +186,12 @@ fn main() {
             let seed = 7.min(reps - 1);
             let (interrupted, suspensions, snapshot_bytes) =
                 run_interrupted(kg, &prepared, &method, &cfg, seed, 16);
-            assert_eq!(
-                straight,
-                &interrupted,
-                "{name}/{}: suspend/resume changed the outcome",
-                design.name()
-            );
+            if straight != &interrupted {
+                return Err(format!(
+                    "{name}/{}: suspend/resume changed the outcome",
+                    design.name()
+                ));
+            }
             eprintln!(
                 "{:>6} {:>10}  interruption: {suspensions} suspend/resume cycles, \
                  max snapshot {snapshot_bytes} B, bit-identical result ✓",
@@ -188,4 +201,5 @@ fn main() {
         }
     }
     eprintln!("session_sim: all batched and interrupted runs bit-identical to batch-1");
+    Ok(())
 }

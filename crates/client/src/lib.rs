@@ -1,0 +1,471 @@
+//! # kgae-client
+//!
+//! The annotator's side of the session service: a typed, keep-alive
+//! HTTP/JSON client for every `kgae-serve` endpoint. One [`Client`]
+//! owns one connection and pipelines request → response cycles on it,
+//! transparently reconnecting once when the server reclaims an idle
+//! connection — the calling pattern of a long-running annotation
+//! worker.
+//!
+//! ```no_run
+//! use kgae_client::Client;
+//! use kgae_service::api::SessionSpec;
+//!
+//! let mut client = Client::connect("127.0.0.1:7707").unwrap();
+//! let spec = SessionSpec::from_json(
+//!     &kgae_service::json::parse(
+//!         r#"{"id":"c1","dataset":"nell","design":"srs","method":"ahpd","seed":7}"#,
+//!     )
+//!     .unwrap(),
+//! )
+//! .unwrap();
+//! client.create(&spec).unwrap();
+//! loop {
+//!     let batch = client.next_request("c1", 16).unwrap();
+//!     if batch.done {
+//!         break;
+//!     }
+//!     let labels = vec![true; batch.triples.len()]; // annotate...
+//!     client.submit("c1", &labels).unwrap();
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use kgae_core::SessionStatus;
+use kgae_service::api::{self, SessionSpec, WireRequest};
+use kgae_service::http;
+use kgae_service::json::{self, Json};
+use kgae_service::manager::SessionState;
+use kgae_service::store::from_hex;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write).
+    Io(std::io::Error),
+    /// The server answered with an error status; the payload is the
+    /// decoded `error` message (or raw body).
+    Api {
+        /// HTTP status code.
+        status: u16,
+        /// The server's error message.
+        message: String,
+    },
+    /// The response body did not decode as the expected shape.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Api { status, message } => write!(f, "server ({status}): {message}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Outcome type of every client call.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A session's wire-level view, decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionInfo {
+    /// Session id.
+    pub id: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Canonical design name.
+    pub design: String,
+    /// Canonical method name.
+    pub method: String,
+    /// Lifecycle state.
+    pub state: SessionState,
+    /// Labels currently owed on an outstanding request.
+    pub pending_labels: u64,
+    /// Fencing seq of the outstanding request, echoed on submit.
+    pub pending_seq: Option<u64>,
+    /// The engine status.
+    pub status: SessionStatus,
+    /// Snapshot size on disk, for suspended/evicted sessions.
+    pub snapshot_bytes: Option<u64>,
+}
+
+fn info_from_json(v: &Json) -> ClientResult<SessionInfo> {
+    let field = |key: &str| -> ClientResult<String> {
+        v.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol(format!("missing field {key:?}")))
+    };
+    let state = SessionState::from_name(&field("state")?)
+        .ok_or_else(|| ClientError::Protocol("unknown session state".into()))?;
+    let status = api::status_from_json(
+        v.get("status")
+            .ok_or_else(|| ClientError::Protocol("missing field \"status\"".into()))?,
+    )
+    .map_err(|e| ClientError::Protocol(e.to_string()))?;
+    let snapshot_bytes = match v.get("snapshot_bytes") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(
+            field
+                .as_u64()
+                .ok_or_else(|| ClientError::Protocol("non-integer snapshot_bytes".into()))?,
+        ),
+    };
+    Ok(SessionInfo {
+        id: field("id")?,
+        dataset: field("dataset")?,
+        design: field("design")?,
+        method: field("method")?,
+        state,
+        pending_labels: v.get("pending_labels").and_then(Json::as_u64).unwrap_or(0),
+        pending_seq: match v.get("pending_seq") {
+            None | Some(Json::Null) => None,
+            Some(field) => field.as_u64(),
+        },
+        status,
+        snapshot_bytes,
+    })
+}
+
+/// A hosted dataset's shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Registry name.
+    pub name: String,
+    /// Triple count.
+    pub triples: u64,
+    /// Cluster count.
+    pub clusters: u64,
+}
+
+/// A typed connection to one `kgae-serve` instance.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    reader: Option<BufReader<TcpStream>>,
+    timeout: Duration,
+    /// Fencing seq of the last poll per session, attached to submits so
+    /// the server can reject labels for a superseded batch.
+    last_seq: std::collections::HashMap<String, u64>,
+    /// When the connection last completed a request/response cycle;
+    /// connections older than the server's idle budget are refreshed
+    /// proactively so non-retryable calls never race the reclaim.
+    last_used: std::time::Instant,
+}
+
+/// How long the server keeps an idle keep-alive connection
+/// (`kgae_service::server::IDLE_TIMEOUT`), minus safety margin. A
+/// connection idle longer than this is rebuilt before the next call
+/// rather than risking a write to a reclaimed socket — which matters
+/// most for label submission, the one call that is not blindly
+/// retried.
+const CONNECTION_REFRESH_AFTER: Duration = Duration::from_secs(25);
+
+impl Client {
+    /// Connects to the server at `addr` (e.g. `"127.0.0.1:7707"`).
+    ///
+    /// # Errors
+    ///
+    /// Resolution/connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let mut client = Self {
+            addr,
+            reader: None,
+            timeout: Duration::from_secs(30),
+            last_seq: std::collections::HashMap::new(),
+            last_used: std::time::Instant::now(),
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> ClientResult<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_nodelay(true)?;
+        self.reader = Some(BufReader::new(stream));
+        Ok(())
+    }
+
+    /// One request/response cycle with a single reconnect-and-retry on
+    /// stale keep-alive connections.
+    ///
+    /// A failed **write** never reached the server, so every call may
+    /// retry it. A failed **read** is ambiguous — the server may have
+    /// executed the request and only the response was lost — so the
+    /// retry is taken only when `retry_read` says re-execution is safe.
+    /// Every endpoint here is safe except label submission: polls
+    /// re-serve the identical outstanding batch, suspend/resume/evict
+    /// are idempotent, create/delete replays fail with distinguishable
+    /// 409/404s — but a replayed submit would double-apply labels.
+    fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        retry_read: bool,
+    ) -> ClientResult<Json> {
+        if self.last_used.elapsed() >= CONNECTION_REFRESH_AFTER {
+            // The server has likely reclaimed this idle connection;
+            // rebuild it up front instead of discovering mid-call.
+            self.reader = None;
+        }
+        for attempt in 0..2 {
+            if self.reader.is_none() {
+                self.reconnect()?;
+            }
+            let reader = self.reader.as_mut().expect("connected");
+            if let Err(e) = http::write_request(reader.get_mut(), method, path, body) {
+                self.reader = None;
+                if attempt == 0 {
+                    continue; // never reached the server: always retryable
+                }
+                return Err(ClientError::Io(e));
+            }
+            match http::read_response(reader) {
+                Ok(response) => {
+                    if !response.keep_alive {
+                        self.reader = None;
+                    }
+                    self.last_used = std::time::Instant::now();
+                    return Self::decode(&response);
+                }
+                Err(
+                    http::HttpError::Closed | http::HttpError::Io(_) | http::HttpError::IdleTimeout,
+                ) if attempt == 0 && retry_read => {
+                    // Stale connection: rebuild and retry once.
+                    self.reader = None;
+                }
+                Err(http::HttpError::Closed) => {
+                    self.reader = None;
+                    return Err(ClientError::Protocol(
+                        "connection lost before the response; the request may or may not \
+                         have been executed"
+                            .into(),
+                    ));
+                }
+                Err(http::HttpError::Io(e)) => {
+                    self.reader = None;
+                    return Err(ClientError::Io(e));
+                }
+                Err(e) => {
+                    self.reader = None;
+                    return Err(ClientError::Protocol(e.to_string()));
+                }
+            }
+        }
+        unreachable!("second attempt returns")
+    }
+
+    fn decode(response: &http::Response) -> ClientResult<Json> {
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
+        let doc = json::parse(text).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if (200..300).contains(&response.status) {
+            return Ok(doc);
+        }
+        let message = doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or(text)
+            .to_string();
+        Err(ClientError::Api {
+            status: response.status,
+            message,
+        })
+    }
+
+    /// `GET /healthz`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API failures.
+    pub fn health(&mut self) -> ClientResult<()> {
+        self.call("GET", "/healthz", "", true).map(|_| ())
+    }
+
+    /// `GET /v1/datasets`.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn datasets(&mut self) -> ClientResult<Vec<DatasetInfo>> {
+        let doc = self.call("GET", "/v1/datasets", "", true)?;
+        doc.get("datasets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("missing datasets array".into()))?
+            .iter()
+            .map(|d| {
+                Ok(DatasetInfo {
+                    name: d
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ClientError::Protocol("dataset without a name".into()))?
+                        .to_string(),
+                    triples: d.get("triples").and_then(Json::as_u64).unwrap_or(0),
+                    clusters: d.get("clusters").and_then(Json::as_u64).unwrap_or(0),
+                })
+            })
+            .collect()
+    }
+
+    /// `POST /v1/sessions` — creates a session.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn create(&mut self, spec: &SessionSpec) -> ClientResult<SessionInfo> {
+        let body = spec.to_json().encode();
+        let doc = self.call("POST", "/v1/sessions", &body, true)?;
+        info_from_json(&doc)
+    }
+
+    /// `GET /v1/sessions/{id}` — the session's current view.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn status(&mut self, id: &str) -> ClientResult<SessionInfo> {
+        let doc = self.call("GET", &format!("/v1/sessions/{id}"), "", true)?;
+        info_from_json(&doc)
+    }
+
+    /// `GET /v1/sessions` — every session the server knows.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn sessions(&mut self) -> ClientResult<Vec<SessionInfo>> {
+        let doc = self.call("GET", "/v1/sessions", "", true)?;
+        doc.get("sessions")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ClientError::Protocol("missing sessions array".into()))?
+            .iter()
+            .map(info_from_json)
+            .collect()
+    }
+
+    /// `POST /v1/sessions/{id}/next` — polls for the next annotation
+    /// batch (`done: true` once the session stopped).
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn next_request(&mut self, id: &str, batch: u64) -> ClientResult<WireRequest> {
+        let body = Json::obj(vec![("batch", Json::int(batch))]).encode();
+        let doc = self.call("POST", &format!("/v1/sessions/{id}/next"), &body, true)?;
+        let request =
+            api::request_from_json(&doc).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match request.seq {
+            Some(seq) => {
+                self.last_seq.insert(id.to_string(), seq);
+            }
+            None => {
+                self.last_seq.remove(id);
+            }
+        }
+        Ok(request)
+    }
+
+    /// `POST /v1/sessions/{id}/labels` — submits labels in request
+    /// order, fenced with the seq of this client's last poll so stale
+    /// labels can never land on a newer batch.
+    ///
+    /// Submits are the one call that is **not** retried when the
+    /// response is lost (a replay would double-apply); on a transport
+    /// error here, check [`Client::status`] to see whether the labels
+    /// landed.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn submit(&mut self, id: &str, labels: &[bool]) -> ClientResult<SessionInfo> {
+        let mut pairs = vec![(
+            "labels",
+            Json::Arr(labels.iter().map(|&l| Json::Bool(l)).collect()),
+        )];
+        let seq = self.last_seq.get(id).copied();
+        if let Some(seq) = seq {
+            pairs.push(("seq", Json::int(seq)));
+        }
+        let body = Json::obj(pairs).encode();
+        // The one non-retryable read: a replayed submit double-applies.
+        let doc = self.call("POST", &format!("/v1/sessions/{id}/labels"), &body, false)?;
+        info_from_json(&doc)
+    }
+
+    /// `POST /v1/sessions/{id}/suspend` — spills the session to disk.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn suspend(&mut self, id: &str) -> ClientResult<SessionInfo> {
+        let doc = self.call("POST", &format!("/v1/sessions/{id}/suspend"), "", true)?;
+        info_from_json(&doc)
+    }
+
+    /// `POST /v1/sessions/{id}/resume` — rehydrates the session.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn resume(&mut self, id: &str) -> ClientResult<SessionInfo> {
+        let doc = self.call("POST", &format!("/v1/sessions/{id}/resume"), "", true)?;
+        info_from_json(&doc)
+    }
+
+    /// `POST /v1/sessions/{id}/evict` — drops the session's in-memory
+    /// state (persisting it first).
+    ///
+    /// # Errors
+    ///
+    /// Transport/API failures.
+    pub fn evict(&mut self, id: &str) -> ClientResult<()> {
+        self.call("POST", &format!("/v1/sessions/{id}/evict"), "", true)
+            .map(|_| ())
+    }
+
+    /// `DELETE /v1/sessions/{id}` — removes the session everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API failures.
+    pub fn delete(&mut self, id: &str) -> ClientResult<()> {
+        self.call("DELETE", &format!("/v1/sessions/{id}"), "", true)
+            .map(|_| ())
+    }
+
+    /// `GET /v1/sessions/{id}/snapshot` — the stored snapshot bytes of
+    /// a suspended/evicted session, decoded from hex.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn snapshot(&mut self, id: &str) -> ClientResult<Vec<u8>> {
+        let doc = self.call("GET", &format!("/v1/sessions/{id}/snapshot"), "", true)?;
+        let hex = doc
+            .get("hex")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ClientError::Protocol("missing hex field".into()))?;
+        from_hex(hex).ok_or_else(|| ClientError::Protocol("invalid hex payload".into()))
+    }
+}

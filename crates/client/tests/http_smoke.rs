@@ -1,0 +1,191 @@
+//! Full-stack smoke: a real [`Server`] on an ephemeral port, driven
+//! over actual TCP by the typed [`Client`] — one complete SRS
+//! evaluation to convergence, a mid-flight suspend → evict → resume
+//! cycle with status parity and snapshot byte-identity, and the error
+//! surface of the API.
+
+use kgae_client::{Client, ClientError};
+use kgae_core::StopReason;
+use kgae_graph::{GroundTruth, KnowledgeGraph};
+use kgae_service::api::SessionSpec;
+use kgae_service::manager::{DatasetRegistry, SessionState};
+use kgae_service::{Server, SessionManager, SnapshotStore};
+use std::net::SocketAddr;
+
+fn temp_store(tag: &str) -> SnapshotStore {
+    let dir = std::env::temp_dir().join(format!("kgae-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SnapshotStore::open(dir).unwrap()
+}
+
+/// Boots a server over the standard registry, runs `f` against its
+/// address, then shuts the server down cleanly.
+fn with_server(tag: &str, f: impl FnOnce(SocketAddr, &DatasetRegistry)) {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store(tag), 8);
+    let server = Server::bind("127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| server.run(&manager));
+        f(addr, &registry);
+        handle.shutdown();
+        server_thread.join().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+fn srs_spec(id: &str, seed: u64) -> SessionSpec {
+    SessionSpec {
+        id: id.into(),
+        dataset: "nell".into(),
+        design: "srs".parse().unwrap(),
+        method: "ahpd".parse().unwrap(),
+        seed,
+        alpha: 0.05,
+        epsilon: 0.05,
+        max_observations: None,
+    }
+}
+
+#[test]
+fn full_srs_evaluation_with_midflight_suspend_resume() {
+    with_server("full", |addr, registry| {
+        let kg = registry.get("nell").unwrap();
+        let mut client = Client::connect(addr).unwrap();
+        client.health().unwrap();
+
+        // The server hosts the four standard twins.
+        let datasets = client.datasets().unwrap();
+        assert_eq!(datasets.len(), 4);
+        let nell = datasets.iter().find(|d| d.name == "nell").unwrap();
+        assert_eq!(nell.triples, kg.num_triples());
+
+        let info = client.create(&srs_spec("smoke", 20_250_731)).unwrap();
+        assert_eq!(info.state, SessionState::Running);
+        assert_eq!(info.status.observations, 0);
+
+        let mut batches = 0u64;
+        loop {
+            let request = client.next_request("smoke", 16).unwrap();
+            if request.done {
+                break;
+            }
+            let labels: Vec<bool> = request
+                .triples
+                .iter()
+                .map(|t| kg.is_correct(kgae_graph::TripleId(t.triple)))
+                .collect();
+            client.submit("smoke", &labels).unwrap();
+            batches += 1;
+
+            if batches == 2 {
+                // Mid-flight: suspend, capture status + snapshot, evict
+                // the in-memory state, resume, and demand exact parity.
+                let suspended = client.suspend("smoke").unwrap();
+                assert_eq!(suspended.state, SessionState::Suspended);
+                let before_status = suspended.status.clone();
+                let snap_before = client.snapshot("smoke").unwrap();
+                assert!(!snap_before.is_empty());
+
+                client.evict("smoke").unwrap();
+                assert_eq!(client.status("smoke").unwrap().state, SessionState::Evicted);
+
+                let resumed = client.resume("smoke").unwrap();
+                assert_eq!(resumed.state, SessionState::Running);
+                assert_eq!(
+                    resumed.status, before_status,
+                    "suspend/evict/resume changed the reported status"
+                );
+
+                // Re-suspend: the disk round trip reproduces the exact
+                // snapshot bytes.
+                client.suspend("smoke").unwrap();
+                let snap_after = client.snapshot("smoke").unwrap();
+                assert_eq!(snap_before, snap_after, "snapshot bytes diverged");
+                client.resume("smoke").unwrap();
+            }
+        }
+
+        let done = client.status("smoke").unwrap();
+        assert_eq!(done.state, SessionState::Finished);
+        assert_eq!(done.status.stopped, Some(StopReason::MoeSatisfied));
+        let estimate = done.status.estimate.unwrap();
+        assert!((estimate - 0.91).abs() < 0.15, "estimate {estimate}");
+        let interval = done.status.interval.unwrap();
+        assert!(interval.moe() <= 0.05 + 1e-12);
+
+        // The interrupted run matches an uninterrupted run of the same
+        // seed bit for bit — the server's suspend cycle was free.
+        let mut straight = Client::connect(addr).unwrap();
+        straight.create(&srs_spec("straight", 20_250_731)).unwrap();
+        loop {
+            let request = straight.next_request("straight", 16).unwrap();
+            if request.done {
+                break;
+            }
+            let labels: Vec<bool> = request
+                .triples
+                .iter()
+                .map(|t| kg.is_correct(kgae_graph::TripleId(t.triple)))
+                .collect();
+            straight.submit("straight", &labels).unwrap();
+        }
+        let reference = straight.status("straight").unwrap();
+        assert_eq!(reference.status, done.status);
+
+        // Both sessions are listed.
+        let sessions = client.sessions().unwrap();
+        assert_eq!(sessions.len(), 2);
+        client.delete("straight").unwrap();
+        assert_eq!(client.sessions().unwrap().len(), 1);
+    });
+}
+
+#[test]
+fn api_errors_map_to_http_statuses() {
+    with_server("errors", |addr, _| {
+        let mut client = Client::connect(addr).unwrap();
+
+        // Unknown session → 404.
+        match client.status("ghost") {
+            Err(ClientError::Api { status: 404, .. }) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+        // Bad spec → 400.
+        let mut bad = srs_spec("bad name!", 1);
+        bad.id = "bad name!".into();
+        match client.create(&bad) {
+            Err(ClientError::Api { status: 400, .. }) => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+        // Duplicate create → 409.
+        client.create(&srs_spec("dup", 1)).unwrap();
+        match client.create(&srs_spec("dup", 2)) {
+            Err(ClientError::Api { status: 409, .. }) => {}
+            other => panic!("expected 409, got {other:?}"),
+        }
+        // Suspend with an outstanding request → 409.
+        let request = client.next_request("dup", 4).unwrap();
+        assert!(!request.done);
+        match client.suspend("dup") {
+            Err(ClientError::Api { status: 409, .. }) => {}
+            other => panic!("expected 409, got {other:?}"),
+        }
+        // Wrong label count → 409.
+        match client.submit("dup", &[true]) {
+            Err(ClientError::Api { status: 409, .. }) => {}
+            other => panic!("expected 409, got {other:?}"),
+        }
+        // Snapshot of a live session → 409.
+        match client.snapshot("dup") {
+            Err(ClientError::Api { status: 409, .. }) => {}
+            other => panic!("expected 409, got {other:?}"),
+        }
+        // Unknown route → 404.
+        match client.status("no/such") {
+            Err(ClientError::Api { status: 404, .. }) => {}
+            other => panic!("expected 404, got {other:?}"),
+        }
+    });
+}

@@ -29,12 +29,13 @@ use crate::method::IntervalMethod;
 use crate::session::{AnnotationRequest, EvaluationSession, SessionError};
 use kgae_graph::{ClusterId, GroundTruth, KnowledgeGraph};
 use kgae_intervals::{Interval, IntervalError};
+use kgae_sampling::driver::DesignSpec;
 use kgae_sampling::{pps_by_size_table, AliasTable};
 use rand::Rng;
 use std::sync::Arc;
 
 /// The sampling strategy S of the minimization problem.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SamplingDesign {
     /// Simple random sampling of triples (§2.4).
     Srs,
@@ -61,6 +62,47 @@ impl SamplingDesign {
             SamplingDesign::Wcs => "WCS".into(),
             SamplingDesign::Scs => "SCS".into(),
         }
+    }
+
+    /// The design as a wire-level [`DesignSpec`] — the form the session
+    /// service exchanges over HTTP and the input to
+    /// [`kgae_sampling::driver::build_driver`].
+    #[must_use]
+    pub fn spec(&self) -> DesignSpec {
+        match *self {
+            SamplingDesign::Srs => DesignSpec::Srs,
+            SamplingDesign::Twcs { m } => DesignSpec::Twcs { m },
+            SamplingDesign::Wcs => DesignSpec::Wcs,
+            SamplingDesign::Scs => DesignSpec::Scs,
+        }
+    }
+
+    /// Canonical lower-case wire name (`"srs"`, `"twcs:3"`, ...);
+    /// [`SamplingDesign::from_str`](std::str::FromStr) parses it back.
+    #[must_use]
+    pub fn canonical_name(&self) -> String {
+        self.spec().canonical_name()
+    }
+}
+
+impl From<DesignSpec> for SamplingDesign {
+    fn from(spec: DesignSpec) -> Self {
+        match spec {
+            DesignSpec::Srs => SamplingDesign::Srs,
+            DesignSpec::Twcs { m } => SamplingDesign::Twcs { m },
+            DesignSpec::Wcs => SamplingDesign::Wcs,
+            DesignSpec::Scs => SamplingDesign::Scs,
+        }
+    }
+}
+
+impl std::str::FromStr for SamplingDesign {
+    type Err = kgae_sampling::driver::DesignParseError;
+
+    /// Parses a design name with the [`DesignSpec`] grammar: `srs`,
+    /// `twcs:<m>` (or `twcs(m=<m>)`), `wcs`, `scs`, case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.parse::<DesignSpec>().map(SamplingDesign::from)
     }
 }
 
@@ -512,6 +554,39 @@ mod tests {
         assert_eq!(SamplingDesign::Twcs { m: 3 }.name(), "TWCS(m=3)");
         assert_eq!(SamplingDesign::Wcs.name(), "WCS");
         assert_eq!(SamplingDesign::Scs.name(), "SCS");
+    }
+
+    #[test]
+    fn design_and_method_wire_names_round_trip() {
+        let designs = [
+            SamplingDesign::Srs,
+            SamplingDesign::Twcs { m: 5 },
+            SamplingDesign::Wcs,
+            SamplingDesign::Scs,
+        ];
+        for d in designs {
+            assert_eq!(d.canonical_name().parse::<SamplingDesign>().unwrap(), d);
+        }
+        assert!("pps".parse::<SamplingDesign>().is_err());
+
+        use kgae_intervals::BetaPrior;
+        let methods = [
+            IntervalMethod::Wald,
+            IntervalMethod::Wilson,
+            IntervalMethod::Et(BetaPrior::KERMAN),
+            IntervalMethod::Hpd(BetaPrior::UNIFORM),
+            IntervalMethod::ahpd_default(),
+        ];
+        for m in methods {
+            assert_eq!(m.canonical_name().parse::<IntervalMethod>().unwrap(), m);
+        }
+        assert_eq!(
+            "et".parse::<IntervalMethod>().unwrap(),
+            IntervalMethod::Et(BetaPrior::JEFFREYS)
+        );
+        for bad in ["", "waldo", "et[", "et[beta(80,20)]", "hpd[kermann]"] {
+            assert!(bad.parse::<IntervalMethod>().is_err(), "{bad:?}");
+        }
     }
 
     #[test]

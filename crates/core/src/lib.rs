@@ -70,10 +70,11 @@ pub use framework::{
     evaluate, evaluate_prepared, EvalConfig, EvalResult, PreparedDesign, SamplingDesign,
     StoppingPolicy,
 };
-pub use method::{IntervalMethod, MethodState};
+pub use method::{IntervalMethod, MethodParseError, MethodState};
 pub use runner::{cost_t_test, repeat_evaluation, triples_t_test, RepeatedRuns};
 pub use session::{
-    AnnotationRequest, EvaluationSession, SessionError, SessionStatus, SnapshotRng, StopReason,
+    peek_snapshot_header, AnnotationRequest, EvaluationSession, SessionError, SessionStatus,
+    SnapshotHeader, SnapshotRng, StopReason,
 };
 pub use state::{DesignKind, EffectiveSample, SampleState};
 

@@ -82,6 +82,14 @@ impl IntervalMethod {
         }
     }
 
+    /// Canonical lower-case wire name (`"wald"`, `"et[jeffreys]"`,
+    /// `"ahpd"`, ...); [`IntervalMethod::from_str`](std::str::FromStr)
+    /// parses it back for every named-prior method.
+    #[must_use]
+    pub fn canonical_name(&self) -> String {
+        self.name().to_ascii_lowercase()
+    }
+
     /// The candidate priors of the Bayesian methods (`None` for the
     /// frequentist ones).
     pub(crate) fn priors(&self) -> Option<&[BetaPrior]> {
@@ -358,6 +366,64 @@ impl IntervalMethod {
                 })
             })
         })
+    }
+}
+
+/// Error parsing an interval-method name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodParseError(
+    /// The offending name.
+    pub String,
+);
+
+impl std::fmt::Display for MethodParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown interval method {:?} (expected wald, wilson, ahpd, \
+             or et/hpd with an optional [kerman|jeffreys|uniform] prior)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for MethodParseError {}
+
+impl std::str::FromStr for IntervalMethod {
+    type Err = MethodParseError;
+
+    /// Parses a method name, case-insensitively: `wald`, `wilson`,
+    /// `ahpd` (the paper's default prior set), and `et` / `hpd` with an
+    /// optional named prior in brackets (`et[kerman]`, `hpd[uniform]`;
+    /// Jeffreys when omitted). Informative custom priors have no wire
+    /// name — construct those variants directly.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        let err = || MethodParseError(s.to_string());
+        match lower.as_str() {
+            "wald" => return Ok(IntervalMethod::Wald),
+            "wilson" => return Ok(IntervalMethod::Wilson),
+            "ahpd" => return Ok(IntervalMethod::ahpd_default()),
+            _ => {}
+        }
+        let (base, prior) = match lower.split_once('[') {
+            None => (lower.as_str(), BetaPrior::JEFFREYS),
+            Some((base, rest)) => {
+                let name = rest.strip_suffix(']').ok_or_else(err)?;
+                let prior = match name {
+                    "kerman" => BetaPrior::KERMAN,
+                    "jeffreys" => BetaPrior::JEFFREYS,
+                    "uniform" => BetaPrior::UNIFORM,
+                    _ => return Err(err()),
+                };
+                (base, prior)
+            }
+        };
+        match base {
+            "et" => Ok(IntervalMethod::Et(prior)),
+            "hpd" => Ok(IntervalMethod::Hpd(prior)),
+            _ => Err(err()),
+        }
     }
 }
 

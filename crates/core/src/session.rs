@@ -39,9 +39,7 @@ use crate::snapshot::{Reader, Writer};
 use crate::state::{DesignKind, SampleState};
 use kgae_graph::{KnowledgeGraph, LabelCache};
 use kgae_intervals::{Interval, IntervalError};
-use kgae_sampling::driver::{
-    DesignDriver, ScsDriver, SrsDriver, TwcsDriver, UnitEstimator, WcsDriver,
-};
+use kgae_sampling::driver::{build_driver, DesignDriver, UnitEstimator};
 use kgae_sampling::SampledTriple;
 use kgae_stats::descriptive::OnlineMoments;
 use kgae_stats::dist::Beta;
@@ -205,7 +203,7 @@ struct SessionOutcome {
 /// and interval method. See the module docs for the protocol.
 pub struct EvaluationSession<'a, R: RngCore> {
     kg: &'a dyn KnowledgeGraph,
-    driver: Box<dyn DesignDriver + 'a>,
+    driver: Box<dyn DesignDriver + Send + 'a>,
     design: SamplingDesign,
     method: IntervalMethod,
     cfg: EvalConfig,
@@ -256,22 +254,12 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
         cfg: &EvalConfig,
         rng: R,
     ) -> Self {
-        let driver: Box<dyn DesignDriver + 'a> = match prepared.design() {
-            SamplingDesign::Srs => Box::new(SrsDriver::new(kg)),
-            SamplingDesign::Twcs { m } => Box::new(TwcsDriver::with_table(
-                kg,
-                m,
-                prepared.pps().expect("prepared TWCS has a table"),
-            )),
-            SamplingDesign::Wcs => Box::new(WcsDriver::with_table(
-                kg,
-                prepared.pps().expect("prepared WCS has a table"),
-                prepared.max_draw_size(),
-            )),
-            SamplingDesign::Scs => {
-                Box::new(ScsDriver::with_max_unit_size(kg, prepared.max_draw_size()))
-            }
-        };
+        let driver = build_driver(
+            kg,
+            prepared.design().spec(),
+            prepared.pps(),
+            Some(prepared.max_draw_size()),
+        );
         Self::with_driver(kg, driver, prepared.design(), method, cfg, rng)
     }
 
@@ -281,7 +269,7 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
     /// estimation path.
     pub fn with_driver(
         kg: &'a dyn KnowledgeGraph,
-        driver: Box<dyn DesignDriver + 'a>,
+        driver: Box<dyn DesignDriver + Send + 'a>,
         design: SamplingDesign,
         method: &IntervalMethod,
         cfg: &EvalConfig,
@@ -335,6 +323,26 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
     #[must_use]
     pub fn design(&self) -> SamplingDesign {
         self.design
+    }
+
+    /// The session's interval method.
+    #[must_use]
+    pub fn method(&self) -> &IntervalMethod {
+        &self.method
+    }
+
+    /// The session's evaluation configuration.
+    #[must_use]
+    pub fn config(&self) -> &EvalConfig {
+        &self.cfg
+    }
+
+    /// Whether an annotation request is outstanding (labels owed). A
+    /// pending session cannot be snapshotted; session hosts check this
+    /// before suspending instead of round-tripping through the error.
+    #[must_use]
+    pub fn has_pending_request(&self) -> bool {
+        self.pending
     }
 
     /// Mutable access to the session's RNG, for callers that interleave
@@ -755,6 +763,54 @@ fn stopping_tag(policy: StoppingPolicy) -> u8 {
     }
 }
 
+/// The identity prefix of a session snapshot: which design produced it
+/// and the shape of the KG it belongs to. Enough for a snapshot store
+/// to index and sanity-check dormant sessions without paying a full
+/// [`EvaluationSession::resume`] (which still re-validates everything,
+/// including config and method, on rehydration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// The sampling design the suspended session was running.
+    pub design: SamplingDesign,
+    /// `num_triples` of the KG the session was evaluating.
+    pub num_triples: u64,
+    /// `num_clusters` of the KG the session was evaluating.
+    pub num_clusters: u32,
+}
+
+/// Parses the identity prefix of snapshot bytes without reconstructing
+/// a session.
+///
+/// # Errors
+///
+/// [`SessionError::CorruptSnapshot`] on bad magic, a truncated header
+/// or an unknown design tag; [`SessionError::SnapshotMismatch`] on an
+/// unsupported snapshot version.
+pub fn peek_snapshot_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionError> {
+    let corrupt = SessionError::CorruptSnapshot;
+    let mut r = Reader::new(bytes);
+    if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
+        return Err(SessionError::CorruptSnapshot("bad magic"));
+    }
+    if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
+        return Err(SessionError::SnapshotMismatch("unsupported version"));
+    }
+    let tag = r.u8().map_err(corrupt)?;
+    let m = r.u64().map_err(corrupt)?;
+    let design = match (tag, m) {
+        (0, _) => SamplingDesign::Srs,
+        (1, m) if m > 0 => SamplingDesign::Twcs { m },
+        (2, _) => SamplingDesign::Wcs,
+        (3, _) => SamplingDesign::Scs,
+        _ => return Err(SessionError::CorruptSnapshot("unknown design tag")),
+    };
+    Ok(SnapshotHeader {
+        design,
+        num_triples: r.u64().map_err(corrupt)?,
+        num_clusters: r.u32().map_err(corrupt)?,
+    })
+}
+
 impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
     /// Serializes the session's complete dynamic state into a compact
     /// binary snapshot. The encoding is canonical: identical logical
@@ -875,7 +931,8 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
     /// evaluation trajectory — of the suspended one.
     ///
     /// Standard drivers are rebuilt from `prepared`. Custom driver
-    /// configuration (e.g. [`ScsDriver::limit_draws`]) is not part of
+    /// configuration (e.g. [`kgae_sampling::driver::ScsDriver::limit_draws`])
+    /// is not part of
     /// the snapshot — resume such sessions through
     /// [`EvaluationSession::resume_with_driver`] with an identically
     /// configured driver.
@@ -908,7 +965,7 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
     /// As [`EvaluationSession::resume`].
     pub fn resume_with_driver(
         kg: &'a dyn KnowledgeGraph,
-        driver: Box<dyn DesignDriver + 'a>,
+        driver: Box<dyn DesignDriver + Send + 'a>,
         design: SamplingDesign,
         method: &IntervalMethod,
         cfg: &EvalConfig,
@@ -1070,11 +1127,20 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
     }
 }
 
+// Sessions are sent across threads by multi-tenant session hosts (one
+// thread creates, another submits); the driver box carries `Send` so
+// the whole engine is `Send` whenever its RNG is.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<EvaluationSession<'_, SmallRng>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::annotator::{Annotator, OracleAnnotator};
     use kgae_graph::GroundTruth;
+    use kgae_sampling::driver::ScsDriver;
     use rand::SeedableRng;
 
     fn drive_to_completion(
@@ -1425,6 +1491,44 @@ mod tests {
         assert_eq!(resumed_reason, StopReason::StreamExhausted);
         assert_eq!(straight.stage1_draws, limit);
         assert_eq!(straight, resumed, "suspend/resume changed the bounded run");
+    }
+
+    #[test]
+    fn snapshot_header_peek_reports_identity_without_resume() {
+        let kg = kgae_graph::datasets::nell();
+        let method = IntervalMethod::ahpd_default();
+        let cfg = EvalConfig::default();
+        let design = SamplingDesign::Twcs { m: 3 };
+        let mut s = EvaluationSession::new(&kg, design, &method, &cfg, SmallRng::seed_from_u64(2));
+        let req = s.next_request(3).unwrap().unwrap();
+        let labels: Vec<bool> = req
+            .triples
+            .iter()
+            .map(|st| kg.is_correct(st.triple))
+            .collect();
+        s.submit(&labels).unwrap();
+        let snap = s.snapshot().unwrap();
+        let header = peek_snapshot_header(&snap).unwrap();
+        assert_eq!(header.design, design);
+        assert_eq!(header.num_triples, kg.num_triples());
+        assert_eq!(header.num_clusters, kg.num_clusters());
+        // Corrupt / truncated prefixes fail loudly.
+        assert!(matches!(
+            peek_snapshot_header(&snap[..9]),
+            Err(SessionError::CorruptSnapshot(_))
+        ));
+        let mut bad_magic = snap.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            peek_snapshot_header(&bad_magic),
+            Err(SessionError::CorruptSnapshot(_))
+        ));
+        let mut bad_tag = snap;
+        bad_tag[10] = 200; // design tag byte
+        assert!(matches!(
+            peek_snapshot_header(&bad_tag),
+            Err(SessionError::CorruptSnapshot(_))
+        ));
     }
 
     #[test]

@@ -45,6 +45,123 @@ pub enum UnitEstimator {
     },
 }
 
+/// A sampling design identified by name — the wire half of driver
+/// reconstruction. The session service receives designs as strings
+/// (`"srs"`, `"twcs:3"`, `"wcs"`, `"scs"`), parses them into a spec and
+/// rebuilds the matching [`DesignDriver`] with [`build_driver`];
+/// `kgae-core` layers its own `SamplingDesign` conversions on top so
+/// both sides agree on one grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignSpec {
+    /// Simple random sampling of triples.
+    Srs,
+    /// Two-stage weighted cluster sampling with second-stage cap `m`.
+    Twcs {
+        /// Second-stage sample size (`m ≥ 1`).
+        m: u64,
+    },
+    /// Weighted (PPS) cluster sampling, whole clusters.
+    Wcs,
+    /// Simple cluster sampling, whole clusters.
+    Scs,
+}
+
+impl DesignSpec {
+    /// The canonical lower-case wire name (`"srs"`, `"twcs:3"`, ...).
+    /// [`DesignSpec::from_str`](std::str::FromStr) parses it back.
+    #[must_use]
+    pub fn canonical_name(&self) -> String {
+        match self {
+            DesignSpec::Srs => "srs".into(),
+            DesignSpec::Twcs { m } => format!("twcs:{m}"),
+            DesignSpec::Wcs => "wcs".into(),
+            DesignSpec::Scs => "scs".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for DesignSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical_name())
+    }
+}
+
+/// Error parsing a design name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DesignParseError(
+    /// The offending name.
+    pub String,
+);
+
+impl std::fmt::Display for DesignParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown sampling design {:?} (expected srs, twcs:<m>, wcs or scs)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for DesignParseError {}
+
+impl std::str::FromStr for DesignSpec {
+    type Err = DesignParseError;
+
+    /// Parses a design name, case-insensitively. Accepted forms:
+    /// `srs`, `wcs`, `scs`, `twcs:<m>` (canonical) and the display form
+    /// `twcs(m=<m>)` used in the paper tables. `m` must be ≥ 1.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        let err = || DesignParseError(s.to_string());
+        match lower.as_str() {
+            "srs" => return Ok(DesignSpec::Srs),
+            "wcs" => return Ok(DesignSpec::Wcs),
+            "scs" => return Ok(DesignSpec::Scs),
+            _ => {}
+        }
+        let m_str = lower
+            .strip_prefix("twcs:")
+            .or_else(|| {
+                lower
+                    .strip_prefix("twcs(m=")
+                    .and_then(|rest| rest.strip_suffix(')'))
+            })
+            .ok_or_else(err)?;
+        let m: u64 = m_str.parse().map_err(|_| err())?;
+        if m == 0 {
+            return Err(err());
+        }
+        Ok(DesignSpec::Twcs { m })
+    }
+}
+
+/// Reconstructs the [`DesignDriver`] for a named design over any KG
+/// backend — the single construction path shared by the closed-loop
+/// facade, the poll-based session engine and the session service.
+///
+/// `pps` supplies a prebuilt PPS-by-size alias table for the weighted
+/// designs (an `Arc` clone, never a table copy); `max_unit_size` the
+/// precomputed largest-cluster size for the whole-cluster designs. Both
+/// are rebuilt from the KG when absent, at O(#clusters) cost.
+#[must_use]
+pub fn build_driver<'a>(
+    kg: &'a dyn KnowledgeGraph,
+    spec: DesignSpec,
+    pps: Option<Arc<AliasTable>>,
+    max_unit_size: Option<u64>,
+) -> Box<dyn DesignDriver + Send + 'a> {
+    let table =
+        |pps: Option<Arc<AliasTable>>| pps.unwrap_or_else(|| Arc::new(pps_by_size_table(kg)));
+    let max = |max_unit_size: Option<u64>| max_unit_size.unwrap_or_else(|| max_cluster_size(kg));
+    match spec {
+        DesignSpec::Srs => Box::new(SrsDriver::new(kg)),
+        DesignSpec::Twcs { m } => Box::new(TwcsDriver::with_table(kg, m, table(pps))),
+        DesignSpec::Wcs => Box::new(WcsDriver::with_table(kg, table(pps), max(max_unit_size))),
+        DesignSpec::Scs => Box::new(ScsDriver::with_max_unit_size(kg, max(max_unit_size))),
+    }
+}
+
 /// Error restoring a driver from serialized state (snapshot corrupt or
 /// from a different design/KG).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -616,6 +733,77 @@ mod tests {
             if a.is_none() {
                 break;
             }
+        }
+    }
+
+    #[test]
+    fn design_spec_names_round_trip_and_reject_garbage() {
+        let specs = [
+            DesignSpec::Srs,
+            DesignSpec::Twcs { m: 3 },
+            DesignSpec::Twcs { m: 17 },
+            DesignSpec::Wcs,
+            DesignSpec::Scs,
+        ];
+        for spec in specs {
+            assert_eq!(spec.canonical_name().parse::<DesignSpec>().unwrap(), spec);
+            // Case-insensitive, and the paper display form also parses.
+            assert_eq!(
+                spec.canonical_name()
+                    .to_ascii_uppercase()
+                    .parse::<DesignSpec>()
+                    .unwrap(),
+                spec
+            );
+        }
+        assert_eq!(
+            "TWCS(m=5)".parse::<DesignSpec>().unwrap(),
+            DesignSpec::Twcs { m: 5 }
+        );
+        assert_eq!(" srs ".parse::<DesignSpec>().unwrap(), DesignSpec::Srs);
+        for bad in [
+            "", "srss", "twcs", "twcs:", "twcs:0", "twcs:-1", "twcs(m=3", "pps",
+        ] {
+            assert!(bad.parse::<DesignSpec>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn build_driver_reconstructs_every_design_and_is_send() {
+        fn assert_send<T: Send + ?Sized>() {}
+        assert_send::<dyn DesignDriver + Send>();
+        let kg = kg(&[3, 1, 4, 2]);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut buf = Vec::new();
+        for (name, est_is_triple) in [
+            ("srs", true),
+            ("twcs:3", false),
+            ("wcs", false),
+            ("scs", false),
+        ] {
+            let spec: DesignSpec = name.parse().unwrap();
+            let mut d = build_driver(&kg, spec, None, None);
+            assert!(d.next_unit(&mut rng, &mut buf).is_some(), "{name}");
+            assert_eq!(
+                matches!(d.estimator(), UnitEstimator::Triple),
+                est_is_triple,
+                "{name}"
+            );
+        }
+        // A reconstructed driver produces the exact stream of a directly
+        // constructed one (shared table or not).
+        let table = Arc::new(pps_by_size_table(&kg));
+        let mut a = build_driver(&kg, DesignSpec::Twcs { m: 2 }, Some(table.clone()), None);
+        let mut b = TwcsDriver::with_table(&kg, 2, table);
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        let mut buf_b = Vec::new();
+        for _ in 0..20 {
+            assert_eq!(
+                a.next_unit(&mut rng_a, &mut buf),
+                b.next_unit(&mut rng_b, &mut buf_b)
+            );
+            assert_eq!(buf, buf_b);
         }
     }
 

@@ -1,0 +1,509 @@
+//! Typed request/response DTOs and their JSON (de)serialization — the
+//! single wire vocabulary shared by the server routes, the snapshot
+//! store's meta records and the `kgae-client` crate.
+//!
+//! Every encoder here has a matching decoder and the pair round-trips
+//! bit for bit (floats use shortest-round-trip formatting), which is
+//! what lets a suspended session's cached status survive
+//! meta-file → JSON → meta-file cycles unchanged.
+
+use crate::json::Json;
+use kgae_core::{
+    AnnotationRequest, EvalConfig, EvalResult, IntervalMethod, SamplingDesign, SessionStatus,
+    StopReason,
+};
+use kgae_intervals::Interval;
+
+/// A malformed wire payload (missing field, wrong type, unknown name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(
+    /// What was wrong.
+    pub String,
+);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn wire_err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, WireError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| wire_err(format!("missing or non-string field {key:?}")))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, WireError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| wire_err(format!("missing or non-integer field {key:?}")))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, WireError> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| wire_err(format!("missing or non-numeric field {key:?}")))
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, WireError> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| wire_err(format!("missing or non-boolean field {key:?}")))
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(field) => field
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| wire_err(format!("non-integer field {key:?}"))),
+    }
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(field) => field
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| wire_err(format!("non-numeric field {key:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session spec
+// ---------------------------------------------------------------------
+
+/// Everything needed to (re)construct an evaluation session: the create
+/// request's payload and the identity half of a stored meta record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Session id (also the snapshot store key).
+    pub id: String,
+    /// Registry name of the KG under evaluation.
+    pub dataset: String,
+    /// Sampling design.
+    pub design: SamplingDesign,
+    /// Interval method.
+    pub method: IntervalMethod,
+    /// RNG seed of the sampling stream (exact below 2⁵³ on the wire).
+    pub seed: u64,
+    /// Significance level α.
+    pub alpha: f64,
+    /// MoE stopping threshold ε.
+    pub epsilon: f64,
+    /// Optional cap on total annotation observations.
+    pub max_observations: Option<u64>,
+}
+
+impl SessionSpec {
+    /// The evaluation-loop configuration this spec denotes. Fields not
+    /// exposed on the wire keep the paper defaults, so a spec always
+    /// reconstructs the exact config its snapshots were fingerprinted
+    /// with.
+    #[must_use]
+    pub fn eval_config(&self) -> EvalConfig {
+        EvalConfig {
+            alpha: self.alpha,
+            epsilon: self.epsilon,
+            max_observations: self.max_observations,
+            ..EvalConfig::default()
+        }
+    }
+
+    /// Encodes the spec.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(&self.id)),
+            ("dataset", Json::str(&self.dataset)),
+            ("design", Json::str(&self.design.canonical_name())),
+            ("method", Json::str(&self.method.canonical_name())),
+            ("seed", Json::int(self.seed)),
+            ("alpha", Json::Num(self.alpha)),
+            ("epsilon", Json::Num(self.epsilon)),
+            (
+                "max_observations",
+                self.max_observations.map_or(Json::Null, Json::int),
+            ),
+        ])
+    }
+
+    /// Decodes a spec from a create request or meta record. `alpha`,
+    /// `epsilon` and `seed` are optional on the wire (paper defaults
+    /// α = ε = 0.05, seed 0).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on missing/mistyped fields or unknown
+    /// design/method names.
+    pub fn from_json(v: &Json) -> Result<Self, WireError> {
+        let design: SamplingDesign = req_str(v, "design")?
+            .parse()
+            .map_err(|e| wire_err(format!("{e}")))?;
+        let method: IntervalMethod = req_str(v, "method")?
+            .parse()
+            .map_err(|e| wire_err(format!("{e}")))?;
+        Ok(SessionSpec {
+            id: req_str(v, "id")?,
+            dataset: req_str(v, "dataset")?,
+            design,
+            method,
+            seed: opt_u64(v, "seed")?.unwrap_or(0),
+            alpha: opt_f64(v, "alpha")?.unwrap_or(0.05),
+            epsilon: opt_f64(v, "epsilon")?.unwrap_or(0.05),
+            max_observations: opt_u64(v, "max_observations")?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stop reasons, status, results
+// ---------------------------------------------------------------------
+
+/// Wire name of a stop reason.
+#[must_use]
+pub fn stop_reason_name(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::MoeSatisfied => "moe_satisfied",
+        StopReason::PopulationExhausted => "population_exhausted",
+        StopReason::StreamExhausted => "stream_exhausted",
+        StopReason::BudgetExhausted => "budget_exhausted",
+    }
+}
+
+/// Inverse of [`stop_reason_name`].
+///
+/// # Errors
+///
+/// [`WireError`] on an unknown name.
+pub fn stop_reason_from_name(name: &str) -> Result<StopReason, WireError> {
+    match name {
+        "moe_satisfied" => Ok(StopReason::MoeSatisfied),
+        "population_exhausted" => Ok(StopReason::PopulationExhausted),
+        "stream_exhausted" => Ok(StopReason::StreamExhausted),
+        "budget_exhausted" => Ok(StopReason::BudgetExhausted),
+        other => Err(wire_err(format!("unknown stop reason {other:?}"))),
+    }
+}
+
+fn interval_to_json(interval: &Interval) -> Json {
+    Json::Arr(vec![
+        Json::Num(interval.lower()),
+        Json::Num(interval.upper()),
+    ])
+}
+
+fn interval_from_json(v: &Json) -> Result<Interval, WireError> {
+    let arr = v
+        .as_arr()
+        .ok_or_else(|| wire_err("interval must be [lo, hi]"))?;
+    match arr {
+        [lo, hi] => {
+            let lo = lo
+                .as_f64()
+                .ok_or_else(|| wire_err("non-numeric interval bound"))?;
+            let hi = hi
+                .as_f64()
+                .ok_or_else(|| wire_err("non-numeric interval bound"))?;
+            Ok(Interval::new(lo, hi))
+        }
+        _ => Err(wire_err("interval must have exactly two bounds")),
+    }
+}
+
+/// Encodes a [`SessionStatus`].
+#[must_use]
+pub fn status_to_json(status: &SessionStatus) -> Json {
+    Json::obj(vec![
+        ("estimate", status.estimate.map_or(Json::Null, Json::Num)),
+        (
+            "interval",
+            status
+                .interval
+                .as_ref()
+                .map_or(Json::Null, interval_to_json),
+        ),
+        ("observations", Json::int(status.observations)),
+        ("annotated_triples", Json::int(status.annotated_triples)),
+        ("stage1_draws", Json::int(status.stage1_draws)),
+        ("cost_seconds", Json::Num(status.cost_seconds)),
+        (
+            "stopped",
+            status
+                .stopped
+                .map_or(Json::Null, |r| Json::str(stop_reason_name(r))),
+        ),
+    ])
+}
+
+/// Decodes a [`SessionStatus`].
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields.
+pub fn status_from_json(v: &Json) -> Result<SessionStatus, WireError> {
+    let interval = match v.get("interval") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(interval_from_json(field)?),
+    };
+    let stopped = match v.get("stopped") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(stop_reason_from_name(
+            field
+                .as_str()
+                .ok_or_else(|| wire_err("non-string stop reason"))?,
+        )?),
+    };
+    Ok(SessionStatus {
+        estimate: opt_f64(v, "estimate")?,
+        interval,
+        observations: req_u64(v, "observations")?,
+        annotated_triples: req_u64(v, "annotated_triples")?,
+        stage1_draws: req_u64(v, "stage1_draws")?,
+        cost_seconds: req_f64(v, "cost_seconds")?,
+        stopped,
+    })
+}
+
+/// Encodes an [`EvalResult`].
+#[must_use]
+pub fn result_to_json(result: &EvalResult) -> Json {
+    Json::obj(vec![
+        ("mu_hat", Json::Num(result.mu_hat)),
+        ("interval", interval_to_json(&result.interval)),
+        ("annotated_triples", Json::int(result.annotated_triples)),
+        ("annotated_entities", Json::int(result.annotated_entities)),
+        ("observations", Json::int(result.observations)),
+        ("stage1_draws", Json::int(result.stage1_draws)),
+        ("cost_seconds", Json::Num(result.cost_seconds)),
+        ("converged", Json::Bool(result.converged)),
+        ("halted_at_floor", Json::Bool(result.halted_at_floor)),
+    ])
+}
+
+/// Decodes an [`EvalResult`].
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields.
+pub fn result_from_json(v: &Json) -> Result<EvalResult, WireError> {
+    Ok(EvalResult {
+        mu_hat: req_f64(v, "mu_hat")?,
+        interval: interval_from_json(
+            v.get("interval")
+                .ok_or_else(|| wire_err("missing field \"interval\""))?,
+        )?,
+        annotated_triples: req_u64(v, "annotated_triples")?,
+        annotated_entities: req_u64(v, "annotated_entities")?,
+        observations: req_u64(v, "observations")?,
+        stage1_draws: req_u64(v, "stage1_draws")?,
+        cost_seconds: req_f64(v, "cost_seconds")?,
+        converged: req_bool(v, "converged")?,
+        halted_at_floor: req_bool(v, "halted_at_floor")?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Annotation requests
+// ---------------------------------------------------------------------
+
+/// One triple of an annotation request, as shipped to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripleRef {
+    /// Dense triple id within the dataset.
+    pub triple: u64,
+    /// The entity cluster owning the triple (annotation context).
+    pub cluster: u32,
+}
+
+/// The wire form of a poll for labels: either the batch to annotate or
+/// the news that the session has stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireRequest {
+    /// `true` when the session has stopped and no labels are owed.
+    pub done: bool,
+    /// Stage-1 units covered by this batch.
+    pub units: u64,
+    /// Fencing seq to echo on the label submission (absent when done).
+    pub seq: Option<u64>,
+    /// Triples to label, in submission order.
+    pub triples: Vec<TripleRef>,
+}
+
+/// Encodes a poll outcome (`None` = the session has stopped). `seq` is
+/// the batch's fencing token, echoed back on submission.
+#[must_use]
+pub fn request_to_json(request: Option<&AnnotationRequest>, seq: Option<u64>) -> Json {
+    match request {
+        None => Json::obj(vec![
+            ("done", Json::Bool(true)),
+            ("units", Json::int(0)),
+            ("triples", Json::Arr(Vec::new())),
+        ]),
+        Some(req) => Json::obj(vec![
+            ("done", Json::Bool(false)),
+            ("units", Json::int(req.units)),
+            ("seq", seq.map_or(Json::Null, Json::int)),
+            (
+                "triples",
+                Json::Arr(
+                    req.triples
+                        .iter()
+                        .map(|st| {
+                            Json::obj(vec![
+                                ("triple", Json::int(st.triple.index())),
+                                ("cluster", Json::int(u64::from(st.cluster.index()))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+/// Decodes a poll outcome (client side).
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields.
+pub fn request_from_json(v: &Json) -> Result<WireRequest, WireError> {
+    let triples = v
+        .get("triples")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("missing or non-array field \"triples\""))?
+        .iter()
+        .map(|t| {
+            Ok(TripleRef {
+                triple: req_u64(t, "triple")?,
+                cluster: u32::try_from(req_u64(t, "cluster")?)
+                    .map_err(|_| wire_err("cluster id exceeds u32"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(WireRequest {
+        done: req_bool(v, "done")?,
+        units: req_u64(v, "units")?,
+        seq: opt_u64(v, "seq")?,
+        triples,
+    })
+}
+
+/// Decodes a label-submission body into the engine's label vector plus
+/// the optional fencing seq echoed from the poll.
+///
+/// # Errors
+///
+/// [`WireError`] when `labels` is missing or contains non-booleans.
+pub fn labels_from_json(v: &Json) -> Result<(Vec<bool>, Option<u64>), WireError> {
+    let labels = v
+        .get("labels")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("missing or non-array field \"labels\""))?
+        .iter()
+        .map(|l| l.as_bool().ok_or_else(|| wire_err("non-boolean label")))
+        .collect::<Result<Vec<bool>, WireError>>()?;
+    Ok((labels, opt_u64(v, "seq")?))
+}
+
+/// The standard error body.
+#[must_use]
+pub fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::str(message))]).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn spec_round_trips_with_defaults() {
+        let body = json::parse(
+            r#"{"id":"c1","dataset":"nell","design":"twcs:3","method":"ahpd","seed":9}"#,
+        )
+        .unwrap();
+        let spec = SessionSpec::from_json(&body).unwrap();
+        assert_eq!(spec.design, SamplingDesign::Twcs { m: 3 });
+        assert_eq!(spec.alpha, 0.05);
+        assert_eq!(spec.epsilon, 0.05);
+        assert_eq!(spec.max_observations, None);
+        let round = SessionSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(round, spec);
+        for bad in [
+            r#"{"dataset":"nell","design":"srs","method":"ahpd"}"#,
+            r#"{"id":"x","dataset":"nell","design":"pps","method":"ahpd"}"#,
+            r#"{"id":"x","dataset":"nell","design":"srs","method":"bayes"}"#,
+            r#"{"id":"x","dataset":"nell","design":"srs","method":"ahpd","seed":-3}"#,
+        ] {
+            let v = json::parse(bad).unwrap();
+            assert!(SessionSpec::from_json(&v).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn status_and_result_round_trip_bit_for_bit() {
+        let status = SessionStatus {
+            estimate: Some(0.912_345_678_901_234_5),
+            interval: Some(Interval::new(0.871, 0.953_000_000_000_000_1)),
+            observations: 123,
+            annotated_triples: 120,
+            stage1_draws: 41,
+            cost_seconds: 5_432.25,
+            stopped: Some(StopReason::MoeSatisfied),
+        };
+        let round = status_from_json(&status_to_json(&status)).unwrap();
+        assert_eq!(round, status);
+
+        let empty = SessionStatus {
+            estimate: None,
+            interval: None,
+            observations: 0,
+            annotated_triples: 0,
+            stage1_draws: 0,
+            cost_seconds: 0.0,
+            stopped: None,
+        };
+        assert_eq!(status_from_json(&status_to_json(&empty)).unwrap(), empty);
+
+        let result = EvalResult {
+            mu_hat: 0.907_123,
+            interval: Interval::new(0.86, 0.955),
+            annotated_triples: 130,
+            annotated_entities: 60,
+            observations: 140,
+            stage1_draws: 47,
+            cost_seconds: 6_000.5,
+            converged: true,
+            halted_at_floor: false,
+        };
+        assert_eq!(result_from_json(&result_to_json(&result)).unwrap(), result);
+    }
+
+    #[test]
+    fn labels_and_requests_decode() {
+        let v = json::parse(r#"{"labels":[true,false,true],"seq":4}"#).unwrap();
+        assert_eq!(
+            labels_from_json(&v).unwrap(),
+            (vec![true, false, true], Some(4))
+        );
+        let v = json::parse(r#"{"labels":[]}"#).unwrap();
+        assert_eq!(labels_from_json(&v).unwrap(), (vec![], None));
+        let bad = json::parse(r#"{"labels":[1]}"#).unwrap();
+        assert!(labels_from_json(&bad).is_err());
+
+        let wire = request_from_json(&request_to_json(None, None)).unwrap();
+        assert!(wire.done);
+        assert_eq!(wire.seq, None);
+        assert!(wire.triples.is_empty());
+    }
+}

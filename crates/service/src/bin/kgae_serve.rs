@@ -1,0 +1,79 @@
+//! `kgae-serve`: boots the session service over the standard datasets.
+//!
+//! ```text
+//! kgae-serve [--addr HOST:PORT] [--workers N] [--shards N]
+//!            [--store-dir PATH] [--port-file PATH]
+//! ```
+//!
+//! * `--addr` — bind address; port 0 picks an ephemeral port
+//!   (default `127.0.0.1:7707`).
+//! * `--workers` — connection-handler threads; each owns one keep-alive
+//!   connection, so this bounds simultaneous clients (default:
+//!   8 × available parallelism, at least 32).
+//! * `--shards` — session-registry lock stripes (default 16).
+//! * `--store-dir` — snapshot-store directory (default `kgae-store`).
+//! * `--port-file` — write the bound port (decimal, newline) to this
+//!   path once listening; lets scripts coordinate with port 0.
+//!
+//! Exits non-zero on any startup failure.
+
+use kgae_service::{DatasetRegistry, Server, SessionManager, SnapshotStore};
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn run() -> Result<(), String> {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7707".into());
+    let workers = match arg_value("--workers") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--workers: not a number: {v:?}"))?,
+        // A worker owns one keep-alive connection for its lifetime, so
+        // the count bounds simultaneous clients, not request rate —
+        // default well above the core count.
+        None => std::thread::available_parallelism()
+            .map_or(4, std::num::NonZeroUsize::get)
+            .saturating_mul(8)
+            .max(32),
+    };
+    let shards = match arg_value("--shards") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("--shards: not a number: {v:?}"))?,
+        None => 16,
+    };
+    let store_dir = arg_value("--store-dir").unwrap_or_else(|| "kgae-store".into());
+
+    eprintln!("kgae-serve: generating the standard datasets...");
+    let registry = DatasetRegistry::standard();
+    let store =
+        SnapshotStore::open(&store_dir).map_err(|e| format!("opening store {store_dir:?}: {e}"))?;
+    let manager = SessionManager::new(&registry, store, shards);
+
+    let server = Server::bind(&addr, workers).map_err(|e| format!("binding {addr:?}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("reading bound address: {e}"))?;
+    if let Some(port_file) = arg_value("--port-file") {
+        std::fs::write(&port_file, format!("{}\n", local.port()))
+            .map_err(|e| format!("writing {port_file:?}: {e}"))?;
+    }
+    eprintln!(
+        "kgae-serve: listening on http://{local} ({workers} workers, {shards} shards, \
+         store {store_dir:?})"
+    );
+    server.run(&manager);
+    Ok(())
+}
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("kgae-serve: {message}");
+        std::process::exit(1);
+    }
+}

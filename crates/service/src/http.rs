@@ -1,0 +1,384 @@
+//! Minimal HTTP/1.1 over `std::net`: exactly the subset the session
+//! service speaks — `GET`/`POST`/`DELETE`, JSON bodies with
+//! `Content-Length`, and keep-alive connection reuse. Both directions
+//! live here so the server ([`crate::server`]) and the `kgae-client`
+//! crate parse the wire identically.
+//!
+//! Hard limits protect the server from hostile peers: 8 KiB per line,
+//! 100 headers, 8 MiB bodies. Anything outside the subset (chunked
+//! transfer encoding, upgrades) is rejected loudly rather than
+//! half-supported.
+
+use std::io::{BufRead, Read, Write};
+
+/// Maximum length of the request line or any header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers per message.
+pub const MAX_HEADERS: usize = 100;
+/// Maximum body size in bytes (snapshot hex dumps stay well below).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// Why reading an HTTP message failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a message started — the
+    /// normal end of a keep-alive session.
+    Closed,
+    /// The socket's read timeout fired before the first byte of a new
+    /// message. No data was consumed, so the caller may keep waiting
+    /// (servers use short timeouts as shutdown-check ticks) or close
+    /// the idle connection.
+    IdleTimeout,
+    /// Transport failure mid-message.
+    Io(std::io::Error),
+    /// The bytes are not the HTTP subset this module speaks. The
+    /// payload is a human-readable reason.
+    Malformed(&'static str),
+    /// A line, header count or body exceeded its hard limit.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::IdleTimeout => write!(f, "idle timeout before a new message"),
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+            HttpError::Malformed(why) => write!(f, "malformed HTTP message: {why}"),
+            HttpError::TooLarge(what) => write!(f, "HTTP message too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// An incoming request, decoded.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Absolute path, without query string.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// A decoded response (client side).
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+fn read_line<R: BufRead>(reader: &mut R, first: bool) -> Result<String, HttpError> {
+    let mut line = Vec::with_capacity(64);
+    loop {
+        let n = match reader
+            .by_ref()
+            .take((MAX_LINE - line.len()) as u64)
+            .read_until(b'\n', &mut line)
+        {
+            Ok(n) => n,
+            // A timeout before any byte of a *new* message leaves the
+            // stream positioned cleanly; report it as idleness rather
+            // than a transport failure. Mid-message timeouts cannot be
+            // resynchronized and stay hard errors.
+            Err(e)
+                if first
+                    && line.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+            {
+                return Err(HttpError::IdleTimeout)
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if n == 0 {
+            return if line.is_empty() && first {
+                Err(HttpError::Closed)
+            } else {
+                Err(HttpError::Malformed("unterminated line"))
+            };
+        }
+        if line.last() == Some(&b'\n') {
+            break;
+        }
+        if line.len() >= MAX_LINE {
+            return Err(HttpError::TooLarge("line exceeds MAX_LINE"));
+        }
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 line"))
+}
+
+/// Header block: returns `(content_length, connection_close_requested,
+/// connection_keep_alive_requested)`.
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<(usize, bool, bool), HttpError> {
+    let mut content_length = 0usize;
+    let mut close = false;
+    let mut keep = false;
+    for count in 0.. {
+        if count > MAX_HEADERS {
+            return Err(HttpError::TooLarge("more than MAX_HEADERS headers"));
+        }
+        let line = read_line(reader, false)?;
+        if line.is_empty() {
+            return Ok((content_length, close, keep));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line without ':'"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+                if n > MAX_BODY {
+                    return Err(HttpError::TooLarge("body exceeds MAX_BODY"));
+                }
+                content_length = n;
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::Malformed(
+                    "Transfer-Encoding is not supported; send Content-Length",
+                ));
+            }
+            "connection" => {
+                for token in value.split(',') {
+                    match token.trim().to_ascii_lowercase().as_str() {
+                        "close" => close = true,
+                        "keep-alive" => keep = true,
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    unreachable!("loop returns or errors")
+}
+
+fn read_body<R: BufRead>(reader: &mut R, len: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            HttpError::Malformed("body shorter than Content-Length")
+        } else {
+            HttpError::Io(e)
+        }
+    })?;
+    Ok(body)
+}
+
+/// Reads one request from a connection. [`HttpError::Closed`] means the
+/// peer ended the keep-alive session cleanly before a new request.
+///
+/// # Errors
+///
+/// See [`HttpError`].
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let line = read_line(reader, true)?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?;
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line without a target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line without a version"))?;
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::Malformed("unsupported HTTP version")),
+    };
+    let path = target.split('?').next().unwrap_or(target);
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("request target must be absolute"));
+    }
+    let (content_length, close, keep) = read_headers(reader)?;
+    let body = read_body(reader, content_length)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+        keep_alive: if http11 { !close } else { keep },
+    })
+}
+
+/// Reads one response from a connection (client side).
+///
+/// # Errors
+///
+/// See [`HttpError`].
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, HttpError> {
+    let line = read_line(reader, true)?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(HttpError::Malformed("unparseable status code"))?;
+    let (content_length, close, keep) = read_headers(reader)?;
+    let body = read_body(reader, content_length)?;
+    let http11 = version == "HTTP/1.1";
+    Ok(Response {
+        status,
+        body,
+        keep_alive: if http11 { !close } else { keep },
+    })
+}
+
+/// The standard reason phrase for the status codes the service emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        status,
+        reason_phrase(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+        body,
+    )?;
+    writer.flush()
+}
+
+/// Writes a JSON request (client side). `body` may be empty (`GET`).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_request<W: Write>(
+    writer: &mut W,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: kgae\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+        body.len(),
+    )?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trip() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/v1/sessions", r#"{"id":"a"}"#).unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sessions");
+        assert_eq!(req.body, br#"{"id":"a"}"#);
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 201, r#"{"ok":true}"#, true).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.body, br#"{"ok":true}"#);
+        assert!(resp.keep_alive);
+    }
+
+    #[test]
+    fn clean_close_is_distinguished_from_garbage() {
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b""[..])),
+            Err(HttpError::Closed)
+        ));
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b"BLARGH\r\n\r\n"[..])),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&mut BufReader::new(
+                &b"GET / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n"[..]
+            )),
+            Err(HttpError::Malformed(_) | HttpError::TooLarge(_))
+        ));
+        assert!(matches!(
+            read_request(&mut BufReader::new(
+                &b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..]
+            )),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected() {
+        let mut wire = Vec::from(&b"GET /"[..]);
+        wire.extend(std::iter::repeat_n(b'a', MAX_LINE * 2));
+        wire.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert!(matches!(
+            read_request(&mut BufReader::new(&wire[..])),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let wire = b"GET / HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert!(!req.keep_alive);
+        let wire = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert!(!req.keep_alive);
+    }
+}

@@ -1,0 +1,40 @@
+//! # kgae-service
+//!
+//! The session service: the poll-based evaluation engine of `kgae-core`
+//! turned into a **multi-tenant network server**. Annotation campaigns
+//! become named, long-lived sessions hosted behind a std-only HTTP/1.1
+//! plus JSON API; idle campaigns spill to disk as binary snapshots and
+//! rehydrate lazily — with fingerprint validation and bit-identical
+//! evaluation trajectories — when their annotators return.
+//!
+//! | module | role |
+//! |--------|------|
+//! | [`manager`] | sharded, lock-striped [`SessionManager`] + dataset registry |
+//! | [`store`] | [`SnapshotStore`]: dormant sessions as meta + snapshot files |
+//! | [`server`] | `TcpListener` accept loop, worker pool, route table |
+//! | [`http`] | minimal HTTP/1.1 reader/writer (both directions) |
+//! | [`json`] | hand-rolled JSON value, encoder and strict parser |
+//! | [`api`] | typed DTOs ↔ JSON for every endpoint and meta record |
+//! | [`pool`] | fixed-size scoped worker pool (vendored crossbeam pattern) |
+//!
+//! The `kgae-serve` binary boots the standard four-dataset registry
+//! behind this stack; the `kgae-client` crate speaks the same wire
+//! format from the annotator side.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod api;
+pub mod http;
+pub mod json;
+pub mod manager;
+pub mod pool;
+pub mod server;
+pub mod store;
+
+pub use api::SessionSpec;
+pub use manager::{
+    DatasetRegistry, ServiceError, ServiceResult, SessionManager, SessionState, SessionView,
+};
+pub use server::{Server, ServerHandle};
+pub use store::SnapshotStore;

@@ -1,0 +1,1023 @@
+//! The multi-tenant session registry: many named evaluation campaigns,
+//! few locks, tiny dormant footprint.
+//!
+//! A [`SessionManager`] hosts any number of named
+//! [`EvaluationSession`]s over the datasets of a shared
+//! [`DatasetRegistry`]. The registry of sessions is **sharded and
+//! lock-striped**: an id hashes to one of N shards, each guarded by its
+//! own mutex, so concurrent traffic on different campaigns contends
+//! only 1/N of the time and every operation holds exactly one shard
+//! lock (no lock order, no deadlock surface).
+//!
+//! Sessions move through three in-memory states plus one on-disk state:
+//!
+//! ```text
+//!   create ──► Live ──submit──► Finished
+//!               │ ▲
+//!       suspend │ │ resume (lazy, fingerprint-validated)
+//!               ▼ │
+//!           Suspended ──evict──► (disk only)   resume ◄── disk
+//! ```
+//!
+//! A suspended session is a PR-2 binary snapshot plus a small JSON meta
+//! record in the [`SnapshotStore`]; evicting it drops the last
+//! in-memory bytes, so a dormant campaign costs ~KBs of disk and zero
+//! RAM. Resume works from either state and re-validates the snapshot's
+//! design/KG/config/method fingerprints before the session touches
+//! traffic again — and restores the exact sampling/posterior
+//! trajectory, bit for bit.
+
+use crate::api::SessionSpec;
+use crate::json::Json;
+use crate::store::{valid_session_id, SnapshotStore, StoredSession};
+use crate::{api, json};
+use kgae_core::{
+    AnnotationRequest, EvalResult, EvaluationSession, PreparedDesign, SamplingDesign, SessionError,
+    SessionStatus, StopReason,
+};
+use kgae_graph::CompactKg;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+/// Hard cap on stage-1 units a single poll may request. Cluster
+/// designs sample with replacement — their unit streams never exhaust —
+/// so the engine would otherwise chase an absurd batch size forever
+/// while holding the session's shard lock.
+pub const MAX_BATCH_UNITS: u64 = 4096;
+
+/// Service-level failure, mapped onto HTTP status codes by the server.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No session with this id, in memory or on disk.
+    UnknownSession(String),
+    /// `create` on an id that already exists.
+    SessionExists(String),
+    /// The spec names a dataset the registry doesn't host.
+    UnknownDataset(String),
+    /// The id violates the `[A-Za-z0-9._-]{1,64}` contract.
+    InvalidId(String),
+    /// A syntactically valid request the session cannot serve.
+    BadRequest(String),
+    /// The operation needs the outstanding request answered first.
+    RequestOutstanding(String),
+    /// The session already finished; its result is immutable.
+    AlreadyFinished(String),
+    /// The operation needs a suspended session (e.g. snapshot export).
+    NotSuspended(String),
+    /// Labels arrived with a fencing seq that no longer matches the
+    /// outstanding request — another driver already advanced the
+    /// session past that batch.
+    StaleRequest(String),
+    /// A protocol/state error surfaced by the evaluation engine.
+    Session(SessionError),
+    /// A stored record failed validation.
+    Corrupt(String),
+    /// Snapshot-store I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id:?}"),
+            ServiceError::SessionExists(id) => write!(f, "session {id:?} already exists"),
+            ServiceError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            ServiceError::InvalidId(id) => write!(
+                f,
+                "invalid session id {id:?} (1-64 characters of [A-Za-z0-9._-], \
+                 not starting with a dot)"
+            ),
+            ServiceError::BadRequest(msg) => write!(f, "{msg}"),
+            ServiceError::RequestOutstanding(id) => write!(
+                f,
+                "session {id:?} has an outstanding annotation request; submit its labels first"
+            ),
+            ServiceError::AlreadyFinished(id) => write!(f, "session {id:?} already finished"),
+            ServiceError::NotSuspended(id) => write!(f, "session {id:?} is not suspended"),
+            ServiceError::StaleRequest(id) => write!(
+                f,
+                "session {id:?}: the labels target a superseded annotation request \
+                 (another driver already advanced the session); re-poll and re-label"
+            ),
+            ServiceError::Session(e) => write!(f, "session engine: {e}"),
+            ServiceError::Corrupt(msg) => write!(f, "corrupt stored session: {msg}"),
+            ServiceError::Io(e) => write!(f, "snapshot store I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SessionError> for ServiceError {
+    fn from(e: SessionError) -> Self {
+        ServiceError::Session(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl ServiceError {
+    /// The HTTP status code this failure maps to.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServiceError::UnknownSession(_) | ServiceError::UnknownDataset(_) => 404,
+            ServiceError::SessionExists(_)
+            | ServiceError::RequestOutstanding(_)
+            | ServiceError::AlreadyFinished(_)
+            | ServiceError::NotSuspended(_)
+            | ServiceError::StaleRequest(_) => 409,
+            ServiceError::InvalidId(_) | ServiceError::BadRequest(_) => 400,
+            ServiceError::Session(e) => match e {
+                SessionError::RequestPending
+                | SessionError::NoRequestPending
+                | SessionError::LabelCountMismatch { .. } => 409,
+                _ => 500,
+            },
+            ServiceError::Corrupt(_) | ServiceError::Io(_) => 500,
+        }
+    }
+}
+
+/// Outcome type of every manager operation.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+// ---------------------------------------------------------------------
+// Dataset registry
+// ---------------------------------------------------------------------
+
+/// The KGs a server hosts, by name. Built once at startup; sessions
+/// borrow the graphs for the manager's whole lifetime.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    entries: Vec<(String, CompactKg)>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The four real-KG twins of paper Table 1 (YAGO, NELL, DBPEDIA,
+    /// FACTBENCH), generated deterministically — every server instance
+    /// hosts bit-identical graphs.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut registry = Self::new();
+        registry.insert("yago", kgae_graph::datasets::yago());
+        registry.insert("nell", kgae_graph::datasets::nell());
+        registry.insert("dbpedia", kgae_graph::datasets::dbpedia());
+        registry.insert("factbench", kgae_graph::datasets::factbench());
+        registry
+    }
+
+    /// Adds (or replaces) a dataset under `name`.
+    pub fn insert(&mut self, name: &str, kg: CompactKg) {
+        match self.entries.iter_mut().find(|(n, _)| n == name) {
+            Some((_, slot)) => *slot = kg,
+            None => self.entries.push((name.to_string(), kg)),
+        }
+    }
+
+    /// The dataset named `name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&CompactKg> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, kg)| kg)
+    }
+
+    /// `(name, kg)` pairs, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[(String, CompactKg)] {
+        &self.entries
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session slots and views
+// ---------------------------------------------------------------------
+
+/// Where a session currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// In memory, accepting polls and labels.
+    Running,
+    /// Snapshot on disk, meta cached in memory.
+    Suspended,
+    /// On disk only — zero in-memory footprint.
+    Evicted,
+    /// Stopped; the final result is available.
+    Finished,
+}
+
+impl SessionState {
+    /// Wire name (`"running"`, `"suspended"`, ...).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionState::Running => "running",
+            SessionState::Suspended => "suspended",
+            SessionState::Evicted => "evicted",
+            SessionState::Finished => "finished",
+        }
+    }
+
+    /// Inverse of [`SessionState::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "running" => Some(SessionState::Running),
+            "suspended" => Some(SessionState::Suspended),
+            "evicted" => Some(SessionState::Evicted),
+            "finished" => Some(SessionState::Finished),
+            _ => None,
+        }
+    }
+}
+
+/// A point-in-time external view of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionView {
+    /// Session id.
+    pub id: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Canonical design name (`"twcs:3"`).
+    pub design: String,
+    /// Canonical method name (`"ahpd"`).
+    pub method: String,
+    /// Where the session lives right now.
+    pub state: SessionState,
+    /// Labels currently owed on an outstanding request (0 when none).
+    pub pending_labels: u64,
+    /// Fencing seq of the outstanding request (`None` when no request
+    /// is outstanding). Echo it on submit to guard against racing
+    /// drivers.
+    pub pending_seq: Option<u64>,
+    /// The engine status (cached at suspension time for dormant
+    /// sessions).
+    pub status: SessionStatus,
+    /// Snapshot size on disk, for suspended/evicted sessions.
+    pub snapshot_bytes: Option<u64>,
+}
+
+struct Live<'a> {
+    spec: SessionSpec,
+    session: EvaluationSession<'a, SmallRng>,
+    /// The outstanding annotation request, kept so a re-poll (e.g. an
+    /// annotator that lost the response) is served the identical batch
+    /// instead of a protocol error.
+    pending: Option<AnnotationRequest>,
+    /// Fencing token: incremented for every freshly issued batch. A
+    /// submit carrying a stale seq is rejected instead of silently
+    /// applying old labels to a newer batch.
+    seq: u64,
+}
+
+impl Live<'_> {
+    fn pending_labels(&self) -> u64 {
+        self.pending.as_ref().map_or(0, |r| r.triples.len() as u64)
+    }
+}
+
+struct Dormant {
+    spec: SessionSpec,
+    status: SessionStatus,
+    snapshot_bytes: u64,
+}
+
+struct FinishedSlot {
+    spec: SessionSpec,
+    reason: StopReason,
+    result: EvalResult,
+}
+
+enum Slot<'a> {
+    Live(Box<Live<'a>>),
+    Suspended(Box<Dormant>),
+    Finished(Box<FinishedSlot>),
+}
+
+fn finished_status(reason: StopReason, result: &EvalResult) -> SessionStatus {
+    SessionStatus {
+        estimate: Some(result.mu_hat),
+        interval: Some(result.interval),
+        observations: result.observations,
+        annotated_triples: result.annotated_triples,
+        stage1_draws: result.stage1_draws,
+        cost_seconds: result.cost_seconds,
+        stopped: Some(reason),
+    }
+}
+
+impl Slot<'_> {
+    fn spec(&self) -> &SessionSpec {
+        match self {
+            Slot::Live(live) => &live.spec,
+            Slot::Suspended(dormant) => &dormant.spec,
+            Slot::Finished(finished) => &finished.spec,
+        }
+    }
+
+    fn view(&self) -> SessionView {
+        let spec = self.spec();
+        let (state, pending, pending_seq, status, snapshot_bytes) = match self {
+            Slot::Live(live) => (
+                SessionState::Running,
+                live.pending_labels(),
+                live.pending.as_ref().map(|_| live.seq),
+                live.session.status(),
+                None,
+            ),
+            Slot::Suspended(dormant) => (
+                SessionState::Suspended,
+                0,
+                None,
+                dormant.status.clone(),
+                Some(dormant.snapshot_bytes),
+            ),
+            Slot::Finished(finished) => (
+                SessionState::Finished,
+                0,
+                None,
+                finished_status(finished.reason, &finished.result),
+                None,
+            ),
+        };
+        SessionView {
+            id: spec.id.clone(),
+            dataset: spec.dataset.clone(),
+            design: spec.design.canonical_name(),
+            method: spec.method.canonical_name(),
+            state,
+            pending_labels: pending,
+            pending_seq,
+            status,
+            snapshot_bytes,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Meta records
+// ---------------------------------------------------------------------
+
+fn meta_encode(
+    spec: &SessionSpec,
+    state: SessionState,
+    status: &SessionStatus,
+    finished: Option<(StopReason, &EvalResult)>,
+) -> String {
+    let mut doc = Json::obj(vec![
+        ("spec", spec.to_json()),
+        ("state", Json::str(state.name())),
+        ("status", api::status_to_json(status)),
+    ]);
+    if let Some((reason, result)) = finished {
+        doc.set("reason", Json::str(api::stop_reason_name(reason)));
+        doc.set("result", api::result_to_json(result));
+    }
+    doc.encode()
+}
+
+struct MetaRecord {
+    spec: SessionSpec,
+    state: SessionState,
+    status: SessionStatus,
+    finished: Option<(StopReason, EvalResult)>,
+}
+
+fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
+    let corrupt = |msg: String| ServiceError::Corrupt(format!("session {id:?}: {msg}"));
+    let doc = json::parse(meta).map_err(|e| corrupt(e.to_string()))?;
+    let spec = SessionSpec::from_json(
+        doc.get("spec")
+            .ok_or_else(|| corrupt("missing spec".into()))?,
+    )
+    .map_err(|e| corrupt(e.to_string()))?;
+    if spec.id != id {
+        return Err(corrupt(format!("meta names id {:?}", spec.id)));
+    }
+    let state = doc
+        .get("state")
+        .and_then(Json::as_str)
+        .and_then(SessionState::from_name)
+        .ok_or_else(|| corrupt("missing or unknown state".into()))?;
+    let status = api::status_from_json(
+        doc.get("status")
+            .ok_or_else(|| corrupt("missing status".into()))?,
+    )
+    .map_err(|e| corrupt(e.to_string()))?;
+    let finished = if state == SessionState::Finished {
+        let reason = doc
+            .get("reason")
+            .and_then(Json::as_str)
+            .ok_or_else(|| corrupt("finished record without a reason".into()))
+            .and_then(|name| {
+                api::stop_reason_from_name(name).map_err(|e| corrupt(e.to_string()))
+            })?;
+        let result = api::result_from_json(
+            doc.get("result")
+                .ok_or_else(|| corrupt("finished record without a result".into()))?,
+        )
+        .map_err(|e| corrupt(e.to_string()))?;
+        Some((reason, result))
+    } else {
+        None
+    };
+    Ok(MetaRecord {
+        spec,
+        state,
+        status,
+        finished,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The manager
+// ---------------------------------------------------------------------
+
+/// Sharded, lock-striped host for named evaluation sessions. See the
+/// module docs for the state machine.
+pub struct SessionManager<'a> {
+    registry: &'a DatasetRegistry,
+    shards: Box<[Mutex<HashMap<String, Slot<'a>>>]>,
+    store: SnapshotStore,
+    prepared: Mutex<HashMap<(String, SamplingDesign), Arc<PreparedDesign>>>,
+}
+
+impl<'a> SessionManager<'a> {
+    /// A manager over `registry`, spilling dormant sessions into
+    /// `store`, with `shards` lock stripes (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(registry: &'a DatasetRegistry, store: SnapshotStore, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            registry,
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            store,
+            prepared: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The dataset registry this manager serves.
+    #[must_use]
+    pub fn registry(&self) -> &'a DatasetRegistry {
+        self.registry
+    }
+
+    /// The snapshot store backing suspended sessions.
+    #[must_use]
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    fn shard(&self, id: &str) -> &Mutex<HashMap<String, Slot<'a>>> {
+        let mut hasher = DefaultHasher::new();
+        id.hash(&mut hasher);
+        let index = (hasher.finish() % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// The per-(dataset, design) [`PreparedDesign`], built once and
+    /// shared: every session over NELL/TWCS reuses one PPS alias table.
+    fn prepared_for(
+        &self,
+        dataset: &str,
+        design: SamplingDesign,
+    ) -> ServiceResult<Arc<PreparedDesign>> {
+        let kg = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| ServiceError::UnknownDataset(dataset.to_string()))?;
+        let mut cache = self.prepared.lock().expect("prepared cache lock");
+        Ok(cache
+            .entry((dataset.to_string(), design))
+            .or_insert_with(|| Arc::new(PreparedDesign::new(kg, design)))
+            .clone())
+    }
+
+    fn build_live(&self, spec: &SessionSpec) -> ServiceResult<Live<'a>> {
+        let kg = self
+            .registry
+            .get(&spec.dataset)
+            .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
+        let prepared = self.prepared_for(&spec.dataset, spec.design)?;
+        let session = EvaluationSession::from_prepared(
+            kg,
+            &prepared,
+            &spec.method,
+            &spec.eval_config(),
+            SmallRng::seed_from_u64(spec.seed),
+        );
+        Ok(Live {
+            spec: spec.clone(),
+            session,
+            pending: None,
+            seq: 0,
+        })
+    }
+
+    fn rehydrate(&self, spec: &SessionSpec, snapshot: &[u8]) -> ServiceResult<Live<'a>> {
+        let kg = self
+            .registry
+            .get(&spec.dataset)
+            .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
+        let prepared = self.prepared_for(&spec.dataset, spec.design)?;
+        // The RNG passed here is immediately overwritten from the
+        // snapshot; the seed is irrelevant.
+        let session = EvaluationSession::resume(
+            kg,
+            &prepared,
+            &spec.method,
+            &spec.eval_config(),
+            SmallRng::seed_from_u64(0),
+            snapshot,
+        )?;
+        Ok(Live {
+            spec: spec.clone(),
+            session,
+            pending: None,
+            seq: 0,
+        })
+    }
+
+    /// Loads a stored record into a slot (not yet inserted anywhere).
+    fn slot_from_store(&self, id: &str, record: &StoredSession) -> ServiceResult<Slot<'a>> {
+        let meta = meta_decode(id, &record.meta)?;
+        match meta.state {
+            SessionState::Finished => {
+                let (reason, result) = meta
+                    .finished
+                    .ok_or_else(|| ServiceError::Corrupt(format!("session {id:?}: no result")))?;
+                Ok(Slot::Finished(Box::new(FinishedSlot {
+                    spec: meta.spec,
+                    reason,
+                    result,
+                })))
+            }
+            _ => {
+                let snapshot = record.snapshot.as_deref().ok_or_else(|| {
+                    ServiceError::Corrupt(format!("session {id:?}: suspended without a snapshot"))
+                })?;
+                let live = self.rehydrate(&meta.spec, snapshot)?;
+                Ok(Slot::Live(Box::new(live)))
+            }
+        }
+    }
+
+    /// Brings the slot for `id` into the [`Slot::Live`] state inside an
+    /// already-held shard, rehydrating from disk if needed.
+    /// [`ServiceError::AlreadyFinished`] leaves the finished slot in
+    /// the map so the caller can still read its view.
+    fn ensure_live(&self, shard: &mut HashMap<String, Slot<'a>>, id: &str) -> ServiceResult<()> {
+        match shard.get(id) {
+            Some(Slot::Live(_)) => Ok(()),
+            Some(Slot::Finished(finished)) => {
+                Err(ServiceError::AlreadyFinished(finished.spec.id.clone()))
+            }
+            Some(Slot::Suspended(dormant)) => {
+                let record = self.store.load(id)?.ok_or_else(|| {
+                    ServiceError::Corrupt(format!("session {id:?}: meta vanished"))
+                })?;
+                let snapshot = record.snapshot.as_deref().ok_or_else(|| {
+                    ServiceError::Corrupt(format!("session {id:?}: snapshot vanished"))
+                })?;
+                let live = self.rehydrate(&dormant.spec, snapshot)?;
+                shard.insert(id.to_string(), Slot::Live(Box::new(live)));
+                Ok(())
+            }
+            None => {
+                let Some(record) = self.store.load(id)? else {
+                    return Err(ServiceError::UnknownSession(id.to_string()));
+                };
+                let slot = self.slot_from_store(id, &record)?;
+                let finished = matches!(slot, Slot::Finished(_));
+                shard.insert(id.to_string(), slot);
+                if finished {
+                    return Err(ServiceError::AlreadyFinished(id.to_string()));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Replaces a just-stopped live slot with its finished form.
+    fn finalize(shard: &mut HashMap<String, Slot<'a>>, id: &str) {
+        let Some(Slot::Live(live)) = shard.remove(id) else {
+            unreachable!("finalize requires a live slot")
+        };
+        let spec = live.spec;
+        let reason = live
+            .session
+            .stop_reason()
+            .expect("finalized session has stopped");
+        let result = live
+            .session
+            .into_result()
+            .expect("stopped session has a result");
+        shard.insert(
+            id.to_string(),
+            Slot::Finished(Box::new(FinishedSlot {
+                spec,
+                reason,
+                result,
+            })),
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Public operations
+    // -----------------------------------------------------------------
+
+    /// Creates a session from `spec`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::InvalidId`], [`ServiceError::SessionExists`]
+    /// (in memory or on disk), [`ServiceError::UnknownDataset`].
+    pub fn create(&self, spec: &SessionSpec) -> ServiceResult<SessionView> {
+        if !valid_session_id(&spec.id) {
+            return Err(ServiceError::InvalidId(spec.id.clone()));
+        }
+        let live = self.build_live(spec)?;
+        let mut shard = self.shard(&spec.id).lock().expect("shard lock");
+        if shard.contains_key(&spec.id) || self.store.contains(&spec.id) {
+            return Err(ServiceError::SessionExists(spec.id.clone()));
+        }
+        let slot = Slot::Live(Box::new(live));
+        let view = slot.view();
+        shard.insert(spec.id.clone(), slot);
+        Ok(view)
+    }
+
+    /// Polls a session for its next annotation batch (at most
+    /// `max_units` stage-1 units, clamped to
+    /// [`MAX_BATCH_UNITS`] — with-replacement cluster streams never
+    /// exhaust, so an unbounded batch would sample forever). `None`
+    /// means the session stopped — the view carries the reason.
+    ///
+    /// **Idempotent while labels are owed**: re-polling a session with
+    /// an outstanding request returns the identical batch again (at its
+    /// original size), so an annotator that lost the response can
+    /// recover instead of wedging the campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`],
+    /// [`ServiceError::AlreadyFinished`], engine protocol errors
+    /// ([`ServiceError::Session`]), or rehydration failures.
+    pub fn next_request(
+        &self,
+        id: &str,
+        max_units: u64,
+    ) -> ServiceResult<(Option<AnnotationRequest>, SessionView)> {
+        let max_units = max_units.clamp(1, MAX_BATCH_UNITS);
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        match self.ensure_live(&mut shard, id) {
+            Ok(()) => {}
+            Err(ServiceError::AlreadyFinished(_)) => {
+                // A poll on a finished session isn't an error — it's the
+                // protocol's way of saying "done". Report it.
+                let view = shard.get(id).expect("finished slot in map").view();
+                return Ok((None, view));
+            }
+            Err(e) => return Err(e),
+        }
+        let Some(Slot::Live(live)) = shard.get_mut(id) else {
+            unreachable!("ensure_live left a live slot")
+        };
+        if let Some(outstanding) = &live.pending {
+            let request = outstanding.clone();
+            let view = shard.get(id).expect("slot exists").view();
+            return Ok((Some(request), view));
+        }
+        let request = live.session.next_request(max_units)?;
+        if request.is_some() {
+            live.seq += 1;
+        }
+        live.pending = request.clone();
+        if request.is_none() {
+            // Stream exhausted: the session stopped inside the poll;
+            // surface it as Finished.
+            Self::finalize(&mut shard, id);
+        }
+        let view = shard.get(id).expect("slot exists").view();
+        Ok((request, view))
+    }
+
+    /// Submits labels for the outstanding request, in request order.
+    ///
+    /// `seq` is the fencing token from the poll that produced the
+    /// labels ([`SessionView::pending_seq`]): when supplied, the submit
+    /// only applies if that batch is still the outstanding one, so two
+    /// drivers racing on one session can never smuggle stale labels
+    /// onto a newer batch. `None` skips the check (single-driver
+    /// callers).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`],
+    /// [`ServiceError::AlreadyFinished`],
+    /// [`ServiceError::StaleRequest`], label-count/protocol errors
+    /// ([`ServiceError::Session`]).
+    pub fn submit(
+        &self,
+        id: &str,
+        labels: &[bool],
+        seq: Option<u64>,
+    ) -> ServiceResult<SessionView> {
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        self.ensure_live(&mut shard, id)?;
+        let Some(Slot::Live(live)) = shard.get_mut(id) else {
+            unreachable!("ensure_live left a live slot")
+        };
+        if let Some(seq) = seq {
+            if live.pending.is_none() || seq != live.seq {
+                return Err(ServiceError::StaleRequest(id.to_string()));
+            }
+        }
+        live.session.submit(labels)?;
+        live.pending = None;
+        if live.session.stop_reason().is_some() {
+            Self::finalize(&mut shard, id);
+        }
+        Ok(shard.get(id).expect("slot exists").view())
+    }
+
+    /// The session's current view. Never rehydrates: dormant sessions
+    /// report their suspension-time status straight from the cached
+    /// meta record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] or a corrupt stored record.
+    pub fn status(&self, id: &str) -> ServiceResult<SessionView> {
+        let shard = self.shard(id).lock().expect("shard lock");
+        if let Some(slot) = shard.get(id) {
+            return Ok(slot.view());
+        }
+        drop(shard);
+        let Some(record) = self.store.load(id)? else {
+            return Err(ServiceError::UnknownSession(id.to_string()));
+        };
+        let meta = meta_decode(id, &record.meta)?;
+        Ok(SessionView {
+            id: meta.spec.id.clone(),
+            dataset: meta.spec.dataset.clone(),
+            design: meta.spec.design.canonical_name(),
+            method: meta.spec.method.canonical_name(),
+            state: SessionState::Evicted,
+            pending_labels: 0,
+            pending_seq: None,
+            status: meta.status,
+            snapshot_bytes: record.snapshot.as_ref().map(|s| s.len() as u64),
+        })
+    }
+
+    /// Suspends a running session: snapshot + meta to disk, live state
+    /// dropped to a cached stub. Idempotent on already-suspended
+    /// sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::RequestOutstanding`] while labels are owed,
+    /// [`ServiceError::AlreadyFinished`] after the stop,
+    /// [`ServiceError::UnknownSession`], or store I/O failures.
+    pub fn suspend(&self, id: &str) -> ServiceResult<SessionView> {
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        match shard.get(id) {
+            Some(Slot::Suspended(_)) => Ok(shard.get(id).expect("slot exists").view()),
+            Some(Slot::Finished(finished)) => {
+                Err(ServiceError::AlreadyFinished(finished.spec.id.clone()))
+            }
+            Some(Slot::Live(live)) => {
+                if live.session.has_pending_request() {
+                    return Err(ServiceError::RequestOutstanding(id.to_string()));
+                }
+                let snapshot = live.session.snapshot()?;
+                let status = live.session.status();
+                let spec = live.spec.clone();
+                let meta = meta_encode(&spec, SessionState::Suspended, &status, None);
+                self.store.save(id, &meta, Some(&snapshot))?;
+                let dormant = Dormant {
+                    spec,
+                    status,
+                    snapshot_bytes: snapshot.len() as u64,
+                };
+                shard.insert(id.to_string(), Slot::Suspended(Box::new(dormant)));
+                Ok(shard.get(id).expect("slot exists").view())
+            }
+            None => {
+                if self.store.contains(id) {
+                    // Evicted: already on disk, nothing to do.
+                    drop(shard);
+                    self.status(id)
+                } else {
+                    Err(ServiceError::UnknownSession(id.to_string()))
+                }
+            }
+        }
+    }
+
+    /// Brings a suspended or evicted session back to memory,
+    /// re-validating the snapshot fingerprints. Idempotent on live and
+    /// finished sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`], corrupt/mismatched snapshots
+    /// ([`ServiceError::Session`] / [`ServiceError::Corrupt`]).
+    pub fn resume(&self, id: &str) -> ServiceResult<SessionView> {
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        match shard.get(id) {
+            Some(Slot::Live(_) | Slot::Finished(_)) => {
+                Ok(shard.get(id).expect("slot exists").view())
+            }
+            Some(Slot::Suspended(dormant)) => {
+                let record = self.store.load(id)?.ok_or_else(|| {
+                    ServiceError::Corrupt(format!("session {id:?}: meta vanished"))
+                })?;
+                let snapshot = record.snapshot.as_deref().ok_or_else(|| {
+                    ServiceError::Corrupt(format!("session {id:?}: snapshot vanished"))
+                })?;
+                let live = self.rehydrate(&dormant.spec, snapshot)?;
+                shard.insert(id.to_string(), Slot::Live(Box::new(live)));
+                Ok(shard.get(id).expect("slot exists").view())
+            }
+            None => {
+                let Some(record) = self.store.load(id)? else {
+                    return Err(ServiceError::UnknownSession(id.to_string()));
+                };
+                let slot = self.slot_from_store(id, &record)?;
+                shard.insert(id.to_string(), slot);
+                Ok(shard.get(id).expect("slot exists").view())
+            }
+        }
+    }
+
+    /// Drops a session's last in-memory bytes, persisting it first if
+    /// needed (running sessions are suspended on the way out; finished
+    /// results are written as meta-only records). Idempotent on
+    /// already-evicted sessions.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::RequestOutstanding`] while labels are owed,
+    /// [`ServiceError::UnknownSession`], or store I/O failures.
+    pub fn evict(&self, id: &str) -> ServiceResult<()> {
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        match shard.get(id) {
+            Some(Slot::Live(live)) => {
+                if live.session.has_pending_request() {
+                    return Err(ServiceError::RequestOutstanding(id.to_string()));
+                }
+                let snapshot = live.session.snapshot()?;
+                let status = live.session.status();
+                let meta = meta_encode(&live.spec, SessionState::Suspended, &status, None);
+                self.store.save(id, &meta, Some(&snapshot))?;
+                shard.remove(id);
+                Ok(())
+            }
+            Some(Slot::Suspended(_)) => {
+                // Snapshot + meta already on disk.
+                shard.remove(id);
+                Ok(())
+            }
+            Some(Slot::Finished(finished)) => {
+                let status = finished_status(finished.reason, &finished.result);
+                let meta = meta_encode(
+                    &finished.spec,
+                    SessionState::Finished,
+                    &status,
+                    Some((finished.reason, &finished.result)),
+                );
+                self.store.save(id, &meta, None)?;
+                shard.remove(id);
+                Ok(())
+            }
+            None if self.store.contains(id) => Ok(()),
+            None => Err(ServiceError::UnknownSession(id.to_string())),
+        }
+    }
+
+    /// Removes a session everywhere — memory and disk. Destructive and
+    /// unconditional (an outstanding request is abandoned).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] when nothing exists under `id`;
+    /// store I/O failures.
+    pub fn delete(&self, id: &str) -> ServiceResult<()> {
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        let in_memory = shard.remove(id).is_some();
+        let on_disk = self.store.contains(id);
+        if on_disk {
+            self.store.remove(id)?;
+        }
+        if in_memory || on_disk {
+            Ok(())
+        } else {
+            Err(ServiceError::UnknownSession(id.to_string()))
+        }
+    }
+
+    /// The stored snapshot bytes of a suspended/evicted session —
+    /// the exact bytes a resume would rehydrate from.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NotSuspended`] for live/finished sessions,
+    /// [`ServiceError::UnknownSession`], store I/O failures.
+    pub fn snapshot_bytes(&self, id: &str) -> ServiceResult<Vec<u8>> {
+        let shard = self.shard(id).lock().expect("shard lock");
+        match shard.get(id) {
+            Some(Slot::Live(_) | Slot::Finished(_)) => {
+                return Err(ServiceError::NotSuspended(id.to_string()))
+            }
+            Some(Slot::Suspended(_)) | None => {}
+        }
+        // Shard still held: the snapshot on disk cannot change under us.
+        let Some(record) = self.store.load(id)? else {
+            return Err(ServiceError::UnknownSession(id.to_string()));
+        };
+        record
+            .snapshot
+            .ok_or_else(|| ServiceError::NotSuspended(id.to_string()))
+    }
+
+    /// The final result of a finished session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] if the session is still running,
+    /// [`ServiceError::UnknownSession`] if nothing exists under `id`.
+    pub fn final_result(&self, id: &str) -> ServiceResult<(StopReason, EvalResult)> {
+        {
+            let shard = self.shard(id).lock().expect("shard lock");
+            match shard.get(id) {
+                Some(Slot::Finished(finished)) => {
+                    return Ok((finished.reason, finished.result.clone()))
+                }
+                Some(_) => {
+                    return Err(ServiceError::BadRequest(format!(
+                        "session {id:?} has not finished"
+                    )))
+                }
+                None => {}
+            }
+        }
+        let Some(record) = self.store.load(id)? else {
+            return Err(ServiceError::UnknownSession(id.to_string()));
+        };
+        let meta = meta_decode(id, &record.meta)?;
+        meta.finished
+            .ok_or_else(|| ServiceError::BadRequest(format!("session {id:?} has not finished")))
+    }
+
+    /// Views of every known session — in-memory ones live, on-disk-only
+    /// ones as [`SessionState::Evicted`] — sorted by id.
+    ///
+    /// # Errors
+    ///
+    /// Store I/O failures while listing evicted sessions.
+    pub fn list(&self) -> ServiceResult<Vec<SessionView>> {
+        let mut views = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            for (id, slot) in shard.iter() {
+                seen.insert(id.clone());
+                views.push(slot.view());
+            }
+        }
+        for id in self.store.list()? {
+            if !seen.contains(&id) {
+                views.push(self.status(&id)?);
+            }
+        }
+        views.sort_by(|a, b| a.id.cmp(&b.id));
+        Ok(views)
+    }
+}
+
+// The whole point: one manager, many threads.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<SessionManager<'static>>();
+};

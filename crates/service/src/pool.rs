@@ -1,0 +1,81 @@
+//! A fixed-size worker pool over scoped threads — the vendored
+//! `crossbeam` scope pattern already used by the repetition runner,
+//! repurposed for connection handling.
+//!
+//! Jobs arrive on an [`std::sync::mpsc`] channel guarded by a mutex
+//! (the classic shared-receiver pool). Scoped spawning keeps the pool
+//! borrow-friendly: handlers can capture the non-`'static`
+//! [`crate::manager::SessionManager`] directly instead of threading
+//! `Arc`s through every layer.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+/// Runs `workers` scoped threads that drain `jobs` until the sending
+/// side disconnects, applying `handler` to each job. Returns once every
+/// queued job has been handled and all workers exited.
+///
+/// A panicking handler poisons nothing: each job is pulled with the
+/// receiver lock released before handling, and a worker panic
+/// propagates out of the scope (crashing loudly rather than silently
+/// shrinking the pool).
+pub fn run_pool<T, F>(workers: usize, jobs: Receiver<T>, handler: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let workers = workers.max(1);
+    let jobs = Mutex::new(jobs);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|_| loop {
+                let job = match jobs.lock().expect("pool receiver lock").recv() {
+                    Ok(job) => job,
+                    Err(_) => return, // channel closed and drained
+                };
+                handler(job);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("pool worker panicked");
+        }
+    })
+    .expect("pool scope");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn all_jobs_are_handled_exactly_once() {
+        let (tx, rx) = channel();
+        let sum = AtomicU64::new(0);
+        let count = AtomicU64::new(0);
+        for i in 1..=1000u64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        run_pool(8, rx, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 1000);
+        assert_eq!(sum.into_inner(), 500_500);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let (tx, rx) = channel();
+        tx.send(7u64).unwrap();
+        drop(tx);
+        let seen = AtomicU64::new(0);
+        run_pool(0, rx, |i| {
+            seen.store(i, Ordering::Relaxed);
+        });
+        assert_eq!(seen.into_inner(), 7);
+    }
+}

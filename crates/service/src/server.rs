@@ -1,0 +1,358 @@
+//! The network front: a `TcpListener` accept loop feeding the worker
+//! pool, and the route table mapping the HTTP/JSON API onto
+//! [`SessionManager`] operations.
+//!
+//! ```text
+//! GET    /healthz                      liveness probe
+//! GET    /v1/datasets                  hosted KGs
+//! GET    /v1/sessions                  all sessions (live + dormant)
+//! POST   /v1/sessions                  create  {id,dataset,design,method,seed,...}
+//! GET    /v1/sessions/{id}             status
+//! POST   /v1/sessions/{id}/next        poll    {"batch": n}
+//! POST   /v1/sessions/{id}/labels      submit  {"labels": [bool,...]}
+//! POST   /v1/sessions/{id}/suspend     spill to disk
+//! POST   /v1/sessions/{id}/resume      rehydrate from disk
+//! POST   /v1/sessions/{id}/evict       drop in-memory state
+//! GET    /v1/sessions/{id}/snapshot    stored snapshot bytes, hex
+//! DELETE /v1/sessions/{id}             remove everywhere
+//! ```
+//!
+//! Connections are keep-alive: one worker owns a connection for its
+//! lifetime and pipelines request → response cycles on it — so the
+//! worker count bounds the number of *simultaneous connections*, not
+//! requests. Size `--workers` at or above your expected client count
+//! (`kgae-serve` defaults generously); idle connections are reclaimed
+//! after [`IDLE_TIMEOUT`]. Shutdown is cooperative —
+//! [`ServerHandle::shutdown`] flips a flag and nudges the accept loop
+//! awake; workers notice within one [`READ_TICK`].
+
+use crate::json::Json;
+use crate::manager::{ServiceError, SessionManager, SessionView};
+use crate::store::to_hex;
+use crate::{api, http, json, pool};
+use kgae_graph::KnowledgeGraph;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a keep-alive connection may sit idle before the worker
+/// reclaims it.
+pub const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket read-timeout tick. Workers wake at this cadence while a
+/// connection idles, so a shutdown request is honored within ~one tick
+/// instead of a full [`IDLE_TIMEOUT`].
+pub const READ_TICK: Duration = Duration::from_secs(1);
+
+/// A bound, not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A clonable remote control for a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop and wakes its accept loop. Existing
+    /// connections finish their in-flight request; `Server::run`
+    /// returns after the pool drains.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); poke it.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) with
+    /// `workers` connection handlers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str, workers: usize) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            workers: workers.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (reports the real port after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shutdown remote control.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket introspection failures.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Serves `manager` until [`ServerHandle::shutdown`] is called.
+    /// Blocks the calling thread; connection handling runs on the
+    /// worker pool (scoped threads, so `manager` may borrow from the
+    /// caller's stack).
+    pub fn run(self, manager: &SessionManager<'_>) {
+        let shutdown = Arc::clone(&self.shutdown);
+        let (tx, rx) = channel::<TcpStream>();
+        crossbeam::scope(|scope| {
+            let pool_shutdown = Arc::clone(&shutdown);
+            let pool_thread = scope.spawn(move |_| {
+                pool::run_pool(self.workers, rx, |stream| {
+                    handle_connection(stream, manager, &pool_shutdown);
+                });
+            });
+            for stream in self.listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let _ = stream.set_read_timeout(Some(READ_TICK));
+                        let _ = stream.set_nodelay(true);
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            drop(tx); // disconnect: the pool drains and exits
+            pool_thread.join().expect("worker pool");
+        })
+        .expect("server scope");
+    }
+}
+
+/// Serves one keep-alive connection to completion.
+fn handle_connection(stream: TcpStream, manager: &SessionManager<'_>, shutdown: &AtomicBool) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let mut idle = Duration::ZERO;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match http::read_request(&mut reader) {
+            Ok(request) => {
+                idle = Duration::ZERO;
+                request
+            }
+            Err(http::HttpError::IdleTimeout) => {
+                // Nothing consumed: keep waiting in READ_TICK slices so
+                // the shutdown flag is honored promptly, up to the
+                // connection's idle budget.
+                idle += READ_TICK;
+                if idle >= IDLE_TIMEOUT {
+                    return;
+                }
+                continue;
+            }
+            Err(http::HttpError::Closed) => return,
+            Err(http::HttpError::Io(_)) => return, // mid-message timeout or reset
+            Err(http::HttpError::TooLarge(what)) => {
+                let _ = http::write_response(&mut stream, 413, &api::error_body(what), false);
+                return;
+            }
+            Err(http::HttpError::Malformed(why)) => {
+                let _ = http::write_response(&mut stream, 400, &api::error_body(why), false);
+                return;
+            }
+        };
+        let keep_alive = request.keep_alive;
+        let (status, body) = route(&request, manager);
+        if http::write_response(&mut stream, status, &body, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive {
+            return;
+        }
+    }
+}
+
+fn error_response(e: &ServiceError) -> (u16, String) {
+    (e.http_status(), api::error_body(&e.to_string()))
+}
+
+fn view_body(view: &SessionView) -> String {
+    view_to_json(view).encode()
+}
+
+/// Encodes a [`SessionView`] for the wire.
+#[must_use]
+pub fn view_to_json(view: &SessionView) -> Json {
+    Json::obj(vec![
+        ("id", Json::str(&view.id)),
+        ("dataset", Json::str(&view.dataset)),
+        ("design", Json::str(&view.design)),
+        ("method", Json::str(&view.method)),
+        ("state", Json::str(view.state.name())),
+        ("pending_labels", Json::int(view.pending_labels)),
+        (
+            "pending_seq",
+            view.pending_seq.map_or(Json::Null, Json::int),
+        ),
+        ("status", api::status_to_json(&view.status)),
+        (
+            "snapshot_bytes",
+            view.snapshot_bytes.map_or(Json::Null, Json::int),
+        ),
+    ])
+}
+
+fn parse_body(body: &[u8]) -> Result<Json, (u16, String)> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| (400, api::error_body("body is not UTF-8")))?;
+    if text.trim().is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    json::parse(text).map_err(|e| (400, api::error_body(&e.to_string())))
+}
+
+/// Dispatches one request; returns `(status, body)`.
+fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String) {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => (200, Json::obj(vec![("ok", Json::Bool(true))]).encode()),
+        ("GET", ["v1", "datasets"]) => {
+            let datasets: Vec<Json> = manager
+                .registry()
+                .entries()
+                .iter()
+                .map(|(name, kg)| {
+                    Json::obj(vec![
+                        ("name", Json::str(name)),
+                        ("triples", Json::int(kg.num_triples())),
+                        ("clusters", Json::int(u64::from(kg.num_clusters()))),
+                    ])
+                })
+                .collect();
+            (
+                200,
+                Json::obj(vec![("datasets", Json::Arr(datasets))]).encode(),
+            )
+        }
+        ("GET", ["v1", "sessions"]) => match manager.list() {
+            Ok(views) => (
+                200,
+                Json::obj(vec![(
+                    "sessions",
+                    Json::Arr(views.iter().map(view_to_json).collect()),
+                )])
+                .encode(),
+            ),
+            Err(e) => error_response(&e),
+        },
+        ("POST", ["v1", "sessions"]) => {
+            let body = match parse_body(&request.body) {
+                Ok(body) => body,
+                Err(err) => return err,
+            };
+            let spec = match api::SessionSpec::from_json(&body) {
+                Ok(spec) => spec,
+                Err(e) => return (400, api::error_body(&e.to_string())),
+            };
+            match manager.create(&spec) {
+                Ok(view) => (201, view_body(&view)),
+                Err(e) => error_response(&e),
+            }
+        }
+        ("GET", ["v1", "sessions", id]) => match manager.status(id) {
+            Ok(view) => (200, view_body(&view)),
+            Err(e) => error_response(&e),
+        },
+        ("DELETE", ["v1", "sessions", id]) => match manager.delete(id) {
+            Ok(()) => (200, Json::obj(vec![("deleted", Json::str(id))]).encode()),
+            Err(e) => error_response(&e),
+        },
+        ("POST", ["v1", "sessions", id, "next"]) => {
+            let body = match parse_body(&request.body) {
+                Ok(body) => body,
+                Err(err) => return err,
+            };
+            let batch = match body.get("batch") {
+                None | Some(Json::Null) => 1,
+                Some(field) => match field.as_u64() {
+                    Some(batch) => batch,
+                    None => {
+                        return (
+                            400,
+                            api::error_body("\"batch\" must be a non-negative integer"),
+                        )
+                    }
+                },
+            };
+            match manager.next_request(id, batch) {
+                Ok((request, view)) => {
+                    let mut doc = api::request_to_json(request.as_ref(), view.pending_seq);
+                    doc.set("session", view_to_json(&view));
+                    (200, doc.encode())
+                }
+                Err(e) => error_response(&e),
+            }
+        }
+        ("POST", ["v1", "sessions", id, "labels"]) => {
+            let body = match parse_body(&request.body) {
+                Ok(body) => body,
+                Err(err) => return err,
+            };
+            let (labels, seq) = match api::labels_from_json(&body) {
+                Ok(decoded) => decoded,
+                Err(e) => return (400, api::error_body(&e.to_string())),
+            };
+            match manager.submit(id, &labels, seq) {
+                Ok(view) => (200, view_body(&view)),
+                Err(e) => error_response(&e),
+            }
+        }
+        ("POST", ["v1", "sessions", id, "suspend"]) => match manager.suspend(id) {
+            Ok(view) => (200, view_body(&view)),
+            Err(e) => error_response(&e),
+        },
+        ("POST", ["v1", "sessions", id, "resume"]) => match manager.resume(id) {
+            Ok(view) => (200, view_body(&view)),
+            Err(e) => error_response(&e),
+        },
+        ("POST", ["v1", "sessions", id, "evict"]) => match manager.evict(id) {
+            Ok(()) => (200, Json::obj(vec![("evicted", Json::str(id))]).encode()),
+            Err(e) => error_response(&e),
+        },
+        ("GET", ["v1", "sessions", id, "snapshot"]) => match manager.snapshot_bytes(id) {
+            Ok(bytes) => (
+                200,
+                Json::obj(vec![
+                    ("bytes", Json::int(bytes.len() as u64)),
+                    ("hex", Json::Str(to_hex(&bytes))),
+                ])
+                .encode(),
+            ),
+            Err(e) => error_response(&e),
+        },
+        _ => (404, api::error_body("no such route")),
+    }
+}

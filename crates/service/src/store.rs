@@ -1,0 +1,272 @@
+//! The snapshot store: dormant sessions as files.
+//!
+//! A suspended evaluation campaign is a few KB of PR-2 snapshot bytes
+//! plus a small JSON meta record (its spec and last observed status).
+//! Spilling idle sessions here is what lets one server host millions of
+//! dormant campaigns: RAM holds only the live ones, disk holds the
+//! rest, and rehydration is lazy — a session is re-validated (snapshot
+//! fingerprints and all) and rebuilt only when traffic returns for it.
+//!
+//! Layout: one directory, two files per session —
+//! `<id>.meta.json` (spec + cached status) and `<id>.snap` (snapshot
+//! bytes; absent for sessions that finished before eviction). Session
+//! ids are restricted to a filename-safe alphabet at the API boundary
+//! and re-checked here, so ids can never traverse paths. Writes go
+//! through a temp file + rename, so a crashed write never corrupts an
+//! existing record.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Maximum length of a session id.
+pub const MAX_ID_LEN: usize = 64;
+
+/// Whether `id` is a valid session id: 1–[`MAX_ID_LEN`] characters from
+/// `[A-Za-z0-9._-]`, not starting with a dot. The alphabet doubles as
+/// the store's filename contract.
+#[must_use]
+pub fn valid_session_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_ID_LEN
+        && !id.starts_with('.')
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Lower-case hex encoding (snapshot bytes on the wire).
+#[must_use]
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble"));
+        out.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble"));
+    }
+    out
+}
+
+/// Inverse of [`to_hex`]; `None` on odd length or non-hex characters.
+#[must_use]
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// A dormant session's on-disk record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredSession {
+    /// The meta JSON document (spec + cached status), verbatim.
+    pub meta: String,
+    /// Snapshot bytes, when the session was suspended mid-flight
+    /// (`None` for sessions that finished before eviction).
+    pub snapshot: Option<Vec<u8>>,
+}
+
+/// A directory of dormant sessions.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn meta_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.meta.json"))
+    }
+
+    fn snap_path(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.snap"))
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // Appended (not substituted) extension: distinct target files
+        // always get distinct temp files.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Persists a session record, replacing any previous one. With
+    /// `snapshot: None` a stale `.snap` file from an earlier suspension
+    /// is removed, keeping the record's two files consistent.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an invalid id; otherwise filesystem errors.
+    pub fn save(&self, id: &str, meta: &str, snapshot: Option<&[u8]>) -> io::Result<()> {
+        if !valid_session_id(id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid session id {id:?}"),
+            ));
+        }
+        match snapshot {
+            Some(bytes) => self.write_atomic(&self.snap_path(id), bytes)?,
+            None => match std::fs::remove_file(self.snap_path(id)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            },
+        }
+        self.write_atomic(&self.meta_path(id), meta.as_bytes())
+    }
+
+    /// Loads a session record; `Ok(None)` when the id is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors other than a missing record.
+    pub fn load(&self, id: &str) -> io::Result<Option<StoredSession>> {
+        if !valid_session_id(id) {
+            return Ok(None);
+        }
+        let meta = match std::fs::read_to_string(self.meta_path(id)) {
+            Ok(meta) => meta,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let snapshot = match std::fs::read(self.snap_path(id)) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        Ok(Some(StoredSession { meta, snapshot }))
+    }
+
+    /// Whether a record exists for `id`.
+    #[must_use]
+    pub fn contains(&self, id: &str) -> bool {
+        valid_session_id(id) && self.meta_path(id).exists()
+    }
+
+    /// Removes a session record (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors other than a missing record.
+    pub fn remove(&self, id: &str) -> io::Result<()> {
+        if !valid_session_id(id) {
+            return Ok(());
+        }
+        for path in [self.meta_path(id), self.snap_path(id)] {
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Ids of every stored session, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Directory-read failures.
+    pub fn list(&self) -> io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name.strip_suffix(".meta.json") {
+                if valid_session_id(id) {
+                    ids.push(id.to_string());
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kgae-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn id_validation_blocks_path_tricks() {
+        assert!(valid_session_id("campaign-07.retry_2"));
+        assert!(valid_session_id("A"));
+        for bad in ["", ".", "..", ".hidden", "a/b", "a\\b", "a b", "caf\u{e9}"] {
+            assert!(!valid_session_id(bad), "{bad:?}");
+        }
+        assert!(!valid_session_id(&"x".repeat(MAX_ID_LEN + 1)));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = to_hex(&bytes);
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        assert_eq!(from_hex("abc"), None, "odd length");
+        assert_eq!(from_hex("zz"), None, "non-hex");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn save_load_remove_round_trip() {
+        let store = SnapshotStore::open(temp_dir("roundtrip")).unwrap();
+        assert_eq!(store.load("s1").unwrap(), None);
+        store
+            .save("s1", r#"{"state":"suspended"}"#, Some(&[1, 2, 3]))
+            .unwrap();
+        let rec = store.load("s1").unwrap().unwrap();
+        assert_eq!(rec.meta, r#"{"state":"suspended"}"#);
+        assert_eq!(rec.snapshot.as_deref(), Some(&[1u8, 2, 3][..]));
+        // Re-saving without a snapshot clears the stale .snap file.
+        store.save("s1", r#"{"state":"finished"}"#, None).unwrap();
+        let rec = store.load("s1").unwrap().unwrap();
+        assert_eq!(rec.snapshot, None);
+        store.save("s2", "{}", None).unwrap();
+        assert_eq!(store.list().unwrap(), vec!["s1".to_string(), "s2".into()]);
+        assert!(store.contains("s1"));
+        store.remove("s1").unwrap();
+        store.remove("s1").unwrap(); // idempotent
+        assert!(!store.contains("s1"));
+        assert_eq!(store.list().unwrap(), vec!["s2".to_string()]);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn invalid_ids_never_touch_the_filesystem() {
+        let store = SnapshotStore::open(temp_dir("invalid")).unwrap();
+        assert!(store.save("../escape", "{}", None).is_err());
+        assert_eq!(store.load("../escape").unwrap(), None);
+        assert!(!store.contains("../escape"));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

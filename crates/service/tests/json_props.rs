@@ -1,0 +1,222 @@
+//! Property coverage for the hand-rolled `json` module: generative
+//! encode → parse round trips (values and documents), encoder
+//! idempotence, and a gauntlet of malformed inputs that must come back
+//! as positioned errors — never panics, never stack overflows.
+
+use kgae_service::json::{self, Json, MAX_DEPTH};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A random JSON value with bounded depth/size. Strings exercise
+/// escapes, surrogate-pair astral characters and embedded controls;
+/// numbers exercise integers, negatives and fractional doubles.
+fn random_value(rng: &mut SmallRng, depth: usize) -> Json {
+    let leaf_only = depth >= 6;
+    match rng.gen_range(0..if leaf_only { 4u64 } else { 6 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => {
+            // Mix exact integers and arbitrary finite doubles.
+            if rng.gen_bool(0.5) {
+                Json::int(rng.gen_range(0..1u64 << 53))
+            } else {
+                let v = (rng.next_f64() - 0.5) * 1e9;
+                Json::Num(v)
+            }
+        }
+        3 => {
+            let len = rng.gen_range(0..12u64);
+            let s: String = (0..len)
+                .map(|_| match rng.gen_range(0..8u64) {
+                    0 => '"',
+                    1 => '\\',
+                    2 => '\n',
+                    3 => '\u{1}',
+                    4 => '🤖',
+                    5 => 'é',
+                    _ => char::from(rng.gen_range(32..127u8)),
+                })
+                .collect();
+            Json::Str(s)
+        }
+        4 => {
+            let len = rng.gen_range(0..5u64);
+            Json::Arr((0..len).map(|_| random_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..5u64);
+            Json::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}"), random_value(rng, depth + 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn encode_parse_round_trips_500_random_documents() {
+    let mut rng = SmallRng::seed_from_u64(0x15D0);
+    for case in 0..500 {
+        let value = random_value(&mut rng, 0);
+        let encoded = value.encode();
+        let parsed = json::parse(&encoded)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\ndocument: {encoded}"));
+        assert_eq!(parsed, value, "case {case} changed across the round trip");
+        // Encoding is canonical: a second trip is byte-identical.
+        assert_eq!(parsed.encode(), encoded, "case {case} not canonical");
+    }
+}
+
+#[test]
+fn float_round_trips_are_bit_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xF10A7);
+    for _ in 0..2000 {
+        // Finite doubles across the whole exponent range.
+        let bits = rng.next_u64();
+        let v = f64::from_bits(bits);
+        if !v.is_finite() {
+            continue;
+        }
+        let doc = Json::Num(v).encode();
+        let parsed = json::parse(&doc).unwrap();
+        let back = parsed.as_f64().unwrap();
+        assert_eq!(
+            back.to_bits(),
+            v.to_bits(),
+            "float {v:e} changed across the round trip ({doc})"
+        );
+    }
+}
+
+#[test]
+fn parser_never_panics_on_mutated_documents() {
+    let mut rng = SmallRng::seed_from_u64(0xBADF00D);
+    let seed_doc = Json::obj(vec![
+        ("id", Json::str("load-1")),
+        (
+            "labels",
+            Json::Arr(vec![Json::Bool(true), Json::Bool(false)]),
+        ),
+        ("alpha", Json::Num(0.05)),
+        (
+            "nested",
+            Json::obj(vec![("x", Json::Arr(vec![Json::Null]))]),
+        ),
+    ])
+    .encode();
+    for _ in 0..3000 {
+        let mut bytes = seed_doc.clone().into_bytes();
+        for _ in 0..rng.gen_range(1..=4u64) {
+            let i = rng.gen_range(0..bytes.len());
+            bytes[i] = rng.gen_range(0..=255u8);
+        }
+        // Mutations may yield invalid UTF-8 (rejected before parsing)
+        // or invalid JSON (a ParseError) — both fine; panics are not.
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = json::parse(text);
+        }
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_document_error_cleanly() {
+    let doc = Json::obj(vec![
+        ("s", Json::str("a\\\"b\u{1F916}")),
+        ("n", Json::Num(-12.5e-3)),
+        ("a", Json::Arr(vec![Json::int(1), Json::Null])),
+    ])
+    .encode();
+    for cut in 0..doc.len() {
+        if !doc.is_char_boundary(cut) {
+            continue;
+        }
+        let prefix = &doc[..cut];
+        assert!(
+            json::parse(prefix).is_err(),
+            "truncation at {cut} parsed: {prefix:?}"
+        );
+    }
+}
+
+#[test]
+fn malformed_inputs_return_errors_not_panics() {
+    let cases: &[&str] = &[
+        "",
+        "   ",
+        "nul",
+        "truefalse",
+        "tru",
+        "[1,]",
+        "[1 2]",
+        "[,1]",
+        "{",
+        "}",
+        "{\"a\"}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{a:1}",
+        "{\"a\":1 \"b\":2}",
+        "\"unterminated",
+        "\"bad escape \\x\"",
+        "\"truncated escape \\",
+        "\"\\u12\"",
+        "\"\\uZZZZ\"",
+        "\"\\ud800\"",         // lone high surrogate
+        "\"\\udc00\"",         // lone low surrogate
+        "\"\\ud800\\u0041\"",  // high surrogate + non-surrogate
+        "\"raw\u{1}control\"", // unescaped control byte
+        "01",
+        "-",
+        "1.",
+        ".5",
+        "+1",
+        "--1",
+        "1e",
+        "1e+",
+        "0x10",
+        "1e999",  // overflows to infinity — rejected
+        "-1e999", // -infinity
+        "nan",
+        "Infinity",
+        "[1] trailing",
+        "{} {}",
+    ];
+    for case in cases {
+        let result = json::parse(case);
+        assert!(result.is_err(), "{case:?} parsed as {result:?}");
+        let err = result.unwrap_err();
+        assert!(err.offset <= case.len(), "{case:?}: offset out of range");
+    }
+}
+
+#[test]
+fn deep_nesting_hits_the_cap_not_the_stack() {
+    // Far beyond the cap: must error, not overflow the parser stack.
+    for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+        let deep = format!("{}null{}", open.repeat(10_000), close.repeat(10_000));
+        let err = json::parse(&deep).expect_err("deep nesting must fail");
+        assert!(err.msg.contains("MAX_DEPTH"), "unexpected error: {err}");
+    }
+    // Exactly at the cap: fine.
+    let ok = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+    assert!(json::parse(&ok).is_ok());
+    let over = format!(
+        "{}null{}",
+        "[".repeat(MAX_DEPTH + 1),
+        "]".repeat(MAX_DEPTH + 1)
+    );
+    assert!(json::parse(&over).is_err());
+}
+
+#[test]
+fn duplicate_keys_and_whitespace_are_tolerated_per_grammar() {
+    // RFC 8259 leaves duplicate-key semantics to the application; the
+    // parser keeps both, `get` returns the first.
+    let v = json::parse(" { \"a\" : 1 ,\n\t\"a\" : 2 } ").unwrap();
+    assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+    let Json::Obj(pairs) = &v else {
+        panic!("object")
+    };
+    assert_eq!(pairs.len(), 2);
+}

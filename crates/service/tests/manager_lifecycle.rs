@@ -1,0 +1,257 @@
+//! End-to-end lifecycle of the multi-tenant [`SessionManager`]: create
+//! → poll/submit → suspend → evict → resume → finish, including the
+//! acceptance property that a suspend → evict → resume round trip
+//! through the snapshot store is byte-identical and trajectory-neutral.
+
+use kgae_core::{EvalResult, IntervalMethod, StopReason};
+use kgae_graph::GroundTruth;
+use kgae_service::api::SessionSpec;
+use kgae_service::manager::{DatasetRegistry, ServiceError, SessionState};
+use kgae_service::{SessionManager, SnapshotStore};
+use std::path::PathBuf;
+
+fn temp_store(tag: &str) -> SnapshotStore {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("kgae-manager-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SnapshotStore::open(dir).unwrap()
+}
+
+fn spec(id: &str, dataset: &str, design: &str, seed: u64) -> SessionSpec {
+    SessionSpec {
+        id: id.into(),
+        dataset: dataset.into(),
+        design: design.parse().unwrap(),
+        method: IntervalMethod::ahpd_default(),
+        seed,
+        alpha: 0.05,
+        epsilon: 0.05,
+        max_observations: None,
+    }
+}
+
+/// Drives a session to completion through the manager, labeling with
+/// the dataset's ground truth; returns its final result.
+fn drive(
+    manager: &SessionManager<'_>,
+    registry: &DatasetRegistry,
+    id: &str,
+    dataset: &str,
+    batch: u64,
+) -> (StopReason, EvalResult) {
+    let kg = registry.get(dataset).unwrap();
+    loop {
+        let (request, view) = manager.next_request(id, batch).unwrap();
+        let Some(request) = request else { break };
+        let labels: Vec<bool> = request
+            .triples
+            .iter()
+            .map(|st| kg.is_correct(st.triple))
+            .collect();
+        manager.submit(id, &labels, view.pending_seq).unwrap();
+    }
+    manager.final_result(id).unwrap()
+}
+
+#[test]
+fn create_drive_finish_across_designs() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("designs"), 4);
+    for (i, design) in ["srs", "twcs:3", "wcs", "scs"].iter().enumerate() {
+        let id = format!("d{i}");
+        manager
+            .create(&spec(&id, "nell", design, 42 + i as u64))
+            .unwrap();
+        let (reason, result) = drive(&manager, &registry, &id, "nell", 16);
+        assert_eq!(reason, StopReason::MoeSatisfied, "{design}");
+        assert!(result.converged, "{design}");
+        assert!(result.interval.moe() <= 0.05 + 1e-12, "{design}");
+        let view = manager.status(&id).unwrap();
+        assert_eq!(view.state, SessionState::Finished);
+        assert_eq!(view.status.stopped, Some(StopReason::MoeSatisfied));
+    }
+    assert_eq!(manager.list().unwrap().len(), 4);
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+#[test]
+fn suspend_evict_resume_is_byte_identical_and_trajectory_neutral() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("roundtrip"), 4);
+    let kg = registry.get("nell").unwrap();
+
+    // A straight-through run of the same spec is the reference.
+    manager
+        .create(&spec("straight", "nell", "twcs:3", 7))
+        .unwrap();
+    let (_, reference) = drive(&manager, &registry, "straight", "nell", 8);
+
+    // The probe runs three batches, then suspend → evict → resume.
+    manager.create(&spec("probe", "nell", "twcs:3", 7)).unwrap();
+    for _ in 0..3 {
+        let (request, _) = manager.next_request("probe", 8).unwrap();
+        let labels: Vec<bool> = request
+            .unwrap()
+            .triples
+            .iter()
+            .map(|st| kg.is_correct(st.triple))
+            .collect();
+        manager.submit("probe", &labels, None).unwrap();
+    }
+    let view = manager.suspend("probe").unwrap();
+    assert_eq!(view.state, SessionState::Suspended);
+    assert!(view.snapshot_bytes.unwrap() > 0);
+    let before = manager.snapshot_bytes("probe").unwrap();
+
+    manager.evict("probe").unwrap();
+    assert_eq!(
+        manager.status("probe").unwrap().state,
+        SessionState::Evicted
+    );
+    // Evicted: zero in-memory state, snapshot still readable.
+    assert_eq!(manager.snapshot_bytes("probe").unwrap(), before);
+
+    let view = manager.resume("probe").unwrap();
+    assert_eq!(view.state, SessionState::Running);
+    // Re-suspending the resumed session reproduces the exact bytes: the
+    // disk round trip lost nothing.
+    manager.suspend("probe").unwrap();
+    let after = manager.snapshot_bytes("probe").unwrap();
+    assert_eq!(before, after, "snapshot bytes changed across evict/resume");
+
+    manager.resume("probe").unwrap();
+    let (_, interrupted) = drive(&manager, &registry, "probe", "nell", 8);
+    assert_eq!(
+        reference, interrupted,
+        "suspend/evict/resume changed the trajectory"
+    );
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+#[test]
+fn finished_sessions_survive_eviction_with_their_results() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("finished"), 2);
+    manager.create(&spec("done", "yago", "srs", 3)).unwrap();
+    let (reason, result) = drive(&manager, &registry, "done", "yago", 32);
+    manager.evict("done").unwrap();
+    let view = manager.status("done").unwrap();
+    assert_eq!(view.state, SessionState::Evicted);
+    assert_eq!(view.status.stopped, Some(reason));
+    // The result is reloadable from the meta record alone.
+    let (reason2, result2) = manager.final_result("done").unwrap();
+    assert_eq!(reason, reason2);
+    assert_eq!(result, result2);
+    // Resume brings it back as a Finished slot, and polls report done.
+    manager.resume("done").unwrap();
+    assert_eq!(
+        manager.status("done").unwrap().state,
+        SessionState::Finished
+    );
+    let (request, view) = manager.next_request("done", 4).unwrap();
+    assert!(request.is_none());
+    assert_eq!(view.state, SessionState::Finished);
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+#[test]
+fn repolls_are_idempotent_and_stale_submits_are_fenced() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("fencing"), 2);
+    let kg = registry.get("nell").unwrap();
+    manager.create(&spec("f", "nell", "srs", 5)).unwrap();
+
+    // Re-polling with labels owed re-serves the identical batch (an
+    // annotator that lost the response can recover), at the same seq.
+    let (first, view1) = manager.next_request("f", 4).unwrap();
+    let first = first.unwrap();
+    let seq1 = view1.pending_seq.unwrap();
+    let (again, view2) = manager.next_request("f", 9).unwrap();
+    let again = again.unwrap();
+    assert_eq!(first.triples, again.triples, "re-poll changed the batch");
+    assert_eq!(view2.pending_seq, Some(seq1));
+
+    let labels: Vec<bool> = first
+        .triples
+        .iter()
+        .map(|st| kg.is_correct(st.triple))
+        .collect();
+    // A wrong seq is rejected before touching the engine.
+    assert!(matches!(
+        manager.submit("f", &labels, Some(seq1 + 1)),
+        Err(ServiceError::StaleRequest(_))
+    ));
+    manager.submit("f", &labels, Some(seq1)).unwrap();
+    // Replaying the same submit after the batch advanced is fenced off
+    // — stale labels can never land on a newer batch.
+    let (_next, view3) = manager.next_request("f", 4).unwrap();
+    assert_ne!(view3.pending_seq, Some(seq1), "seq must advance");
+    assert!(matches!(
+        manager.submit("f", &labels, Some(seq1)),
+        Err(ServiceError::StaleRequest(_))
+    ));
+
+    // Absurd batch sizes are clamped, not chased forever.
+    manager.create(&spec("clamp", "nell", "wcs", 6)).unwrap();
+    let (request, _) = manager.next_request("clamp", u64::MAX).unwrap();
+    assert!(request.unwrap().units <= kgae_service::manager::MAX_BATCH_UNITS);
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+#[test]
+fn error_paths_are_typed() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("errors"), 2);
+
+    assert!(matches!(
+        manager.status("ghost"),
+        Err(ServiceError::UnknownSession(_))
+    ));
+    assert!(matches!(
+        manager.create(&spec("bad id!", "nell", "srs", 1)),
+        Err(ServiceError::InvalidId(_))
+    ));
+    assert!(matches!(
+        manager.create(&spec("s", "wikidata", "srs", 1)),
+        Err(ServiceError::UnknownDataset(_))
+    ));
+
+    manager.create(&spec("s", "nell", "srs", 1)).unwrap();
+    assert!(matches!(
+        manager.create(&spec("s", "nell", "srs", 2)),
+        Err(ServiceError::SessionExists(_))
+    ));
+
+    // Outstanding request blocks suspend/evict and snapshot export.
+    let (request, _) = manager.next_request("s", 4).unwrap();
+    let expected = request.unwrap().triples.len();
+    assert!(matches!(
+        manager.suspend("s"),
+        Err(ServiceError::RequestOutstanding(_))
+    ));
+    assert!(matches!(
+        manager.evict("s"),
+        Err(ServiceError::RequestOutstanding(_))
+    ));
+    assert!(matches!(
+        manager.snapshot_bytes("s"),
+        Err(ServiceError::NotSuspended(_))
+    ));
+    // Wrong label count is a 409-class engine error.
+    assert!(matches!(
+        manager.submit("s", &[true], None),
+        Err(ServiceError::Session(_))
+    ));
+    manager.submit("s", &vec![true; expected], None).unwrap();
+    assert!(matches!(
+        manager.final_result("s"),
+        Err(ServiceError::BadRequest(_))
+    ));
+
+    manager.delete("s").unwrap();
+    assert!(matches!(
+        manager.delete("s"),
+        Err(ServiceError::UnknownSession(_))
+    ));
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}

@@ -1,0 +1,201 @@
+//! Concurrency stress: N threads hammer create / next / submit /
+//! suspend / resume / evict on overlapping session ids, with randomized
+//! batch sizes and interleavings. The manager must neither deadlock nor
+//! let the chaos perturb a single session's evaluation trajectory —
+//! every final result must be **bit-identical** to a single-threaded
+//! batch-1 replay of the same spec (batching and suspension are proven
+//! trajectory-neutral, so any divergence here is a concurrency bug).
+
+use kgae_core::{EvalResult, IntervalMethod, StopReason};
+use kgae_graph::GroundTruth;
+use kgae_service::api::SessionSpec;
+use kgae_service::manager::{DatasetRegistry, ServiceError, SessionState};
+use kgae_service::{SessionManager, SnapshotStore};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const THREADS: usize = 8;
+const SESSIONS: usize = 12;
+
+fn temp_store(tag: &str) -> SnapshotStore {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("kgae-stress-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    SnapshotStore::open(dir).unwrap()
+}
+
+fn specs() -> Vec<SessionSpec> {
+    let datasets = ["nell", "yago"];
+    let designs = ["srs", "twcs:3"];
+    (0..SESSIONS)
+        .map(|i| SessionSpec {
+            id: format!("stress-{i}"),
+            dataset: datasets[i % datasets.len()].into(),
+            design: designs[(i / 2) % designs.len()].parse().unwrap(),
+            method: IntervalMethod::ahpd_default(),
+            seed: 1000 + i as u64,
+            alpha: 0.05,
+            epsilon: 0.05,
+            max_observations: None,
+        })
+        .collect()
+}
+
+/// One worker: random ops over random sessions until every session is
+/// finished. Errors caused by cross-thread interleavings (request
+/// outstanding, already finished, ...) are part of the protocol and
+/// tolerated; anything else fails the test.
+#[allow(clippy::needless_pass_by_value)]
+fn worker(
+    manager: &SessionManager<'_>,
+    registry: &DatasetRegistry,
+    specs: &[SessionSpec],
+    done: &[AtomicBool],
+    seed: u64,
+) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut spins = 0u64;
+    while !done.iter().all(|d| d.load(Ordering::Relaxed)) {
+        spins += 1;
+        assert!(spins < 2_000_000, "stress loop failed to converge");
+        let i = rng.gen_range(0..specs.len());
+        let spec = &specs[i];
+        let id = spec.id.as_str();
+        let tolerate = |e: &ServiceError| {
+            matches!(
+                e,
+                ServiceError::RequestOutstanding(_)
+                    | ServiceError::AlreadyFinished(_)
+                    | ServiceError::NotSuspended(_)
+                    | ServiceError::StaleRequest(_)
+                    | ServiceError::Session(_)
+            )
+        };
+        match rng.gen_range(0..10u64) {
+            0 => match manager.suspend(id) {
+                Ok(_) => {}
+                Err(e) if tolerate(&e) => {}
+                Err(e) => panic!("suspend {id}: {e}"),
+            },
+            1 => match manager.resume(id) {
+                Ok(_) => {}
+                Err(e) if tolerate(&e) => {}
+                Err(e) => panic!("resume {id}: {e}"),
+            },
+            2 => match manager.evict(id) {
+                Ok(()) => {}
+                Err(e) if tolerate(&e) => {}
+                Err(e) => panic!("evict {id}: {e}"),
+            },
+            3 => {
+                let view = manager.status(id).expect("status");
+                if view.state == SessionState::Finished {
+                    done[i].store(true, Ordering::Relaxed);
+                }
+            }
+            _ => {
+                // Advance: poll a random batch, label it from ground
+                // truth, submit. Only the thread holding the request's
+                // triples can submit — the protocol serializes writers.
+                let batch = rng.gen_range(1..=8u64);
+                let (request, view) = match manager.next_request(id, batch) {
+                    Ok(outcome) => outcome,
+                    Err(e) if tolerate(&e) => continue,
+                    Err(e) => panic!("next_request {id}: {e}"),
+                };
+                let Some(request) = request else {
+                    assert_eq!(view.state, SessionState::Finished);
+                    done[i].store(true, Ordering::Relaxed);
+                    continue;
+                };
+                let kg = registry.get(&spec.dataset).unwrap();
+                let labels: Vec<bool> = request
+                    .triples
+                    .iter()
+                    .map(|st| kg.is_correct(st.triple))
+                    .collect();
+                let view = match manager.submit(id, &labels, view.pending_seq) {
+                    Ok(view) => view,
+                    Err(e) if tolerate(&e) => continue,
+                    Err(e) => panic!("submit {id}: {e}"),
+                };
+                if view.state == SessionState::Finished {
+                    done[i].store(true, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Single-threaded reference: the same spec driven to completion with
+/// batch 1 on a fresh manager.
+fn replay(spec: &SessionSpec, registry: &DatasetRegistry) -> (StopReason, EvalResult) {
+    let manager = SessionManager::new(registry, temp_store(&format!("replay-{}", spec.id)), 1);
+    manager.create(spec).unwrap();
+    let kg = registry.get(&spec.dataset).unwrap();
+    loop {
+        let (request, _) = manager.next_request(&spec.id, 1).unwrap();
+        let Some(request) = request else { break };
+        let labels: Vec<bool> = request
+            .triples
+            .iter()
+            .map(|st| kg.is_correct(st.triple))
+            .collect();
+        manager.submit(&spec.id, &labels, None).unwrap();
+    }
+    let result = manager.final_result(&spec.id).unwrap();
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+    result
+}
+
+#[test]
+fn concurrent_chaos_preserves_every_trajectory() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("chaos"), 4);
+    let specs = specs();
+    for spec in &specs {
+        manager.create(spec).unwrap();
+    }
+    let done: Vec<AtomicBool> = (0..specs.len()).map(|_| AtomicBool::new(false)).collect();
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let manager = &manager;
+            let registry = &registry;
+            let specs = &specs;
+            let done = &done;
+            handles.push(scope.spawn(move |_| {
+                worker(manager, registry, specs, done, 0xC0FFEE + t as u64);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("stress worker");
+        }
+    })
+    .expect("stress scope");
+
+    // Every session finished (possibly evicted afterwards, result on
+    // disk), and bit-identically to its solo replay.
+    for spec in &specs {
+        let view = manager.status(&spec.id).unwrap();
+        assert!(
+            matches!(view.state, SessionState::Finished | SessionState::Evicted),
+            "{}: {:?}",
+            spec.id,
+            view.state
+        );
+        assert!(view.status.stopped.is_some(), "{}", spec.id);
+        let (reason, result) = manager.final_result(&spec.id).unwrap();
+        let (ref_reason, ref_result) = replay(spec, &registry);
+        assert_eq!(reason, ref_reason, "{}", spec.id);
+        assert_eq!(
+            result, ref_result,
+            "{}: concurrent interleavings changed the final posterior",
+            spec.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}

@@ -17,7 +17,11 @@
 //! * [`intervals`] — Wald, Wilson, Agresti–Coull, Clopper–Pearson, ET
 //!   and HPD intervals with Kerman/Jeffreys/Uniform/informative priors;
 //! * [`core`] — the iterative evaluation framework, the cost model, the
-//!   aHPD algorithm, and the repeated-run experiment harness.
+//!   aHPD algorithm, and the repeated-run experiment harness;
+//! * [`service`] — the multi-tenant session server: a sharded
+//!   `SessionManager` with snapshot-backed persistence behind a
+//!   std-only HTTP/1.1 + JSON API (`kgae-serve` binary; the
+//!   `kgae-client` crate speaks the same wire format).
 //!
 //! ## Auditing a KG in six lines
 //!
@@ -48,6 +52,7 @@ pub use kgae_graph as graph;
 pub use kgae_intervals as intervals;
 pub use kgae_optim as optim;
 pub use kgae_sampling as sampling;
+pub use kgae_service as service;
 pub use kgae_stats as stats;
 
 /// One-stop imports for typical auditing applications.
