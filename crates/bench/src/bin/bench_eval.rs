@@ -23,9 +23,10 @@
 use kgae_bench::{arg_value, drive_session_oracle, reps_from_args};
 use kgae_core::{
     evaluate_prepared, repeat_evaluation, EvalConfig, EvalResult, IntervalMethod, OracleAnnotator,
-    PreparedDesign, SamplingDesign, StoppingPolicy,
+    PreparedDesign, SamplingDesign, StoppingPolicy, StratifiedConfig, StratifiedSession,
 };
-use kgae_graph::{CompactKg, KnowledgeGraph};
+use kgae_graph::{CompactKg, GroundTruth, KnowledgeGraph};
+use kgae_sampling::AllocationPolicy;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -232,6 +233,69 @@ fn run() -> Result<(), String> {
     }
 
     // ------------------------------------------------------------------
+    // Stratified campaigns: width-greedy vs proportional budget
+    // allocation on the NELL predicate twin. Both arms run the same
+    // pooled-MoE target; the acceptance claim is that width-greedy
+    // reaches it with fewer annotations (per-predicate accuracies span
+    // 0.45–0.99, so per-stratum variances differ by ~25×).
+    // ------------------------------------------------------------------
+    let (pred_kg, pred_strat) = kgae_graph::datasets::nell_by_predicate();
+    let strat_epsilon = 0.03;
+    let strat_reps = (reps / 10).clamp(10, 80);
+    let run_allocation = |allocation: AllocationPolicy| -> Result<f64, String> {
+        let mut total_observations = 0u64;
+        for rep in 0..strat_reps {
+            let cfg = StratifiedConfig {
+                allocation,
+                epsilon: strat_epsilon,
+                ..StratifiedConfig::default()
+            };
+            let mut session = StratifiedSession::new(
+                &pred_kg,
+                &pred_strat,
+                &ahpd,
+                &cfg,
+                base_seed.wrapping_add(rep),
+            );
+            let mut labels = Vec::new();
+            while let Some(req) = session
+                .next_request(8)
+                .map_err(|e| format!("stratified poll: {e}"))?
+            {
+                labels.clear();
+                labels.extend(
+                    req.request
+                        .triples
+                        .iter()
+                        .map(|st| pred_kg.is_correct(st.triple)),
+                );
+                session
+                    .submit(&labels)
+                    .map_err(|e| format!("stratified submit: {e}"))?;
+            }
+            let result = session
+                .into_result()
+                .ok_or("stratified campaign ended without a result")?;
+            if !result.pooled.converged {
+                return Err(format!(
+                    "stratified campaign ({}) failed to converge",
+                    allocation.canonical_name()
+                ));
+            }
+            total_observations += result.pooled.observations;
+        }
+        Ok(total_observations as f64 / strat_reps as f64)
+    };
+    let greedy_mean = run_allocation(AllocationPolicy::WidthGreedy)?;
+    let proportional_mean = run_allocation(AllocationPolicy::Proportional)?;
+    let stratified_savings = 1.0 - greedy_mean / proportional_mean;
+    eprintln!(
+        "stratified NELL-pred (ε = {strat_epsilon}): width-greedy {greedy_mean:.1} vs \
+         proportional {proportional_mean:.1} annotations/campaign → {:.1}% saved",
+        100.0 * stratified_savings,
+    );
+
+    // ------------------------------------------------------------------
     // Parallel harness throughput (work-stealing runner).
     // ------------------------------------------------------------------
     let threads = std::thread::available_parallelism()
@@ -259,7 +323,7 @@ fn run() -> Result<(), String> {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"evaluation_loop\",");
-    let _ = writeln!(out, "  \"schema_version\": 3,");
+    let _ = writeln!(out, "  \"schema_version\": 4,");
     let _ = writeln!(out, "  \"dataset\": \"NELL\",");
     let _ = writeln!(out, "  \"reps_per_cell\": {reps},");
     let _ = writeln!(out, "  \"cells\": [");
@@ -311,6 +375,30 @@ fn run() -> Result<(), String> {
         });
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"stratified\": {{");
+    let _ = writeln!(out, "    \"dataset\": \"NELL-pred\",");
+    let _ = writeln!(out, "    \"strata\": {},", pred_strat.num_strata());
+    let _ = writeln!(out, "    \"epsilon\": {strat_epsilon},");
+    let _ = writeln!(out, "    \"reps\": {strat_reps},");
+    let _ = writeln!(
+        out,
+        "    \"width_greedy_mean_observations\": {greedy_mean:.2},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"proportional_mean_observations\": {proportional_mean:.2},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"savings_pct\": {:.2},",
+        100.0 * stratified_savings
+    );
+    let _ = writeln!(
+        out,
+        "    \"width_greedy_beats_proportional\": {}",
+        greedy_mean < proportional_mean
+    );
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"parallel_harness\": {{");
     let _ = writeln!(out, "    \"threads\": {threads},");
     let _ = writeln!(
@@ -326,6 +414,12 @@ fn run() -> Result<(), String> {
 
     if !identical_stopping {
         return Err("lookahead changed stopping statistics — certified bound violated".into());
+    }
+    if greedy_mean >= proportional_mean {
+        return Err(format!(
+            "width-greedy allocation ({greedy_mean:.1} annotations) failed to beat \
+             proportional ({proportional_mean:.1}) on NELL predicates"
+        ));
     }
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Load generator for the session service: boots a live `kgae-serve`
 //! stack (or targets an already-running one), replays NELL annotation
 //! streams from N concurrent HTTP clients, and reports
-//! throughput/latency into `BENCH_eval.json` (schema_version 3).
+//! throughput/latency into `BENCH_eval.json` (schema_version 4).
 //!
 //! Every client completes whole evaluation campaigns — create → poll →
 //! label (ground truth) → submit → converge — over real TCP with
@@ -42,6 +42,7 @@ fn spec(id: &str, seed: u64) -> SessionSpec {
         alpha: 0.05,
         epsilon: 0.05,
         max_observations: None,
+        stratify: None,
     }
 }
 
@@ -288,7 +289,7 @@ fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
         ]),
         Err(e) => return Err(format!("reading {out_path}: {e}")),
     };
-    doc.set("schema_version", Json::int(3));
+    doc.set("schema_version", Json::int(4));
     doc.set(
         "service_load",
         Json::obj(vec![
@@ -317,7 +318,7 @@ fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
     );
     std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
-    eprintln!("wrote {out_path} (schema_version 3)");
+    eprintln!("wrote {out_path} (schema_version 4)");
     Ok(())
 }
 
@@ -348,11 +349,116 @@ fn with_local_server(
     outcome
 }
 
+/// A stratified campaign over HTTP: per-predicate audit on `nell-pred`
+/// with a mid-flight suspend → evict → resume whose stored snapshot
+/// bytes must survive the disk round trip unchanged.
+fn run_stratified_smoke(addr: SocketAddr) -> Result<(), String> {
+    let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let spec = SessionSpec {
+        id: "smoke-stratified".into(),
+        dataset: "nell-pred".into(),
+        design: "stratified".parse().expect("stratified parses"),
+        method: "ahpd".parse().expect("ahpd parses"),
+        seed: 0x0051_400F,
+        alpha: 0.05,
+        epsilon: 0.04,
+        max_observations: None,
+        stratify: None, // predicate partition
+    };
+    client
+        .create(&spec)
+        .map_err(|e| format!("stratified create: {e}"))?;
+    let mut batches = 0u64;
+    loop {
+        let request = client
+            .next_request("smoke-stratified", 8)
+            .map_err(|e| format!("stratified next: {e}"))?;
+        if request.done {
+            break;
+        }
+        let stratum = request
+            .stratum
+            .as_ref()
+            .ok_or("stratified batch without a stratum address")?;
+        for t in &request.triples {
+            if strat.stratum_of(TripleId(t.triple)) != stratum.index {
+                return Err(format!(
+                    "triple {} served outside stratum {}",
+                    t.triple, stratum.name
+                ));
+            }
+        }
+        let labels: Vec<bool> = request
+            .triples
+            .iter()
+            .map(|t| kg.is_correct(TripleId(t.triple)))
+            .collect();
+        client
+            .submit("smoke-stratified", &labels)
+            .map_err(|e| format!("stratified submit: {e}"))?;
+        batches += 1;
+        if batches == 5 {
+            client
+                .suspend("smoke-stratified")
+                .map_err(|e| format!("stratified suspend: {e}"))?;
+            let before = client
+                .snapshot("smoke-stratified")
+                .map_err(|e| format!("stratified snapshot: {e}"))?;
+            client
+                .evict("smoke-stratified")
+                .map_err(|e| format!("stratified evict: {e}"))?;
+            client
+                .resume("smoke-stratified")
+                .map_err(|e| format!("stratified resume: {e}"))?;
+            client
+                .suspend("smoke-stratified")
+                .map_err(|e| format!("stratified re-suspend: {e}"))?;
+            let after = client
+                .snapshot("smoke-stratified")
+                .map_err(|e| format!("stratified re-snapshot: {e}"))?;
+            if before != after {
+                return Err("stratified snapshot bytes diverged across the disk round trip".into());
+            }
+            client
+                .resume("smoke-stratified")
+                .map_err(|e| format!("stratified resume 2: {e}"))?;
+        }
+    }
+    let status = client
+        .status("smoke-stratified")
+        .map_err(|e| format!("stratified status: {e}"))?;
+    if status.state != SessionState::Finished
+        || status.status.stopped != Some(StopReason::MoeSatisfied)
+    {
+        return Err(format!("stratified campaign did not converge: {status:?}"));
+    }
+    let rows = status
+        .strata
+        .as_ref()
+        .ok_or("finished stratified session lost its per-stratum rows")?;
+    if rows.len() != 8 {
+        return Err(format!("expected 8 predicate rows, got {}", rows.len()));
+    }
+    eprintln!(
+        "smoke: stratified campaign converged over HTTP (pooled μ̂ = {:.3}, {} annotations, \
+         8 predicate rows, snapshot byte-identical)",
+        status.status.estimate.unwrap_or(f64::NAN),
+        status.status.observations,
+    );
+    let _ = client.delete("smoke-stratified");
+    Ok(())
+}
+
 /// The CI smoke sequence against an already-listening server.
 fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
     let mut latencies = Vec::new();
     let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     client.health().map_err(|e| format!("health: {e}"))?;
+    let health = client
+        .health_info()
+        .map_err(|e| format!("health info: {e}"))?;
+    eprintln!("smoke: probing {} {}", health.name, health.version);
     run_campaign(
         &mut client,
         kg,
@@ -366,6 +472,7 @@ fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
         latencies.len()
     );
     verify_suspend_evict_resume(addr, kg, 16)?;
+    run_stratified_smoke(addr)?;
     // Leave nothing behind on a shared server.
     for id in ["smoke-full", "parity-probe", "parity-straight"] {
         let _ = client.delete(id);

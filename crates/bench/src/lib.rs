@@ -5,6 +5,25 @@
 //! repeated-evaluation runner, and print the rows the paper reports.
 //! This crate centralizes the dataset registry, CLI-argument handling and
 //! grid runners so each binary stays a readable experiment script.
+//!
+//! ```
+//! use kgae_bench::drive_session_oracle;
+//! use kgae_core::{EvalConfig, IntervalMethod, PreparedDesign, SamplingDesign};
+//!
+//! // One poll-driven evaluation on the YAGO twin, oracle-labeled.
+//! let kg = kgae_graph::datasets::yago();
+//! let prepared = PreparedDesign::new(&kg, SamplingDesign::Srs);
+//! let (result, requests) = drive_session_oracle(
+//!     &kg,
+//!     &prepared,
+//!     &IntervalMethod::Wilson,
+//!     &EvalConfig::default(),
+//!     7,
+//!     16, // batch size: 16 triples per annotation request
+//! );
+//! assert!(result.converged);
+//! assert!(requests >= 1);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -29,11 +29,35 @@
 //!     client.submit("c1", &labels).unwrap();
 //! }
 //! ```
+//!
+//! The whole stack also runs in-process, which is how the doctests and
+//! smoke tests exercise real TCP without an external server:
+//!
+//! ```
+//! use kgae_client::Client;
+//! use kgae_service::{DatasetRegistry, Server, SessionManager, SnapshotStore};
+//!
+//! let registry = DatasetRegistry::standard();
+//! let dir = std::env::temp_dir().join(format!("kgae-doc-client-{}", std::process::id()));
+//! let manager = SessionManager::new(&registry, SnapshotStore::open(&dir).unwrap(), 2);
+//! let server = Server::bind("127.0.0.1:0", 2).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = server.handle().unwrap();
+//! std::thread::scope(|scope| {
+//!     scope.spawn(|| server.run(&manager));
+//!     let mut client = Client::connect(addr).unwrap();
+//!     let health = client.health_info().unwrap();
+//!     assert!(health.ok && health.name == "kgae-serve");
+//!     assert_eq!(client.datasets().unwrap().len(), 5);
+//!     handle.shutdown();
+//! });
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
-use kgae_core::SessionStatus;
+use kgae_core::{SessionStatus, StratumReport};
 use kgae_service::api::{self, SessionSpec, WireRequest};
 use kgae_service::http;
 use kgae_service::json::{self, Json};
@@ -98,8 +122,10 @@ pub struct SessionInfo {
     pub pending_labels: u64,
     /// Fencing seq of the outstanding request, echoed on submit.
     pub pending_seq: Option<u64>,
-    /// The engine status.
+    /// The engine status (the pooled view for stratified sessions).
     pub status: SessionStatus,
+    /// Per-stratum rows (stratified sessions only).
+    pub strata: Option<Vec<StratumReport>>,
     /// Snapshot size on disk, for suspended/evicted sessions.
     pub snapshot_bytes: Option<u64>,
 }
@@ -126,6 +152,12 @@ fn info_from_json(v: &Json) -> ClientResult<SessionInfo> {
                 .ok_or_else(|| ClientError::Protocol("non-integer snapshot_bytes".into()))?,
         ),
     };
+    let strata = match v.get("strata") {
+        None | Some(Json::Null) => None,
+        Some(field) => {
+            Some(api::strata_from_json(field).map_err(|e| ClientError::Protocol(e.to_string()))?)
+        }
+    };
     Ok(SessionInfo {
         id: field("id")?,
         dataset: field("dataset")?,
@@ -138,8 +170,20 @@ fn info_from_json(v: &Json) -> ClientResult<SessionInfo> {
             Some(field) => field.as_u64(),
         },
         status,
+        strata,
         snapshot_bytes,
     })
+}
+
+/// Build info the server reports on `GET /healthz`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Liveness flag.
+    pub ok: bool,
+    /// Server name (`"kgae-serve"`).
+    pub name: String,
+    /// Server semantic version.
+    pub version: String,
 }
 
 /// A hosted dataset's shape.
@@ -301,6 +345,27 @@ impl Client {
     /// Transport/API failures.
     pub fn health(&mut self) -> ClientResult<()> {
         self.call("GET", "/healthz", "", true).map(|_| ())
+    }
+
+    /// `GET /healthz`, decoded: liveness plus the server's build info
+    /// (name and version) — what deployment probes assert against.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures.
+    pub fn health_info(&mut self) -> ClientResult<HealthInfo> {
+        let doc = self.call("GET", "/healthz", "", true)?;
+        let field = |key: &str| -> ClientResult<String> {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ClientError::Protocol(format!("healthz missing {key:?}")))
+        };
+        Ok(HealthInfo {
+            ok: doc.get("ok").and_then(Json::as_bool).unwrap_or(false),
+            name: field("name")?,
+            version: field("version")?,
+        })
     }
 
     /// `GET /v1/datasets`.

@@ -45,6 +45,7 @@ fn srs_spec(id: &str, seed: u64) -> SessionSpec {
         alpha: 0.05,
         epsilon: 0.05,
         max_observations: None,
+        stratify: None,
     }
 }
 
@@ -54,10 +55,16 @@ fn full_srs_evaluation_with_midflight_suspend_resume() {
         let kg = registry.get("nell").unwrap();
         let mut client = Client::connect(addr).unwrap();
         client.health().unwrap();
+        // The probe endpoint reports build info deployment docs can
+        // assert against (same string as `kgae-serve --version`).
+        let health = client.health_info().unwrap();
+        assert!(health.ok);
+        assert_eq!(health.name, "kgae-serve");
+        assert_eq!(health.version, env!("CARGO_PKG_VERSION"));
 
-        // The server hosts the four standard twins.
+        // The server hosts the four standard twins plus nell-pred.
         let datasets = client.datasets().unwrap();
-        assert_eq!(datasets.len(), 4);
+        assert_eq!(datasets.len(), 5);
         let nell = datasets.iter().find(|d| d.name == "nell").unwrap();
         assert_eq!(nell.triples, kg.num_triples());
 
@@ -139,6 +146,84 @@ fn full_srs_evaluation_with_midflight_suspend_resume() {
         assert_eq!(sessions.len(), 2);
         client.delete("straight").unwrap();
         assert_eq!(client.sessions().unwrap().len(), 1);
+    });
+}
+
+#[test]
+fn stratified_campaign_over_http_with_suspend_resume_parity() {
+    with_server("stratified", |addr, registry| {
+        let kg = registry.get("nell-pred").unwrap();
+        let strat = registry.stratification("nell-pred").unwrap();
+        let mut client = Client::connect(addr).unwrap();
+
+        let spec = SessionSpec {
+            id: "pred".into(),
+            dataset: "nell-pred".into(),
+            design: "stratified".parse().unwrap(),
+            method: "ahpd".parse().unwrap(),
+            seed: 31,
+            alpha: 0.05,
+            epsilon: 0.04,
+            max_observations: None,
+            stratify: None, // defaults to the predicate partition
+        };
+        let info = client.create(&spec).unwrap();
+        assert_eq!(info.design, "stratified:width-greedy");
+        assert_eq!(info.strata.as_ref().unwrap().len(), 8);
+
+        let mut batches = 0u64;
+        loop {
+            let request = client.next_request("pred", 8).unwrap();
+            if request.done {
+                break;
+            }
+            // Every stratified batch is addressed to a stratum, and the
+            // address is consistent with the partition.
+            let stratum = request.stratum.as_ref().expect("stratified batch");
+            assert_eq!(strat.name(stratum.index), stratum.name);
+            for t in &request.triples {
+                assert_eq!(
+                    strat.stratum_of(kgae_graph::TripleId(t.triple)),
+                    stratum.index,
+                    "triple outside its stratum"
+                );
+            }
+            let labels: Vec<bool> = request
+                .triples
+                .iter()
+                .map(|t| kg.is_correct(kgae_graph::TripleId(t.triple)))
+                .collect();
+            client.submit("pred", &labels).unwrap();
+            batches += 1;
+            if batches == 4 {
+                let suspended = client.suspend("pred").unwrap();
+                assert_eq!(suspended.state, SessionState::Suspended);
+                assert_eq!(suspended.strata.as_ref().unwrap().len(), 8);
+                let before = client.snapshot("pred").unwrap();
+                client.evict("pred").unwrap();
+                client.resume("pred").unwrap();
+                client.suspend("pred").unwrap();
+                let after = client.snapshot("pred").unwrap();
+                assert_eq!(before, after, "stratified snapshot bytes diverged");
+                client.resume("pred").unwrap();
+            }
+        }
+
+        let done = client.status("pred").unwrap();
+        assert_eq!(done.state, SessionState::Finished);
+        assert_eq!(done.status.stopped, Some(StopReason::MoeSatisfied));
+        assert!(done.status.interval.unwrap().moe() <= 0.04 + 1e-12);
+        let strata = done.strata.as_ref().unwrap();
+        assert_eq!(strata.len(), 8);
+        // The per-predicate rows expose the heterogeneity a flat audit
+        // hides: the head predicate is far cleaner than the tail one.
+        let head = strata[0].status.estimate.unwrap();
+        let tail = strata[7].status.estimate.unwrap();
+        assert!(
+            head > tail,
+            "head predicate {head:.3} should beat tail {tail:.3}"
+        );
+        client.delete("pred").unwrap();
     });
 }
 

@@ -85,13 +85,22 @@ impl SamplingDesign {
     }
 }
 
-impl From<DesignSpec> for SamplingDesign {
-    fn from(spec: DesignSpec) -> Self {
+impl TryFrom<DesignSpec> for SamplingDesign {
+    type Error = kgae_sampling::driver::DesignParseError;
+
+    /// Every single-driver design converts; the session-level
+    /// [`DesignSpec::Stratified`] does not — it denotes a coordinated
+    /// family of per-stratum SRS engines
+    /// ([`crate::stratified::StratifiedSession`]), not one driver.
+    fn try_from(spec: DesignSpec) -> Result<Self, Self::Error> {
         match spec {
-            DesignSpec::Srs => SamplingDesign::Srs,
-            DesignSpec::Twcs { m } => SamplingDesign::Twcs { m },
-            DesignSpec::Wcs => SamplingDesign::Wcs,
-            DesignSpec::Scs => SamplingDesign::Scs,
+            DesignSpec::Srs => Ok(SamplingDesign::Srs),
+            DesignSpec::Twcs { m } => Ok(SamplingDesign::Twcs { m }),
+            DesignSpec::Wcs => Ok(SamplingDesign::Wcs),
+            DesignSpec::Scs => Ok(SamplingDesign::Scs),
+            DesignSpec::Stratified { .. } => Err(kgae_sampling::driver::DesignParseError(
+                spec.canonical_name(),
+            )),
         }
     }
 }
@@ -101,8 +110,10 @@ impl std::str::FromStr for SamplingDesign {
 
     /// Parses a design name with the [`DesignSpec`] grammar: `srs`,
     /// `twcs:<m>` (or `twcs(m=<m>)`), `wcs`, `scs`, case-insensitively.
+    /// `stratified[:<allocation>]` parses as a [`DesignSpec`] but is
+    /// rejected here — it is not a single-driver design.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        s.parse::<DesignSpec>().map(SamplingDesign::from)
+        s.parse::<DesignSpec>().and_then(SamplingDesign::try_from)
     }
 }
 

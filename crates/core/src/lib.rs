@@ -62,6 +62,7 @@ pub mod runner;
 pub mod session;
 mod snapshot;
 pub mod state;
+pub mod stratified;
 
 pub use ahpd::{ahpd_select, ahpd_select_warm, AHpdSelection};
 pub use annotator::{Annotator, MajorityVoteAnnotator, NoisyAnnotator, OracleAnnotator};
@@ -77,6 +78,10 @@ pub use session::{
     SnapshotHeader, SnapshotRng, StopReason,
 };
 pub use state::{DesignKind, EffectiveSample, SampleState};
+pub use stratified::{
+    peek_stratified_header, StratifiedConfig, StratifiedRequest, StratifiedResult,
+    StratifiedSession, StratifiedSnapshotHeader, StratifiedStatus, StratumReport,
+};
 
 /// Common imports for applications.
 pub mod prelude {

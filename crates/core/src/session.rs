@@ -7,13 +7,29 @@
 //! crowdsourcing batches, expert review queues — is asynchronous and
 //! external. [`EvaluationSession`] turns the loop inside out:
 //!
-//! ```text
-//! loop {
-//!     let request = session.next_request(batch)?;   // triples to label
-//!     let labels  = /* annotate externally, at any pace */;
-//!     session.submit(&labels)?;                     // advance + stop-check
-//!     session.status();                             // estimate/interval/cost
+//! ```
+//! use kgae_core::{EvalConfig, EvaluationSession, IntervalMethod, SamplingDesign};
+//! use kgae_graph::GroundTruth;
+//! use rand::SeedableRng;
+//!
+//! let kg = kgae_graph::datasets::yago();
+//! let mut session = EvaluationSession::new(
+//!     &kg,
+//!     SamplingDesign::Srs,
+//!     &IntervalMethod::Wilson,
+//!     &EvalConfig::default(),
+//!     rand::rngs::SmallRng::seed_from_u64(7),
+//! );
+//! while let Some(request) = session.next_request(16).unwrap() {
+//!     // Annotate externally, at any pace — here, the oracle labels.
+//!     let labels: Vec<bool> = request
+//!         .triples
+//!         .iter()
+//!         .map(|st| kg.is_correct(st.triple))
+//!         .collect();
+//!     session.submit(&labels).unwrap(); // advance + stop-check
 //! }
+//! assert!(session.result().unwrap().converged);
 //! ```
 //!
 //! The session is generic over any [`KnowledgeGraph`] backend (held as
@@ -35,7 +51,7 @@
 use crate::cost::CostTracker;
 use crate::framework::{EvalConfig, EvalResult, PreparedDesign, SamplingDesign, StoppingPolicy};
 use crate::method::{IntervalMethod, MethodState};
-use crate::snapshot::{Reader, Writer};
+use crate::snapshot::{Reader, Writer, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 use crate::state::{DesignKind, SampleState};
 use kgae_graph::{KnowledgeGraph, LabelCache};
 use kgae_intervals::{Interval, IntervalError};
@@ -343,6 +359,16 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
     #[must_use]
     pub fn has_pending_request(&self) -> bool {
         self.pending
+    }
+
+    /// The accumulated annotation tallies — the sufficient statistics
+    /// behind the estimate (n, τ, per-draw moments). Read-only; hosts
+    /// that pool several sessions (the stratified coordinator) read
+    /// per-session variances from here instead of re-deriving them from
+    /// rounded status fields.
+    #[must_use]
+    pub fn sample_state(&self) -> &SampleState {
+        &self.state
     }
 
     /// Mutable access to the session's RNG, for callers that interleave
@@ -734,9 +760,6 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
 // Snapshot encode/decode (manual binary, serde-free).
 // ---------------------------------------------------------------------
 
-const SNAPSHOT_MAGIC: &[u8; 8] = b"KGAESNAP";
-const SNAPSHOT_VERSION: u16 = 1;
-
 fn design_tag(design: SamplingDesign) -> (u8, u64) {
     match design {
         SamplingDesign::Srs => (0, 0),
@@ -746,7 +769,12 @@ fn design_tag(design: SamplingDesign) -> (u8, u64) {
     }
 }
 
-fn method_tag(method: &IntervalMethod) -> u8 {
+/// Snapshot design-tag value marking a *stratified coordinator*
+/// snapshot (`crate::stratified`), distinguishing it from the four
+/// single-session design tags 0–3 in the shared `KGAESNAP` header.
+pub(crate) const STRATIFIED_SNAPSHOT_TAG: u8 = 4;
+
+pub(crate) fn method_tag(method: &IntervalMethod) -> u8 {
     match method {
         IntervalMethod::Wald => 0,
         IntervalMethod::Wilson => 1,
@@ -796,6 +824,11 @@ pub fn peek_snapshot_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionError
         return Err(SessionError::SnapshotMismatch("unsupported version"));
     }
     let tag = r.u8().map_err(corrupt)?;
+    if tag == STRATIFIED_SNAPSHOT_TAG {
+        return Err(SessionError::SnapshotMismatch(
+            "stratified coordinator snapshot; peek it with stratified::peek_stratified_header",
+        ));
+    }
     let m = r.u64().map_err(corrupt)?;
     let design = match (tag, m) {
         (0, _) => SamplingDesign::Srs,

@@ -8,6 +8,14 @@
 //! running posteriors and Welford accumulators — a resumed session must
 //! continue the exact float trajectory of the suspended one.
 
+/// The shared container magic of every snapshot record — plain session
+/// records (design tags 0–3) and the stratified coordinator record
+/// (tag 4) carry the same header, so the constants live in one place.
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"KGAESNAP";
+/// The shared container version; bumping it re-gates every record type
+/// at once.
+pub(crate) const SNAPSHOT_VERSION: u16 = 1;
+
 /// Append-only snapshot writer.
 #[derive(Debug, Default)]
 pub(crate) struct Writer {

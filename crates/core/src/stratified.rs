@@ -1,0 +1,1227 @@
+//! Stratified evaluation campaigns: one poll-based engine per stratum,
+//! a shared annotation budget, and a pooled KG-wide answer.
+//!
+//! The paper's estimators report a single KG-wide accuracy; real audits
+//! ask *which predicates are rotten*. A [`StratifiedSession`] takes a
+//! [`Stratification`] (by predicate, or any triple → stratum map) and
+//! coordinates one SRS-within-stratum [`EvaluationSession`] per stratum
+//! behind the same poll protocol as a single session:
+//!
+//! ```
+//! use kgae_core::stratified::{StratifiedConfig, StratifiedSession};
+//! use kgae_core::IntervalMethod;
+//! use kgae_graph::GroundTruth;
+//!
+//! let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+//! let mut session = StratifiedSession::new(
+//!     &kg,
+//!     &strat,
+//!     &IntervalMethod::ahpd_default(),
+//!     &StratifiedConfig::default(),
+//!     42,
+//! );
+//! while let Some(req) = session.next_request(8).unwrap() {
+//!     // req.stratum / req.name say which predicate this batch audits.
+//!     let labels: Vec<bool> = req
+//!         .request
+//!         .triples
+//!         .iter()
+//!         .map(|st| kg.is_correct(st.triple))
+//!         .collect();
+//!     session.submit(&labels).unwrap();
+//! }
+//! let result = session.into_result().unwrap();
+//! assert!(result.pooled.converged);
+//! assert_eq!(result.strata.len(), 8); // one row per predicate
+//! ```
+//!
+//! **Allocation.** Each polled batch goes entirely to one stratum,
+//! chosen by the configured [`AllocationPolicy`]:
+//!
+//! * *width-greedy* (Neyman-style, the default): maximize the pooled
+//!   interval's width reduction per annotation, score
+//!   `(W_h · width_h)² / n_h`. Equalizing raw per-stratum widths is
+//!   provably no better than proportional under equal weights (both
+//!   yield pooled variance `Σσ_h²/(Hn)`); the marginal-reduction form
+//!   converges to the Neyman optimum `n_h ∝ W_h σ_h` instead.
+//! * *proportional*: keep `n_h / W_h` balanced — the textbook
+//!   `n_h ∝ M_h` baseline (and the benchmark's comparison arm).
+//! * *equal*: keep raw per-stratum counts balanced.
+//!
+//! Strata below the per-stratum floor are served first (lowest index
+//! first) under every policy, so tiny strata cannot be starved and the
+//! policies share an identical warm-up phase.
+//!
+//! **Stopping.** The campaign stops when the *pooled* interval's MoE
+//! reaches `ε` (`MoeSatisfied`), when every stratum is fully annotated
+//! (`PopulationExhausted` — the pooled estimate is then exact), or when
+//! the shared observation budget runs out (`BudgetExhausted`).
+//!
+//! **Pooling.** The pooled point estimate is the classical stratified
+//! estimator `μ̂ = Σ_h W_h μ̂_h`, computed with
+//! [`kgae_intervals::pooled_point`]'s left fold — **bit-identical** to
+//! combining the per-stratum estimators by hand in stratum order (a
+//! property test pins this). Fully annotated strata contribute zero
+//! variance. The pooled interval is Wald-on-pooled-variance; the
+//! per-stratum rows keep their own credible intervals.
+//!
+//! **Suspend/resume.** [`StratifiedSession::snapshot`] reuses the PR-2
+//! `KGAESNAP` container with a new record type (design tag 4): the
+//! coordinator's config and stratification fingerprints followed by one
+//! embedded PR-2 session snapshot (or census record) per stratum.
+//! Resume validates every fingerprint and restores the exact
+//! allocation + sampling trajectory, bit for bit.
+
+use crate::framework::{EvalConfig, EvalResult, SamplingDesign, StoppingPolicy};
+use crate::method::IntervalMethod;
+use crate::session::{
+    method_tag, AnnotationRequest, EvaluationSession, SessionError, SessionStatus, StopReason,
+    STRATIFIED_SNAPSHOT_TAG,
+};
+use crate::snapshot::{Reader, Writer, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+use kgae_graph::stratify::Stratification;
+use kgae_graph::KnowledgeGraph;
+use kgae_intervals::{pooled_interval, pooled_point, Interval, StratumSummary};
+use kgae_sampling::driver::StratumSrsDriver;
+use kgae_sampling::AllocationPolicy;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Campaign-level configuration of a stratified evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratifiedConfig {
+    /// Significance level α of every interval (per-stratum and pooled).
+    pub alpha: f64,
+    /// MoE target ε for the **pooled** interval — the campaign's
+    /// stopping rule.
+    pub epsilon: f64,
+    /// How annotation batches are allocated across strata.
+    pub allocation: AllocationPolicy,
+    /// Shared cap on total annotation observations across all strata;
+    /// exceeded ⇒ the campaign reports `BudgetExhausted`.
+    pub max_observations: Option<u64>,
+    /// Minimum annotations per stratum (clamped to the stratum size)
+    /// before the pooled stopping rule is consulted; under-floor strata
+    /// are served first by every allocation policy.
+    pub min_per_stratum: u64,
+}
+
+impl Default for StratifiedConfig {
+    /// α = ε = 0.05, width-greedy allocation, floor 10, no budget.
+    fn default() -> Self {
+        Self {
+            alpha: 0.05,
+            epsilon: 0.05,
+            allocation: AllocationPolicy::WidthGreedy,
+            max_observations: None,
+            min_per_stratum: 10,
+        }
+    }
+}
+
+impl StratifiedConfig {
+    /// The per-stratum engine configuration this campaign config
+    /// denotes. Stratum sessions never stop on their own (`min_triples`
+    /// is unreachable, ε = 0): stopping is the coordinator's job, so
+    /// the per-stratum engines are pure estimators. Snapshots embed
+    /// this derived config's fingerprint, so it must be a pure function
+    /// of the campaign config.
+    #[must_use]
+    pub fn per_stratum_config(&self) -> EvalConfig {
+        EvalConfig {
+            alpha: self.alpha,
+            epsilon: 0.0,
+            min_triples: u64::MAX,
+            stopping: StoppingPolicy::CertifiedLookahead,
+            ..EvalConfig::default()
+        }
+    }
+}
+
+/// A poll outcome: the next batch, addressed to one stratum.
+#[derive(Debug, Clone)]
+pub struct StratifiedRequest {
+    /// Index of the stratum the batch belongs to.
+    pub stratum: u32,
+    /// Its name (predicate, bucket label, ...).
+    pub name: String,
+    /// The batch itself; labels are owed in this order.
+    pub request: AnnotationRequest,
+}
+
+/// One stratum's row in a status report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumReport {
+    /// Stratum name.
+    pub name: String,
+    /// Population weight `W_h = M_h / M`.
+    pub weight: f64,
+    /// Stratum size `M_h` in triples.
+    pub size: u64,
+    /// Whether every triple of the stratum has been annotated (the
+    /// stratum estimate is then exact and contributes zero pooled
+    /// variance).
+    pub census: bool,
+    /// The stratum engine's status (its own credible interval, counts,
+    /// cost). `stopped` is `PopulationExhausted` for a census stratum,
+    /// `None` otherwise — stratum engines never stop for any other
+    /// reason.
+    pub status: SessionStatus,
+}
+
+/// A point-in-time view of the whole campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratifiedStatus {
+    /// Pooled KG-wide view: stratified point estimate, pooled Wald
+    /// interval, summed counts and cost.
+    pub pooled: SessionStatus,
+    /// Per-stratum rows, in stratum order.
+    pub strata: Vec<StratumReport>,
+}
+
+/// Final outcome of a stratified campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratifiedResult {
+    /// Pooled result in the shape of a single-session [`EvalResult`]
+    /// (`stage1_draws` is 0: strata sample triples, not clusters).
+    pub pooled: EvalResult,
+    /// Per-stratum rows at the stop.
+    pub strata: Vec<StratumReport>,
+}
+
+enum StratumSlot<'a> {
+    /// Still sampling.
+    Live(Box<EvaluationSession<'a, SmallRng>>),
+    /// Fully annotated (census): exact estimate, zero variance.
+    Census(Box<EvalResult>),
+}
+
+/// Coordinator for a stratified campaign. See the module docs for the
+/// protocol and the allocation/stopping semantics.
+pub struct StratifiedSession<'a> {
+    kg: &'a dyn KnowledgeGraph,
+    cfg: StratifiedConfig,
+    method: IntervalMethod,
+    strat_fingerprint: u64,
+    names: Vec<String>,
+    sizes: Vec<u64>,
+    weights: Vec<f64>,
+    slots: Vec<StratumSlot<'a>>,
+    pending: Option<u32>,
+    outcome: Option<(StopReason, StratifiedResult)>,
+}
+
+impl<'a> StratifiedSession<'a> {
+    /// Creates a campaign over `kg` partitioned by `strat`. Each
+    /// stratum gets its own deterministic RNG stream derived from
+    /// `seed`, so the whole campaign is reproducible from
+    /// `(kg, strat, method, cfg, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strat` does not cover exactly `kg`'s triples.
+    #[must_use]
+    pub fn new(
+        kg: &'a dyn KnowledgeGraph,
+        strat: &Stratification,
+        method: &IntervalMethod,
+        cfg: &StratifiedConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            strat.num_triples(),
+            kg.num_triples(),
+            "stratification covers a different KG"
+        );
+        let per_stratum = cfg.per_stratum_config();
+        let slots = (0..strat.num_strata())
+            .map(|h| {
+                let driver = Box::new(StratumSrsDriver::new(kg, strat.members(h)));
+                StratumSlot::Live(Box::new(EvaluationSession::with_driver(
+                    kg,
+                    driver,
+                    SamplingDesign::Srs,
+                    method,
+                    &per_stratum,
+                    SmallRng::seed_from_u64(kgae_graph::hash::mix2(seed, u64::from(h))),
+                )))
+            })
+            .collect();
+        Self {
+            kg,
+            cfg: cfg.clone(),
+            method: method.clone(),
+            strat_fingerprint: strat.fingerprint(),
+            names: (0..strat.num_strata())
+                .map(|h| strat.name(h).to_string())
+                .collect(),
+            sizes: (0..strat.num_strata()).map(|h| strat.size(h)).collect(),
+            weights: (0..strat.num_strata()).map(|h| strat.weight(h)).collect(),
+            slots,
+            pending: None,
+            outcome: None,
+        }
+    }
+
+    /// Number of strata.
+    #[must_use]
+    pub fn num_strata(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The campaign configuration.
+    #[must_use]
+    pub fn config(&self) -> &StratifiedConfig {
+        &self.cfg
+    }
+
+    /// Whether labels are owed on an outstanding request.
+    #[must_use]
+    pub fn has_pending_request(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Why the campaign stopped, or `None` while it runs.
+    #[must_use]
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.outcome.as_ref().map(|(reason, _)| *reason)
+    }
+
+    /// The final result once the campaign has stopped.
+    #[must_use]
+    pub fn result(&self) -> Option<&StratifiedResult> {
+        self.outcome.as_ref().map(|(_, result)| result)
+    }
+
+    /// Consumes the campaign, yielding the final result if it stopped.
+    #[must_use]
+    pub fn into_result(self) -> Option<StratifiedResult> {
+        self.outcome.map(|(_, result)| result)
+    }
+
+    fn observations(&self, h: usize) -> u64 {
+        match &self.slots[h] {
+            StratumSlot::Live(session) => session.sample_state().n(),
+            StratumSlot::Census(result) => result.observations,
+        }
+    }
+
+    fn total_observations(&self) -> u64 {
+        (0..self.slots.len()).map(|h| self.observations(h)).sum()
+    }
+
+    /// The stratum's pooled-estimator contribution, `None` before its
+    /// first annotation.
+    fn summary(&self, h: usize) -> Option<StratumSummary> {
+        let weight = self.weights[h];
+        match &self.slots[h] {
+            StratumSlot::Live(session) => {
+                let state = session.sample_state();
+                if state.n() == 0 {
+                    return None;
+                }
+                let est = state.estimate();
+                // A fully annotated stratum that merely hasn't reported
+                // exhaustion yet is already a census: no sampling error.
+                let variance = if state.n() == self.sizes[h] {
+                    0.0
+                } else {
+                    est.variance
+                };
+                Some(StratumSummary {
+                    weight,
+                    mu: est.mu,
+                    variance,
+                })
+            }
+            StratumSlot::Census(result) => Some(StratumSummary {
+                weight,
+                mu: result.mu_hat,
+                variance: 0.0,
+            }),
+        }
+    }
+
+    fn report(&self, h: usize) -> StratumReport {
+        let (mut status, census) = match &self.slots[h] {
+            StratumSlot::Live(session) => {
+                let status = session.status();
+                let census = status.observations == self.sizes[h];
+                (status, census)
+            }
+            StratumSlot::Census(result) => (
+                SessionStatus {
+                    estimate: Some(result.mu_hat),
+                    interval: Some(result.interval),
+                    observations: result.observations,
+                    annotated_triples: result.annotated_triples,
+                    stage1_draws: 0,
+                    cost_seconds: result.cost_seconds,
+                    stopped: Some(StopReason::PopulationExhausted),
+                },
+                true,
+            ),
+        };
+        if census {
+            // A fully annotated stratum is a census whether or not its
+            // engine already reported exhaustion on a poll.
+            status.stopped = Some(StopReason::PopulationExhausted);
+        }
+        StratumReport {
+            name: self.names[h].clone(),
+            weight: self.weights[h],
+            size: self.sizes[h],
+            census,
+            status,
+        }
+    }
+
+    fn pooled_status(&self, reports: &[StratumReport]) -> SessionStatus {
+        let summaries: Option<Vec<StratumSummary>> =
+            (0..self.slots.len()).map(|h| self.summary(h)).collect();
+        let (estimate, interval) = match summaries {
+            Some(summaries) => {
+                let mu = pooled_point(&summaries);
+                let interval = pooled_interval(&summaries, self.cfg.alpha).ok();
+                (Some(mu), interval)
+            }
+            None => (None, None),
+        };
+        SessionStatus {
+            estimate,
+            interval,
+            observations: reports.iter().map(|r| r.status.observations).sum(),
+            annotated_triples: reports.iter().map(|r| r.status.annotated_triples).sum(),
+            stage1_draws: 0,
+            cost_seconds: reports.iter().map(|r| r.status.cost_seconds).sum(),
+            stopped: self.stop_reason(),
+        }
+    }
+
+    /// Point-in-time view: per-stratum rows plus the pooled estimate
+    /// and interval. The pooled point estimate is
+    /// [`pooled_point`] over the per-stratum estimators in stratum
+    /// order — bit-identical to folding them by hand.
+    #[must_use]
+    pub fn status(&self) -> StratifiedStatus {
+        if let Some((_, result)) = &self.outcome {
+            return StratifiedStatus {
+                pooled: SessionStatus {
+                    estimate: Some(result.pooled.mu_hat),
+                    interval: Some(result.pooled.interval),
+                    observations: result.pooled.observations,
+                    annotated_triples: result.pooled.annotated_triples,
+                    stage1_draws: 0,
+                    cost_seconds: result.pooled.cost_seconds,
+                    stopped: self.stop_reason(),
+                },
+                strata: result.strata.clone(),
+            };
+        }
+        let strata: Vec<StratumReport> = (0..self.slots.len()).map(|h| self.report(h)).collect();
+        let pooled = self.pooled_status(&strata);
+        StratifiedStatus { pooled, strata }
+    }
+
+    /// Effective floor of stratum `h`: the configured floor, clamped to
+    /// the stratum size (a 4-triple stratum cannot owe 10).
+    fn floor(&self, h: usize) -> u64 {
+        self.cfg.min_per_stratum.min(self.sizes[h])
+    }
+
+    /// Picks the stratum the next batch goes to, among live strata.
+    /// `None` when every stratum is a census.
+    fn allocate(&self) -> Option<usize> {
+        let live: Vec<usize> = (0..self.slots.len())
+            .filter(|&h| matches!(self.slots[h], StratumSlot::Live(_)))
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        // Warm-up phase, shared by every policy: under-floor strata
+        // first, lowest index first.
+        if let Some(&h) = live.iter().find(|&&h| self.observations(h) < self.floor(h)) {
+            return Some(h);
+        }
+        match self.cfg.allocation {
+            AllocationPolicy::WidthGreedy => {
+                // Scoring a stratum constructs its interval (one solver
+                // run), so compute each score exactly once per batch.
+                let scored: Vec<(f64, usize)> = live
+                    .into_iter()
+                    .map(|h| {
+                        let width = match &self.slots[h] {
+                            StratumSlot::Live(session) => session
+                                .status()
+                                .interval
+                                .map_or(1.0, |interval: Interval| interval.width()),
+                            StratumSlot::Census(_) => 0.0,
+                        };
+                        let weighted = self.weights[h] * width;
+                        let score = weighted * weighted / self.observations(h).max(1) as f64;
+                        (score, h)
+                    })
+                    .collect();
+                scored
+                    .into_iter()
+                    .max_by(|(sa, a), (sb, b)| {
+                        // Ties deterministically go to the lower index
+                        // (max_by keeps the last maximum, so reverse
+                        // the index order).
+                        sa.partial_cmp(sb)
+                            .expect("scores are finite")
+                            .then(b.cmp(a))
+                    })
+                    .map(|(_, h)| h)
+            }
+            AllocationPolicy::Proportional => live.into_iter().min_by(|&a, &b| {
+                let score = |h: usize| self.observations(h) as f64 / self.weights[h];
+                score(a)
+                    .partial_cmp(&score(b))
+                    .expect("scores are finite")
+                    .then(a.cmp(&b))
+            }),
+            AllocationPolicy::Equal => live.into_iter().min_by_key(|&h| (self.observations(h), h)),
+        }
+    }
+
+    fn finish(&mut self, reason: StopReason) -> Result<(), SessionError> {
+        let strata: Vec<StratumReport> = (0..self.slots.len()).map(|h| self.report(h)).collect();
+        // A budget can run out before every stratum saw data; the
+        // pooled answer then renormalizes over the annotated strata (a
+        // best-effort partial estimate — `converged` stays false on
+        // that path). With all strata present the weights already sum
+        // to 1 and the division is an exact no-op, preserving the
+        // bit-identity of the pooled point estimate.
+        let mut summaries: Vec<StratumSummary> = (0..self.slots.len())
+            .filter_map(|h| self.summary(h))
+            .collect();
+        if summaries.is_empty() {
+            return Err(SessionError::StreamEndedBeforeData);
+        }
+        let covered: f64 = summaries.iter().map(|s| s.weight).sum();
+        if summaries.len() < self.slots.len() {
+            for s in &mut summaries {
+                s.weight /= covered;
+            }
+        }
+        let mu = pooled_point(&summaries);
+        let interval =
+            pooled_interval(&summaries, self.cfg.alpha).map_err(SessionError::Interval)?;
+        let pooled = EvalResult {
+            mu_hat: mu,
+            interval,
+            annotated_triples: strata.iter().map(|r| r.status.annotated_triples).sum(),
+            annotated_entities: 0, // strata overlap entities; see cost note below
+            observations: strata.iter().map(|r| r.status.observations).sum(),
+            stage1_draws: 0,
+            cost_seconds: strata.iter().map(|r| r.status.cost_seconds).sum(),
+            converged: reason == StopReason::MoeSatisfied
+                || reason == StopReason::PopulationExhausted,
+            halted_at_floor: false,
+        };
+        self.outcome = Some((reason, StratifiedResult { pooled, strata }));
+        Ok(())
+    }
+
+    /// Runs the campaign-level stopping rule; returns whether the
+    /// campaign stopped.
+    fn check_stop(&mut self) -> Result<bool, SessionError> {
+        if self.outcome.is_some() {
+            return Ok(true);
+        }
+        // Census by counts, not by slot state: the last stratum's
+        // final labels land in a submit, before any poll could convert
+        // its slot — and a complete census must report
+        // PopulationExhausted, not a vacuous zero-width MoE pass.
+        if (0..self.slots.len()).all(|h| self.observations(h) == self.sizes[h]) {
+            self.finish(StopReason::PopulationExhausted)?;
+            return Ok(true);
+        }
+        // Pooled MoE, consulted only once every stratum met its floor.
+        let floors_met = (0..self.slots.len()).all(|h| self.observations(h) >= self.floor(h));
+        if floors_met {
+            let summaries: Option<Vec<StratumSummary>> =
+                (0..self.slots.len()).map(|h| self.summary(h)).collect();
+            if let Some(summaries) = summaries {
+                let interval =
+                    pooled_interval(&summaries, self.cfg.alpha).map_err(SessionError::Interval)?;
+                if interval.moe() <= self.cfg.epsilon {
+                    self.finish(StopReason::MoeSatisfied)?;
+                    return Ok(true);
+                }
+            }
+        }
+        if self
+            .cfg
+            .max_observations
+            .is_some_and(|cap| self.total_observations() >= cap)
+        {
+            self.finish(StopReason::BudgetExhausted)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Polls the campaign for the next annotation batch (up to
+    /// `max_units` triples, all from one stratum). `Ok(None)` once the
+    /// campaign stopped — [`StratifiedSession::status`] carries the
+    /// reason.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::RequestPending`] while labels are owed;
+    /// [`SessionError::Interval`] if a pooled-interval construction
+    /// fails.
+    pub fn next_request(
+        &mut self,
+        max_units: u64,
+    ) -> Result<Option<StratifiedRequest>, SessionError> {
+        if self.outcome.is_some() {
+            return Ok(None);
+        }
+        if self.pending.is_some() {
+            return Err(SessionError::RequestPending);
+        }
+        loop {
+            let Some(h) = self.allocate() else {
+                // Every stratum is a census.
+                self.check_stop()?;
+                return Ok(None);
+            };
+            let StratumSlot::Live(session) = &mut self.slots[h] else {
+                unreachable!("allocate returns live strata")
+            };
+            match session.next_request(max_units)? {
+                Some(request) => {
+                    self.pending = Some(h as u32);
+                    return Ok(Some(StratifiedRequest {
+                        stratum: h as u32,
+                        name: self.names[h].clone(),
+                        request,
+                    }));
+                }
+                None => {
+                    // The stratum ran dry: with a without-replacement
+                    // stratum stream that means a census.
+                    let result = session
+                        .result()
+                        .cloned()
+                        .expect("a stopped session has a result");
+                    self.slots[h] = StratumSlot::Census(Box::new(result));
+                    if self.check_stop()? {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Submits labels for the outstanding batch, in request order, then
+    /// runs the campaign stopping rule (pooled MoE, census, budget).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoRequestPending`],
+    /// [`SessionError::LabelCountMismatch`], or a pooled-interval
+    /// construction failure.
+    pub fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
+        let Some(h) = self.pending else {
+            return Err(SessionError::NoRequestPending);
+        };
+        let StratumSlot::Live(session) = &mut self.slots[h as usize] else {
+            unreachable!("pending stratum is live")
+        };
+        session.submit(labels)?;
+        self.pending = None;
+        self.check_stop()?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Suspend / resume
+    // -----------------------------------------------------------------
+
+    /// Serializes the coordinator into a canonical binary snapshot: the
+    /// PR-2 `KGAESNAP` container with the stratified record type
+    /// (design-tag byte 4), campaign fingerprints, and one embedded
+    /// per-stratum record (a full session snapshot for live strata, an
+    /// exact census record otherwise).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SnapshotUnavailable`] while labels are owed or
+    /// after the campaign stopped.
+    pub fn snapshot(&self) -> Result<Vec<u8>, SessionError> {
+        if self.pending.is_some() {
+            return Err(SessionError::SnapshotUnavailable(
+                "a request is outstanding; submit its labels first",
+            ));
+        }
+        if self.outcome.is_some() {
+            return Err(SessionError::SnapshotUnavailable(
+                "campaign already stopped; read its result instead",
+            ));
+        }
+        let mut w = Writer::new();
+        w.bytes(SNAPSHOT_MAGIC);
+        w.u16(SNAPSHOT_VERSION);
+        w.u8(STRATIFIED_SNAPSHOT_TAG);
+        w.u64(self.slots.len() as u64);
+        w.u64(self.kg.num_triples());
+        w.u32(self.kg.num_clusters());
+        w.u64(self.strat_fingerprint);
+        // Campaign config fingerprint.
+        w.f64(self.cfg.alpha);
+        w.f64(self.cfg.epsilon);
+        w.u8(allocation_tag(self.cfg.allocation));
+        w.opt_u64(self.cfg.max_observations);
+        w.u64(self.cfg.min_per_stratum);
+        // Method fingerprint (same shape as the session snapshot's).
+        w.u8(method_tag(&self.method));
+        let priors = self.method.priors().unwrap_or(&[]);
+        w.u32(priors.len() as u32);
+        for p in priors {
+            w.f64(p.a);
+            w.f64(p.b);
+        }
+        // Per-stratum records.
+        for slot in &self.slots {
+            match slot {
+                StratumSlot::Live(session) => {
+                    w.u8(0);
+                    let child = session.snapshot()?;
+                    w.u64(child.len() as u64);
+                    w.bytes(&child);
+                }
+                StratumSlot::Census(result) => {
+                    w.u8(1);
+                    write_result(&mut w, result);
+                }
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Reconstructs a suspended campaign from a snapshot, validating
+    /// the KG shape, stratification fingerprint, campaign config and
+    /// method before any stratum resumes. The resumed campaign
+    /// continues the exact allocation and sampling trajectory of the
+    /// suspended one — and re-snapshotting it yields the identical
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::CorruptSnapshot`] on malformed bytes;
+    /// [`SessionError::SnapshotMismatch`] when the snapshot belongs to
+    /// a different KG, partition, config or method.
+    pub fn resume(
+        kg: &'a dyn KnowledgeGraph,
+        strat: &Stratification,
+        method: &IntervalMethod,
+        cfg: &StratifiedConfig,
+        bytes: &[u8],
+    ) -> Result<Self, SessionError> {
+        let corrupt = SessionError::CorruptSnapshot;
+        let mut r = Reader::new(bytes);
+        if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
+            return Err(SessionError::CorruptSnapshot("bad magic"));
+        }
+        if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
+            return Err(SessionError::SnapshotMismatch("unsupported version"));
+        }
+        if r.u8().map_err(corrupt)? != STRATIFIED_SNAPSHOT_TAG {
+            return Err(SessionError::SnapshotMismatch(
+                "not a stratified coordinator snapshot",
+            ));
+        }
+        if r.u64().map_err(corrupt)? != u64::from(strat.num_strata()) {
+            return Err(SessionError::SnapshotMismatch("stratum count differs"));
+        }
+        if r.u64().map_err(corrupt)? != kg.num_triples()
+            || r.u32().map_err(corrupt)? != kg.num_clusters()
+        {
+            return Err(SessionError::SnapshotMismatch("KG shape differs"));
+        }
+        if r.u64().map_err(corrupt)? != strat.fingerprint() {
+            return Err(SessionError::SnapshotMismatch(
+                "stratification partition differs",
+            ));
+        }
+        let cfg_matches = r.f64().map_err(corrupt)?.to_bits() == cfg.alpha.to_bits()
+            && r.f64().map_err(corrupt)?.to_bits() == cfg.epsilon.to_bits()
+            && r.u8().map_err(corrupt)? == allocation_tag(cfg.allocation)
+            && r.opt_u64().map_err(corrupt)? == cfg.max_observations
+            && r.u64().map_err(corrupt)? == cfg.min_per_stratum;
+        if !cfg_matches {
+            return Err(SessionError::SnapshotMismatch("campaign config differs"));
+        }
+        let priors = method.priors().unwrap_or(&[]);
+        let mut method_matches = r.u8().map_err(corrupt)? == method_tag(method)
+            && r.u32().map_err(corrupt)? as usize == priors.len();
+        if method_matches {
+            for p in priors {
+                method_matches &= r.f64().map_err(corrupt)?.to_bits() == p.a.to_bits()
+                    && r.f64().map_err(corrupt)?.to_bits() == p.b.to_bits();
+            }
+        }
+        if !method_matches {
+            return Err(SessionError::SnapshotMismatch("interval method differs"));
+        }
+        let per_stratum = cfg.per_stratum_config();
+        let mut slots = Vec::with_capacity(strat.num_strata() as usize);
+        for h in 0..strat.num_strata() {
+            match r.u8().map_err(corrupt)? {
+                0 => {
+                    let len = r.len_capped(bytes.len() as u64).map_err(corrupt)?;
+                    let child = r.bytes(len).map_err(corrupt)?;
+                    let driver = Box::new(StratumSrsDriver::new(kg, strat.members(h)));
+                    let session = EvaluationSession::resume_with_driver(
+                        kg,
+                        driver,
+                        SamplingDesign::Srs,
+                        method,
+                        &per_stratum,
+                        SmallRng::seed_from_u64(0),
+                        child,
+                    )?;
+                    slots.push(StratumSlot::Live(Box::new(session)));
+                }
+                1 => {
+                    let result = read_result(&mut r).map_err(corrupt)?;
+                    if result.observations != strat.size(h) {
+                        return Err(SessionError::CorruptSnapshot(
+                            "census record disagrees with the stratum size",
+                        ));
+                    }
+                    slots.push(StratumSlot::Census(Box::new(result)));
+                }
+                _ => return Err(SessionError::CorruptSnapshot("unknown stratum record tag")),
+            }
+        }
+        r.finish().map_err(corrupt)?;
+        Ok(Self {
+            kg,
+            cfg: cfg.clone(),
+            method: method.clone(),
+            strat_fingerprint: strat.fingerprint(),
+            names: (0..strat.num_strata())
+                .map(|h| strat.name(h).to_string())
+                .collect(),
+            sizes: (0..strat.num_strata()).map(|h| strat.size(h)).collect(),
+            weights: (0..strat.num_strata()).map(|h| strat.weight(h)).collect(),
+            slots,
+            pending: None,
+            outcome: None,
+        })
+    }
+}
+
+/// Identity prefix of a stratified coordinator snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StratifiedSnapshotHeader {
+    /// Number of strata.
+    pub num_strata: u64,
+    /// `num_triples` of the parent KG.
+    pub num_triples: u64,
+    /// `num_clusters` of the parent KG.
+    pub num_clusters: u32,
+    /// The stratification's [`Stratification::fingerprint`].
+    pub stratification_fingerprint: u64,
+}
+
+/// Parses the identity prefix of a stratified snapshot without
+/// reconstructing the campaign — the stratified counterpart of
+/// [`crate::session::peek_snapshot_header`].
+///
+/// # Errors
+///
+/// [`SessionError::CorruptSnapshot`] on malformed bytes;
+/// [`SessionError::SnapshotMismatch`] when the bytes are a
+/// (non-stratified) session snapshot or an unsupported version.
+pub fn peek_stratified_header(bytes: &[u8]) -> Result<StratifiedSnapshotHeader, SessionError> {
+    let corrupt = SessionError::CorruptSnapshot;
+    let mut r = Reader::new(bytes);
+    if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
+        return Err(SessionError::CorruptSnapshot("bad magic"));
+    }
+    if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
+        return Err(SessionError::SnapshotMismatch("unsupported version"));
+    }
+    if r.u8().map_err(corrupt)? != STRATIFIED_SNAPSHOT_TAG {
+        return Err(SessionError::SnapshotMismatch(
+            "not a stratified coordinator snapshot",
+        ));
+    }
+    Ok(StratifiedSnapshotHeader {
+        num_strata: r.u64().map_err(corrupt)?,
+        num_triples: r.u64().map_err(corrupt)?,
+        num_clusters: r.u32().map_err(corrupt)?,
+        stratification_fingerprint: r.u64().map_err(corrupt)?,
+    })
+}
+
+fn allocation_tag(policy: AllocationPolicy) -> u8 {
+    match policy {
+        AllocationPolicy::WidthGreedy => 0,
+        AllocationPolicy::Proportional => 1,
+        AllocationPolicy::Equal => 2,
+    }
+}
+
+fn stop_reason_tag(reason: StopReason) -> u8 {
+    match reason {
+        StopReason::MoeSatisfied => 0,
+        StopReason::PopulationExhausted => 1,
+        StopReason::StreamExhausted => 2,
+        StopReason::BudgetExhausted => 3,
+    }
+}
+
+fn write_result(w: &mut Writer, result: &EvalResult) {
+    w.f64(result.mu_hat);
+    w.f64(result.interval.lower());
+    w.f64(result.interval.upper());
+    w.u64(result.annotated_triples);
+    w.u64(result.annotated_entities);
+    w.u64(result.observations);
+    w.u64(result.stage1_draws);
+    w.f64(result.cost_seconds);
+    w.bool(result.converged);
+    w.bool(result.halted_at_floor);
+    w.u8(stop_reason_tag(StopReason::StreamExhausted));
+}
+
+fn read_result(r: &mut Reader<'_>) -> Result<EvalResult, &'static str> {
+    let mu_hat = r.f64()?;
+    let lo = r.f64()?;
+    let hi = r.f64()?;
+    if lo.is_nan() || hi.is_nan() || lo > hi {
+        return Err("interval bounds out of order");
+    }
+    let result = EvalResult {
+        mu_hat,
+        interval: Interval::new(lo, hi),
+        annotated_triples: r.u64()?,
+        annotated_entities: r.u64()?,
+        observations: r.u64()?,
+        stage1_draws: r.u64()?,
+        cost_seconds: r.f64()?,
+        converged: r.bool()?,
+        halted_at_floor: r.bool()?,
+    };
+    let _reason = r.u8()?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgae_graph::GroundTruth;
+
+    fn oracle_labels(kg: &(impl GroundTruth + ?Sized), request: &AnnotationRequest) -> Vec<bool> {
+        request
+            .triples
+            .iter()
+            .map(|st| kg.is_correct(st.triple))
+            .collect()
+    }
+
+    fn drive(
+        kg: &(impl KnowledgeGraph + GroundTruth),
+        session: &mut StratifiedSession<'_>,
+        batch: u64,
+    ) -> StratifiedResult {
+        while let Some(req) = session.next_request(batch).unwrap() {
+            let labels = oracle_labels(kg, &req.request);
+            session.submit(&labels).unwrap();
+        }
+        session.result().unwrap().clone()
+    }
+
+    #[test]
+    fn stratified_campaign_converges_on_the_pooled_target() {
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let mut session = StratifiedSession::new(
+            &kg,
+            &strat,
+            &IntervalMethod::ahpd_default(),
+            &StratifiedConfig::default(),
+            42,
+        );
+        let result = drive(&kg, &mut session, 8);
+        assert_eq!(session.stop_reason(), Some(StopReason::MoeSatisfied));
+        assert!(result.pooled.converged);
+        assert!(result.pooled.interval.moe() <= 0.05 + 1e-12);
+        assert_eq!(result.strata.len(), 8);
+        // The pooled estimate lands near the dataset's true accuracy.
+        assert!(
+            (result.pooled.mu_hat - kg.true_accuracy()).abs() < 0.08,
+            "pooled {} vs true {}",
+            result.pooled.mu_hat,
+            kg.true_accuracy()
+        );
+        // Every stratum met its floor.
+        for report in &result.strata {
+            assert!(
+                report.status.observations >= 10.min(report.size),
+                "{} under floor",
+                report.name
+            );
+        }
+        // Stopped campaigns politely decline further requests.
+        assert!(session.next_request(4).unwrap().is_none());
+    }
+
+    #[test]
+    fn pooled_point_is_bit_identical_to_the_weighted_fold() {
+        // The acceptance property: at every step of a campaign, the
+        // pooled point estimate equals Σ W_h (τ_h / n_h) computed by
+        // hand from labels the *test* tallied — the unstratified
+        // weighted estimator over the per-stratum SRS estimates.
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        for seed in [1u64, 7, 23] {
+            let mut session = StratifiedSession::new(
+                &kg,
+                &strat,
+                &IntervalMethod::ahpd_default(),
+                &StratifiedConfig::default(),
+                seed,
+            );
+            let k = strat.num_strata() as usize;
+            let mut tau = vec![0u64; k];
+            let mut n = vec![0u64; k];
+            let mut steps = 0;
+            while let Some(req) = session.next_request(8).unwrap() {
+                let labels = oracle_labels(&kg, &req.request);
+                let h = req.stratum as usize;
+                n[h] += labels.len() as u64;
+                tau[h] += labels.iter().filter(|&&l| l).count() as u64;
+                session.submit(&labels).unwrap();
+                steps += 1;
+                let status = session.status();
+                if n.iter().all(|&count| count > 0) {
+                    let manual = (0..k).fold(0.0_f64, |acc, h| {
+                        acc + strat.weight(h as u32) * (tau[h] as f64 / n[h] as f64)
+                    });
+                    let pooled = status.pooled.estimate.expect("all strata have data");
+                    assert_eq!(
+                        pooled.to_bits(),
+                        manual.to_bits(),
+                        "seed {seed}, step {steps}: pooled {pooled} vs manual {manual}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical_and_trajectory_preserving() {
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let method = IntervalMethod::ahpd_default();
+        let cfg = StratifiedConfig::default();
+
+        let run = |interrupt_every: Option<u64>| {
+            let mut session = StratifiedSession::new(&kg, &strat, &method, &cfg, 99);
+            let mut batches = 0u64;
+            while let Some(req) = session.next_request(8).unwrap() {
+                let labels = oracle_labels(&kg, &req.request);
+                session.submit(&labels).unwrap();
+                batches += 1;
+                if session.stop_reason().is_none() {
+                    if let Some(every) = interrupt_every {
+                        if batches.is_multiple_of(every) {
+                            let bytes = session.snapshot().unwrap();
+                            // Byte-identity: resume then re-snapshot.
+                            let resumed =
+                                StratifiedSession::resume(&kg, &strat, &method, &cfg, &bytes)
+                                    .unwrap();
+                            let bytes2 = resumed.snapshot().unwrap();
+                            assert_eq!(bytes, bytes2, "re-snapshot diverged at batch {batches}");
+                            session = resumed;
+                        }
+                    }
+                }
+            }
+            session.into_result().unwrap()
+        };
+
+        let straight = run(None);
+        let interrupted = run(Some(3));
+        assert_eq!(
+            straight, interrupted,
+            "suspend/resume changed the campaign trajectory"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_wrong_setup() {
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let method = IntervalMethod::ahpd_default();
+        let cfg = StratifiedConfig::default();
+        let mut session = StratifiedSession::new(&kg, &strat, &method, &cfg, 5);
+        for _ in 0..4 {
+            let req = session.next_request(4).unwrap().unwrap();
+            let labels = oracle_labels(&kg, &req.request);
+            session.submit(&labels).unwrap();
+        }
+        let bytes = session.snapshot().unwrap();
+
+        // Header peek works and reports identity.
+        let header = peek_stratified_header(&bytes).unwrap();
+        assert_eq!(header.num_strata, 8);
+        assert_eq!(header.num_triples, kg.num_triples());
+        assert_eq!(header.stratification_fingerprint, strat.fingerprint());
+        // A plain session peek refuses it with a mismatch, not garbage.
+        assert!(matches!(
+            crate::session::peek_snapshot_header(&bytes),
+            Err(SessionError::SnapshotMismatch(_))
+        ));
+
+        // Wrong partition.
+        let other = kgae_graph::stratify::Stratification::by_hash(&kg, 8, 1);
+        assert!(matches!(
+            StratifiedSession::resume(&kg, &other, &method, &cfg, &bytes),
+            Err(SessionError::SnapshotMismatch(_))
+        ));
+        // Wrong config.
+        let wrong_cfg = StratifiedConfig {
+            epsilon: 0.01,
+            ..cfg.clone()
+        };
+        assert!(matches!(
+            StratifiedSession::resume(&kg, &strat, &method, &wrong_cfg, &bytes),
+            Err(SessionError::SnapshotMismatch(_))
+        ));
+        // Wrong method.
+        assert!(matches!(
+            StratifiedSession::resume(&kg, &strat, &IntervalMethod::Wilson, &cfg, &bytes),
+            Err(SessionError::SnapshotMismatch(_))
+        ));
+        // Wrong KG.
+        let yago = kgae_graph::datasets::yago();
+        assert!(matches!(
+            StratifiedSession::resume(&yago, &strat, &method, &cfg, &bytes),
+            Err(SessionError::SnapshotMismatch(_))
+        ));
+        // Truncation.
+        assert!(matches!(
+            StratifiedSession::resume(&kg, &strat, &method, &cfg, &bytes[..bytes.len() - 2]),
+            Err(SessionError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_pooled_answer() {
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let cfg = StratifiedConfig {
+            max_observations: Some(90), // floors alone need 80
+            ..StratifiedConfig::default()
+        };
+        let mut session =
+            StratifiedSession::new(&kg, &strat, &IntervalMethod::ahpd_default(), &cfg, 3);
+        let result = drive(&kg, &mut session, 8);
+        assert_eq!(session.stop_reason(), Some(StopReason::BudgetExhausted));
+        assert!(!result.pooled.converged);
+        assert!(result.pooled.observations >= 90);
+        // The tail strata never saw data — the pooled answer is the
+        // renormalized partial estimate over the covered strata.
+        assert!(result.strata.iter().any(|r| r.status.observations == 0));
+        assert!(result.pooled.mu_hat > 0.0 && result.pooled.mu_hat <= 1.0);
+    }
+
+    #[test]
+    fn tiny_strata_reach_census_and_contribute_exactly() {
+        // A 3-stratum partition of a tiny KG: every stratum is driven
+        // to census and the pooled answer is the exact accuracy.
+        let kg = kgae_graph::datasets::syn_scaled(60, 20, 0.6, 11);
+        let strat = kgae_graph::stratify::Stratification::by_hash(&kg, 3, 2);
+        let cfg = StratifiedConfig {
+            epsilon: 0.000_1, // unreachable by sampling a 60-triple KG
+            ..StratifiedConfig::default()
+        };
+        let mut session = StratifiedSession::new(&kg, &strat, &IntervalMethod::Wilson, &cfg, 1);
+        let result = drive(&kg, &mut session, 16);
+        assert_eq!(session.stop_reason(), Some(StopReason::PopulationExhausted));
+        assert_eq!(result.pooled.observations, 60);
+        assert_eq!(result.pooled.interval.width(), 0.0);
+        assert!((result.pooled.mu_hat - kg.measure_accuracy()).abs() < 1e-12);
+        for report in &result.strata {
+            assert!(report.census);
+            assert_eq!(report.status.stopped, Some(StopReason::PopulationExhausted));
+        }
+    }
+
+    #[test]
+    fn protocol_errors_mirror_the_single_session() {
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let mut session = StratifiedSession::new(
+            &kg,
+            &strat,
+            &IntervalMethod::Wilson,
+            &StratifiedConfig::default(),
+            0,
+        );
+        assert!(matches!(
+            session.submit(&[true]),
+            Err(SessionError::NoRequestPending)
+        ));
+        let req = session.next_request(4).unwrap().unwrap();
+        assert!(matches!(
+            session.next_request(1),
+            Err(SessionError::RequestPending)
+        ));
+        assert!(matches!(
+            session.snapshot(),
+            Err(SessionError::SnapshotUnavailable(_))
+        ));
+        assert!(session.has_pending_request());
+        let labels = oracle_labels(&kg, &req.request);
+        session.submit(&labels).unwrap();
+        assert!(!session.has_pending_request());
+    }
+
+    #[test]
+    fn width_greedy_oversamples_the_rotten_strata() {
+        // Width-greedy must spend visibly more of its budget on the
+        // high-variance (low-accuracy) predicates than proportional
+        // does, relative to their population share.
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let spend = |allocation: AllocationPolicy| {
+            let cfg = StratifiedConfig {
+                allocation,
+                epsilon: 0.03,
+                ..StratifiedConfig::default()
+            };
+            let mut session =
+                StratifiedSession::new(&kg, &strat, &IntervalMethod::ahpd_default(), &cfg, 17);
+            let result = drive(&kg, &mut session, 8);
+            assert!(result.pooled.converged);
+            result
+        };
+        let greedy = spend(AllocationPolicy::WidthGreedy);
+        let proportional = spend(AllocationPolicy::Proportional);
+        // Share of annotations on the three rotten tail predicates
+        // (accuracy ≤ 0.70 → the highest-variance strata).
+        let tail_share = |result: &StratifiedResult| {
+            let tail: u64 = result.strata[5..]
+                .iter()
+                .map(|r| r.status.observations)
+                .sum();
+            tail as f64 / result.pooled.observations as f64
+        };
+        assert!(
+            tail_share(&greedy) > tail_share(&proportional),
+            "greedy tail share {:.3} vs proportional {:.3}",
+            tail_share(&greedy),
+            tail_share(&proportional)
+        );
+        // And it reaches the pooled target with fewer annotations.
+        assert!(
+            greedy.pooled.observations < proportional.pooled.observations,
+            "greedy {} vs proportional {}",
+            greedy.pooled.observations,
+            proportional.pooled.observations
+        );
+    }
+}

@@ -15,7 +15,12 @@
 //! SRS-vs-TWCS behaviour (errors clump inside entities for extracted KGs;
 //! FACTBENCH mixes correct and corrupted facts inside each entity).
 
-use crate::compact::CompactKg;
+use crate::bitvec::BitVec;
+use crate::compact::{CompactKg, LabelStore};
+use crate::hash::mix2;
+use crate::ids::ClusterId;
+use crate::kg::KnowledgeGraph;
+use crate::stratify::Stratification;
 use crate::synthetic::{ClusterSizeModel, LabelModel, SyntheticSpec};
 
 /// Beta-binomial concentration used for YAGO (`ρ = 1/(1+φ) ≈ 0.09`).
@@ -133,6 +138,87 @@ pub fn factbench_seeded(seed: u64) -> CompactKg {
     .generate()
 }
 
+/// The simulated predicate table of [`nell_by_predicate`]: NELL sports
+/// relations with their triple share and per-predicate accuracy.
+///
+/// KGEval (Ojha & Talukdar 2017) reports strongly heterogeneous
+/// per-relation quality on exactly this slice of NELL; the shares and
+/// accuracies here reproduce that shape (popular relations are clean,
+/// tail relations rot) at an overall accuracy ≈ 0.89.
+pub const NELL_PREDICATES: [(&str, f64, f64); 8] = [
+    ("athleteplaysforteam", 0.30, 0.99),
+    ("teamplaysincity", 0.20, 0.97),
+    ("athleteplayssport", 0.15, 0.95),
+    ("coachesteam", 0.10, 0.90),
+    ("stadiumlocatedincity", 0.08, 0.85),
+    ("athletewonaward", 0.07, 0.70),
+    ("teamhomestadium", 0.06, 0.55),
+    ("athleteledsportsteam", 0.04, 0.45),
+];
+
+/// A NELL-shaped twin with *predicate structure*: the same cluster
+/// partition as [`nell`] (817 entities, 1,860 triples), but each triple
+/// carries one of the eight [`NELL_PREDICATES`] (share-weighted,
+/// deterministic) and its correctness is drawn at that predicate's
+/// accuracy. The returned [`Stratification`] is the per-predicate
+/// partition — the canonical input for a stratified audit, and the
+/// dataset behind the `stratified` benchmark row.
+///
+/// Unlike [`nell`] (single rate 0.91), per-predicate accuracies span
+/// 0.45–0.99, so per-stratum variances differ by an order of magnitude
+/// and width-greedy budget allocation visibly beats proportional.
+#[must_use]
+pub fn nell_by_predicate() -> (CompactKg, Stratification) {
+    nell_by_predicate_seeded(DEFAULT_SEED)
+}
+
+/// [`nell_by_predicate`] with an explicit seed.
+#[must_use]
+pub fn nell_by_predicate_seeded(seed: u64) -> (CompactKg, Stratification) {
+    let base = nell_seeded(seed);
+    let sizes: Vec<u64> = (0..base.num_clusters())
+        .map(|c| base.cluster_size(ClusterId(c)))
+        .collect();
+    let n = base.num_triples();
+    let k = NELL_PREDICATES.len();
+    let pick_seed = seed ^ 0x5712_A717_F1ED_0001;
+    let label_seed = seed ^ 0x5712_A717_F1ED_0002;
+    let mut assignment = Vec::with_capacity(n as usize);
+    let mut bits = BitVec::zeros(n);
+    for t in 0..n {
+        let h = if t < k as u64 {
+            // Pigeonhole pin: every predicate owns at least one triple,
+            // so the stratification is valid for any share table.
+            t as usize
+        } else {
+            // Share-weighted pick from one uniform hash draw.
+            let u = (mix2(pick_seed, t) >> 11) as f64 / (1u64 << 53) as f64;
+            let mut acc = 0.0;
+            let mut chosen = k - 1;
+            for (i, (_, share, _)) in NELL_PREDICATES.iter().enumerate() {
+                acc += share;
+                if u < acc {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        assignment.push(h as u32);
+        if crate::hash::hash_bernoulli(label_seed, t, NELL_PREDICATES[h].2) {
+            bits.set(t, true);
+        }
+    }
+    let kg = CompactKg::new(&sizes, LabelStore::from_bits(bits));
+    let names = NELL_PREDICATES
+        .iter()
+        .map(|(name, _, _)| (*name).to_string())
+        .collect();
+    let strat =
+        Stratification::from_assignment(names, assignment).expect("pinned strata are nonempty");
+    (kg, strat)
+}
+
 /// SYN 100M (Marchesin & Silvello 2024): 101,415,011 triples in 5M
 /// clusters, i.i.d. `Bernoulli(mu)` labels. `mu ∈ {0.9, 0.5, 0.1}` in the
 /// paper's Table 4. Memory: ~40 MB of cluster offsets, zero label storage.
@@ -206,6 +292,52 @@ mod tests {
         assert_eq!(kg.true_accuracy(), 0.9);
         let measured = kg.measure_accuracy();
         assert!((measured - 0.9).abs() < 0.005, "measured = {measured}");
+    }
+
+    #[test]
+    fn nell_by_predicate_matches_shape_and_per_stratum_rates() {
+        let (kg, strat) = nell_by_predicate();
+        assert_eq!(kg.num_triples(), 1_860);
+        assert_eq!(kg.num_clusters(), 817);
+        assert_eq!(strat.num_triples(), kg.num_triples());
+        assert_eq!(strat.num_strata(), 8);
+        // Deterministic.
+        let (kg2, strat2) = nell_by_predicate();
+        assert_eq!(strat.fingerprint(), strat2.fingerprint());
+        for t in (0..kg.num_triples()).step_by(13) {
+            assert_eq!(
+                kg.is_correct(crate::ids::TripleId(t)),
+                kg2.is_correct(crate::ids::TripleId(t))
+            );
+        }
+        // Per-stratum realized accuracy tracks the predicate table and
+        // the overall accuracy lands near the weighted mean (~0.89).
+        for (h, (name, share, rate)) in NELL_PREDICATES.iter().enumerate() {
+            let h = h as u32;
+            assert_eq!(strat.name(h), *name);
+            let members = strat.members(h);
+            let correct = members
+                .iter()
+                .filter(|&&t| kg.is_correct(crate::ids::TripleId(t)))
+                .count() as f64;
+            let realized = correct / members.len() as f64;
+            let se = (rate * (1.0 - rate) / members.len() as f64).sqrt();
+            assert!(
+                (realized - rate).abs() < 5.0 * se + 0.02,
+                "{name}: realized {realized:.3} vs nominal {rate}"
+            );
+            let realized_share = members.len() as f64 / 1_860.0;
+            assert!(
+                (realized_share - share).abs() < 0.04,
+                "{name}: share {realized_share:.3} vs nominal {share}"
+            );
+        }
+        let expected: f64 = NELL_PREDICATES.iter().map(|(_, s, r)| s * r).sum();
+        assert!(
+            (kg.true_accuracy() - expected).abs() < 0.03,
+            "overall accuracy {} vs expected {expected:.3}",
+            kg.true_accuracy()
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod ids;
 pub mod kg;
 pub mod memory;
 pub mod stats;
+pub mod stratify;
 pub mod synthetic;
 pub mod tsv;
 
@@ -43,6 +44,7 @@ pub use compact::{CompactKg, LabelStore};
 pub use ids::{ClusterId, TripleId};
 pub use kg::{ClusterIndex, GroundTruth, KnowledgeGraph};
 pub use memory::{InMemoryKg, InMemoryKgBuilder, Triple};
+pub use stratify::{Stratification, StratifyError};
 
 /// Common imports for downstream crates.
 pub mod prelude {

@@ -1,0 +1,352 @@
+//! Triple → stratum partitions for stratified accuracy campaigns.
+//!
+//! A KG-wide accuracy number hides *where* the errors live: real audits
+//! ask which predicates (or provenance batches, or extraction runs) are
+//! rotten. A [`Stratification`] partitions a KG's triples into named,
+//! nonempty strata; `kgae-core`'s `StratifiedSession` then runs one
+//! SRS-within-stratum evaluation engine per stratum and pools the
+//! per-stratum estimates into a KG-wide one.
+//!
+//! Three construction paths:
+//!
+//! * [`Stratification::by_predicate`] — group an [`InMemoryKg`]'s
+//!   triples by their predicate string (the canonical per-predicate
+//!   audit);
+//! * [`Stratification::by_hash`] — a deterministic pseudo-random
+//!   partition of any KG into `k` strata (useful for A/B slices and as
+//!   the hash mode of the session service's stratify spec);
+//! * [`Stratification::from_assignment`] — a caller-supplied
+//!   triple → stratum map (provenance, extraction batch, anything).
+//!
+//! Strata hold their member triple ids (parent-KG coordinates, sorted)
+//! behind `Arc`s, so per-stratum sampling drivers share the lists
+//! instead of copying them.
+//!
+//! ```
+//! use kgae_graph::stratify::Stratification;
+//!
+//! let kg = kgae_graph::datasets::nell();
+//! let strat = Stratification::by_hash(&kg, 4, 7);
+//! assert_eq!(strat.num_strata(), 4);
+//! assert_eq!(strat.num_triples(), 1_860);
+//! let total: f64 = (0..4).map(|h| strat.weight(h)).sum();
+//! assert!((total - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::hash::mix2;
+use crate::ids::TripleId;
+use crate::kg::KnowledgeGraph;
+use crate::memory::InMemoryKg;
+use std::sync::Arc;
+
+/// An invalid stratification (empty stratum, length mismatch, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratifyError(
+    /// What was wrong.
+    pub String,
+);
+
+impl std::fmt::Display for StratifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid stratification: {}", self.0)
+    }
+}
+
+impl std::error::Error for StratifyError {}
+
+/// A partition of a KG's triples into named, nonempty strata.
+///
+/// The partition is *by value*: it records triple ids, not a rule, so
+/// it stays valid only for the KG shape it was built against
+/// ([`Stratification::num_triples`] must equal the KG's). The
+/// [`Stratification::fingerprint`] digests the whole assignment and is
+/// embedded in stratified session snapshots, so a suspended campaign
+/// can never silently resume against a different partition.
+#[derive(Debug, Clone)]
+pub struct Stratification {
+    names: Vec<String>,
+    assignment: Vec<u32>,
+    members: Vec<Arc<Vec<u64>>>,
+}
+
+impl Stratification {
+    /// Builds a stratification from per-triple stratum indices.
+    /// `assignment[t]` is the stratum of triple `t`; `names[h]` labels
+    /// stratum `h`.
+    ///
+    /// # Errors
+    ///
+    /// [`StratifyError`] when `names` is empty, an index is out of
+    /// range, or some stratum ends up empty (empty strata have no
+    /// estimator — merge or drop them at the call site).
+    pub fn from_assignment(
+        names: Vec<String>,
+        assignment: Vec<u32>,
+    ) -> Result<Self, StratifyError> {
+        if names.is_empty() {
+            return Err(StratifyError("no strata named".into()));
+        }
+        if assignment.is_empty() {
+            return Err(StratifyError("no triples assigned".into()));
+        }
+        let k = names.len() as u32;
+        let mut members: Vec<Vec<u64>> = vec![Vec::new(); names.len()];
+        for (t, &h) in assignment.iter().enumerate() {
+            if h >= k {
+                return Err(StratifyError(format!(
+                    "triple {t} assigned to stratum {h}, but only {k} strata are named"
+                )));
+            }
+            members[h as usize].push(t as u64);
+        }
+        if let Some(empty) = members.iter().position(Vec::is_empty) {
+            return Err(StratifyError(format!(
+                "stratum {empty} ({:?}) is empty",
+                names[empty]
+            )));
+        }
+        Ok(Self {
+            names,
+            assignment,
+            members: members.into_iter().map(Arc::new).collect(),
+        })
+    }
+
+    /// Groups an [`InMemoryKg`]'s triples by predicate string. Stratum
+    /// names are the predicates, ordered by first appearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the KG is empty (an `InMemoryKg` always has ≥ 1
+    /// triple per cluster, so this cannot happen for built graphs).
+    #[must_use]
+    pub fn by_predicate(kg: &InMemoryKg) -> Self {
+        let mut names: Vec<String> = Vec::new();
+        // Interning map keeps construction O(n) for KGs with many
+        // distinct predicates; `names` preserves first-appearance order.
+        let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        let mut assignment = Vec::with_capacity(kg.num_triples() as usize);
+        for t in 0..kg.num_triples() {
+            let predicate = &kg.triple(TripleId(t)).predicate;
+            let h = match index.get(predicate) {
+                Some(&h) => h,
+                None => {
+                    let h = names.len() as u32;
+                    names.push(predicate.clone());
+                    index.insert(predicate.clone(), h);
+                    h
+                }
+            };
+            assignment.push(h);
+        }
+        Self::from_assignment(names, assignment).expect("predicate strata are nonempty")
+    }
+
+    /// Deterministic pseudo-random partition of `kg`'s triples into
+    /// `strata` hash buckets (strata named `"h0"`, `"h1"`, ...). The
+    /// same `(strata, seed)` always yields the same partition, which is
+    /// what lets the session service reconstruct it from a wire spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strata == 0` or `strata` exceeds the triple count
+    /// (some stratum would necessarily be empty).
+    #[must_use]
+    pub fn by_hash(kg: &dyn KnowledgeGraph, strata: u32, seed: u64) -> Self {
+        let n = kg.num_triples();
+        assert!(strata > 0, "need at least one stratum");
+        assert!(
+            u64::from(strata) <= n,
+            "more strata ({strata}) than triples ({n})"
+        );
+        // Round-robin base assignment keeps every bucket nonempty even
+        // for tiny KGs; the hash permutes which bucket a triple lands
+        // in so strata are not contiguous id ranges.
+        let assignment: Vec<u32> = (0..n)
+            .map(|t| {
+                if t < u64::from(strata) {
+                    t as u32 // pigeonhole guarantee
+                } else {
+                    (mix2(seed, t) % u64::from(strata)) as u32
+                }
+            })
+            .collect();
+        let names = (0..strata).map(|h| format!("h{h}")).collect();
+        Self::from_assignment(names, assignment).expect("hash strata are nonempty")
+    }
+
+    /// Number of strata.
+    #[must_use]
+    pub fn num_strata(&self) -> u32 {
+        self.names.len() as u32
+    }
+
+    /// Total triples across all strata — must equal the KG's triple
+    /// count for the stratification to be usable with it.
+    #[must_use]
+    pub fn num_triples(&self) -> u64 {
+        self.assignment.len() as u64
+    }
+
+    /// Name of stratum `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[must_use]
+    pub fn name(&self, h: u32) -> &str {
+        &self.names[h as usize]
+    }
+
+    /// Number of triples in stratum `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[must_use]
+    pub fn size(&self, h: u32) -> u64 {
+        self.members[h as usize].len() as u64
+    }
+
+    /// Population weight `W_h = M_h / M` of stratum `h` — the weight of
+    /// its estimate in the pooled KG-wide estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[must_use]
+    pub fn weight(&self, h: u32) -> f64 {
+        self.size(h) as f64 / self.num_triples() as f64
+    }
+
+    /// The member triple ids of stratum `h` (parent-KG coordinates,
+    /// ascending), shared — cloning the `Arc` copies a pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    #[must_use]
+    pub fn members(&self, h: u32) -> Arc<Vec<u64>> {
+        Arc::clone(&self.members[h as usize])
+    }
+
+    /// The stratum of triple `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn stratum_of(&self, t: TripleId) -> u32 {
+        self.assignment[t.index() as usize]
+    }
+
+    /// Order-sensitive digest of the whole partition (names and
+    /// assignment). Embedded in stratified snapshots: resume fails
+    /// loudly when the partition differs, instead of silently sampling
+    /// different strata.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0xC0FF_EE00_5EED_0001_u64;
+        acc = mix2(acc, self.names.len() as u64);
+        for name in &self.names {
+            for chunk in name.as_bytes().chunks(8) {
+                let mut word = [0u8; 8];
+                word[..chunk.len()].copy_from_slice(chunk);
+                acc = mix2(acc, u64::from_le_bytes(word));
+            }
+            acc = mix2(acc, name.len() as u64);
+        }
+        for &h in &self.assignment {
+            acc = mix2(acc, u64::from(h));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryKgBuilder;
+
+    #[test]
+    fn assignment_round_trips_and_weights_sum_to_one() {
+        let strat =
+            Stratification::from_assignment(vec!["a".into(), "b".into()], vec![0, 1, 0, 0, 1])
+                .unwrap();
+        assert_eq!(strat.num_strata(), 2);
+        assert_eq!(strat.num_triples(), 5);
+        assert_eq!(strat.size(0), 3);
+        assert_eq!(strat.size(1), 2);
+        assert_eq!(strat.members(0).as_slice(), &[0, 2, 3]);
+        assert_eq!(strat.members(1).as_slice(), &[1, 4]);
+        assert_eq!(strat.stratum_of(TripleId(3)), 0);
+        assert_eq!(strat.name(1), "b");
+        let total: f64 = (0..2).map(|h| strat.weight(h)).sum();
+        assert!((total - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invalid_assignments_are_rejected() {
+        assert!(Stratification::from_assignment(vec![], vec![0]).is_err());
+        assert!(Stratification::from_assignment(vec!["a".into()], vec![]).is_err());
+        // Out-of-range stratum.
+        assert!(Stratification::from_assignment(vec!["a".into()], vec![0, 1]).is_err());
+        // Empty stratum.
+        assert!(Stratification::from_assignment(vec!["a".into(), "b".into()], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn hash_partition_is_deterministic_and_total() {
+        let kg = crate::datasets::yago();
+        let a = Stratification::by_hash(&kg, 6, 3);
+        let b = Stratification::by_hash(&kg, 6, 3);
+        let c = Stratification::by_hash(&kg, 6, 4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint(), "seed changes partition");
+        let total: u64 = (0..6).map(|h| a.size(h)).sum();
+        assert_eq!(total, kg.num_triples());
+        for h in 0..6 {
+            assert!(a.size(h) > 0, "stratum {h} empty");
+            // Members are sorted parent ids in range.
+            let members = a.members(h);
+            assert!(members.windows(2).all(|w| w[0] < w[1]));
+            assert!(members.iter().all(|&t| t < kg.num_triples()));
+            // stratum_of agrees with membership.
+            assert!(members.iter().all(|&t| a.stratum_of(TripleId(t)) == h));
+        }
+    }
+
+    #[test]
+    fn predicate_stratification_groups_by_predicate() {
+        let mut b = InMemoryKgBuilder::new();
+        b.add_fact("rome", "capital_of", "italy", true)
+            .add_fact("rome", "population", "2.7M", true)
+            .add_fact("paris", "capital_of", "france", true)
+            .add_fact("paris", "population", "2.1M", false)
+            .add_fact("lyon", "population", "0.5M", true);
+        let kg = b.build();
+        let strat = Stratification::by_predicate(&kg);
+        assert_eq!(strat.num_strata(), 2);
+        // Named by first appearance.
+        assert_eq!(strat.name(0), "capital_of");
+        assert_eq!(strat.name(1), "population");
+        assert_eq!(strat.size(0), 2);
+        assert_eq!(strat.size(1), 3);
+        for t in 0..kg.num_triples() {
+            let h = strat.stratum_of(TripleId(t));
+            assert_eq!(strat.name(h), kg.triple(TripleId(t)).predicate);
+        }
+    }
+
+    #[test]
+    fn fingerprint_sees_names_and_assignment() {
+        let base =
+            Stratification::from_assignment(vec!["a".into(), "b".into()], vec![0, 1, 0]).unwrap();
+        let renamed =
+            Stratification::from_assignment(vec!["a".into(), "c".into()], vec![0, 1, 0]).unwrap();
+        let remapped =
+            Stratification::from_assignment(vec!["a".into(), "b".into()], vec![0, 1, 1]).unwrap();
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+        assert_ne!(base.fingerprint(), remapped.fingerprint());
+    }
+}

@@ -6,6 +6,15 @@
 //! `E[w] = Σ_τ P(τ) · width(interval(posterior(τ, n)))`. Comparing this
 //! across priors reveals the regions where Kerman / Uniform win and why
 //! Jeffreys never does (paper §4.4, finding F1).
+//!
+//! ```
+//! use kgae_intervals::expected::expected_width;
+//! use kgae_intervals::{et_interval, BetaPrior};
+//!
+//! // More annotations ⇒ narrower expected intervals, any prior.
+//! let at = |n| expected_width(&BetaPrior::KERMAN, n, 0.05, 0.9, et_interval).unwrap();
+//! assert!(at(120) < at(30));
+//! ```
 
 use crate::error::IntervalError;
 use crate::prior::BetaPrior;

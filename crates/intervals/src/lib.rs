@@ -36,6 +36,7 @@ mod et;
 pub mod expected;
 mod frequentist;
 mod hpd;
+pub mod pooled;
 mod prior;
 mod types;
 
@@ -48,5 +49,6 @@ pub use hpd::{
     hpd_interval, hpd_interval_exact, hpd_interval_warm, hpd_width_achievable,
     hpd_width_lower_bound,
 };
+pub use pooled::{pooled_interval, pooled_point, pooled_variance, StratumSummary};
 pub use prior::BetaPrior;
 pub use types::Interval;

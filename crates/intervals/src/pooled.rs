@@ -1,0 +1,175 @@
+//! Weighted pooling of per-stratum estimates into a KG-wide interval.
+//!
+//! A stratified audit runs one estimator per stratum; the KG-wide
+//! answer is the classical stratified estimator
+//!
+//! ```text
+//! μ̂ = Σ_h W_h μ̂_h          W_h = M_h / M   (population weights)
+//! V̂(μ̂) = Σ_h W_h² V̂(μ̂_h)   (strata sampled independently)
+//! ```
+//!
+//! The point estimate is computed as a plain left fold in stratum
+//! order, so it is **bit-identical** to the weighted combination of the
+//! per-stratum estimators computed the same way — the property the
+//! stratified session's status contract pins down. The pooled interval
+//! is the Wald normal approximation on the pooled variance (per-stratum
+//! uncertainty is reported through each stratum's own credible
+//! interval; the pooled interval drives the campaign-level stopping
+//! rule).
+//!
+//! ```
+//! use kgae_intervals::pooled::{pooled_interval, pooled_point, StratumSummary};
+//!
+//! let strata = [
+//!     StratumSummary { weight: 0.7, mu: 0.95, variance: 0.95 * 0.05 / 100.0 },
+//!     StratumSummary { weight: 0.3, mu: 0.60, variance: 0.60 * 0.40 / 80.0 },
+//! ];
+//! let mu = pooled_point(&strata);
+//! assert!((mu - (0.7 * 0.95 + 0.3 * 0.60)).abs() == 0.0); // bit-identical fold
+//! let interval = pooled_interval(&strata, 0.05).unwrap();
+//! assert!(interval.contains(mu));
+//! ```
+
+use crate::error::IntervalError;
+use crate::frequentist::wald_from_variance;
+use crate::types::Interval;
+
+/// One stratum's contribution to the pooled estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StratumSummary {
+    /// Population weight `W_h = M_h / M`.
+    pub weight: f64,
+    /// The stratum's point estimate `μ̂_h`.
+    pub mu: f64,
+    /// The stratum's estimated sampling variance `V̂(μ̂_h)` (0 for a
+    /// fully annotated — census — stratum).
+    pub variance: f64,
+}
+
+/// The pooled point estimate `Σ_h W_h μ̂_h`, as a left fold in stratum
+/// order. Callers combining the per-stratum estimates themselves with
+/// the same fold get the identical float, bit for bit.
+///
+/// # Panics
+///
+/// Panics if `strata` is empty.
+#[must_use]
+pub fn pooled_point(strata: &[StratumSummary]) -> f64 {
+    assert!(!strata.is_empty(), "pooling needs at least one stratum");
+    strata.iter().fold(0.0, |acc, s| acc + s.weight * s.mu)
+}
+
+/// The pooled variance `Σ_h W_h² V̂(μ̂_h)` (strata are sampled
+/// independently, so covariances vanish).
+///
+/// # Panics
+///
+/// Panics if `strata` is empty.
+#[must_use]
+pub fn pooled_variance(strata: &[StratumSummary]) -> f64 {
+    assert!(!strata.is_empty(), "pooling needs at least one stratum");
+    strata
+        .iter()
+        .fold(0.0, |acc, s| acc + s.weight * s.weight * s.variance)
+}
+
+/// The pooled `1-α` interval: Wald on the pooled mean and variance,
+/// clamped construction left to the caller (bounds may overshoot
+/// `[0, 1]` exactly like the plain Wald interval).
+///
+/// # Errors
+///
+/// Propagates [`wald_from_variance`] failures (non-finite variance,
+/// pooled mean outside `[0, 1]`).
+pub fn pooled_interval(strata: &[StratumSummary], alpha: f64) -> Result<Interval, IntervalError> {
+    wald_from_variance(pooled_point(strata), pooled_variance(strata), alpha)
+        .map_err(IntervalError::Stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stratum_pooling_is_the_identity() {
+        let one = [StratumSummary {
+            weight: 1.0,
+            mu: 0.87,
+            variance: 0.87 * 0.13 / 60.0,
+        }];
+        assert_eq!(pooled_point(&one), 0.87);
+        assert_eq!(pooled_variance(&one), 0.87 * 0.13 / 60.0);
+        let pooled = pooled_interval(&one, 0.05).unwrap();
+        let direct = wald_from_variance(0.87, 0.87 * 0.13 / 60.0, 0.05).unwrap();
+        assert_eq!(pooled, direct);
+    }
+
+    #[test]
+    fn pooled_point_is_the_left_fold_bit_for_bit() {
+        let strata: Vec<StratumSummary> = (0..7)
+            .map(|h| StratumSummary {
+                weight: 1.0 / 7.0,
+                mu: 0.5 + 0.07 * h as f64,
+                variance: 1e-4 * (h + 1) as f64,
+            })
+            .collect();
+        let manual = strata.iter().fold(0.0, |acc, s| acc + s.weight * s.mu);
+        assert_eq!(pooled_point(&strata).to_bits(), manual.to_bits());
+    }
+
+    #[test]
+    fn census_strata_contribute_no_variance() {
+        let strata = [
+            StratumSummary {
+                weight: 0.5,
+                mu: 1.0,
+                variance: 0.0, // census
+            },
+            StratumSummary {
+                weight: 0.5,
+                mu: 0.5,
+                variance: 0.25 / 50.0,
+            },
+        ];
+        assert_eq!(pooled_variance(&strata), 0.25 * 0.25 / 50.0);
+        let interval = pooled_interval(&strata, 0.05).unwrap();
+        assert!(interval.width() > 0.0);
+        assert!(interval.contains(0.75));
+    }
+
+    #[test]
+    fn more_data_in_the_volatile_stratum_narrows_the_pooled_interval() {
+        let at = |n: f64| {
+            pooled_interval(
+                &[
+                    StratumSummary {
+                        weight: 0.6,
+                        mu: 0.95,
+                        variance: 0.95 * 0.05 / 200.0,
+                    },
+                    StratumSummary {
+                        weight: 0.4,
+                        mu: 0.5,
+                        variance: 0.25 / n,
+                    },
+                ],
+                0.05,
+            )
+            .unwrap()
+            .width()
+        };
+        assert!(at(200.0) < at(20.0));
+    }
+
+    #[test]
+    fn invalid_pooled_mean_is_rejected() {
+        // A Hansen–Hurwitz-style stratum estimate above 1 pushes the
+        // pooled mean out of the probability domain → loud error.
+        let bad = [StratumSummary {
+            weight: 1.0,
+            mu: 1.2,
+            variance: 0.01,
+        }];
+        assert!(pooled_interval(&bad, 0.05).is_err());
+    }
+}

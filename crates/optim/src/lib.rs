@@ -17,6 +17,16 @@
 //! * [`linalg`] — the small dense LU factorization backing the QP solves.
 //!
 //! Everything is `f64`, allocation-light, and panic-free on valid input.
+//!
+//! ## Example
+//!
+//! ```
+//! use kgae_optim::root::{brent, RootConfig};
+//!
+//! // The golden ratio is the positive root of x² − x − 1.
+//! let phi = brent(|x| x * x - x - 1.0, 1.0, 2.0, RootConfig::default()).unwrap();
+//! assert!((phi - 1.618_033_988_749_895).abs() < 1e-10);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -19,6 +19,20 @@
 //! object-safe core of the vendored `rand`); the generic sampling code
 //! underneath monomorphizes against it and produces the exact same
 //! stream as when driven with a concrete generator.
+//!
+//! ```
+//! use kgae_sampling::driver::{build_driver, DesignSpec};
+//! use rand::SeedableRng;
+//!
+//! let kg = kgae_graph::datasets::yago();
+//! let spec: DesignSpec = "twcs:3".parse().unwrap();
+//! let mut driver = build_driver(&kg, spec, None, None);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let mut unit = Vec::new();
+//! let cluster = driver.next_unit(&mut rng, &mut unit).unwrap();
+//! assert!(unit.len() as u64 <= driver.max_unit_size());
+//! assert!(unit.iter().all(|st| st.cluster == cluster));
+//! ```
 
 use crate::alias::AliasTable;
 use crate::extra::{ScsSampler, WcsSampler};
@@ -45,9 +59,72 @@ pub enum UnitEstimator {
     },
 }
 
+/// How a stratified evaluation campaign spends its next annotation
+/// batch across strata.
+///
+/// The policies are deterministic given the same per-stratum state, so
+/// a suspended stratified session resumes onto the exact allocation
+/// trajectory it left.
+///
+/// ```
+/// use kgae_sampling::driver::AllocationPolicy;
+///
+/// let p: AllocationPolicy = "width-greedy".parse().unwrap();
+/// assert_eq!(p, AllocationPolicy::WidthGreedy);
+/// assert_eq!(p.canonical_name(), "width-greedy");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AllocationPolicy {
+    /// Neyman-style width-greedy: give the next batch to the stratum
+    /// whose weighted HPD interval promises the largest pooled-width
+    /// reduction per annotation (score `(W_h · width_h)² / n_h`).
+    /// Equalizing raw widths is provably no better than proportional
+    /// under equal weights; this marginal-reduction form converges to
+    /// the Neyman optimum `n_h ∝ W_h σ_h`.
+    #[default]
+    WidthGreedy,
+    /// Proportional allocation: keep `n_h / W_h` balanced (the textbook
+    /// `n_h ∝ M_h / M` baseline).
+    Proportional,
+    /// Equal allocation: keep raw per-stratum sample sizes balanced.
+    Equal,
+}
+
+impl AllocationPolicy {
+    /// The canonical lower-case wire name.
+    #[must_use]
+    pub fn canonical_name(self) -> &'static str {
+        match self {
+            AllocationPolicy::WidthGreedy => "width-greedy",
+            AllocationPolicy::Proportional => "proportional",
+            AllocationPolicy::Equal => "equal",
+        }
+    }
+}
+
+impl std::fmt::Display for AllocationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.canonical_name())
+    }
+}
+
+impl std::str::FromStr for AllocationPolicy {
+    type Err = DesignParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "width-greedy" | "widest" | "neyman" => Ok(AllocationPolicy::WidthGreedy),
+            "proportional" => Ok(AllocationPolicy::Proportional),
+            "equal" => Ok(AllocationPolicy::Equal),
+            _ => Err(DesignParseError(s.to_string())),
+        }
+    }
+}
+
 /// A sampling design identified by name — the wire half of driver
 /// reconstruction. The session service receives designs as strings
-/// (`"srs"`, `"twcs:3"`, `"wcs"`, `"scs"`), parses them into a spec and
+/// (`"srs"`, `"twcs:3"`, `"wcs"`, `"scs"`, `"stratified:<allocation>"`),
+/// parses them into a spec and
 /// rebuilds the matching [`DesignDriver`] with [`build_driver`];
 /// `kgae-core` layers its own `SamplingDesign` conversions on top so
 /// both sides agree on one grammar.
@@ -64,6 +141,16 @@ pub enum DesignSpec {
     Wcs,
     /// Simple cluster sampling, whole clusters.
     Scs,
+    /// Stratified SRS: the KG is partitioned into strata and a
+    /// coordinator (`kgae-core`'s `StratifiedSession`) runs one
+    /// SRS-within-stratum engine per stratum under the given batch
+    /// [`AllocationPolicy`]. This is a *session-level* design: it has no
+    /// single [`DesignDriver`] (each stratum gets a [`StratumSrsDriver`]),
+    /// so [`build_driver`] rejects it.
+    Stratified {
+        /// How annotation batches are allocated across strata.
+        allocation: AllocationPolicy,
+    },
 }
 
 impl DesignSpec {
@@ -76,6 +163,9 @@ impl DesignSpec {
             DesignSpec::Twcs { m } => format!("twcs:{m}"),
             DesignSpec::Wcs => "wcs".into(),
             DesignSpec::Scs => "scs".into(),
+            DesignSpec::Stratified { allocation } => {
+                format!("stratified:{}", allocation.canonical_name())
+            }
         }
     }
 }
@@ -109,8 +199,10 @@ impl std::str::FromStr for DesignSpec {
     type Err = DesignParseError;
 
     /// Parses a design name, case-insensitively. Accepted forms:
-    /// `srs`, `wcs`, `scs`, `twcs:<m>` (canonical) and the display form
-    /// `twcs(m=<m>)` used in the paper tables. `m` must be ≥ 1.
+    /// `srs`, `wcs`, `scs`, `twcs:<m>` (canonical), the display form
+    /// `twcs(m=<m>)` used in the paper tables, and
+    /// `stratified[:<allocation>]` (allocation defaults to
+    /// `width-greedy`). `m` must be ≥ 1.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lower = s.trim().to_ascii_lowercase();
         let err = || DesignParseError(s.to_string());
@@ -118,7 +210,16 @@ impl std::str::FromStr for DesignSpec {
             "srs" => return Ok(DesignSpec::Srs),
             "wcs" => return Ok(DesignSpec::Wcs),
             "scs" => return Ok(DesignSpec::Scs),
+            "stratified" => {
+                return Ok(DesignSpec::Stratified {
+                    allocation: AllocationPolicy::default(),
+                })
+            }
             _ => {}
+        }
+        if let Some(alloc) = lower.strip_prefix("stratified:") {
+            let allocation = alloc.parse().map_err(|_| err())?;
+            return Ok(DesignSpec::Stratified { allocation });
         }
         let m_str = lower
             .strip_prefix("twcs:")
@@ -144,6 +245,13 @@ impl std::str::FromStr for DesignSpec {
 /// designs (an `Arc` clone, never a table copy); `max_unit_size` the
 /// precomputed largest-cluster size for the whole-cluster designs. Both
 /// are rebuilt from the KG when absent, at O(#clusters) cost.
+///
+/// # Panics
+///
+/// Panics on [`DesignSpec::Stratified`]: stratified evaluation is a
+/// session-level design with one [`StratumSrsDriver`] per stratum,
+/// coordinated by `kgae-core`'s `StratifiedSession` — there is no
+/// single driver to build.
 #[must_use]
 pub fn build_driver<'a>(
     kg: &'a dyn KnowledgeGraph,
@@ -159,6 +267,9 @@ pub fn build_driver<'a>(
         DesignSpec::Twcs { m } => Box::new(TwcsDriver::with_table(kg, m, table(pps))),
         DesignSpec::Wcs => Box::new(WcsDriver::with_table(kg, table(pps), max(max_unit_size))),
         DesignSpec::Scs => Box::new(ScsDriver::with_max_unit_size(kg, max(max_unit_size))),
+        DesignSpec::Stratified { .. } => {
+            panic!("stratified designs are coordinated per stratum (StratifiedSession), not built as one driver")
+        }
     }
 }
 
@@ -589,6 +700,117 @@ impl DesignDriver for ScsDriver<'_> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Stratum SRS
+// ---------------------------------------------------------------------
+
+/// SRS-without-replacement restricted to one stratum of a KG: a
+/// member-list of triple ids (in *parent* coordinates) drawn through a
+/// lazy Fisher–Yates stream. One such driver per stratum is the
+/// design-specific half of the stratified evaluation coordinator.
+///
+/// The member list rides in an `Arc`, shared with the `Stratification`
+/// that produced it — constructing a driver per stratum session copies a
+/// pointer, never the list.
+pub struct StratumSrsDriver<'a> {
+    kg: &'a dyn KnowledgeGraph,
+    members: Arc<Vec<u64>>,
+    stream: crate::distinct::IncrementalWithoutReplacement,
+}
+
+impl<'a> StratumSrsDriver<'a> {
+    /// Driver over the stratum whose member triple ids are `members`
+    /// (parent-KG coordinates, typically sorted — the order is part of
+    /// the sampling stream's identity, so resume with the same list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or any id is out of range for `kg`.
+    #[must_use]
+    pub fn new(kg: &'a dyn KnowledgeGraph, members: Arc<Vec<u64>>) -> Self {
+        assert!(!members.is_empty(), "a stratum cannot be empty");
+        assert!(
+            members.iter().all(|&t| t < kg.num_triples()),
+            "stratum member out of range for the KG"
+        );
+        let stream = crate::distinct::IncrementalWithoutReplacement::new(members.len() as u64);
+        Self {
+            kg,
+            members,
+            stream,
+        }
+    }
+
+    /// Number of triples in the stratum.
+    #[must_use]
+    pub fn stratum_size(&self) -> u64 {
+        self.members.len() as u64
+    }
+}
+
+impl DesignDriver for StratumSrsDriver<'_> {
+    fn next_unit(
+        &mut self,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<SampledTriple>,
+    ) -> Option<ClusterId> {
+        out.clear();
+        let local = self.stream.next_draw(rng)?;
+        let triple = kgae_graph::TripleId(self.members[local as usize]);
+        let cluster = self.kg.cluster_of(triple);
+        out.push(SampledTriple { triple, cluster });
+        Some(cluster)
+    }
+
+    fn estimator(&self) -> UnitEstimator {
+        UnitEstimator::Triple
+    }
+
+    fn max_unit_size(&self) -> u64 {
+        1
+    }
+
+    fn units_drawn(&self) -> u64 {
+        self.stream.drawn()
+    }
+
+    fn save_state(&self, out: &mut Vec<u8>) {
+        push_u64(out, self.stream.drawn());
+        let entries = self.stream.displaced_entries();
+        push_u64(out, entries.len() as u64);
+        for (k, v) in entries {
+            push_u64(out, k);
+            push_u64(out, v);
+        }
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), DriverStateError> {
+        let population = self.members.len() as u64;
+        let mut cursor = 0;
+        let drawn = read_u64(bytes, &mut cursor)?;
+        if drawn > population {
+            return Err(DriverStateError("drawn exceeds stratum size"));
+        }
+        let len = read_u64(bytes, &mut cursor)?;
+        if len > 2 * drawn {
+            return Err(DriverStateError("displaced table larger than draws allow"));
+        }
+        let mut entries = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let k = read_u64(bytes, &mut cursor)?;
+            let v = read_u64(bytes, &mut cursor)?;
+            if k >= population || v >= population {
+                return Err(DriverStateError("displaced entry out of range"));
+            }
+            entries.push((k, v));
+        }
+        expect_consumed(bytes, cursor)?;
+        self.stream =
+            crate::distinct::IncrementalWithoutReplacement::from_saved(population, drawn, &entries);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -805,6 +1027,97 @@ mod tests {
             );
             assert_eq!(buf, buf_b);
         }
+    }
+
+    #[test]
+    fn stratified_design_names_round_trip() {
+        for (name, allocation) in [
+            ("stratified", AllocationPolicy::WidthGreedy),
+            ("stratified:width-greedy", AllocationPolicy::WidthGreedy),
+            ("stratified:proportional", AllocationPolicy::Proportional),
+            ("stratified:equal", AllocationPolicy::Equal),
+            ("STRATIFIED:EQUAL", AllocationPolicy::Equal),
+        ] {
+            let spec: DesignSpec = name.parse().unwrap();
+            assert_eq!(spec, DesignSpec::Stratified { allocation }, "{name}");
+            assert_eq!(spec.canonical_name().parse::<DesignSpec>().unwrap(), spec);
+        }
+        for bad in ["stratified:", "stratified:zipf", "stratified:widest:"] {
+            assert!(bad.parse::<DesignSpec>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinated per stratum")]
+    fn build_driver_rejects_the_stratified_design() {
+        let kg = kg(&[2, 2]);
+        let _ = build_driver(
+            &kg,
+            DesignSpec::Stratified {
+                allocation: AllocationPolicy::WidthGreedy,
+            },
+            None,
+            None,
+        );
+    }
+
+    #[test]
+    fn stratum_driver_streams_exactly_its_members_then_exhausts() {
+        let kg = kg(&[3, 1, 4, 2]);
+        let members = Arc::new(vec![0u64, 3, 4, 8, 9]);
+        let mut d = StratumSrsDriver::new(&kg, members.clone());
+        assert_eq!(d.stratum_size(), 5);
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut buf = Vec::new();
+        let mut seen = HashSet::new();
+        while let Some(cluster) = d.next_unit(&mut rng, &mut buf) {
+            assert_eq!(buf.len(), 1);
+            assert_eq!(buf[0].cluster, cluster);
+            assert_eq!(kg.cluster_of(buf[0].triple), cluster);
+            assert!(members.contains(&buf[0].triple.index()));
+            assert!(seen.insert(buf[0].triple));
+        }
+        assert_eq!(seen.len(), 5, "every member drawn exactly once");
+        assert_eq!(d.units_drawn(), 5);
+        assert!(d.next_unit(&mut rng, &mut buf).is_none(), "sticky");
+        assert_eq!(d.estimator(), UnitEstimator::Triple);
+        assert_eq!(d.max_unit_size(), 1);
+    }
+
+    #[test]
+    fn stratum_driver_state_round_trip_resumes_the_exact_stream() {
+        let kg = kg(&[10, 10, 10]);
+        let members = Arc::new((0..30u64).filter(|t| t % 3 != 1).collect::<Vec<_>>());
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut buf = Vec::new();
+        let mut original = StratumSrsDriver::new(&kg, members.clone());
+        for _ in 0..7 {
+            original.next_unit(&mut rng, &mut buf).unwrap();
+        }
+        let mut state = Vec::new();
+        original.save_state(&mut state);
+        let rng_state = rng.state();
+
+        let mut resumed = StratumSrsDriver::new(&kg, members);
+        resumed.restore_state(&state).unwrap();
+        let mut rng_resumed = SmallRng::from_state(rng_state);
+        let mut buf_resumed = Vec::new();
+        loop {
+            let a = original.next_unit(&mut rng, &mut buf);
+            let b = resumed.next_unit(&mut rng_resumed, &mut buf_resumed);
+            assert_eq!(a, b);
+            assert_eq!(buf, buf_resumed);
+            if a.is_none() {
+                break;
+            }
+        }
+        // Garbage states are rejected.
+        let mut fresh = StratumSrsDriver::new(&kg, Arc::new(vec![0, 1]));
+        assert!(fresh.restore_state(&[9]).is_err(), "truncated");
+        let mut bad = Vec::new();
+        push_u64(&mut bad, 7); // drawn > stratum size
+        push_u64(&mut bad, 0);
+        assert!(fresh.restore_state(&bad).is_err());
     }
 
     #[test]

@@ -43,7 +43,8 @@ mod twcs;
 
 pub use alias::AliasTable;
 pub use driver::{
-    DesignDriver, DriverStateError, ScsDriver, SrsDriver, TwcsDriver, UnitEstimator, WcsDriver,
+    AllocationPolicy, DesignDriver, DriverStateError, ScsDriver, SrsDriver, StratumSrsDriver,
+    TwcsDriver, UnitEstimator, WcsDriver,
 };
 pub use estimators::{
     cluster_estimate, cluster_estimate_from_moments, design_effect, effective_sample_size,

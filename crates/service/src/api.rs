@@ -9,10 +9,11 @@
 
 use crate::json::Json;
 use kgae_core::{
-    AnnotationRequest, EvalConfig, EvalResult, IntervalMethod, SamplingDesign, SessionStatus,
-    StopReason,
+    AnnotationRequest, EvalConfig, EvalResult, IntervalMethod, SessionStatus, StopReason,
+    StratifiedConfig, StratumReport,
 };
 use kgae_intervals::Interval;
+use kgae_sampling::driver::DesignSpec;
 
 /// A malformed wire payload (missing field, wrong type, unknown name).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +83,61 @@ fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, WireError> {
 // Session spec
 // ---------------------------------------------------------------------
 
+/// How a stratified session partitions its dataset — the wire half of
+/// [`kgae_graph::stratify::Stratification`] reconstruction. Both modes
+/// are deterministic, so the exact partition (and its fingerprint,
+/// which stratified snapshots embed) rebuilds from the spec alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StratifySpec {
+    /// The dataset's built-in per-predicate partition (available on
+    /// datasets registered with one, e.g. `nell-pred`).
+    Predicate,
+    /// A deterministic hash partition into `strata` buckets.
+    Hash {
+        /// Number of strata (`1 ≤ strata ≤ num_triples`).
+        strata: u32,
+        /// Partition seed.
+        seed: u64,
+    },
+}
+
+impl StratifySpec {
+    /// Encodes the partition spec.
+    #[must_use]
+    pub fn to_json(self) -> Json {
+        match self {
+            StratifySpec::Predicate => Json::obj(vec![("by", Json::str("predicate"))]),
+            StratifySpec::Hash { strata, seed } => Json::obj(vec![
+                ("by", Json::str("hash")),
+                ("strata", Json::int(u64::from(strata))),
+                ("seed", Json::int(seed)),
+            ]),
+        }
+    }
+
+    /// Decodes a partition spec.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on an unknown `by` mode or missing hash fields.
+    pub fn from_json(v: &Json) -> Result<Self, WireError> {
+        match req_str(v, "by")?.as_str() {
+            "predicate" => Ok(StratifySpec::Predicate),
+            "hash" => {
+                let strata = u32::try_from(req_u64(v, "strata")?)
+                    .map_err(|_| wire_err("\"strata\" exceeds u32"))?;
+                Ok(StratifySpec::Hash {
+                    strata,
+                    seed: opt_u64(v, "seed")?.unwrap_or(0),
+                })
+            }
+            other => Err(wire_err(format!(
+                "unknown stratify mode {other:?} (expected \"predicate\" or \"hash\")"
+            ))),
+        }
+    }
+}
+
 /// Everything needed to (re)construct an evaluation session: the create
 /// request's payload and the identity half of a stored meta record.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,18 +146,25 @@ pub struct SessionSpec {
     pub id: String,
     /// Registry name of the KG under evaluation.
     pub dataset: String,
-    /// Sampling design.
-    pub design: SamplingDesign,
+    /// Sampling design (wire grammar; `stratified:<allocation>` selects
+    /// the stratified coordinator).
+    pub design: DesignSpec,
     /// Interval method.
     pub method: IntervalMethod,
     /// RNG seed of the sampling stream (exact below 2⁵³ on the wire).
     pub seed: u64,
     /// Significance level α.
     pub alpha: f64,
-    /// MoE stopping threshold ε.
+    /// MoE stopping threshold ε (of the pooled interval for stratified
+    /// sessions).
     pub epsilon: f64,
-    /// Optional cap on total annotation observations.
+    /// Optional cap on total annotation observations (shared across
+    /// strata for stratified sessions).
     pub max_observations: Option<u64>,
+    /// How a stratified session partitions the dataset; ignored (and
+    /// rejected on the wire) for single-design sessions. `None` with a
+    /// stratified design means [`StratifySpec::Predicate`].
+    pub stratify: Option<StratifySpec>,
 }
 
 impl SessionSpec {
@@ -119,10 +182,39 @@ impl SessionSpec {
         }
     }
 
+    /// The stratified campaign configuration this spec denotes, when
+    /// the design is stratified. Like [`SessionSpec::eval_config`], the
+    /// non-wire fields keep their defaults so snapshot fingerprints
+    /// reconstruct exactly.
+    #[must_use]
+    pub fn stratified_config(&self) -> Option<StratifiedConfig> {
+        match self.design {
+            DesignSpec::Stratified { allocation } => Some(StratifiedConfig {
+                alpha: self.alpha,
+                epsilon: self.epsilon,
+                allocation,
+                max_observations: self.max_observations,
+                ..StratifiedConfig::default()
+            }),
+            _ => None,
+        }
+    }
+
+    /// The partition of a stratified spec ([`StratifySpec::Predicate`]
+    /// when the wire field was omitted); `None` for single-design
+    /// specs.
+    #[must_use]
+    pub fn partition(&self) -> Option<StratifySpec> {
+        match self.design {
+            DesignSpec::Stratified { .. } => Some(self.stratify.unwrap_or(StratifySpec::Predicate)),
+            _ => None,
+        }
+    }
+
     /// Encodes the spec.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("id", Json::str(&self.id)),
             ("dataset", Json::str(&self.dataset)),
             ("design", Json::str(&self.design.canonical_name())),
@@ -134,24 +226,39 @@ impl SessionSpec {
                 "max_observations",
                 self.max_observations.map_or(Json::Null, Json::int),
             ),
-        ])
+        ]);
+        if let Some(stratify) = self.stratify {
+            doc.set("stratify", stratify.to_json());
+        }
+        doc
     }
 
     /// Decodes a spec from a create request or meta record. `alpha`,
     /// `epsilon` and `seed` are optional on the wire (paper defaults
-    /// α = ε = 0.05, seed 0).
+    /// α = ε = 0.05, seed 0); `stratify` is only legal alongside a
+    /// stratified design.
     ///
     /// # Errors
     ///
-    /// [`WireError`] on missing/mistyped fields or unknown
-    /// design/method names.
+    /// [`WireError`] on missing/mistyped fields, unknown design/method
+    /// names, or a `stratify` object on a non-stratified design.
     pub fn from_json(v: &Json) -> Result<Self, WireError> {
-        let design: SamplingDesign = req_str(v, "design")?
+        let design: DesignSpec = req_str(v, "design")?
             .parse()
             .map_err(|e| wire_err(format!("{e}")))?;
         let method: IntervalMethod = req_str(v, "method")?
             .parse()
             .map_err(|e| wire_err(format!("{e}")))?;
+        let stratify = match v.get("stratify") {
+            None | Some(Json::Null) => None,
+            Some(field) => Some(StratifySpec::from_json(field)?),
+        };
+        if stratify.is_some() && !matches!(design, DesignSpec::Stratified { .. }) {
+            return Err(wire_err(format!(
+                "\"stratify\" requires a stratified design, got {:?}",
+                design.canonical_name()
+            )));
+        }
         Ok(SessionSpec {
             id: req_str(v, "id")?,
             dataset: req_str(v, "dataset")?,
@@ -161,6 +268,7 @@ impl SessionSpec {
             alpha: opt_f64(v, "alpha")?.unwrap_or(0.05),
             epsilon: opt_f64(v, "epsilon")?.unwrap_or(0.05),
             max_observations: opt_u64(v, "max_observations")?,
+            stratify,
         })
     }
 }
@@ -313,6 +421,59 @@ pub fn result_from_json(v: &Json) -> Result<EvalResult, WireError> {
 }
 
 // ---------------------------------------------------------------------
+// Per-stratum rows
+// ---------------------------------------------------------------------
+
+/// Encodes one stratum row of a stratified session's status.
+#[must_use]
+pub fn stratum_report_to_json(report: &StratumReport) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&report.name)),
+        ("weight", Json::Num(report.weight)),
+        ("size", Json::int(report.size)),
+        ("census", Json::Bool(report.census)),
+        ("status", status_to_json(&report.status)),
+    ])
+}
+
+/// Decodes one stratum row.
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields.
+pub fn stratum_report_from_json(v: &Json) -> Result<StratumReport, WireError> {
+    Ok(StratumReport {
+        name: req_str(v, "name")?,
+        weight: req_f64(v, "weight")?,
+        size: req_u64(v, "size")?,
+        census: req_bool(v, "census")?,
+        status: status_from_json(
+            v.get("status")
+                .ok_or_else(|| wire_err("stratum row without a status"))?,
+        )?,
+    })
+}
+
+/// Encodes the per-stratum rows of a stratified session.
+#[must_use]
+pub fn strata_to_json(strata: &[StratumReport]) -> Json {
+    Json::Arr(strata.iter().map(stratum_report_to_json).collect())
+}
+
+/// Decodes per-stratum rows.
+///
+/// # Errors
+///
+/// [`WireError`] on a non-array value or malformed rows.
+pub fn strata_from_json(v: &Json) -> Result<Vec<StratumReport>, WireError> {
+    v.as_arr()
+        .ok_or_else(|| wire_err("\"strata\" must be an array"))?
+        .iter()
+        .map(stratum_report_from_json)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Annotation requests
 // ---------------------------------------------------------------------
 
@@ -325,6 +486,15 @@ pub struct TripleRef {
     pub cluster: u32,
 }
 
+/// The stratum a stratified batch belongs to, as shipped to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireStratum {
+    /// Stratum index.
+    pub index: u32,
+    /// Stratum name (predicate, hash bucket, ...).
+    pub name: String,
+}
+
 /// The wire form of a poll for labels: either the batch to annotate or
 /// the news that the session has stopped.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -335,39 +505,58 @@ pub struct WireRequest {
     pub units: u64,
     /// Fencing seq to echo on the label submission (absent when done).
     pub seq: Option<u64>,
+    /// The stratum this batch samples (stratified sessions only).
+    pub stratum: Option<WireStratum>,
     /// Triples to label, in submission order.
     pub triples: Vec<TripleRef>,
 }
 
 /// Encodes a poll outcome (`None` = the session has stopped). `seq` is
-/// the batch's fencing token, echoed back on submission.
+/// the batch's fencing token, echoed back on submission; `stratum`
+/// addresses the batch for stratified sessions.
 #[must_use]
-pub fn request_to_json(request: Option<&AnnotationRequest>, seq: Option<u64>) -> Json {
+pub fn request_to_json(
+    request: Option<&AnnotationRequest>,
+    seq: Option<u64>,
+    stratum: Option<&WireStratum>,
+) -> Json {
     match request {
         None => Json::obj(vec![
             ("done", Json::Bool(true)),
             ("units", Json::int(0)),
             ("triples", Json::Arr(Vec::new())),
         ]),
-        Some(req) => Json::obj(vec![
-            ("done", Json::Bool(false)),
-            ("units", Json::int(req.units)),
-            ("seq", seq.map_or(Json::Null, Json::int)),
-            (
-                "triples",
-                Json::Arr(
-                    req.triples
-                        .iter()
-                        .map(|st| {
-                            Json::obj(vec![
-                                ("triple", Json::int(st.triple.index())),
-                                ("cluster", Json::int(u64::from(st.cluster.index()))),
-                            ])
-                        })
-                        .collect(),
+        Some(req) => {
+            let mut doc = Json::obj(vec![
+                ("done", Json::Bool(false)),
+                ("units", Json::int(req.units)),
+                ("seq", seq.map_or(Json::Null, Json::int)),
+                (
+                    "triples",
+                    Json::Arr(
+                        req.triples
+                            .iter()
+                            .map(|st| {
+                                Json::obj(vec![
+                                    ("triple", Json::int(st.triple.index())),
+                                    ("cluster", Json::int(u64::from(st.cluster.index()))),
+                                ])
+                            })
+                            .collect(),
+                    ),
                 ),
-            ),
-        ]),
+            ]);
+            if let Some(stratum) = stratum {
+                doc.set(
+                    "stratum",
+                    Json::obj(vec![
+                        ("index", Json::int(u64::from(stratum.index))),
+                        ("name", Json::str(&stratum.name)),
+                    ]),
+                );
+            }
+            doc
+        }
     }
 }
 
@@ -390,10 +579,19 @@ pub fn request_from_json(v: &Json) -> Result<WireRequest, WireError> {
             })
         })
         .collect::<Result<Vec<_>, WireError>>()?;
+    let stratum = match v.get("stratum") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(WireStratum {
+            index: u32::try_from(req_u64(field, "index")?)
+                .map_err(|_| wire_err("stratum index exceeds u32"))?,
+            name: req_str(field, "name")?,
+        }),
+    };
     Ok(WireRequest {
         done: req_bool(v, "done")?,
         units: req_u64(v, "units")?,
         seq: opt_u64(v, "seq")?,
+        stratum,
         triples,
     })
 }
@@ -433,10 +631,12 @@ mod tests {
         )
         .unwrap();
         let spec = SessionSpec::from_json(&body).unwrap();
-        assert_eq!(spec.design, SamplingDesign::Twcs { m: 3 });
+        assert_eq!(spec.design, DesignSpec::Twcs { m: 3 });
         assert_eq!(spec.alpha, 0.05);
         assert_eq!(spec.epsilon, 0.05);
         assert_eq!(spec.max_observations, None);
+        assert_eq!(spec.stratify, None);
+        assert_eq!(spec.partition(), None);
         let round = SessionSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(round, spec);
         for bad in [
@@ -444,10 +644,90 @@ mod tests {
             r#"{"id":"x","dataset":"nell","design":"pps","method":"ahpd"}"#,
             r#"{"id":"x","dataset":"nell","design":"srs","method":"bayes"}"#,
             r#"{"id":"x","dataset":"nell","design":"srs","method":"ahpd","seed":-3}"#,
+            // stratify without a stratified design
+            r#"{"id":"x","dataset":"nell","design":"srs","method":"ahpd","stratify":{"by":"predicate"}}"#,
+            // unknown stratify mode
+            r#"{"id":"x","dataset":"nell","design":"stratified","method":"ahpd","stratify":{"by":"zipf"}}"#,
         ] {
             let v = json::parse(bad).unwrap();
             assert!(SessionSpec::from_json(&v).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn stratified_specs_round_trip_and_derive_configs() {
+        use kgae_sampling::AllocationPolicy;
+        let body = json::parse(
+            r#"{"id":"s1","dataset":"nell-pred","design":"stratified:proportional",
+                "method":"ahpd","epsilon":0.03,
+                "stratify":{"by":"hash","strata":6,"seed":4}}"#,
+        )
+        .unwrap();
+        let spec = SessionSpec::from_json(&body).unwrap();
+        assert_eq!(
+            spec.design,
+            DesignSpec::Stratified {
+                allocation: AllocationPolicy::Proportional
+            }
+        );
+        assert_eq!(
+            spec.partition(),
+            Some(StratifySpec::Hash { strata: 6, seed: 4 })
+        );
+        let cfg = spec.stratified_config().unwrap();
+        assert_eq!(cfg.allocation, AllocationPolicy::Proportional);
+        assert_eq!(cfg.epsilon, 0.03);
+        let round = SessionSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(round, spec);
+
+        // Omitted stratify defaults to the predicate partition.
+        let body = json::parse(
+            r#"{"id":"s2","dataset":"nell-pred","design":"stratified","method":"ahpd"}"#,
+        )
+        .unwrap();
+        let spec = SessionSpec::from_json(&body).unwrap();
+        assert_eq!(spec.stratify, None);
+        assert_eq!(spec.partition(), Some(StratifySpec::Predicate));
+        assert!(spec.stratified_config().is_some());
+    }
+
+    #[test]
+    fn strata_rows_round_trip_bit_for_bit() {
+        let rows = vec![
+            StratumReport {
+                name: "athleteplaysforteam".into(),
+                weight: 0.298_387_096_774_193_55,
+                size: 555,
+                census: false,
+                status: SessionStatus {
+                    estimate: Some(0.971_428_571_428_571_4),
+                    interval: Some(Interval::new(0.901, 0.992_3)),
+                    observations: 35,
+                    annotated_triples: 35,
+                    stage1_draws: 0,
+                    cost_seconds: 1_592.5,
+                    stopped: None,
+                },
+            },
+            StratumReport {
+                name: "teamhomestadium".into(),
+                weight: 0.06,
+                size: 4,
+                census: true,
+                status: SessionStatus {
+                    estimate: Some(0.5),
+                    interval: Some(Interval::new(0.5, 0.5)),
+                    observations: 4,
+                    annotated_triples: 4,
+                    stage1_draws: 0,
+                    cost_seconds: 230.0,
+                    stopped: Some(StopReason::PopulationExhausted),
+                },
+            },
+        ];
+        let round = strata_from_json(&strata_to_json(&rows)).unwrap();
+        assert_eq!(round, rows);
+        assert!(strata_from_json(&Json::str("nope")).is_err());
     }
 
     #[test]
@@ -501,9 +781,25 @@ mod tests {
         let bad = json::parse(r#"{"labels":[1]}"#).unwrap();
         assert!(labels_from_json(&bad).is_err());
 
-        let wire = request_from_json(&request_to_json(None, None)).unwrap();
+        let wire = request_from_json(&request_to_json(None, None, None)).unwrap();
         assert!(wire.done);
         assert_eq!(wire.seq, None);
+        assert_eq!(wire.stratum, None);
         assert!(wire.triples.is_empty());
+
+        // A stratified batch carries its stratum address.
+        let request = AnnotationRequest {
+            triples: Vec::new(),
+            units: 2,
+        };
+        let stratum = WireStratum {
+            index: 3,
+            name: "coachesteam".into(),
+        };
+        let wire =
+            request_from_json(&request_to_json(Some(&request), Some(9), Some(&stratum))).unwrap();
+        assert!(!wire.done);
+        assert_eq!(wire.seq, Some(9));
+        assert_eq!(wire.stratum, Some(stratum));
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! kgae-serve [--addr HOST:PORT] [--workers N] [--shards N]
 //!            [--store-dir PATH] [--port-file PATH]
+//! kgae-serve --version
 //! ```
 //!
 //! * `--addr` — bind address; port 0 picks an ephemeral port
@@ -14,6 +15,8 @@
 //! * `--store-dir` — snapshot-store directory (default `kgae-store`).
 //! * `--port-file` — write the bound port (decimal, newline) to this
 //!   path once listening; lets scripts coordinate with port 0.
+//! * `--version` — print `kgae-serve <semver>` and exit; the same
+//!   build info a running server reports on `GET /healthz`.
 //!
 //! Exits non-zero on any startup failure.
 
@@ -28,6 +31,10 @@ fn arg_value(flag: &str) -> Option<String> {
 }
 
 fn run() -> Result<(), String> {
+    if std::env::args().any(|a| a == "--version" || a == "-V") {
+        println!("kgae-serve {}", kgae_service::server::VERSION);
+        return Ok(());
+    }
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7707".into());
     let workers = match arg_value("--workers") {
         Some(v) => v

@@ -17,9 +17,34 @@
 //! | [`api`] | typed DTOs ↔ JSON for every endpoint and meta record |
 //! | [`pool`] | fixed-size scoped worker pool (vendored crossbeam pattern) |
 //!
-//! The `kgae-serve` binary boots the standard four-dataset registry
-//! behind this stack; the `kgae-client` crate speaks the same wire
-//! format from the annotator side.
+//! The `kgae-serve` binary boots the standard dataset registry behind
+//! this stack; the `kgae-client` crate speaks the same wire format
+//! from the annotator side. The protocol is specified in
+//! `docs/WIRE.md`, the snapshot bytes in `docs/SNAPSHOT.md`.
+//!
+//! The manager is fully usable in-process, without the network front:
+//!
+//! ```
+//! use kgae_service::{DatasetRegistry, SessionManager, SessionSpec, SnapshotStore};
+//!
+//! let registry = DatasetRegistry::standard();
+//! let dir = std::env::temp_dir().join(format!("kgae-doc-mgr-{}", std::process::id()));
+//! let manager = SessionManager::new(&registry, SnapshotStore::open(&dir).unwrap(), 4);
+//!
+//! let spec = SessionSpec::from_json(
+//!     &kgae_service::json::parse(
+//!         r#"{"id":"doc","dataset":"nell","design":"srs","method":"wilson","seed":1}"#,
+//!     )
+//!     .unwrap(),
+//! )
+//! .unwrap();
+//! manager.create(&spec).unwrap();
+//! let (request, view) = manager.next_request("doc", 4).unwrap();
+//! let labels = vec![true; request.unwrap().triples.len()];
+//! let view = manager.submit("doc", &labels, view.pending_seq).unwrap();
+//! assert_eq!(view.status.observations, 4);
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -32,9 +57,10 @@ pub mod pool;
 pub mod server;
 pub mod store;
 
-pub use api::SessionSpec;
+pub use api::{SessionSpec, StratifySpec};
 pub use manager::{
-    DatasetRegistry, ServiceError, ServiceResult, SessionManager, SessionState, SessionView,
+    DatasetEntry, DatasetRegistry, ServiceError, ServiceResult, SessionManager, SessionState,
+    SessionView,
 };
 pub use server::{Server, ServerHandle};
 pub use store::SnapshotStore;

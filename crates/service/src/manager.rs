@@ -27,15 +27,16 @@
 //! traffic again — and restores the exact sampling/posterior
 //! trajectory, bit for bit.
 
-use crate::api::SessionSpec;
+use crate::api::{SessionSpec, StratifySpec};
 use crate::json::Json;
 use crate::store::{valid_session_id, SnapshotStore, StoredSession};
 use crate::{api, json};
 use kgae_core::{
     AnnotationRequest, EvalResult, EvaluationSession, PreparedDesign, SamplingDesign, SessionError,
-    SessionStatus, StopReason,
+    SessionStatus, StopReason, StratifiedSession, StratumReport,
 };
-use kgae_graph::CompactKg;
+use kgae_graph::stratify::Stratification;
+use kgae_graph::{CompactKg, KnowledgeGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::hash_map::DefaultHasher;
@@ -154,11 +155,23 @@ pub type ServiceResult<T> = Result<T, ServiceError>;
 // Dataset registry
 // ---------------------------------------------------------------------
 
+/// One hosted dataset: a KG plus its optional built-in stratification
+/// (the partition `stratify: {"by": "predicate"}` sessions use).
+#[derive(Debug)]
+pub struct DatasetEntry {
+    /// Registry name.
+    pub name: String,
+    /// The graph.
+    pub kg: CompactKg,
+    /// Built-in (predicate) partition, when the dataset has one.
+    pub stratification: Option<Stratification>,
+}
+
 /// The KGs a server hosts, by name. Built once at startup; sessions
 /// borrow the graphs for the manager's whole lifetime.
 #[derive(Debug, Default)]
 pub struct DatasetRegistry {
-    entries: Vec<(String, CompactKg)>,
+    entries: Vec<DatasetEntry>,
 }
 
 impl DatasetRegistry {
@@ -169,8 +182,10 @@ impl DatasetRegistry {
     }
 
     /// The four real-KG twins of paper Table 1 (YAGO, NELL, DBPEDIA,
-    /// FACTBENCH), generated deterministically — every server instance
-    /// hosts bit-identical graphs.
+    /// FACTBENCH) plus `nell-pred` — the NELL twin with simulated
+    /// predicate structure and a built-in per-predicate stratification.
+    /// All generated deterministically — every server instance hosts
+    /// bit-identical graphs.
     #[must_use]
     pub fn standard() -> Self {
         let mut registry = Self::new();
@@ -178,29 +193,65 @@ impl DatasetRegistry {
         registry.insert("nell", kgae_graph::datasets::nell());
         registry.insert("dbpedia", kgae_graph::datasets::dbpedia());
         registry.insert("factbench", kgae_graph::datasets::factbench());
+        let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        registry.insert_stratified("nell-pred", kg, strat);
         registry
     }
 
-    /// Adds (or replaces) a dataset under `name`.
+    /// Adds (or replaces) a dataset under `name`, without a built-in
+    /// stratification.
     pub fn insert(&mut self, name: &str, kg: CompactKg) {
-        match self.entries.iter_mut().find(|(n, _)| n == name) {
-            Some((_, slot)) => *slot = kg,
-            None => self.entries.push((name.to_string(), kg)),
+        self.insert_entry(DatasetEntry {
+            name: name.to_string(),
+            kg,
+            stratification: None,
+        });
+    }
+
+    /// Adds (or replaces) a dataset with a built-in stratification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stratification does not cover exactly `kg`'s
+    /// triples.
+    pub fn insert_stratified(&mut self, name: &str, kg: CompactKg, strat: Stratification) {
+        assert_eq!(
+            strat.num_triples(),
+            kg.num_triples(),
+            "stratification covers a different KG"
+        );
+        self.insert_entry(DatasetEntry {
+            name: name.to_string(),
+            kg,
+            stratification: Some(strat),
+        });
+    }
+
+    fn insert_entry(&mut self, entry: DatasetEntry) {
+        match self.entries.iter_mut().find(|e| e.name == entry.name) {
+            Some(slot) => *slot = entry,
+            None => self.entries.push(entry),
         }
     }
 
     /// The dataset named `name`.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&CompactKg> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, kg)| kg)
+        self.entries.iter().find(|e| e.name == name).map(|e| &e.kg)
     }
 
-    /// `(name, kg)` pairs, in insertion order.
+    /// The built-in stratification of dataset `name`, if it has one.
     #[must_use]
-    pub fn entries(&self) -> &[(String, CompactKg)] {
+    pub fn stratification(&self, name: &str) -> Option<&Stratification> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| e.stratification.as_ref())
+    }
+
+    /// Hosted datasets, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[DatasetEntry] {
         &self.entries
     }
 }
@@ -254,7 +305,7 @@ pub struct SessionView {
     pub id: String,
     /// Dataset name.
     pub dataset: String,
-    /// Canonical design name (`"twcs:3"`).
+    /// Canonical design name (`"twcs:3"`, `"stratified:width-greedy"`).
     pub design: String,
     /// Canonical method name (`"ahpd"`).
     pub method: String,
@@ -266,20 +317,117 @@ pub struct SessionView {
     /// is outstanding). Echo it on submit to guard against racing
     /// drivers.
     pub pending_seq: Option<u64>,
-    /// The engine status (cached at suspension time for dormant
-    /// sessions).
+    /// The stratum of the outstanding request (stratified sessions with
+    /// labels owed).
+    pub pending_stratum: Option<(u32, String)>,
+    /// The engine status — the *pooled* view for stratified sessions
+    /// (cached at suspension time for dormant sessions).
     pub status: SessionStatus,
+    /// Per-stratum rows (stratified sessions only).
+    pub strata: Option<Vec<StratumReport>>,
     /// Snapshot size on disk, for suspended/evicted sessions.
     pub snapshot_bytes: Option<u64>,
 }
 
+/// The engine behind a live slot: one evaluation session, or the
+/// stratified coordinator over many. Unifies exactly the protocol
+/// surface the manager drives, so every lifecycle path (poll, submit,
+/// suspend, evict, finalize) is written once. Variants are boxed: the
+/// enum lives inside every map slot and the engines are hundreds of
+/// bytes each.
+enum Engine<'a> {
+    Plain(Box<EvaluationSession<'a, SmallRng>>),
+    Stratified(Box<StratifiedSession<'a>>),
+}
+
+impl<'a> Engine<'a> {
+    fn has_pending_request(&self) -> bool {
+        match self {
+            Engine::Plain(session) => session.has_pending_request(),
+            Engine::Stratified(session) => session.has_pending_request(),
+        }
+    }
+
+    /// Polls the engine; stratified requests come back with the
+    /// stratum the batch belongs to.
+    #[allow(clippy::type_complexity)]
+    fn next_request(
+        &mut self,
+        max_units: u64,
+    ) -> Result<Option<(AnnotationRequest, Option<(u32, String)>)>, SessionError> {
+        match self {
+            Engine::Plain(session) => Ok(session.next_request(max_units)?.map(|r| (r, None))),
+            Engine::Stratified(session) => Ok(session
+                .next_request(max_units)?
+                .map(|r| (r.request, Some((r.stratum, r.name))))),
+        }
+    }
+
+    fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
+        match self {
+            Engine::Plain(session) => session.submit(labels),
+            Engine::Stratified(session) => session.submit(labels),
+        }
+    }
+
+    /// The session-shaped status (the pooled view for stratified
+    /// engines) together with the per-stratum rows (`None` for plain
+    /// engines). One call: a stratified status computes every
+    /// stratum's interval, so callers needing both must not pay twice.
+    fn full_status(&self) -> (SessionStatus, Option<Vec<StratumReport>>) {
+        match self {
+            Engine::Plain(session) => (session.status(), None),
+            Engine::Stratified(session) => {
+                let status = session.status();
+                (status.pooled, Some(status.strata))
+            }
+        }
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            Engine::Plain(session) => session.stop_reason(),
+            Engine::Stratified(session) => session.stop_reason(),
+        }
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, SessionError> {
+        match self {
+            Engine::Plain(session) => session.snapshot(),
+            Engine::Stratified(session) => session.snapshot(),
+        }
+    }
+
+    /// Consumes a stopped engine into its finished form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine has not stopped.
+    fn into_finished(self) -> (StopReason, EvalResult, Option<Vec<StratumReport>>) {
+        match self {
+            Engine::Plain(session) => {
+                let reason = session.stop_reason().expect("engine has stopped");
+                let result = session.into_result().expect("stopped engine has a result");
+                (reason, result, None)
+            }
+            Engine::Stratified(session) => {
+                let reason = session.stop_reason().expect("engine has stopped");
+                let result = session.into_result().expect("stopped engine has a result");
+                (reason, result.pooled, Some(result.strata))
+            }
+        }
+    }
+}
+
 struct Live<'a> {
     spec: SessionSpec,
-    session: EvaluationSession<'a, SmallRng>,
+    engine: Engine<'a>,
     /// The outstanding annotation request, kept so a re-poll (e.g. an
     /// annotator that lost the response) is served the identical batch
     /// instead of a protocol error.
     pending: Option<AnnotationRequest>,
+    /// The stratum of the outstanding request (stratified sessions).
+    pending_stratum: Option<(u32, String)>,
     /// Fencing token: incremented for every freshly issued batch. A
     /// submit carrying a stale seq is rejected instead of silently
     /// applying old labels to a newer batch.
@@ -295,6 +443,7 @@ impl Live<'_> {
 struct Dormant {
     spec: SessionSpec,
     status: SessionStatus,
+    strata: Option<Vec<StratumReport>>,
     snapshot_bytes: u64,
 }
 
@@ -302,6 +451,7 @@ struct FinishedSlot {
     spec: SessionSpec,
     reason: StopReason,
     result: EvalResult,
+    strata: Option<Vec<StratumReport>>,
 }
 
 enum Slot<'a> {
@@ -333,29 +483,39 @@ impl Slot<'_> {
 
     fn view(&self) -> SessionView {
         let spec = self.spec();
-        let (state, pending, pending_seq, status, snapshot_bytes) = match self {
-            Slot::Live(live) => (
-                SessionState::Running,
-                live.pending_labels(),
-                live.pending.as_ref().map(|_| live.seq),
-                live.session.status(),
-                None,
-            ),
-            Slot::Suspended(dormant) => (
-                SessionState::Suspended,
-                0,
-                None,
-                dormant.status.clone(),
-                Some(dormant.snapshot_bytes),
-            ),
-            Slot::Finished(finished) => (
-                SessionState::Finished,
-                0,
-                None,
-                finished_status(finished.reason, &finished.result),
-                None,
-            ),
-        };
+        let (state, pending, pending_seq, pending_stratum, status, strata, snapshot_bytes) =
+            match self {
+                Slot::Live(live) => {
+                    let (status, strata) = live.engine.full_status();
+                    (
+                        SessionState::Running,
+                        live.pending_labels(),
+                        live.pending.as_ref().map(|_| live.seq),
+                        live.pending_stratum.clone(),
+                        status,
+                        strata,
+                        None,
+                    )
+                }
+                Slot::Suspended(dormant) => (
+                    SessionState::Suspended,
+                    0,
+                    None,
+                    None,
+                    dormant.status.clone(),
+                    dormant.strata.clone(),
+                    Some(dormant.snapshot_bytes),
+                ),
+                Slot::Finished(finished) => (
+                    SessionState::Finished,
+                    0,
+                    None,
+                    None,
+                    finished_status(finished.reason, &finished.result),
+                    finished.strata.clone(),
+                    None,
+                ),
+            };
         SessionView {
             id: spec.id.clone(),
             dataset: spec.dataset.clone(),
@@ -364,7 +524,9 @@ impl Slot<'_> {
             state,
             pending_labels: pending,
             pending_seq,
+            pending_stratum,
             status,
+            strata,
             snapshot_bytes,
         }
     }
@@ -378,6 +540,7 @@ fn meta_encode(
     spec: &SessionSpec,
     state: SessionState,
     status: &SessionStatus,
+    strata: Option<&[StratumReport]>,
     finished: Option<(StopReason, &EvalResult)>,
 ) -> String {
     let mut doc = Json::obj(vec![
@@ -385,6 +548,9 @@ fn meta_encode(
         ("state", Json::str(state.name())),
         ("status", api::status_to_json(status)),
     ]);
+    if let Some(strata) = strata {
+        doc.set("strata", api::strata_to_json(strata));
+    }
     if let Some((reason, result)) = finished {
         doc.set("reason", Json::str(api::stop_reason_name(reason)));
         doc.set("result", api::result_to_json(result));
@@ -396,6 +562,7 @@ struct MetaRecord {
     spec: SessionSpec,
     state: SessionState,
     status: SessionStatus,
+    strata: Option<Vec<StratumReport>>,
     finished: Option<(StopReason, EvalResult)>,
 }
 
@@ -420,6 +587,10 @@ fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
             .ok_or_else(|| corrupt("missing status".into()))?,
     )
     .map_err(|e| corrupt(e.to_string()))?;
+    let strata = match doc.get("strata") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(api::strata_from_json(field).map_err(|e| corrupt(e.to_string()))?),
+    };
     let finished = if state == SessionState::Finished {
         let reason = doc
             .get("reason")
@@ -441,6 +612,7 @@ fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
         spec,
         state,
         status,
+        strata,
         finished,
     })
 }
@@ -512,23 +684,75 @@ impl<'a> SessionManager<'a> {
             .clone())
     }
 
-    fn build_live(&self, spec: &SessionSpec) -> ServiceResult<Live<'a>> {
+    /// The single-driver design of a non-stratified spec.
+    fn plain_design(spec: &SessionSpec) -> ServiceResult<SamplingDesign> {
+        SamplingDesign::try_from(spec.design).map_err(|e| ServiceError::BadRequest(e.to_string()))
+    }
+
+    /// Reconstructs the partition a stratified spec denotes — the
+    /// dataset's built-in predicate partition, or a deterministic hash
+    /// partition. Both rebuild bit-identically from the spec, which is
+    /// what lets snapshots validate their stratification fingerprint.
+    fn resolve_stratification(&self, spec: &SessionSpec) -> ServiceResult<Stratification> {
         let kg = self
             .registry
             .get(&spec.dataset)
             .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
-        let prepared = self.prepared_for(&spec.dataset, spec.design)?;
-        let session = EvaluationSession::from_prepared(
+        match spec.partition().expect("stratified specs have a partition") {
+            StratifySpec::Predicate => self
+                .registry
+                .stratification(&spec.dataset)
+                .cloned()
+                .ok_or_else(|| {
+                    ServiceError::BadRequest(format!(
+                        "dataset {:?} has no built-in predicate stratification; \
+                             use stratify mode \"hash\"",
+                        spec.dataset
+                    ))
+                }),
+            StratifySpec::Hash { strata, seed } => {
+                if strata == 0 || u64::from(strata) > kg.num_triples() {
+                    return Err(ServiceError::BadRequest(format!(
+                        "hash stratification needs 1..={} strata, got {strata}",
+                        kg.num_triples()
+                    )));
+                }
+                Ok(Stratification::by_hash(kg, strata, seed))
+            }
+        }
+    }
+
+    fn build_engine(&self, spec: &SessionSpec) -> ServiceResult<Engine<'a>> {
+        let kg = self
+            .registry
+            .get(&spec.dataset)
+            .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
+        if let Some(cfg) = spec.stratified_config() {
+            let strat = self.resolve_stratification(spec)?;
+            return Ok(Engine::Stratified(Box::new(StratifiedSession::new(
+                kg,
+                &strat,
+                &spec.method,
+                &cfg,
+                spec.seed,
+            ))));
+        }
+        let prepared = self.prepared_for(&spec.dataset, Self::plain_design(spec)?)?;
+        Ok(Engine::Plain(Box::new(EvaluationSession::from_prepared(
             kg,
             &prepared,
             &spec.method,
             &spec.eval_config(),
             SmallRng::seed_from_u64(spec.seed),
-        );
+        ))))
+    }
+
+    fn build_live(&self, spec: &SessionSpec) -> ServiceResult<Live<'a>> {
         Ok(Live {
             spec: spec.clone(),
-            session,
+            engine: self.build_engine(spec)?,
             pending: None,
+            pending_stratum: None,
             seq: 0,
         })
     }
@@ -538,21 +762,33 @@ impl<'a> SessionManager<'a> {
             .registry
             .get(&spec.dataset)
             .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
-        let prepared = self.prepared_for(&spec.dataset, spec.design)?;
-        // The RNG passed here is immediately overwritten from the
-        // snapshot; the seed is irrelevant.
-        let session = EvaluationSession::resume(
-            kg,
-            &prepared,
-            &spec.method,
-            &spec.eval_config(),
-            SmallRng::seed_from_u64(0),
-            snapshot,
-        )?;
+        let engine = if let Some(cfg) = spec.stratified_config() {
+            let strat = self.resolve_stratification(spec)?;
+            Engine::Stratified(Box::new(StratifiedSession::resume(
+                kg,
+                &strat,
+                &spec.method,
+                &cfg,
+                snapshot,
+            )?))
+        } else {
+            let prepared = self.prepared_for(&spec.dataset, Self::plain_design(spec)?)?;
+            // The RNG passed here is immediately overwritten from the
+            // snapshot; the seed is irrelevant.
+            Engine::Plain(Box::new(EvaluationSession::resume(
+                kg,
+                &prepared,
+                &spec.method,
+                &spec.eval_config(),
+                SmallRng::seed_from_u64(0),
+                snapshot,
+            )?))
+        };
         Ok(Live {
             spec: spec.clone(),
-            session,
+            engine,
             pending: None,
+            pending_stratum: None,
             seq: 0,
         })
     }
@@ -569,6 +805,7 @@ impl<'a> SessionManager<'a> {
                     spec: meta.spec,
                     reason,
                     result,
+                    strata: meta.strata,
                 })))
             }
             _ => {
@@ -623,20 +860,14 @@ impl<'a> SessionManager<'a> {
             unreachable!("finalize requires a live slot")
         };
         let spec = live.spec;
-        let reason = live
-            .session
-            .stop_reason()
-            .expect("finalized session has stopped");
-        let result = live
-            .session
-            .into_result()
-            .expect("stopped session has a result");
+        let (reason, result, strata) = live.engine.into_finished();
         shard.insert(
             id.to_string(),
             Slot::Finished(Box::new(FinishedSlot {
                 spec,
                 reason,
                 result,
+                strata,
             })),
         );
     }
@@ -707,16 +938,23 @@ impl<'a> SessionManager<'a> {
             let view = shard.get(id).expect("slot exists").view();
             return Ok((Some(request), view));
         }
-        let request = live.session.next_request(max_units)?;
-        if request.is_some() {
-            live.seq += 1;
-        }
-        live.pending = request.clone();
-        if request.is_none() {
-            // Stream exhausted: the session stopped inside the poll;
-            // surface it as Finished.
-            Self::finalize(&mut shard, id);
-        }
+        let polled = live.engine.next_request(max_units)?;
+        let request = match polled {
+            Some((request, stratum)) => {
+                live.seq += 1;
+                live.pending = Some(request.clone());
+                live.pending_stratum = stratum;
+                Some(request)
+            }
+            None => {
+                live.pending = None;
+                live.pending_stratum = None;
+                // Stream exhausted: the session stopped inside the
+                // poll; surface it as Finished.
+                Self::finalize(&mut shard, id);
+                None
+            }
+        };
         let view = shard.get(id).expect("slot exists").view();
         Ok((request, view))
     }
@@ -752,9 +990,10 @@ impl<'a> SessionManager<'a> {
                 return Err(ServiceError::StaleRequest(id.to_string()));
             }
         }
-        live.session.submit(labels)?;
+        live.engine.submit(labels)?;
         live.pending = None;
-        if live.session.stop_reason().is_some() {
+        live.pending_stratum = None;
+        if live.engine.stop_reason().is_some() {
             Self::finalize(&mut shard, id);
         }
         Ok(shard.get(id).expect("slot exists").view())
@@ -785,7 +1024,9 @@ impl<'a> SessionManager<'a> {
             state: SessionState::Evicted,
             pending_labels: 0,
             pending_seq: None,
+            pending_stratum: None,
             status: meta.status,
+            strata: meta.strata,
             snapshot_bytes: record.snapshot.as_ref().map(|s| s.len() as u64),
         })
     }
@@ -807,17 +1048,24 @@ impl<'a> SessionManager<'a> {
                 Err(ServiceError::AlreadyFinished(finished.spec.id.clone()))
             }
             Some(Slot::Live(live)) => {
-                if live.session.has_pending_request() {
+                if live.engine.has_pending_request() {
                     return Err(ServiceError::RequestOutstanding(id.to_string()));
                 }
-                let snapshot = live.session.snapshot()?;
-                let status = live.session.status();
+                let snapshot = live.engine.snapshot()?;
+                let (status, strata) = live.engine.full_status();
                 let spec = live.spec.clone();
-                let meta = meta_encode(&spec, SessionState::Suspended, &status, None);
+                let meta = meta_encode(
+                    &spec,
+                    SessionState::Suspended,
+                    &status,
+                    strata.as_deref(),
+                    None,
+                );
                 self.store.save(id, &meta, Some(&snapshot))?;
                 let dormant = Dormant {
                     spec,
                     status,
+                    strata,
                     snapshot_bytes: snapshot.len() as u64,
                 };
                 shard.insert(id.to_string(), Slot::Suspended(Box::new(dormant)));
@@ -884,12 +1132,18 @@ impl<'a> SessionManager<'a> {
         let mut shard = self.shard(id).lock().expect("shard lock");
         match shard.get(id) {
             Some(Slot::Live(live)) => {
-                if live.session.has_pending_request() {
+                if live.engine.has_pending_request() {
                     return Err(ServiceError::RequestOutstanding(id.to_string()));
                 }
-                let snapshot = live.session.snapshot()?;
-                let status = live.session.status();
-                let meta = meta_encode(&live.spec, SessionState::Suspended, &status, None);
+                let snapshot = live.engine.snapshot()?;
+                let (status, strata) = live.engine.full_status();
+                let meta = meta_encode(
+                    &live.spec,
+                    SessionState::Suspended,
+                    &status,
+                    strata.as_deref(),
+                    None,
+                );
                 self.store.save(id, &meta, Some(&snapshot))?;
                 shard.remove(id);
                 Ok(())
@@ -905,6 +1159,7 @@ impl<'a> SessionManager<'a> {
                     &finished.spec,
                     SessionState::Finished,
                     &status,
+                    finished.strata.as_deref(),
                     Some((finished.reason, &finished.result)),
                 );
                 self.store.save(id, &meta, None)?;

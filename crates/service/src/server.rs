@@ -194,6 +194,23 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager<'_>, shutdown: 
     }
 }
 
+/// The service's semantic version, compiled in — what `GET /healthz`
+/// and `kgae-serve --version` report.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The `GET /healthz` body: liveness plus build info, so deployment
+/// probes can assert *what* is running, not just that something is.
+#[must_use]
+pub fn health_body() -> String {
+    Json::obj(vec![
+        ("ok", Json::Bool(true)),
+        ("name", Json::str("kgae-serve")),
+        ("version", Json::str(VERSION)),
+        ("api", Json::str("v1")),
+    ])
+    .encode()
+}
+
 fn error_response(e: &ServiceError) -> (u16, String) {
     (e.http_status(), api::error_body(&e.to_string()))
 }
@@ -205,7 +222,7 @@ fn view_body(view: &SessionView) -> String {
 /// Encodes a [`SessionView`] for the wire.
 #[must_use]
 pub fn view_to_json(view: &SessionView) -> Json {
-    Json::obj(vec![
+    let mut doc = Json::obj(vec![
         ("id", Json::str(&view.id)),
         ("dataset", Json::str(&view.dataset)),
         ("design", Json::str(&view.design)),
@@ -221,7 +238,20 @@ pub fn view_to_json(view: &SessionView) -> Json {
             "snapshot_bytes",
             view.snapshot_bytes.map_or(Json::Null, Json::int),
         ),
-    ])
+    ]);
+    if let Some((index, name)) = &view.pending_stratum {
+        doc.set(
+            "pending_stratum",
+            Json::obj(vec![
+                ("index", Json::int(u64::from(*index))),
+                ("name", Json::str(name)),
+            ]),
+        );
+    }
+    if let Some(strata) = &view.strata {
+        doc.set("strata", api::strata_to_json(strata));
+    }
+    doc
 }
 
 fn parse_body(body: &[u8]) -> Result<Json, (u16, String)> {
@@ -238,17 +268,24 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => (200, Json::obj(vec![("ok", Json::Bool(true))]).encode()),
+        ("GET", ["healthz"]) => (200, health_body()),
         ("GET", ["v1", "datasets"]) => {
             let datasets: Vec<Json> = manager
                 .registry()
                 .entries()
                 .iter()
-                .map(|(name, kg)| {
+                .map(|entry| {
                     Json::obj(vec![
-                        ("name", Json::str(name)),
-                        ("triples", Json::int(kg.num_triples())),
-                        ("clusters", Json::int(u64::from(kg.num_clusters()))),
+                        ("name", Json::str(&entry.name)),
+                        ("triples", Json::int(entry.kg.num_triples())),
+                        ("clusters", Json::int(u64::from(entry.kg.num_clusters()))),
+                        (
+                            "strata",
+                            entry
+                                .stratification
+                                .as_ref()
+                                .map_or(Json::Null, |s| Json::int(u64::from(s.num_strata()))),
+                        ),
                     ])
                 })
                 .collect();
@@ -309,7 +346,15 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
             };
             match manager.next_request(id, batch) {
                 Ok((request, view)) => {
-                    let mut doc = api::request_to_json(request.as_ref(), view.pending_seq);
+                    let stratum =
+                        view.pending_stratum
+                            .as_ref()
+                            .map(|(index, name)| api::WireStratum {
+                                index: *index,
+                                name: name.clone(),
+                            });
+                    let mut doc =
+                        api::request_to_json(request.as_ref(), view.pending_seq, stratum.as_ref());
                     doc.set("session", view_to_json(&view));
                     (200, doc.encode())
                 }

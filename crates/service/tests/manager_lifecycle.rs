@@ -27,6 +27,7 @@ fn spec(id: &str, dataset: &str, design: &str, seed: u64) -> SessionSpec {
         alpha: 0.05,
         epsilon: 0.05,
         max_observations: None,
+        stratify: None,
     }
 }
 
@@ -195,6 +196,139 @@ fn repolls_are_idempotent_and_stale_submits_are_fenced() {
     manager.create(&spec("clamp", "nell", "wcs", 6)).unwrap();
     let (request, _) = manager.next_request("clamp", u64::MAX).unwrap();
     assert!(request.unwrap().units <= kgae_service::manager::MAX_BATCH_UNITS);
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+fn stratified_spec(id: &str, design: &str, seed: u64) -> SessionSpec {
+    SessionSpec {
+        epsilon: 0.04,
+        ..spec(id, "nell-pred", design, seed)
+    }
+}
+
+#[test]
+fn stratified_campaigns_run_report_rows_and_round_trip_snapshots() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("stratified"), 4);
+    let kg = registry.get("nell-pred").unwrap();
+
+    // Straight-through reference run.
+    manager
+        .create(&stratified_spec("straight", "stratified", 11))
+        .unwrap();
+    let (reason, reference) = drive(&manager, &registry, "straight", "nell-pred", 8);
+    assert_eq!(reason, StopReason::MoeSatisfied);
+    assert!(reference.converged);
+    let view = manager.status("straight").unwrap();
+    assert_eq!(view.design, "stratified:width-greedy");
+    let strata = view.strata.as_ref().expect("stratified view has rows");
+    assert_eq!(strata.len(), 8);
+    assert_eq!(strata[0].name, "athleteplaysforteam");
+    let weight_sum: f64 = strata.iter().map(|r| r.weight).sum();
+    assert!((weight_sum - 1.0).abs() < 1e-12);
+    // The pooled point estimate is exactly the weighted fold of the
+    // per-stratum estimates — through the whole service stack.
+    let manual = strata.iter().fold(0.0_f64, |acc, r| {
+        acc + r.weight * r.status.estimate.unwrap()
+    });
+    assert_eq!(view.status.estimate.unwrap().to_bits(), manual.to_bits());
+
+    // Probe: a few batches, then the suspend → evict → resume loop.
+    manager
+        .create(&stratified_spec("probe", "stratified", 11))
+        .unwrap();
+    for _ in 0..3 {
+        let (request, view) = manager.next_request("probe", 8).unwrap();
+        let request = request.unwrap();
+        // The poll is addressed to a stratum and the view names it.
+        let (index, name) = view.pending_stratum.clone().expect("stratified poll");
+        assert_eq!(
+            registry.stratification("nell-pred").unwrap().name(index),
+            name
+        );
+        let labels: Vec<bool> = request
+            .triples
+            .iter()
+            .map(|st| kg.is_correct(st.triple))
+            .collect();
+        manager.submit("probe", &labels, view.pending_seq).unwrap();
+    }
+    manager.suspend("probe").unwrap();
+    let before = manager.snapshot_bytes("probe").unwrap();
+    manager.evict("probe").unwrap();
+    let evicted = manager.status("probe").unwrap();
+    assert_eq!(evicted.state, SessionState::Evicted);
+    // Dormant stratified sessions keep their rows in the meta record.
+    assert_eq!(evicted.strata.as_ref().unwrap().len(), 8);
+    manager.resume("probe").unwrap();
+    manager.suspend("probe").unwrap();
+    let after = manager.snapshot_bytes("probe").unwrap();
+    assert_eq!(
+        before, after,
+        "stratified suspend→evict→resume round trip must be byte-identical"
+    );
+    manager.resume("probe").unwrap();
+    let (_, interrupted) = drive(&manager, &registry, "probe", "nell-pred", 8);
+    assert_eq!(
+        reference, interrupted,
+        "suspend/evict/resume changed the stratified trajectory"
+    );
+
+    // Finished stratified results survive eviction, rows included.
+    manager.evict("straight").unwrap();
+    let view = manager.status("straight").unwrap();
+    assert_eq!(view.status.stopped, Some(StopReason::MoeSatisfied));
+    assert_eq!(view.strata.as_ref().unwrap().len(), 8);
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+#[test]
+fn stratified_hash_mode_works_on_any_dataset_and_bad_specs_are_typed() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("strat-hash"), 2);
+    let kg = registry.get("yago").unwrap();
+
+    // Hash partition over a dataset without predicate structure.
+    let hash_spec = SessionSpec {
+        stratify: Some(kgae_service::StratifySpec::Hash { strata: 4, seed: 9 }),
+        ..spec("h", "yago", "stratified:equal", 21)
+    };
+    manager.create(&hash_spec).unwrap();
+    let (reason, result) = drive(&manager, &registry, "h", "yago", 16);
+    assert_eq!(reason, StopReason::MoeSatisfied);
+    assert!(result.converged);
+    let view = manager.status("h").unwrap();
+    assert_eq!(view.design, "stratified:equal");
+    assert_eq!(view.strata.as_ref().unwrap().len(), 4);
+    // Equal allocation: converged per-stratum counts stay balanced.
+    let counts: Vec<u64> = view
+        .strata
+        .as_ref()
+        .unwrap()
+        .iter()
+        .map(|r| r.status.observations)
+        .collect();
+    let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
+    assert!(max - min <= 16, "equal allocation drifted: {counts:?}");
+    let _ = kg;
+
+    // Predicate mode on a dataset without a built-in partition → 400.
+    assert!(matches!(
+        manager.create(&spec("bad", "yago", "stratified", 1)),
+        Err(ServiceError::BadRequest(_))
+    ));
+    // Absurd hash stratum counts → 400.
+    let absurd = SessionSpec {
+        stratify: Some(kgae_service::StratifySpec::Hash {
+            strata: 2_000_000,
+            seed: 0,
+        }),
+        ..spec("bad2", "yago", "stratified", 1)
+    };
+    assert!(matches!(
+        manager.create(&absurd),
+        Err(ServiceError::BadRequest(_))
+    ));
     let _ = std::fs::remove_dir_all(manager.store().dir());
 }
 

@@ -39,6 +39,7 @@ fn specs() -> Vec<SessionSpec> {
             alpha: 0.05,
             epsilon: 0.05,
             max_observations: None,
+            stratify: None,
         })
         .collect()
 }

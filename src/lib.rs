@@ -17,11 +17,15 @@
 //! * [`intervals`] — Wald, Wilson, Agresti–Coull, Clopper–Pearson, ET
 //!   and HPD intervals with Kerman/Jeffreys/Uniform/informative priors;
 //! * [`core`] — the iterative evaluation framework, the cost model, the
-//!   aHPD algorithm, and the repeated-run experiment harness;
+//!   aHPD algorithm, stratified (per-predicate) campaign coordination,
+//!   and the repeated-run experiment harness;
 //! * [`service`] — the multi-tenant session server: a sharded
 //!   `SessionManager` with snapshot-backed persistence behind a
 //!   std-only HTTP/1.1 + JSON API (`kgae-serve` binary; the
 //!   `kgae-client` crate speaks the same wire format).
+//!
+//! Architecture, wire-protocol and snapshot-format documentation live
+//! in `docs/ARCHITECTURE.md`, `docs/WIRE.md` and `docs/SNAPSHOT.md`.
 //!
 //! ## Auditing a KG in six lines
 //!
