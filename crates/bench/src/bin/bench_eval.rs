@@ -15,18 +15,27 @@
 //!   cell;
 //! * poll-based `EvaluationSession` throughput on the same cell at
 //!   annotation batch sizes 1/16/256, each verified bit-identical to
-//!   the closed-loop path.
+//!   the closed-loop path;
+//! * stratified width-greedy vs. proportional allocation on the NELL
+//!   predicate twin (width-greedy must win);
+//! * comparative multi-method campaigns (one shared SRS stream racing
+//!   Wald/Wilson/ET/aHPD, primary aHPD) against four independent
+//!   single-method campaigns — the shared stream must use strictly
+//!   fewer annotations and the primary must stay bit-identical to the
+//!   standalone aHPD runs.
 //!
 //! Usage: `cargo run --release -p kgae-bench --bin bench_eval [--reps N]
 //! [--out PATH]`.
 
 use kgae_bench::{arg_value, drive_session_oracle, reps_from_args};
+use kgae_core::comparative::ComparativeSession;
 use kgae_core::{
-    evaluate_prepared, repeat_evaluation, EvalConfig, EvalResult, IntervalMethod, OracleAnnotator,
-    PreparedDesign, SamplingDesign, StoppingPolicy, StratifiedConfig, StratifiedSession,
+    compared_methods, evaluate_prepared, repeat_evaluation, EvalConfig, EvalResult, IntervalMethod,
+    OracleAnnotator, PreparedDesign, SamplingDesign, StoppingPolicy, StratifiedConfig,
+    StratifiedSession,
 };
 use kgae_graph::{CompactKg, GroundTruth, KnowledgeGraph};
-use kgae_sampling::AllocationPolicy;
+use kgae_sampling::{AllocationPolicy, ComparePrimary};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -296,6 +305,85 @@ fn run() -> Result<(), String> {
     );
 
     // ------------------------------------------------------------------
+    // Comparative multi-method campaigns: one shared SRS stream fanned
+    // out to the full roster (Wald/Wilson/ET/aHPD, primary aHPD) vs.
+    // four independent single-method campaigns with the same seeds. The
+    // acceptance claims: the shared stream prices the whole comparison
+    // table strictly below the independent campaigns, and the primary
+    // stays bit-identical to the standalone aHPD runs above.
+    // ------------------------------------------------------------------
+    let comp_reps = (reps / 10).clamp(10, 80).min(reps);
+    let comp_primary = ComparePrimary::AHpd;
+    let primary_index = comp_primary.roster_index();
+    let roster = compared_methods();
+    // The identity check and the primary-arm reuse below lean on
+    // `fast_results` being standalone runs of exactly this method.
+    assert_eq!(roster[primary_index], ahpd, "primary must stay aHPD");
+    let mut shared_observations = 0u64;
+    let mut independent_observations = 0u64;
+    let mut primary_identical = true;
+    // Per roster method: (reps whose own MoE fired inside the shared
+    // stream, summed counterfactual stopping points).
+    let mut rival_stops = vec![(0u64, 0u64); roster.len()];
+    for rep in 0..comp_reps {
+        let seed = base_seed.wrapping_add(rep);
+        let mut session =
+            ComparativeSession::new(&kg, &prepared_srs, comp_primary, &lookahead_cfg, seed);
+        let mut labels = Vec::new();
+        while let Some(request) = session
+            .next_request(1)
+            .map_err(|e| format!("comparative poll: {e}"))?
+        {
+            labels.clear();
+            labels.extend(request.triples.iter().map(|st| kg.is_correct(st.triple)));
+            session
+                .submit(&labels)
+                .map_err(|e| format!("comparative submit: {e}"))?;
+        }
+        let result = session
+            .into_result()
+            .ok_or("comparative campaign ended without a result")?;
+        primary_identical &= result.primary == fast_results[rep as usize];
+        shared_observations += result.primary.observations;
+        for (i, row) in result.methods.iter().enumerate() {
+            // Guard on `converged`, not `stopped_at`: the primary row
+            // carries a stopping point on budget/stream stops too.
+            if let (true, Some(at)) = (row.converged, row.stopped_at) {
+                rival_stops[i].0 += 1;
+                rival_stops[i].1 += at;
+            }
+        }
+        for (i, method) in roster.iter().enumerate() {
+            // The primary arm re-uses the measured standalone results;
+            // the other three run their own campaigns.
+            independent_observations += if i == primary_index {
+                fast_results[rep as usize].observations
+            } else {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                evaluate_prepared(
+                    &kg,
+                    &OracleAnnotator,
+                    &prepared_srs,
+                    method,
+                    &lookahead_cfg,
+                    &mut rng,
+                )
+                .map_err(|e| format!("independent {} campaign: {e}", method.name()))?
+                .observations
+            };
+        }
+    }
+    let shared_mean = shared_observations as f64 / comp_reps as f64;
+    let independent_mean = independent_observations as f64 / comp_reps as f64;
+    let comparative_savings = 1.0 - shared_mean / independent_mean;
+    eprintln!(
+        "comparative NELL (primary aHPD): shared stream {shared_mean:.1} vs four independent \
+         campaigns {independent_mean:.1} annotations → {:.1}% saved \
+         (primary identical: {primary_identical})",
+        100.0 * comparative_savings,
+    );
+
+    // ------------------------------------------------------------------
     // Parallel harness throughput (work-stealing runner).
     // ------------------------------------------------------------------
     let threads = std::thread::available_parallelism()
@@ -323,7 +411,7 @@ fn run() -> Result<(), String> {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"evaluation_loop\",");
-    let _ = writeln!(out, "  \"schema_version\": 4,");
+    let _ = writeln!(out, "  \"schema_version\": 5,");
     let _ = writeln!(out, "  \"dataset\": \"NELL\",");
     let _ = writeln!(out, "  \"reps_per_cell\": {reps},");
     let _ = writeln!(out, "  \"cells\": [");
@@ -399,6 +487,58 @@ fn run() -> Result<(), String> {
         greedy_mean < proportional_mean
     );
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"comparative\": {{");
+    let _ = writeln!(out, "    \"dataset\": \"NELL\",");
+    let _ = writeln!(out, "    \"design\": \"srs\",");
+    let _ = writeln!(
+        out,
+        "    \"primary\": \"{}\",",
+        comp_primary.canonical_name()
+    );
+    let _ = writeln!(out, "    \"reps\": {comp_reps},");
+    let _ = writeln!(
+        out,
+        "    \"shared_stream_mean_observations\": {shared_mean:.2},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"independent_campaigns_mean_observations\": {independent_mean:.2},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"savings_pct\": {:.2},",
+        100.0 * comparative_savings
+    );
+    let _ = writeln!(
+        out,
+        "    \"shared_beats_independent\": {},",
+        shared_observations < independent_observations
+    );
+    let _ = writeln!(
+        out,
+        "    \"primary_identical_to_standalone\": {primary_identical},"
+    );
+    let _ = writeln!(out, "    \"methods\": [");
+    for (i, method) in roster.iter().enumerate() {
+        let (converged, stopped_sum) = rival_stops[i];
+        let mean_stop = if converged > 0 {
+            format!("{:.2}", stopped_sum as f64 / converged as f64)
+        } else {
+            "null".into()
+        };
+        let _ = write!(
+            out,
+            "      {{\"method\": \"{}\", \"primary\": {}, \
+             \"converged_in_shared_stream\": {}, \"mean_stopped_at\": {}}}",
+            method.canonical_name(),
+            i == primary_index,
+            converged,
+            mean_stop,
+        );
+        out.push_str(if i + 1 < roster.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"parallel_harness\": {{");
     let _ = writeln!(out, "    \"threads\": {threads},");
     let _ = writeln!(
@@ -419,6 +559,19 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "width-greedy allocation ({greedy_mean:.1} annotations) failed to beat \
              proportional ({proportional_mean:.1}) on NELL predicates"
+        ));
+    }
+    if !primary_identical {
+        return Err(
+            "comparative primary diverged from the standalone aHPD runs — the shared \
+             stream perturbed the primary trajectory"
+                .into(),
+        );
+    }
+    if shared_observations >= independent_observations {
+        return Err(format!(
+            "shared-stream comparison ({shared_mean:.1} annotations/campaign) failed to \
+             beat four independent campaigns ({independent_mean:.1})"
         ));
     }
     Ok(())

@@ -1,7 +1,7 @@
 //! Load generator for the session service: boots a live `kgae-serve`
 //! stack (or targets an already-running one), replays NELL annotation
 //! streams from N concurrent HTTP clients, and reports
-//! throughput/latency into `BENCH_eval.json` (schema_version 4).
+//! throughput/latency into `BENCH_eval.json` (schema_version 5).
 //!
 //! Every client completes whole evaluation campaigns — create → poll →
 //! label (ground truth) → submit → converge — over real TCP with
@@ -279,7 +279,7 @@ fn run_load(
 }
 
 /// Merges the `service_load` row into the benchmark JSON, bumping it to
-/// schema 3 (creates a minimal document when the file is absent).
+/// schema 5 (creates a minimal document when the file is absent).
 fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
     let mut doc = match std::fs::read_to_string(out_path) {
         Ok(text) => json::parse(&text).map_err(|e| format!("parsing {out_path}: {e}"))?,
@@ -289,7 +289,7 @@ fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
         ]),
         Err(e) => return Err(format!("reading {out_path}: {e}")),
     };
-    doc.set("schema_version", Json::int(4));
+    doc.set("schema_version", Json::int(5));
     doc.set(
         "service_load",
         Json::obj(vec![
@@ -318,7 +318,7 @@ fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
     );
     std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
-    eprintln!("wrote {out_path} (schema_version 4)");
+    eprintln!("wrote {out_path} (schema_version 5)");
     Ok(())
 }
 

@@ -57,7 +57,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
-use kgae_core::{SessionStatus, StratumReport};
+use kgae_core::{MethodReport, SessionStatus, StratumReport};
 use kgae_service::api::{self, SessionSpec, WireRequest};
 use kgae_service::http;
 use kgae_service::json::{self, Json};
@@ -122,10 +122,13 @@ pub struct SessionInfo {
     pub pending_labels: u64,
     /// Fencing seq of the outstanding request, echoed on submit.
     pub pending_seq: Option<u64>,
-    /// The engine status (the pooled view for stratified sessions).
+    /// The engine status (the pooled view for stratified sessions, the
+    /// primary method's for comparative ones).
     pub status: SessionStatus,
     /// Per-stratum rows (stratified sessions only).
     pub strata: Option<Vec<StratumReport>>,
+    /// Per-method rows (comparative sessions only).
+    pub methods: Option<Vec<MethodReport>>,
     /// Snapshot size on disk, for suspended/evicted sessions.
     pub snapshot_bytes: Option<u64>,
 }
@@ -158,6 +161,12 @@ fn info_from_json(v: &Json) -> ClientResult<SessionInfo> {
             Some(api::strata_from_json(field).map_err(|e| ClientError::Protocol(e.to_string()))?)
         }
     };
+    let methods = match v.get("methods") {
+        None | Some(Json::Null) => None,
+        Some(field) => {
+            Some(api::methods_from_json(field).map_err(|e| ClientError::Protocol(e.to_string()))?)
+        }
+    };
     Ok(SessionInfo {
         id: field("id")?,
         dataset: field("dataset")?,
@@ -171,6 +180,7 @@ fn info_from_json(v: &Json) -> ClientResult<SessionInfo> {
         },
         status,
         strata,
+        methods,
         snapshot_bytes,
     })
 }

@@ -78,6 +78,14 @@ fn full_srs_evaluation_with_midflight_suspend_resume() {
             if request.done {
                 break;
             }
+            if batches == 1 {
+                // Re-polling with labels owed must idempotently
+                // re-serve the identical batch (an annotator that lost
+                // the response recovers instead of wedging) — even at a
+                // different requested batch size.
+                let again = client.next_request("smoke", 3).unwrap();
+                assert_eq!(again, request, "re-poll served a different batch");
+            }
             let labels: Vec<bool> = request
                 .triples
                 .iter()
@@ -177,6 +185,16 @@ fn stratified_campaign_over_http_with_suspend_resume_parity() {
             if request.done {
                 break;
             }
+            if batches == 2 || batches == 5 {
+                // Mid-batch re-poll of a stratified session: the
+                // identical batch comes back — same triples, same
+                // fencing seq, same stratum address.
+                let again = client.next_request("pred", 8).unwrap();
+                assert_eq!(again, request, "stratified re-poll diverged");
+                let view = client.status("pred").unwrap();
+                assert_eq!(view.pending_labels, request.triples.len() as u64);
+                assert_eq!(view.pending_seq, request.seq);
+            }
             // Every stratified batch is addressed to a stratum, and the
             // address is consistent with the partition.
             let stratum = request.stratum.as_ref().expect("stratified batch");
@@ -224,6 +242,116 @@ fn stratified_campaign_over_http_with_suspend_resume_parity() {
             "head predicate {head:.3} should beat tail {tail:.3}"
         );
         client.delete("pred").unwrap();
+    });
+}
+
+#[test]
+fn comparative_campaign_over_http_with_suspend_resume_parity() {
+    with_server("comparative", |addr, registry| {
+        let kg = registry.get("nell").unwrap();
+        let mut client = Client::connect(addr).unwrap();
+
+        let spec = |id: &str, design: &str| SessionSpec {
+            id: id.into(),
+            dataset: "nell".into(),
+            design: design.parse().unwrap(),
+            method: "ahpd".parse().unwrap(),
+            seed: 20_260_731,
+            alpha: 0.05,
+            epsilon: 0.05,
+            max_observations: None,
+            stratify: None,
+        };
+        let info = client.create(&spec("race", "compare:ahpd")).unwrap();
+        assert_eq!(info.design, "compare:ahpd");
+        assert_eq!(info.method, "ahpd");
+        let rows = info.methods.as_ref().expect("comparative rows");
+        assert_eq!(rows.len(), 4);
+        assert!(rows[3].primary && rows[..3].iter().all(|r| !r.primary));
+
+        // A mismatched method field is rejected up front.
+        let mut bad = spec("bad", "compare:ahpd");
+        bad.method = "wilson".parse().unwrap();
+        match client.create(&bad) {
+            Err(ClientError::Api { status: 400, .. }) => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+
+        let mut units = 0u64;
+        loop {
+            let request = client.next_request("race", 16).unwrap();
+            if request.done {
+                break;
+            }
+            // Comparative streams are unit-granular regardless of the
+            // requested batch size.
+            assert_eq!(request.units, 1);
+            assert!(request.stratum.is_none());
+            if units == 3 {
+                // Mid-batch re-poll idempotence, comparative engine.
+                let again = client.next_request("race", 16).unwrap();
+                assert_eq!(again, request, "comparative re-poll diverged");
+            }
+            let labels: Vec<bool> = request
+                .triples
+                .iter()
+                .map(|t| kg.is_correct(kgae_graph::TripleId(t.triple)))
+                .collect();
+            client.submit("race", &labels).unwrap();
+            units += 1;
+
+            if units == 40 {
+                // Suspend → snapshot → evict → resume: the disk round
+                // trip reproduces the exact comparative snapshot bytes
+                // and the cached per-method rows survive.
+                let suspended = client.suspend("race").unwrap();
+                assert_eq!(suspended.state, SessionState::Suspended);
+                assert_eq!(suspended.methods.as_ref().unwrap().len(), 4);
+                let before = client.snapshot("race").unwrap();
+                client.evict("race").unwrap();
+                let evicted = client.status("race").unwrap();
+                assert_eq!(evicted.state, SessionState::Evicted);
+                assert_eq!(evicted.methods.as_ref().unwrap().len(), 4);
+                client.resume("race").unwrap();
+                client.suspend("race").unwrap();
+                let after = client.snapshot("race").unwrap();
+                assert_eq!(before, after, "comparative snapshot bytes diverged");
+                client.resume("race").unwrap();
+            }
+        }
+
+        let done = client.status("race").unwrap();
+        assert_eq!(done.state, SessionState::Finished);
+        assert_eq!(done.status.stopped, Some(StopReason::MoeSatisfied));
+        let rows = done.methods.as_ref().unwrap();
+        assert_eq!(rows.len(), 4);
+        let primary_row = &rows[3];
+        assert!(primary_row.primary && primary_row.converged);
+        assert_eq!(primary_row.stopped_at, Some(done.status.observations));
+
+        // The primary is bit-identical to a plain aHPD/SRS session of
+        // the same seed, end to end over HTTP (floats survive the JSON
+        // round trip exactly — shortest-round-trip encoding).
+        client.create(&spec("solo", "srs")).unwrap();
+        loop {
+            let request = client.next_request("solo", 16).unwrap();
+            if request.done {
+                break;
+            }
+            let labels: Vec<bool> = request
+                .triples
+                .iter()
+                .map(|t| kg.is_correct(kgae_graph::TripleId(t.triple)))
+                .collect();
+            client.submit("solo", &labels).unwrap();
+        }
+        let solo = client.status("solo").unwrap();
+        assert_eq!(
+            solo.status, done.status,
+            "comparative primary diverged from the standalone session"
+        );
+        client.delete("race").unwrap();
+        client.delete("solo").unwrap();
     });
 }
 

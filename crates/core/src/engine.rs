@@ -1,0 +1,954 @@
+//! The object-safe engine abstraction: one protocol surface for every
+//! session kind, and the snapshot **tag registry** that lets hosts
+//! dispatch on stored bytes instead of caller-chosen entry points.
+//!
+//! Three engines implement the poll → submit → status → snapshot
+//! lifecycle today — the single-design [`EvaluationSession`], the
+//! [`StratifiedSession`] coordinator and the multi-method
+//! [`ComparativeSession`] — and session hosts (the `kgae-service`
+//! manager, benches, tests) should not care which one they are driving.
+//! [`SessionEngine`] captures exactly the surface a host needs, object
+//! safely, so a host stores `Box<dyn SessionEngine>` and writes every
+//! lifecycle path once:
+//!
+//! ```
+//! use kgae_core::engine::{EngineSpec, SessionEngine};
+//! use kgae_core::{EvalConfig, IntervalMethod, PreparedDesign, SamplingDesign};
+//! use kgae_graph::GroundTruth;
+//!
+//! let kg = kgae_graph::datasets::yago();
+//! let prepared = PreparedDesign::new(&kg, SamplingDesign::Srs);
+//! let method = IntervalMethod::Wilson;
+//! let cfg = EvalConfig::default();
+//! let spec = EngineSpec::Plain {
+//!     kg: &kg,
+//!     prepared: &prepared,
+//!     method: &method,
+//!     config: &cfg,
+//!     seed: 7,
+//! };
+//! let mut engine: Box<dyn SessionEngine + '_> = spec.build();
+//! while let Some(polled) = engine.next_request(16).unwrap() {
+//!     let labels: Vec<bool> = polled
+//!         .request
+//!         .triples
+//!         .iter()
+//!         .map(|st| kg.is_correct(st.triple))
+//!         .collect();
+//!     engine.submit(&labels).unwrap();
+//! }
+//! assert!(engine.status().primary.stopped.is_some());
+//! ```
+//!
+//! ## The snapshot tag registry
+//!
+//! Every suspended engine serializes into the shared `KGAESNAP`
+//! container, whose header carries a **record tag**: tags 0–3 are the
+//! four single-session designs, tag 4 the stratified coordinator, tag 5
+//! the comparative session. The [`registry`] maps each tag to its
+//! engine kind and header parser, so [`peek_any_header`] identifies any
+//! snapshot without the caller guessing an entry point — and
+//! [`EngineSpec::resume`] validates the stored tag against the engine
+//! the spec denotes *before* any kind-specific parsing, turning a
+//! mismatched resume into a clean [`SessionError::SnapshotMismatch`].
+
+use crate::comparative::{
+    peek_comparative_header, ComparativeSession, ComparativeSnapshotHeader, MethodReport,
+};
+use crate::framework::{EvalConfig, EvalResult, PreparedDesign};
+use crate::method::IntervalMethod;
+use crate::session::{
+    peek_plain_header, read_record_prefix, AnnotationRequest, EvaluationSession, SessionError,
+    SessionStatus, SnapshotHeader, StopReason, COMPARATIVE_SNAPSHOT_TAG, STRATIFIED_SNAPSHOT_TAG,
+};
+use crate::snapshot::Reader;
+use crate::stratified::{
+    peek_stratified_header_impl, StratifiedConfig, StratifiedSession, StratifiedSnapshotHeader,
+    StratumReport,
+};
+use kgae_graph::stratify::Stratification;
+use kgae_graph::KnowledgeGraph;
+use kgae_sampling::ComparePrimary;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Which engine implementation is behind a [`SessionEngine`] object or
+/// a snapshot record tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// A single-design [`EvaluationSession`].
+    Plain,
+    /// The [`StratifiedSession`] coordinator.
+    Stratified,
+    /// The multi-method [`ComparativeSession`].
+    Comparative,
+}
+
+impl EngineKind {
+    /// Human-readable name (`"plain"`, `"stratified"`,
+    /// `"comparative"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Plain => "plain",
+            EngineKind::Stratified => "stratified",
+            EngineKind::Comparative => "comparative",
+        }
+    }
+}
+
+/// A polled annotation batch, with the addressing a host forwards to
+/// annotators: stratified engines say which stratum the batch samples.
+#[derive(Debug, Clone)]
+pub struct EngineRequest {
+    /// The batch itself; labels are owed in this order.
+    pub request: AnnotationRequest,
+    /// The stratum the batch belongs to (`(index, name)`; stratified
+    /// engines only).
+    pub stratum: Option<(u32, String)>,
+}
+
+/// The unified point-in-time view every engine reports — the
+/// session-shaped primary status plus whichever per-row breakdowns the
+/// engine kind carries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStatusView {
+    /// The engine's headline status: the session status for plain
+    /// engines, the pooled view for stratified ones, the primary
+    /// method's view for comparative ones.
+    pub primary: SessionStatus,
+    /// Per-stratum rows (stratified engines only).
+    pub strata: Option<Vec<StratumReport>>,
+    /// Per-method rows (comparative engines only).
+    pub methods: Option<Vec<MethodReport>>,
+}
+
+/// A stopped engine's final outcome, in the same unified shape as
+/// [`SessionStatusView`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// Why the engine stopped.
+    pub reason: StopReason,
+    /// The headline result (pooled for stratified engines, the primary
+    /// method's for comparative ones).
+    pub result: EvalResult,
+    /// Final per-stratum rows (stratified engines only).
+    pub strata: Option<Vec<StratumReport>>,
+    /// Final per-method rows (comparative engines only).
+    pub methods: Option<Vec<MethodReport>>,
+}
+
+/// The object-safe protocol surface of an evaluation engine: exactly
+/// what a session host needs to drive any campaign kind through its
+/// whole lifecycle — poll, submit, observe, suspend, finalize.
+///
+/// `Send` is a supertrait because the defining use case is a
+/// multi-tenant host whose engines hop between worker threads.
+pub trait SessionEngine: Send {
+    /// Which engine implementation this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Whether labels are owed on an outstanding request (a pending
+    /// engine cannot snapshot).
+    fn has_pending_request(&self) -> bool;
+
+    /// Polls for the next annotation batch (at most `max_units` stage-1
+    /// units; engines may serve fewer). `Ok(None)` once the engine has
+    /// stopped — [`SessionEngine::status`] carries the reason.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::RequestPending`] while labels are owed; solver
+    /// or stream failures.
+    fn next_request(&mut self, max_units: u64) -> Result<Option<EngineRequest>, SessionError>;
+
+    /// Submits labels for the outstanding request, in request order,
+    /// advancing the engine and its stopping rule.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoRequestPending`],
+    /// [`SessionError::LabelCountMismatch`], or solver failures.
+    fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError>;
+
+    /// The unified point-in-time view.
+    fn status(&self) -> SessionStatusView;
+
+    /// The headline status alone — what poll/submit hot paths report —
+    /// without materializing per-stratum or per-method rows (every row
+    /// costs an interval construction). Identical to
+    /// [`SessionEngine::status`]'s `primary` field; engines whose rows
+    /// are expensive override the default.
+    fn headline(&self) -> SessionStatus {
+        self.status().primary
+    }
+
+    /// Why the engine stopped, or `None` while it runs.
+    fn stop_reason(&self) -> Option<StopReason>;
+
+    /// Serializes the engine's complete dynamic state into a canonical
+    /// `KGAESNAP` snapshot (the record tag identifies the engine kind;
+    /// see [`registry`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SnapshotUnavailable`] while labels are owed or
+    /// after the engine stopped.
+    fn snapshot(&self) -> Result<Vec<u8>, SessionError>;
+
+    /// Consumes a stopped engine into its final outcome (`None` if it
+    /// has not stopped).
+    fn into_outcome(self: Box<Self>) -> Option<EngineOutcome>;
+}
+
+impl<'a> SessionEngine for EvaluationSession<'a, SmallRng> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Plain
+    }
+
+    fn has_pending_request(&self) -> bool {
+        EvaluationSession::has_pending_request(self)
+    }
+
+    fn next_request(&mut self, max_units: u64) -> Result<Option<EngineRequest>, SessionError> {
+        Ok(
+            EvaluationSession::next_request(self, max_units)?.map(|request| EngineRequest {
+                request,
+                stratum: None,
+            }),
+        )
+    }
+
+    fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
+        EvaluationSession::submit(self, labels)
+    }
+
+    fn status(&self) -> SessionStatusView {
+        SessionStatusView {
+            primary: EvaluationSession::status(self),
+            strata: None,
+            methods: None,
+        }
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        EvaluationSession::stop_reason(self)
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, SessionError> {
+        EvaluationSession::snapshot(self)
+    }
+
+    fn into_outcome(self: Box<Self>) -> Option<EngineOutcome> {
+        let reason = EvaluationSession::stop_reason(&self)?;
+        let result = self.into_result()?;
+        Some(EngineOutcome {
+            reason,
+            result,
+            strata: None,
+            methods: None,
+        })
+    }
+}
+
+impl<'a> SessionEngine for StratifiedSession<'a> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Stratified
+    }
+
+    fn has_pending_request(&self) -> bool {
+        StratifiedSession::has_pending_request(self)
+    }
+
+    fn next_request(&mut self, max_units: u64) -> Result<Option<EngineRequest>, SessionError> {
+        Ok(
+            StratifiedSession::next_request(self, max_units)?.map(|polled| EngineRequest {
+                request: polled.request,
+                stratum: Some((polled.stratum, polled.name)),
+            }),
+        )
+    }
+
+    fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
+        StratifiedSession::submit(self, labels)
+    }
+
+    fn status(&self) -> SessionStatusView {
+        let status = StratifiedSession::status(self);
+        SessionStatusView {
+            primary: status.pooled,
+            strata: Some(status.strata),
+            methods: None,
+        }
+    }
+
+    fn headline(&self) -> SessionStatus {
+        StratifiedSession::headline_status(self)
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        StratifiedSession::stop_reason(self)
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, SessionError> {
+        StratifiedSession::snapshot(self)
+    }
+
+    fn into_outcome(self: Box<Self>) -> Option<EngineOutcome> {
+        let reason = StratifiedSession::stop_reason(&self)?;
+        let result = self.into_result()?;
+        Some(EngineOutcome {
+            reason,
+            result: result.pooled,
+            strata: Some(result.strata),
+            methods: None,
+        })
+    }
+}
+
+impl<'a> SessionEngine for ComparativeSession<'a> {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Comparative
+    }
+
+    fn has_pending_request(&self) -> bool {
+        ComparativeSession::has_pending_request(self)
+    }
+
+    fn next_request(&mut self, max_units: u64) -> Result<Option<EngineRequest>, SessionError> {
+        Ok(
+            ComparativeSession::next_request(self, max_units)?.map(|request| EngineRequest {
+                request,
+                stratum: None,
+            }),
+        )
+    }
+
+    fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
+        ComparativeSession::submit(self, labels)
+    }
+
+    fn status(&self) -> SessionStatusView {
+        let status = ComparativeSession::status(self);
+        SessionStatusView {
+            primary: status.primary,
+            strata: None,
+            methods: Some(status.methods),
+        }
+    }
+
+    fn headline(&self) -> SessionStatus {
+        ComparativeSession::primary_status(self)
+    }
+
+    fn stop_reason(&self) -> Option<StopReason> {
+        ComparativeSession::stop_reason(self)
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, SessionError> {
+        ComparativeSession::snapshot(self)
+    }
+
+    fn into_outcome(self: Box<Self>) -> Option<EngineOutcome> {
+        let reason = ComparativeSession::stop_reason(&self)?;
+        let result = self.into_result()?;
+        Some(EngineOutcome {
+            reason,
+            result: result.primary,
+            strata: None,
+            methods: Some(result.methods),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot tag registry
+// ---------------------------------------------------------------------
+
+/// The identity prefix of any engine snapshot, by record kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyHeader {
+    /// A single-session snapshot (record tags 0–3).
+    Plain(SnapshotHeader),
+    /// A stratified coordinator snapshot (record tag 4).
+    Stratified(StratifiedSnapshotHeader),
+    /// A comparative session snapshot (record tag 5).
+    Comparative(ComparativeSnapshotHeader),
+}
+
+impl AnyHeader {
+    /// The engine kind that produced the snapshot.
+    #[must_use]
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            AnyHeader::Plain(_) => EngineKind::Plain,
+            AnyHeader::Stratified(_) => EngineKind::Stratified,
+            AnyHeader::Comparative(_) => EngineKind::Comparative,
+        }
+    }
+
+    /// `num_triples` of the KG the snapshot belongs to — every record
+    /// kind fingerprints it.
+    #[must_use]
+    pub fn num_triples(&self) -> u64 {
+        match self {
+            AnyHeader::Plain(h) => h.num_triples,
+            AnyHeader::Stratified(h) => h.num_triples,
+            AnyHeader::Comparative(h) => h.num_triples,
+        }
+    }
+}
+
+/// One row of the snapshot tag registry: a `KGAESNAP` record tag, the
+/// engine kind it denotes and its header parser.
+pub struct TagEntry {
+    /// The record-tag byte.
+    pub tag: u8,
+    /// The engine kind the tag denotes.
+    pub kind: EngineKind,
+    peek: fn(&[u8]) -> Result<AnyHeader, SessionError>,
+}
+
+fn peek_plain(bytes: &[u8]) -> Result<AnyHeader, SessionError> {
+    peek_plain_header(bytes).map(AnyHeader::Plain)
+}
+
+fn peek_stratified(bytes: &[u8]) -> Result<AnyHeader, SessionError> {
+    peek_stratified_header_impl(bytes).map(AnyHeader::Stratified)
+}
+
+fn peek_comparative(bytes: &[u8]) -> Result<AnyHeader, SessionError> {
+    peek_comparative_header(bytes).map(AnyHeader::Comparative)
+}
+
+static REGISTRY: [TagEntry; 6] = [
+    TagEntry {
+        tag: 0,
+        kind: EngineKind::Plain,
+        peek: peek_plain,
+    },
+    TagEntry {
+        tag: 1,
+        kind: EngineKind::Plain,
+        peek: peek_plain,
+    },
+    TagEntry {
+        tag: 2,
+        kind: EngineKind::Plain,
+        peek: peek_plain,
+    },
+    TagEntry {
+        tag: 3,
+        kind: EngineKind::Plain,
+        peek: peek_plain,
+    },
+    TagEntry {
+        tag: STRATIFIED_SNAPSHOT_TAG,
+        kind: EngineKind::Stratified,
+        peek: peek_stratified,
+    },
+    TagEntry {
+        tag: COMPARATIVE_SNAPSHOT_TAG,
+        kind: EngineKind::Comparative,
+        peek: peek_comparative,
+    },
+];
+
+/// The snapshot tag registry: every known `KGAESNAP` record tag with
+/// its engine kind and header parser, in tag order.
+#[must_use]
+pub fn registry() -> &'static [TagEntry] {
+    &REGISTRY
+}
+
+/// Reads the shared `KGAESNAP` container prefix and returns the record
+/// tag byte.
+///
+/// # Errors
+///
+/// [`SessionError::CorruptSnapshot`] on bad magic or truncation;
+/// [`SessionError::SnapshotMismatch`] on an unsupported container
+/// version.
+pub fn peek_record_tag(bytes: &[u8]) -> Result<u8, SessionError> {
+    read_record_prefix(&mut Reader::new(bytes))
+}
+
+/// The engine kind a snapshot's record tag denotes, via the registry.
+///
+/// # Errors
+///
+/// As [`peek_record_tag`], plus [`SessionError::CorruptSnapshot`] on a
+/// tag no registry entry claims.
+pub fn snapshot_engine_kind(bytes: &[u8]) -> Result<EngineKind, SessionError> {
+    let tag = peek_record_tag(bytes)?;
+    REGISTRY
+        .iter()
+        .find(|entry| entry.tag == tag)
+        .map(|entry| entry.kind)
+        .ok_or(SessionError::CorruptSnapshot("unknown snapshot record tag"))
+}
+
+/// Parses the identity prefix of **any** engine snapshot, dispatching
+/// on the record tag through the [`registry`] — the unified
+/// replacement for the per-kind `peek_*_header` entry points.
+///
+/// # Errors
+///
+/// As [`snapshot_engine_kind`], plus whatever the kind-specific header
+/// parser reports on malformed bytes.
+pub fn peek_any_header(bytes: &[u8]) -> Result<AnyHeader, SessionError> {
+    let tag = peek_record_tag(bytes)?;
+    let entry = REGISTRY
+        .iter()
+        .find(|entry| entry.tag == tag)
+        .ok_or(SessionError::CorruptSnapshot("unknown snapshot record tag"))?;
+    (entry.peek)(bytes)
+}
+
+// ---------------------------------------------------------------------
+// Engine construction and registry-dispatched resume
+// ---------------------------------------------------------------------
+
+/// Everything needed to construct one engine — fresh or from a
+/// snapshot. A host derives the spec from its wire-level session
+/// description once and gets a single `build`/`resume` pair instead of
+/// per-kind code paths; `resume` validates the snapshot's record tag
+/// against the spec's kind through the [`registry`] before any
+/// kind-specific parsing.
+///
+/// `'k` is the KG borrow the engine keeps; the other references only
+/// need to outlive the call.
+pub enum EngineSpec<'k, 'r> {
+    /// A single-design evaluation session.
+    Plain {
+        /// The KG under evaluation.
+        kg: &'k dyn KnowledgeGraph,
+        /// Prebuilt design resources (PPS table shared via `Arc`).
+        prepared: &'r PreparedDesign,
+        /// The interval method.
+        method: &'r IntervalMethod,
+        /// The evaluation configuration.
+        config: &'r EvalConfig,
+        /// RNG seed of the sampling stream.
+        seed: u64,
+    },
+    /// A stratified campaign coordinator.
+    Stratified {
+        /// The KG under evaluation.
+        kg: &'k dyn KnowledgeGraph,
+        /// The triple → stratum partition.
+        stratification: &'r Stratification,
+        /// The interval method of every stratum engine.
+        method: &'r IntervalMethod,
+        /// The campaign configuration.
+        config: &'r StratifiedConfig,
+        /// Seed of the per-stratum RNG streams.
+        seed: u64,
+    },
+    /// A comparative multi-method session.
+    Comparative {
+        /// The KG under evaluation.
+        kg: &'k dyn KnowledgeGraph,
+        /// Prebuilt resources of the shared-stream design.
+        prepared: &'r PreparedDesign,
+        /// The method whose convergence stops the shared stream.
+        primary: ComparePrimary,
+        /// The shared evaluation configuration.
+        config: &'r EvalConfig,
+        /// RNG seed of the shared sampling stream.
+        seed: u64,
+    },
+}
+
+impl<'k> EngineSpec<'k, '_> {
+    /// The engine kind this spec denotes.
+    #[must_use]
+    pub fn kind(&self) -> EngineKind {
+        match self {
+            EngineSpec::Plain { .. } => EngineKind::Plain,
+            EngineSpec::Stratified { .. } => EngineKind::Stratified,
+            EngineSpec::Comparative { .. } => EngineKind::Comparative,
+        }
+    }
+
+    /// Constructs a fresh engine.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn SessionEngine + 'k> {
+        match *self {
+            EngineSpec::Plain {
+                kg,
+                prepared,
+                method,
+                config,
+                seed,
+            } => Box::new(EvaluationSession::from_prepared(
+                kg,
+                prepared,
+                method,
+                config,
+                SmallRng::seed_from_u64(seed),
+            )),
+            EngineSpec::Stratified {
+                kg,
+                stratification,
+                method,
+                config,
+                seed,
+            } => Box::new(StratifiedSession::new(
+                kg,
+                stratification,
+                method,
+                config,
+                seed,
+            )),
+            EngineSpec::Comparative {
+                kg,
+                prepared,
+                primary,
+                config,
+                seed,
+            } => Box::new(ComparativeSession::new(kg, prepared, primary, config, seed)),
+        }
+    }
+
+    /// Reconstructs a suspended engine from a snapshot. The record tag
+    /// is resolved through the [`registry`] and checked against this
+    /// spec's kind first, so bytes from a different engine kind fail
+    /// with a clean mismatch instead of a parse error deep inside the
+    /// wrong decoder; the kind-specific resume then re-validates every
+    /// fingerprint (design, KG shape, config, method, partition or
+    /// roster).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::SnapshotMismatch`] on a kind or fingerprint
+    /// mismatch; [`SessionError::CorruptSnapshot`] on malformed bytes.
+    pub fn resume(&self, bytes: &[u8]) -> Result<Box<dyn SessionEngine + 'k>, SessionError> {
+        let stored = snapshot_engine_kind(bytes)?;
+        if stored != self.kind() {
+            return Err(SessionError::SnapshotMismatch(
+                "snapshot record tag denotes a different engine kind",
+            ));
+        }
+        Ok(match *self {
+            EngineSpec::Plain {
+                kg,
+                prepared,
+                method,
+                config,
+                ..
+            } => Box::new(EvaluationSession::resume(
+                kg,
+                prepared,
+                method,
+                config,
+                SmallRng::seed_from_u64(0),
+                bytes,
+            )?),
+            EngineSpec::Stratified {
+                kg,
+                stratification,
+                method,
+                config,
+                ..
+            } => Box::new(StratifiedSession::resume(
+                kg,
+                stratification,
+                method,
+                config,
+                bytes,
+            )?),
+            EngineSpec::Comparative {
+                kg,
+                prepared,
+                primary,
+                config,
+                ..
+            } => Box::new(ComparativeSession::resume(
+                kg, prepared, primary, config, bytes,
+            )?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::SamplingDesign;
+    use kgae_graph::GroundTruth;
+
+    fn drive_batches(
+        kg: &(impl KnowledgeGraph + GroundTruth),
+        engine: &mut dyn SessionEngine,
+        batches: u64,
+        batch: u64,
+    ) {
+        let mut labels = Vec::new();
+        for _ in 0..batches {
+            let Some(polled) = engine.next_request(batch).unwrap() else {
+                return;
+            };
+            labels.clear();
+            labels.extend(
+                polled
+                    .request
+                    .triples
+                    .iter()
+                    .map(|st| kg.is_correct(st.triple)),
+            );
+            engine.submit(&labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn registry_covers_every_tag_once() {
+        let tags: Vec<u8> = registry().iter().map(|e| e.tag).collect();
+        assert_eq!(tags, [0, 1, 2, 3, 4, 5]);
+        assert_eq!(registry()[4].kind, EngineKind::Stratified);
+        assert_eq!(registry()[5].kind, EngineKind::Comparative);
+    }
+
+    #[test]
+    fn every_engine_kind_round_trips_through_the_registry() {
+        let kg = kgae_graph::datasets::nell();
+        let (pred_kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let prepared = PreparedDesign::new(&kg, SamplingDesign::Twcs { m: 3 });
+        let srs = PreparedDesign::new(&kg, SamplingDesign::Srs);
+        let method = IntervalMethod::ahpd_default();
+        // ε = 0.01: no engine can converge within the few driven
+        // batches, so every one is still snapshottable.
+        let cfg = EvalConfig {
+            epsilon: 0.01,
+            ..EvalConfig::default()
+        };
+        let strat_cfg = StratifiedConfig {
+            epsilon: 0.01,
+            ..StratifiedConfig::default()
+        };
+
+        let specs: Vec<(EngineSpec<'_, '_>, EngineKind)> = vec![
+            (
+                EngineSpec::Plain {
+                    kg: &kg,
+                    prepared: &prepared,
+                    method: &method,
+                    config: &cfg,
+                    seed: 9,
+                },
+                EngineKind::Plain,
+            ),
+            (
+                EngineSpec::Stratified {
+                    kg: &pred_kg,
+                    stratification: &strat,
+                    method: &method,
+                    config: &strat_cfg,
+                    seed: 9,
+                },
+                EngineKind::Stratified,
+            ),
+            (
+                EngineSpec::Comparative {
+                    kg: &kg,
+                    prepared: &srs,
+                    primary: ComparePrimary::AHpd,
+                    config: &cfg,
+                    seed: 9,
+                },
+                EngineKind::Comparative,
+            ),
+        ];
+        for (spec, kind) in &specs {
+            assert_eq!(spec.kind(), *kind);
+            let mut engine = spec.build();
+            assert_eq!(engine.kind(), *kind);
+            let driver_kg: &dyn GroundTruthKg = if *kind == EngineKind::Stratified {
+                &pred_kg
+            } else {
+                &kg
+            };
+            drive_some(driver_kg, engine.as_mut(), 5);
+            let snap = engine.snapshot().unwrap();
+            // The registry identifies the bytes without an entry point.
+            assert_eq!(snapshot_engine_kind(&snap).unwrap(), *kind);
+            let header = peek_any_header(&snap).unwrap();
+            assert_eq!(header.kind(), *kind);
+            assert_eq!(header.num_triples(), kg.num_triples());
+            // Registry-dispatched resume reproduces the bytes.
+            let resumed = spec.resume(&snap).unwrap();
+            assert_eq!(resumed.snapshot().unwrap(), snap);
+        }
+
+        // Cross-kind resumes fail on the tag, not deep in a decoder.
+        let plain_snap = {
+            let spec = &specs[0].0;
+            let mut engine = spec.build();
+            drive_some(&kg, engine.as_mut(), 3);
+            engine.snapshot().unwrap()
+        };
+        assert!(matches!(
+            specs[1].0.resume(&plain_snap),
+            Err(SessionError::SnapshotMismatch(
+                "snapshot record tag denotes a different engine kind"
+            ))
+        ));
+        assert!(matches!(
+            specs[2].0.resume(&plain_snap),
+            Err(SessionError::SnapshotMismatch(_))
+        ));
+
+        // Unknown tags are rejected by the registry.
+        let mut bad = plain_snap;
+        bad[10] = 200;
+        assert!(matches!(
+            snapshot_engine_kind(&bad),
+            Err(SessionError::CorruptSnapshot("unknown snapshot record tag"))
+        ));
+        assert!(matches!(
+            peek_any_header(&bad),
+            Err(SessionError::CorruptSnapshot("unknown snapshot record tag"))
+        ));
+    }
+
+    /// Object-safe oracle-labeling over any KG: the test drives
+    /// `dyn SessionEngine` with `dyn`-compatible KG access too.
+    trait GroundTruthKg {
+        fn label(&self, triple: kgae_graph::TripleId) -> bool;
+    }
+
+    impl<K: KnowledgeGraph + GroundTruth> GroundTruthKg for K {
+        fn label(&self, triple: kgae_graph::TripleId) -> bool {
+            self.is_correct(triple)
+        }
+    }
+
+    fn drive_some(kg: &dyn GroundTruthKg, engine: &mut dyn SessionEngine, batches: u64) {
+        let mut labels = Vec::new();
+        for _ in 0..batches {
+            let Some(polled) = engine.next_request(4).unwrap() else {
+                return;
+            };
+            labels.clear();
+            labels.extend(polled.request.triples.iter().map(|st| kg.label(st.triple)));
+            engine.submit(&labels).unwrap();
+        }
+    }
+
+    #[test]
+    fn headline_matches_the_full_status_for_every_engine_kind() {
+        // The hot-path headline must be field-for-field identical to
+        // the full view's primary half — cheaper, never different.
+        let kg = kgae_graph::datasets::nell();
+        let (pred_kg, strat) = kgae_graph::datasets::nell_by_predicate();
+        let srs = PreparedDesign::new(&kg, SamplingDesign::Srs);
+        let method = IntervalMethod::ahpd_default();
+        let cfg = EvalConfig {
+            epsilon: 0.01,
+            ..EvalConfig::default()
+        };
+        let strat_cfg = StratifiedConfig {
+            epsilon: 0.01,
+            ..StratifiedConfig::default()
+        };
+        let specs: Vec<EngineSpec<'_, '_>> = vec![
+            EngineSpec::Plain {
+                kg: &kg,
+                prepared: &srs,
+                method: &method,
+                config: &cfg,
+                seed: 4,
+            },
+            EngineSpec::Stratified {
+                kg: &pred_kg,
+                stratification: &strat,
+                method: &method,
+                config: &strat_cfg,
+                seed: 4,
+            },
+            EngineSpec::Comparative {
+                kg: &kg,
+                prepared: &srs,
+                primary: ComparePrimary::AHpd,
+                config: &cfg,
+                seed: 4,
+            },
+        ];
+        for spec in &specs {
+            let mut engine = spec.build();
+            let driver_kg: &dyn GroundTruthKg = if spec.kind() == EngineKind::Stratified {
+                &pred_kg
+            } else {
+                &kg
+            };
+            for _ in 0..4 {
+                drive_some(driver_kg, engine.as_mut(), 3);
+                assert_eq!(
+                    engine.headline(),
+                    engine.status().primary,
+                    "{} headline diverged from the full status",
+                    spec.kind().name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unified_status_view_carries_the_kind_specific_rows() {
+        let kg = kgae_graph::datasets::nell();
+        let srs = PreparedDesign::new(&kg, SamplingDesign::Srs);
+        let method = IntervalMethod::Wilson;
+        let cfg = EvalConfig::default();
+
+        let spec = EngineSpec::Plain {
+            kg: &kg,
+            prepared: &srs,
+            method: &method,
+            config: &cfg,
+            seed: 1,
+        };
+        let mut engine = spec.build();
+        drive_batches(&kg, engine.as_mut(), 3, 8);
+        let view = engine.status();
+        assert!(view.strata.is_none() && view.methods.is_none());
+        assert!(view.primary.observations > 0);
+
+        let spec = EngineSpec::Comparative {
+            kg: &kg,
+            prepared: &srs,
+            primary: ComparePrimary::Wilson,
+            config: &cfg,
+            seed: 1,
+        };
+        let mut engine = spec.build();
+        drive_batches(&kg, engine.as_mut(), 3, 8);
+        let view = engine.status();
+        assert_eq!(view.methods.as_ref().unwrap().len(), 4);
+        assert!(view.strata.is_none());
+
+        // Driving a stopped engine through the trait yields its outcome.
+        let mut engine = EngineSpec::Plain {
+            kg: &kg,
+            prepared: &srs,
+            method: &method,
+            config: &cfg,
+            seed: 2,
+        }
+        .build();
+        let mut labels = Vec::new();
+        while let Some(polled) = engine.next_request(16).unwrap() {
+            labels.clear();
+            labels.extend(
+                polled
+                    .request
+                    .triples
+                    .iter()
+                    .map(|st| kg.is_correct(st.triple)),
+            );
+            engine.submit(&labels).unwrap();
+        }
+        let reason = engine.stop_reason().unwrap();
+        let outcome = engine.into_outcome().unwrap();
+        assert_eq!(outcome.reason, reason);
+        assert!(outcome.result.converged);
+    }
+}

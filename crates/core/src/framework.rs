@@ -88,19 +88,22 @@ impl SamplingDesign {
 impl TryFrom<DesignSpec> for SamplingDesign {
     type Error = kgae_sampling::driver::DesignParseError;
 
-    /// Every single-driver design converts; the session-level
-    /// [`DesignSpec::Stratified`] does not — it denotes a coordinated
-    /// family of per-stratum SRS engines
-    /// ([`crate::stratified::StratifiedSession`]), not one driver.
+    /// Every single-driver design converts; the session-level designs
+    /// do not — [`DesignSpec::Stratified`] denotes a coordinated family
+    /// of per-stratum SRS engines
+    /// ([`crate::stratified::StratifiedSession`]) and
+    /// [`DesignSpec::Compare`] a shared SRS stream raced by the full
+    /// method roster ([`crate::comparative::ComparativeSession`]), not
+    /// one driver.
     fn try_from(spec: DesignSpec) -> Result<Self, Self::Error> {
         match spec {
             DesignSpec::Srs => Ok(SamplingDesign::Srs),
             DesignSpec::Twcs { m } => Ok(SamplingDesign::Twcs { m }),
             DesignSpec::Wcs => Ok(SamplingDesign::Wcs),
             DesignSpec::Scs => Ok(SamplingDesign::Scs),
-            DesignSpec::Stratified { .. } => Err(kgae_sampling::driver::DesignParseError(
-                spec.canonical_name(),
-            )),
+            DesignSpec::Stratified { .. } | DesignSpec::Compare { .. } => Err(
+                kgae_sampling::driver::DesignParseError(spec.canonical_name()),
+            ),
         }
     }
 }
@@ -110,8 +113,9 @@ impl std::str::FromStr for SamplingDesign {
 
     /// Parses a design name with the [`DesignSpec`] grammar: `srs`,
     /// `twcs:<m>` (or `twcs(m=<m>)`), `wcs`, `scs`, case-insensitively.
-    /// `stratified[:<allocation>]` parses as a [`DesignSpec`] but is
-    /// rejected here — it is not a single-driver design.
+    /// `stratified[:<allocation>]` and `compare:<primary>` parse as
+    /// [`DesignSpec`]s but are rejected here — they are not
+    /// single-driver designs.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         s.parse::<DesignSpec>().and_then(SamplingDesign::try_from)
     }

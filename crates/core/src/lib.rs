@@ -52,9 +52,11 @@
 
 pub mod ahpd;
 pub mod annotator;
+pub mod comparative;
 pub mod cost;
 pub mod coverage;
 pub mod dynamic;
+pub mod engine;
 pub mod framework;
 pub mod method;
 pub mod report;
@@ -66,21 +68,33 @@ pub mod stratified;
 
 pub use ahpd::{ahpd_select, ahpd_select_warm, AHpdSelection};
 pub use annotator::{Annotator, MajorityVoteAnnotator, NoisyAnnotator, OracleAnnotator};
+pub use comparative::{
+    compared_methods, peek_comparative_header, ComparativeResult, ComparativeSession,
+    ComparativeSnapshotHeader, ComparativeStatus, MethodReport,
+};
 pub use cost::{CostModel, CostTracker};
+pub use engine::{
+    peek_any_header, peek_record_tag, snapshot_engine_kind, AnyHeader, EngineKind, EngineOutcome,
+    EngineRequest, EngineSpec, SessionEngine, SessionStatusView,
+};
 pub use framework::{
     evaluate, evaluate_prepared, EvalConfig, EvalResult, PreparedDesign, SamplingDesign,
     StoppingPolicy,
 };
 pub use method::{IntervalMethod, MethodParseError, MethodState};
 pub use runner::{cost_t_test, repeat_evaluation, triples_t_test, RepeatedRuns};
+#[allow(deprecated)]
+pub use session::peek_snapshot_header;
 pub use session::{
-    peek_snapshot_header, AnnotationRequest, EvaluationSession, SessionError, SessionStatus,
-    SnapshotHeader, SnapshotRng, StopReason,
+    AnnotationRequest, EvaluationSession, SessionError, SessionStatus, SnapshotHeader, SnapshotRng,
+    StopReason,
 };
 pub use state::{DesignKind, EffectiveSample, SampleState};
+#[allow(deprecated)]
+pub use stratified::peek_stratified_header;
 pub use stratified::{
-    peek_stratified_header, StratifiedConfig, StratifiedRequest, StratifiedResult,
-    StratifiedSession, StratifiedSnapshotHeader, StratifiedStatus, StratumReport,
+    StratifiedConfig, StratifiedRequest, StratifiedResult, StratifiedSession,
+    StratifiedSnapshotHeader, StratifiedStatus, StratumReport,
 };
 
 /// Common imports for applications.

@@ -341,6 +341,12 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
         self.design
     }
 
+    /// The knowledge graph under evaluation.
+    #[must_use]
+    pub fn kg(&self) -> &'a dyn KnowledgeGraph {
+        self.kg
+    }
+
     /// The session's interval method.
     #[must_use]
     pub fn method(&self) -> &IntervalMethod {
@@ -369,6 +375,28 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
     #[must_use]
     pub fn sample_state(&self) -> &SampleState {
         &self.state
+    }
+
+    /// Distinct triples annotated so far — the
+    /// [`SessionStatus::annotated_triples`] field without paying a full
+    /// [`EvaluationSession::status`] (which constructs an interval).
+    #[must_use]
+    pub fn annotated_triples(&self) -> u64 {
+        match &self.outcome {
+            Some(o) => o.result.annotated_triples,
+            None => self.cost.triples(),
+        }
+    }
+
+    /// Annotation cost so far in seconds (Eq. 12) — the
+    /// [`SessionStatus::cost_seconds`] field without paying a full
+    /// [`EvaluationSession::status`].
+    #[must_use]
+    pub fn cost_seconds(&self) -> f64 {
+        match &self.outcome {
+            Some(o) => o.result.cost_seconds,
+            None => self.cost.seconds(),
+        }
     }
 
     /// Mutable access to the session's RNG, for callers that interleave
@@ -760,7 +788,7 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
 // Snapshot encode/decode (manual binary, serde-free).
 // ---------------------------------------------------------------------
 
-fn design_tag(design: SamplingDesign) -> (u8, u64) {
+pub(crate) fn design_tag(design: SamplingDesign) -> (u8, u64) {
     match design {
         SamplingDesign::Srs => (0, 0),
         SamplingDesign::Twcs { m } => (1, m),
@@ -769,10 +797,26 @@ fn design_tag(design: SamplingDesign) -> (u8, u64) {
     }
 }
 
-/// Snapshot design-tag value marking a *stratified coordinator*
+/// Inverse of [`design_tag`]: `None` for an unknown tag byte or an
+/// invalid TWCS `m`.
+pub(crate) fn design_from_tag(tag: u8, m: u64) -> Option<SamplingDesign> {
+    match (tag, m) {
+        (0, _) => Some(SamplingDesign::Srs),
+        (1, m) if m > 0 => Some(SamplingDesign::Twcs { m }),
+        (2, _) => Some(SamplingDesign::Wcs),
+        (3, _) => Some(SamplingDesign::Scs),
+        _ => None,
+    }
+}
+
+/// Snapshot record-tag value marking a *stratified coordinator*
 /// snapshot (`crate::stratified`), distinguishing it from the four
 /// single-session design tags 0–3 in the shared `KGAESNAP` header.
 pub(crate) const STRATIFIED_SNAPSHOT_TAG: u8 = 4;
+
+/// Snapshot record-tag value marking a *comparative multi-method*
+/// snapshot (`crate::comparative`).
+pub(crate) const COMPARATIVE_SNAPSHOT_TAG: u8 = 5;
 
 pub(crate) fn method_tag(method: &IntervalMethod) -> u8 {
     match method {
@@ -791,6 +835,106 @@ fn stopping_tag(policy: StoppingPolicy) -> u8 {
     }
 }
 
+/// Consumes the shared `KGAESNAP` container prefix (magic + version)
+/// and returns the record tag, leaving the reader positioned after it
+/// — the single prefix parser behind every record type's peek/resume
+/// and the engine registry.
+pub(crate) fn read_record_prefix(r: &mut Reader<'_>) -> Result<u8, SessionError> {
+    let corrupt = SessionError::CorruptSnapshot;
+    if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
+        return Err(SessionError::CorruptSnapshot("bad magic"));
+    }
+    if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
+        return Err(SessionError::SnapshotMismatch("unsupported version"));
+    }
+    r.u8().map_err(corrupt)
+}
+
+/// Encodes an interval method's fingerprint (tag byte + prior
+/// parameters) — the shape shared by every snapshot record type.
+pub(crate) fn write_method_fingerprint(w: &mut Writer, method: &IntervalMethod) {
+    w.u8(method_tag(method));
+    let priors = method.priors().unwrap_or(&[]);
+    w.u32(priors.len() as u32);
+    for p in priors {
+        w.f64(p.a);
+        w.f64(p.b);
+    }
+}
+
+/// Consumes a method fingerprint from the reader and reports whether it
+/// matches `method` bit for bit.
+pub(crate) fn method_fingerprint_matches(
+    r: &mut Reader<'_>,
+    method: &IntervalMethod,
+) -> Result<bool, &'static str> {
+    let priors = method.priors().unwrap_or(&[]);
+    let mut matches = r.u8()? == method_tag(method) && r.u32()? as usize == priors.len();
+    if matches {
+        for p in priors {
+            matches &= r.f64()?.to_bits() == p.a.to_bits() && r.f64()?.to_bits() == p.b.to_bits();
+        }
+    }
+    Ok(matches)
+}
+
+/// Encodes a solver's dynamic state (tracked counts, warm starts,
+/// posteriors) in the canonical session-snapshot layout.
+pub(crate) fn write_solver(w: &mut Writer, solver: &MethodState) {
+    w.u64(solver.tracked.0);
+    w.u64(solver.tracked.1);
+    w.u32(solver.warm.len() as u32);
+    for warm in &solver.warm {
+        match warm {
+            Some((lo, hi)) => {
+                w.bool(true);
+                w.f64(*lo);
+                w.f64(*hi);
+            }
+            None => w.bool(false),
+        }
+    }
+    w.u32(solver.posteriors.len() as u32);
+    for post in &solver.posteriors {
+        w.f64(post.alpha());
+        w.f64(post.beta());
+        w.f64(post.ln_norm());
+    }
+}
+
+/// Decodes a solver state written by [`write_solver`], validating the
+/// vector lengths against the method's prior count.
+pub(crate) fn read_solver(r: &mut Reader<'_>, priors: usize) -> Result<MethodState, &'static str> {
+    let tracked = (r.u64()?, r.u64()?);
+    let warm_len = r.u32()? as usize;
+    if warm_len != priors {
+        return Err("warm-start count mismatch");
+    }
+    let mut warm = Vec::with_capacity(warm_len);
+    for _ in 0..warm_len {
+        warm.push(if r.bool()? {
+            Some((r.f64()?, r.f64()?))
+        } else {
+            None
+        });
+    }
+    let post_len = r.u32()? as usize;
+    if post_len != priors {
+        return Err("posterior count mismatch");
+    }
+    let mut posteriors = Vec::with_capacity(post_len);
+    for _ in 0..post_len {
+        let (a, b, ln_norm) = (r.f64()?, r.f64()?, r.f64()?);
+        posteriors
+            .push(Beta::from_raw_parts(a, b, ln_norm).map_err(|_| "invalid posterior parameters")?);
+    }
+    Ok(MethodState {
+        warm,
+        posteriors,
+        tracked,
+    })
+}
+
 /// The identity prefix of a session snapshot: which design produced it
 /// and the shape of the KG it belongs to. Enough for a snapshot store
 /// to index and sanity-check dormant sessions without paying a full
@@ -806,42 +950,41 @@ pub struct SnapshotHeader {
     pub num_clusters: u32,
 }
 
-/// Parses the identity prefix of snapshot bytes without reconstructing
-/// a session.
-///
-/// # Errors
-///
-/// [`SessionError::CorruptSnapshot`] on bad magic, a truncated header
-/// or an unknown design tag; [`SessionError::SnapshotMismatch`] on an
-/// unsupported snapshot version.
-pub fn peek_snapshot_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionError> {
+/// Header parser behind the plain (tags 0–3) rows of the snapshot tag
+/// registry.
+pub(crate) fn peek_plain_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionError> {
     let corrupt = SessionError::CorruptSnapshot;
     let mut r = Reader::new(bytes);
-    if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
-        return Err(SessionError::CorruptSnapshot("bad magic"));
-    }
-    if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
-        return Err(SessionError::SnapshotMismatch("unsupported version"));
-    }
-    let tag = r.u8().map_err(corrupt)?;
-    if tag == STRATIFIED_SNAPSHOT_TAG {
+    let tag = read_record_prefix(&mut r)?;
+    if tag == STRATIFIED_SNAPSHOT_TAG || tag == COMPARATIVE_SNAPSHOT_TAG {
         return Err(SessionError::SnapshotMismatch(
-            "stratified coordinator snapshot; peek it with stratified::peek_stratified_header",
+            "not a single-session snapshot; identify it with engine::peek_any_header",
         ));
     }
     let m = r.u64().map_err(corrupt)?;
-    let design = match (tag, m) {
-        (0, _) => SamplingDesign::Srs,
-        (1, m) if m > 0 => SamplingDesign::Twcs { m },
-        (2, _) => SamplingDesign::Wcs,
-        (3, _) => SamplingDesign::Scs,
-        _ => return Err(SessionError::CorruptSnapshot("unknown design tag")),
-    };
+    let design =
+        design_from_tag(tag, m).ok_or(SessionError::CorruptSnapshot("unknown design tag"))?;
     Ok(SnapshotHeader {
         design,
         num_triples: r.u64().map_err(corrupt)?,
         num_clusters: r.u32().map_err(corrupt)?,
     })
+}
+
+/// Parses the identity prefix of a *plain session* snapshot without
+/// reconstructing a session.
+///
+/// # Errors
+///
+/// [`SessionError::CorruptSnapshot`] on bad magic, a truncated header
+/// or an unknown design tag; [`SessionError::SnapshotMismatch`] on an
+/// unsupported snapshot version or a non-plain record tag.
+#[deprecated(
+    since = "0.1.0",
+    note = "dispatch on the record tag instead: `kgae_core::engine::peek_any_header`"
+)]
+pub fn peek_snapshot_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionError> {
+    peek_plain_header(bytes)
 }
 
 impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
@@ -891,13 +1034,7 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
         w.u64(self.cfg.cost_model.judgments_per_label);
         w.u8(stopping_tag(self.cfg.stopping));
         // Method fingerprint.
-        w.u8(method_tag(&self.method));
-        let priors = self.method.priors().unwrap_or(&[]);
-        w.u32(priors.len() as u32);
-        for p in priors {
-            w.f64(p.a);
-            w.f64(p.b);
-        }
+        write_method_fingerprint(&mut w, &self.method);
         // RNG.
         for word in self.rng.save_state() {
             w.u64(word);
@@ -913,25 +1050,7 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
         w.f64(mmean);
         w.f64(mm2);
         // Solver state.
-        w.u64(self.solver.tracked.0);
-        w.u64(self.solver.tracked.1);
-        w.u32(self.solver.warm.len() as u32);
-        for warm in &self.solver.warm {
-            match warm {
-                Some((lo, hi)) => {
-                    w.bool(true);
-                    w.f64(*lo);
-                    w.f64(*hi);
-                }
-                None => w.bool(false),
-            }
-        }
-        w.u32(self.solver.posteriors.len() as u32);
-        for post in &self.solver.posteriors {
-            w.f64(post.alpha());
-            w.f64(post.beta());
-            w.f64(post.ln_norm());
-        }
+        write_solver(&mut w, &self.solver);
         // Cost sets (sorted ⇒ canonical bytes).
         let entities = self.cost.entity_ids_sorted();
         w.u32(entities.len() as u32);
@@ -1015,14 +1134,9 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
         let (kg, cfg, method) = (self.kg, &self.cfg, &self.method);
         let corrupt = SessionError::CorruptSnapshot;
         let mut r = Reader::new(bytes);
-        if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
-            return Err(SessionError::CorruptSnapshot("bad magic"));
-        }
-        if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
-            return Err(SessionError::SnapshotMismatch("unsupported version"));
-        }
+        let tag = read_record_prefix(&mut r)?;
         let (want_tag, want_m) = design_tag(self.design);
-        if r.u8().map_err(corrupt)? != want_tag || r.u64().map_err(corrupt)? != want_m {
+        if tag != want_tag || r.u64().map_err(corrupt)? != want_m {
             return Err(SessionError::SnapshotMismatch("sampling design differs"));
         }
         if r.u64().map_err(corrupt)? != kg.num_triples()
@@ -1044,16 +1158,7 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
         if !cfg_matches {
             return Err(SessionError::SnapshotMismatch("evaluation config differs"));
         }
-        let priors = method.priors().unwrap_or(&[]);
-        let mut method_matches = r.u8().map_err(corrupt)? == method_tag(method)
-            && r.u32().map_err(corrupt)? as usize == priors.len();
-        if method_matches {
-            for p in priors {
-                method_matches &= r.f64().map_err(corrupt)?.to_bits() == p.a.to_bits()
-                    && r.f64().map_err(corrupt)?.to_bits() == p.b.to_bits();
-            }
-        }
-        if !method_matches {
+        if !method_fingerprint_matches(&mut r, method).map_err(corrupt)? {
             return Err(SessionError::SnapshotMismatch("interval method differs"));
         }
 
@@ -1071,35 +1176,8 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
         let mn = r.u64().map_err(corrupt)?;
         let mmean = r.f64().map_err(corrupt)?;
         let mm2 = r.f64().map_err(corrupt)?;
-        let tracked = (r.u64().map_err(corrupt)?, r.u64().map_err(corrupt)?);
-        let warm_len = r.u32().map_err(corrupt)? as usize;
-        if warm_len != priors.len() {
-            return Err(SessionError::CorruptSnapshot("warm-start count mismatch"));
-        }
-        let mut warm = Vec::with_capacity(warm_len);
-        for _ in 0..warm_len {
-            warm.push(if r.bool().map_err(corrupt)? {
-                Some((r.f64().map_err(corrupt)?, r.f64().map_err(corrupt)?))
-            } else {
-                None
-            });
-        }
-        let post_len = r.u32().map_err(corrupt)? as usize;
-        if post_len != priors.len() {
-            return Err(SessionError::CorruptSnapshot("posterior count mismatch"));
-        }
-        let mut posteriors = Vec::with_capacity(post_len);
-        for _ in 0..post_len {
-            let (a, b, ln_norm) = (
-                r.f64().map_err(corrupt)?,
-                r.f64().map_err(corrupt)?,
-                r.f64().map_err(corrupt)?,
-            );
-            posteriors.push(
-                Beta::from_raw_parts(a, b, ln_norm)
-                    .map_err(|_| SessionError::CorruptSnapshot("invalid posterior parameters"))?,
-            );
-        }
+        let priors = method.priors().unwrap_or(&[]);
+        let solver = read_solver(&mut r, priors.len()).map_err(corrupt)?;
         let ent_len = r.u32().map_err(corrupt)? as usize;
         if ent_len as u64 > u64::from(kg.num_clusters()) {
             return Err(SessionError::CorruptSnapshot("too many entities"));
@@ -1144,9 +1222,7 @@ impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
             tau,
             OnlineMoments::from_raw_parts(mn, mmean, mm2),
         );
-        self.solver.tracked = tracked;
-        self.solver.warm = warm;
-        self.solver.posteriors = posteriors;
+        self.solver = solver;
         self.cost = CostTracker::from_saved(self.cfg.cost_model, &entities, &triples);
         if let Some(cache) = &mut self.cache {
             for (t, label) in triples.iter().zip(&labels) {
@@ -1527,6 +1603,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated wrapper's behavior
     fn snapshot_header_peek_reports_identity_without_resume() {
         let kg = kgae_graph::datasets::nell();
         let method = IntervalMethod::ahpd_default();

@@ -75,8 +75,8 @@
 use crate::framework::{EvalConfig, EvalResult, SamplingDesign, StoppingPolicy};
 use crate::method::IntervalMethod;
 use crate::session::{
-    method_tag, AnnotationRequest, EvaluationSession, SessionError, SessionStatus, StopReason,
-    STRATIFIED_SNAPSHOT_TAG,
+    method_fingerprint_matches, read_record_prefix, write_method_fingerprint, AnnotationRequest,
+    EvaluationSession, SessionError, SessionStatus, StopReason, STRATIFIED_SNAPSHOT_TAG,
 };
 use crate::snapshot::{Reader, Writer, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 use kgae_graph::stratify::Stratification;
@@ -376,7 +376,25 @@ impl<'a> StratifiedSession<'a> {
         }
     }
 
-    fn pooled_status(&self, reports: &[StratumReport]) -> SessionStatus {
+    /// The pooled headline alone — stratified point estimate, pooled
+    /// interval, summed counts and cost — **without** materializing
+    /// per-stratum rows (each row's status constructs that stratum's
+    /// own interval). Field-for-field identical to the `pooled` half of
+    /// [`StratifiedSession::status`]; session hosts use it on poll and
+    /// submit hot paths.
+    #[must_use]
+    pub fn headline_status(&self) -> SessionStatus {
+        if let Some((_, result)) = &self.outcome {
+            return SessionStatus {
+                estimate: Some(result.pooled.mu_hat),
+                interval: Some(result.pooled.interval),
+                observations: result.pooled.observations,
+                annotated_triples: result.pooled.annotated_triples,
+                stage1_draws: 0,
+                cost_seconds: result.pooled.cost_seconds,
+                stopped: self.stop_reason(),
+            };
+        }
         let summaries: Option<Vec<StratumSummary>> =
             (0..self.slots.len()).map(|h| self.summary(h)).collect();
         let (estimate, interval) = match summaries {
@@ -387,13 +405,28 @@ impl<'a> StratifiedSession<'a> {
             }
             None => (None, None),
         };
+        let (mut observations, mut annotated_triples, mut cost_seconds) = (0, 0, 0.0);
+        for slot in &self.slots {
+            match slot {
+                StratumSlot::Live(session) => {
+                    observations += session.sample_state().n();
+                    annotated_triples += session.annotated_triples();
+                    cost_seconds += session.cost_seconds();
+                }
+                StratumSlot::Census(result) => {
+                    observations += result.observations;
+                    annotated_triples += result.annotated_triples;
+                    cost_seconds += result.cost_seconds;
+                }
+            }
+        }
         SessionStatus {
             estimate,
             interval,
-            observations: reports.iter().map(|r| r.status.observations).sum(),
-            annotated_triples: reports.iter().map(|r| r.status.annotated_triples).sum(),
+            observations,
+            annotated_triples,
             stage1_draws: 0,
-            cost_seconds: reports.iter().map(|r| r.status.cost_seconds).sum(),
+            cost_seconds,
             stopped: self.stop_reason(),
         }
     }
@@ -406,21 +439,15 @@ impl<'a> StratifiedSession<'a> {
     pub fn status(&self) -> StratifiedStatus {
         if let Some((_, result)) = &self.outcome {
             return StratifiedStatus {
-                pooled: SessionStatus {
-                    estimate: Some(result.pooled.mu_hat),
-                    interval: Some(result.pooled.interval),
-                    observations: result.pooled.observations,
-                    annotated_triples: result.pooled.annotated_triples,
-                    stage1_draws: 0,
-                    cost_seconds: result.pooled.cost_seconds,
-                    stopped: self.stop_reason(),
-                },
+                pooled: self.headline_status(),
                 strata: result.strata.clone(),
             };
         }
         let strata: Vec<StratumReport> = (0..self.slots.len()).map(|h| self.report(h)).collect();
-        let pooled = self.pooled_status(&strata);
-        StratifiedStatus { pooled, strata }
+        StratifiedStatus {
+            pooled: self.headline_status(),
+            strata,
+        }
     }
 
     /// Effective floor of stratum `h`: the configured floor, clamped to
@@ -678,13 +705,7 @@ impl<'a> StratifiedSession<'a> {
         w.opt_u64(self.cfg.max_observations);
         w.u64(self.cfg.min_per_stratum);
         // Method fingerprint (same shape as the session snapshot's).
-        w.u8(method_tag(&self.method));
-        let priors = self.method.priors().unwrap_or(&[]);
-        w.u32(priors.len() as u32);
-        for p in priors {
-            w.f64(p.a);
-            w.f64(p.b);
-        }
+        write_method_fingerprint(&mut w, &self.method);
         // Per-stratum records.
         for slot in &self.slots {
             match slot {
@@ -724,13 +745,7 @@ impl<'a> StratifiedSession<'a> {
     ) -> Result<Self, SessionError> {
         let corrupt = SessionError::CorruptSnapshot;
         let mut r = Reader::new(bytes);
-        if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
-            return Err(SessionError::CorruptSnapshot("bad magic"));
-        }
-        if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
-            return Err(SessionError::SnapshotMismatch("unsupported version"));
-        }
-        if r.u8().map_err(corrupt)? != STRATIFIED_SNAPSHOT_TAG {
+        if read_record_prefix(&mut r)? != STRATIFIED_SNAPSHOT_TAG {
             return Err(SessionError::SnapshotMismatch(
                 "not a stratified coordinator snapshot",
             ));
@@ -756,16 +771,7 @@ impl<'a> StratifiedSession<'a> {
         if !cfg_matches {
             return Err(SessionError::SnapshotMismatch("campaign config differs"));
         }
-        let priors = method.priors().unwrap_or(&[]);
-        let mut method_matches = r.u8().map_err(corrupt)? == method_tag(method)
-            && r.u32().map_err(corrupt)? as usize == priors.len();
-        if method_matches {
-            for p in priors {
-                method_matches &= r.f64().map_err(corrupt)?.to_bits() == p.a.to_bits()
-                    && r.f64().map_err(corrupt)?.to_bits() == p.b.to_bits();
-            }
-        }
-        if !method_matches {
+        if !method_fingerprint_matches(&mut r, method).map_err(corrupt)? {
             return Err(SessionError::SnapshotMismatch("interval method differs"));
         }
         let per_stratum = cfg.per_stratum_config();
@@ -831,24 +837,29 @@ pub struct StratifiedSnapshotHeader {
 }
 
 /// Parses the identity prefix of a stratified snapshot without
-/// reconstructing the campaign — the stratified counterpart of
-/// [`crate::session::peek_snapshot_header`].
+/// reconstructing the campaign.
 ///
 /// # Errors
 ///
 /// [`SessionError::CorruptSnapshot`] on malformed bytes;
 /// [`SessionError::SnapshotMismatch`] when the bytes are a
 /// (non-stratified) session snapshot or an unsupported version.
+#[deprecated(
+    since = "0.1.0",
+    note = "dispatch on the record tag instead: `kgae_core::engine::peek_any_header`"
+)]
 pub fn peek_stratified_header(bytes: &[u8]) -> Result<StratifiedSnapshotHeader, SessionError> {
+    peek_stratified_header_impl(bytes)
+}
+
+/// Header parser behind the stratified (tag 4) row of the snapshot tag
+/// registry.
+pub(crate) fn peek_stratified_header_impl(
+    bytes: &[u8],
+) -> Result<StratifiedSnapshotHeader, SessionError> {
     let corrupt = SessionError::CorruptSnapshot;
     let mut r = Reader::new(bytes);
-    if r.bytes(8).map_err(corrupt)? != SNAPSHOT_MAGIC {
-        return Err(SessionError::CorruptSnapshot("bad magic"));
-    }
-    if r.u16().map_err(corrupt)? != SNAPSHOT_VERSION {
-        return Err(SessionError::SnapshotMismatch("unsupported version"));
-    }
-    if r.u8().map_err(corrupt)? != STRATIFIED_SNAPSHOT_TAG {
+    if read_record_prefix(&mut r)? != STRATIFIED_SNAPSHOT_TAG {
         return Err(SessionError::SnapshotMismatch(
             "not a stratified coordinator snapshot",
         ));
@@ -1055,6 +1066,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // pins the deprecated peek wrappers' behavior
     fn resume_rejects_wrong_setup() {
         let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
         let method = IntervalMethod::ahpd_default();

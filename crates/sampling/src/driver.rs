@@ -121,9 +121,97 @@ impl std::str::FromStr for AllocationPolicy {
     }
 }
 
+/// The primary interval method of a comparative session — the wire
+/// half of `compare:<primary>` designs. The roster a comparative
+/// session races is fixed (the paper's four-way comparison: Wald,
+/// Wilson, ET, aHPD); the primary names the method whose convergence
+/// stops the shared annotation stream.
+///
+/// This is a *name*, not a method: `kgae-core` maps it onto its
+/// `IntervalMethod` roster. It lives here so the design grammar stays
+/// in one crate.
+///
+/// ```
+/// use kgae_sampling::driver::ComparePrimary;
+///
+/// let p: ComparePrimary = "ahpd".parse().unwrap();
+/// assert_eq!(p, ComparePrimary::AHpd);
+/// assert_eq!(p.canonical_name(), "ahpd");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ComparePrimary {
+    /// The Wald CI drives the stopping rule.
+    Wald,
+    /// The Wilson CI drives the stopping rule.
+    Wilson,
+    /// The equal-tailed credible interval (Jeffreys prior) drives the
+    /// stopping rule.
+    Et,
+    /// The adaptive HPD algorithm drives the stopping rule (the
+    /// paper-recommended default).
+    #[default]
+    AHpd,
+}
+
+impl ComparePrimary {
+    /// Every primary, in the fixed roster order of a comparative
+    /// session's per-method rows.
+    pub const ALL: [ComparePrimary; 4] = [
+        ComparePrimary::Wald,
+        ComparePrimary::Wilson,
+        ComparePrimary::Et,
+        ComparePrimary::AHpd,
+    ];
+
+    /// The canonical lower-case wire name (also the method's canonical
+    /// `IntervalMethod` name in `kgae-core`).
+    #[must_use]
+    pub fn canonical_name(self) -> &'static str {
+        match self {
+            ComparePrimary::Wald => "wald",
+            ComparePrimary::Wilson => "wilson",
+            ComparePrimary::Et => "et",
+            ComparePrimary::AHpd => "ahpd",
+        }
+    }
+
+    /// The primary's index in the fixed roster ([`ComparePrimary::ALL`]
+    /// order) — the position of its row in comparative status reports.
+    #[must_use]
+    pub fn roster_index(self) -> usize {
+        match self {
+            ComparePrimary::Wald => 0,
+            ComparePrimary::Wilson => 1,
+            ComparePrimary::Et => 2,
+            ComparePrimary::AHpd => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for ComparePrimary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.canonical_name())
+    }
+}
+
+impl std::str::FromStr for ComparePrimary {
+    type Err = DesignParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "wald" => Ok(ComparePrimary::Wald),
+            "wilson" => Ok(ComparePrimary::Wilson),
+            "et" => Ok(ComparePrimary::Et),
+            "ahpd" => Ok(ComparePrimary::AHpd),
+            _ => Err(DesignParseError(s.to_string())),
+        }
+    }
+}
+
 /// A sampling design identified by name — the wire half of driver
 /// reconstruction. The session service receives designs as strings
-/// (`"srs"`, `"twcs:3"`, `"wcs"`, `"scs"`, `"stratified:<allocation>"`),
+/// (`"srs"`, `"twcs:3"`, `"wcs"`, `"scs"`, `"stratified:<allocation>"`,
+/// `"compare:<primary>"`),
 /// parses them into a spec and
 /// rebuilds the matching [`DesignDriver`] with [`build_driver`];
 /// `kgae-core` layers its own `SamplingDesign` conversions on top so
@@ -151,6 +239,16 @@ pub enum DesignSpec {
         /// How annotation batches are allocated across strata.
         allocation: AllocationPolicy,
     },
+    /// Comparative multi-method evaluation: one SRS annotation stream
+    /// fanned out to the full interval-method roster, stopping when the
+    /// designated primary converges. Like [`DesignSpec::Stratified`]
+    /// this is a *session-level* design (`kgae-core`'s
+    /// `ComparativeSession` owns one SRS [`DesignDriver`] and a tracker
+    /// per rival method), so [`build_driver`] rejects it.
+    Compare {
+        /// The method whose convergence stops the shared stream.
+        primary: ComparePrimary,
+    },
 }
 
 impl DesignSpec {
@@ -166,6 +264,7 @@ impl DesignSpec {
             DesignSpec::Stratified { allocation } => {
                 format!("stratified:{}", allocation.canonical_name())
             }
+            DesignSpec::Compare { primary } => format!("compare:{}", primary.canonical_name()),
         }
     }
 }
@@ -200,9 +299,10 @@ impl std::str::FromStr for DesignSpec {
 
     /// Parses a design name, case-insensitively. Accepted forms:
     /// `srs`, `wcs`, `scs`, `twcs:<m>` (canonical), the display form
-    /// `twcs(m=<m>)` used in the paper tables, and
+    /// `twcs(m=<m>)` used in the paper tables,
     /// `stratified[:<allocation>]` (allocation defaults to
-    /// `width-greedy`). `m` must be ≥ 1.
+    /// `width-greedy`), and `compare:<primary>` (primary ∈
+    /// `wald|wilson|et|ahpd`, always explicit). `m` must be ≥ 1.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lower = s.trim().to_ascii_lowercase();
         let err = || DesignParseError(s.to_string());
@@ -220,6 +320,10 @@ impl std::str::FromStr for DesignSpec {
         if let Some(alloc) = lower.strip_prefix("stratified:") {
             let allocation = alloc.parse().map_err(|_| err())?;
             return Ok(DesignSpec::Stratified { allocation });
+        }
+        if let Some(primary) = lower.strip_prefix("compare:") {
+            let primary = primary.parse().map_err(|_| err())?;
+            return Ok(DesignSpec::Compare { primary });
         }
         let m_str = lower
             .strip_prefix("twcs:")
@@ -248,10 +352,11 @@ impl std::str::FromStr for DesignSpec {
 ///
 /// # Panics
 ///
-/// Panics on [`DesignSpec::Stratified`]: stratified evaluation is a
-/// session-level design with one [`StratumSrsDriver`] per stratum,
-/// coordinated by `kgae-core`'s `StratifiedSession` — there is no
-/// single driver to build.
+/// Panics on the session-level designs: [`DesignSpec::Stratified`]
+/// (one [`StratumSrsDriver`] per stratum, coordinated by `kgae-core`'s
+/// `StratifiedSession`) and [`DesignSpec::Compare`] (one SRS driver
+/// plus per-method trackers, coordinated by `ComparativeSession`) —
+/// neither reduces to a single driver.
 #[must_use]
 pub fn build_driver<'a>(
     kg: &'a dyn KnowledgeGraph,
@@ -269,6 +374,9 @@ pub fn build_driver<'a>(
         DesignSpec::Scs => Box::new(ScsDriver::with_max_unit_size(kg, max(max_unit_size))),
         DesignSpec::Stratified { .. } => {
             panic!("stratified designs are coordinated per stratum (StratifiedSession), not built as one driver")
+        }
+        DesignSpec::Compare { .. } => {
+            panic!("comparative designs are coordinated per method (ComparativeSession), not built as one driver")
         }
     }
 }
@@ -1045,6 +1153,47 @@ mod tests {
         for bad in ["stratified:", "stratified:zipf", "stratified:widest:"] {
             assert!(bad.parse::<DesignSpec>().is_err(), "{bad:?} must not parse");
         }
+    }
+
+    #[test]
+    fn compare_design_names_round_trip() {
+        for (name, primary) in [
+            ("compare:wald", ComparePrimary::Wald),
+            ("compare:wilson", ComparePrimary::Wilson),
+            ("compare:et", ComparePrimary::Et),
+            ("compare:ahpd", ComparePrimary::AHpd),
+            ("COMPARE:AHPD", ComparePrimary::AHpd),
+        ] {
+            let spec: DesignSpec = name.parse().unwrap();
+            assert_eq!(spec, DesignSpec::Compare { primary }, "{name}");
+            assert_eq!(spec.canonical_name().parse::<DesignSpec>().unwrap(), spec);
+            assert_eq!(
+                primary.canonical_name().parse::<ComparePrimary>().unwrap(),
+                primary
+            );
+        }
+        // Roster order is the contract of per-method status rows.
+        for (i, p) in ComparePrimary::ALL.into_iter().enumerate() {
+            assert_eq!(p.roster_index(), i);
+        }
+        // The primary is always explicit: a bare "compare" is invalid.
+        for bad in ["compare", "compare:", "compare:hpd", "compare:bayes"] {
+            assert!(bad.parse::<DesignSpec>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinated per method")]
+    fn build_driver_rejects_the_compare_design() {
+        let kg = kg(&[2, 2]);
+        let _ = build_driver(
+            &kg,
+            DesignSpec::Compare {
+                primary: ComparePrimary::AHpd,
+            },
+            None,
+            None,
+        );
     }
 
     #[test]

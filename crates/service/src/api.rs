@@ -9,8 +9,8 @@
 
 use crate::json::Json;
 use kgae_core::{
-    AnnotationRequest, EvalConfig, EvalResult, IntervalMethod, SessionStatus, StopReason,
-    StratifiedConfig, StratumReport,
+    AnnotationRequest, EvalConfig, EvalResult, IntervalMethod, MethodReport, SessionStatus,
+    StopReason, StratifiedConfig, StratumReport,
 };
 use kgae_intervals::Interval;
 use kgae_sampling::driver::DesignSpec;
@@ -474,6 +474,71 @@ pub fn strata_from_json(v: &Json) -> Result<Vec<StratumReport>, WireError> {
 }
 
 // ---------------------------------------------------------------------
+// Per-method rows (comparative sessions)
+// ---------------------------------------------------------------------
+
+/// Encodes one method row of a comparative session's status.
+#[must_use]
+pub fn method_report_to_json(report: &MethodReport) -> Json {
+    Json::obj(vec![
+        ("method", Json::str(&report.method)),
+        ("primary", Json::Bool(report.primary)),
+        ("converged", Json::Bool(report.converged)),
+        (
+            "stopped_at",
+            report.stopped_at.map_or(Json::Null, Json::int),
+        ),
+        ("estimate", report.estimate.map_or(Json::Null, Json::Num)),
+        (
+            "interval",
+            report
+                .interval
+                .as_ref()
+                .map_or(Json::Null, interval_to_json),
+        ),
+    ])
+}
+
+/// Decodes one method row.
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields.
+pub fn method_report_from_json(v: &Json) -> Result<MethodReport, WireError> {
+    let interval = match v.get("interval") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(interval_from_json(field)?),
+    };
+    Ok(MethodReport {
+        method: req_str(v, "method")?,
+        primary: req_bool(v, "primary")?,
+        converged: req_bool(v, "converged")?,
+        stopped_at: opt_u64(v, "stopped_at")?,
+        estimate: opt_f64(v, "estimate")?,
+        interval,
+    })
+}
+
+/// Encodes the per-method rows of a comparative session.
+#[must_use]
+pub fn methods_to_json(methods: &[MethodReport]) -> Json {
+    Json::Arr(methods.iter().map(method_report_to_json).collect())
+}
+
+/// Decodes per-method rows.
+///
+/// # Errors
+///
+/// [`WireError`] on a non-array value or malformed rows.
+pub fn methods_from_json(v: &Json) -> Result<Vec<MethodReport>, WireError> {
+    v.as_arr()
+        .ok_or_else(|| wire_err("\"methods\" must be an array"))?
+        .iter()
+        .map(method_report_from_json)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Annotation requests
 // ---------------------------------------------------------------------
 
@@ -728,6 +793,31 @@ mod tests {
         let round = strata_from_json(&strata_to_json(&rows)).unwrap();
         assert_eq!(round, rows);
         assert!(strata_from_json(&Json::str("nope")).is_err());
+    }
+
+    #[test]
+    fn method_rows_round_trip_bit_for_bit() {
+        let rows = vec![
+            MethodReport {
+                method: "wald".into(),
+                primary: false,
+                converged: true,
+                stopped_at: Some(132),
+                estimate: Some(0.916_666_666_666_666_7),
+                interval: Some(Interval::new(0.869_4, 0.963_9)),
+            },
+            MethodReport {
+                method: "ahpd".into(),
+                primary: true,
+                converged: false,
+                stopped_at: None,
+                estimate: None,
+                interval: None,
+            },
+        ];
+        let round = methods_from_json(&methods_to_json(&rows)).unwrap();
+        assert_eq!(round, rows);
+        assert!(methods_from_json(&Json::str("nope")).is_err());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The multi-tenant session registry: many named evaluation campaigns,
 //! few locks, tiny dormant footprint.
 //!
-//! A [`SessionManager`] hosts any number of named
-//! [`EvaluationSession`]s over the datasets of a shared
+//! A [`SessionManager`] hosts any number of named evaluation campaigns
+//! — plain, stratified or comparative, every kind behind one
+//! `Box<dyn SessionEngine>` — over the datasets of a shared
 //! [`DatasetRegistry`]. The registry of sessions is **sharded and
 //! lock-striped**: an id hashes to one of N shards, each guarded by its
 //! own mutex, so concurrent traffic on different campaigns contends
@@ -32,13 +33,14 @@ use crate::json::Json;
 use crate::store::{valid_session_id, SnapshotStore, StoredSession};
 use crate::{api, json};
 use kgae_core::{
-    AnnotationRequest, EvalResult, EvaluationSession, PreparedDesign, SamplingDesign, SessionError,
-    SessionStatus, StopReason, StratifiedSession, StratumReport,
+    compared_methods, AnnotationRequest, EngineSpec, EvalConfig, EvalResult, IntervalMethod,
+    MethodReport, PreparedDesign, SamplingDesign, SessionEngine, SessionError, SessionStatus,
+    StopReason, StratifiedConfig, StratumReport,
 };
 use kgae_graph::stratify::Stratification;
 use kgae_graph::{CompactKg, KnowledgeGraph};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use kgae_sampling::driver::DesignSpec;
+use kgae_sampling::ComparePrimary;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -320,108 +322,25 @@ pub struct SessionView {
     /// The stratum of the outstanding request (stratified sessions with
     /// labels owed).
     pub pending_stratum: Option<(u32, String)>,
-    /// The engine status — the *pooled* view for stratified sessions
-    /// (cached at suspension time for dormant sessions).
+    /// The engine status — the headline view for every engine kind
+    /// (pooled for stratified sessions, the primary method's for
+    /// comparative ones; cached at suspension time for dormant
+    /// sessions).
     pub status: SessionStatus,
     /// Per-stratum rows (stratified sessions only).
     pub strata: Option<Vec<StratumReport>>,
+    /// Per-method rows (comparative sessions only).
+    pub methods: Option<Vec<MethodReport>>,
     /// Snapshot size on disk, for suspended/evicted sessions.
     pub snapshot_bytes: Option<u64>,
 }
 
-/// The engine behind a live slot: one evaluation session, or the
-/// stratified coordinator over many. Unifies exactly the protocol
-/// surface the manager drives, so every lifecycle path (poll, submit,
-/// suspend, evict, finalize) is written once. Variants are boxed: the
-/// enum lives inside every map slot and the engines are hundreds of
-/// bytes each.
-enum Engine<'a> {
-    Plain(Box<EvaluationSession<'a, SmallRng>>),
-    Stratified(Box<StratifiedSession<'a>>),
-}
-
-impl<'a> Engine<'a> {
-    fn has_pending_request(&self) -> bool {
-        match self {
-            Engine::Plain(session) => session.has_pending_request(),
-            Engine::Stratified(session) => session.has_pending_request(),
-        }
-    }
-
-    /// Polls the engine; stratified requests come back with the
-    /// stratum the batch belongs to.
-    #[allow(clippy::type_complexity)]
-    fn next_request(
-        &mut self,
-        max_units: u64,
-    ) -> Result<Option<(AnnotationRequest, Option<(u32, String)>)>, SessionError> {
-        match self {
-            Engine::Plain(session) => Ok(session.next_request(max_units)?.map(|r| (r, None))),
-            Engine::Stratified(session) => Ok(session
-                .next_request(max_units)?
-                .map(|r| (r.request, Some((r.stratum, r.name))))),
-        }
-    }
-
-    fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
-        match self {
-            Engine::Plain(session) => session.submit(labels),
-            Engine::Stratified(session) => session.submit(labels),
-        }
-    }
-
-    /// The session-shaped status (the pooled view for stratified
-    /// engines) together with the per-stratum rows (`None` for plain
-    /// engines). One call: a stratified status computes every
-    /// stratum's interval, so callers needing both must not pay twice.
-    fn full_status(&self) -> (SessionStatus, Option<Vec<StratumReport>>) {
-        match self {
-            Engine::Plain(session) => (session.status(), None),
-            Engine::Stratified(session) => {
-                let status = session.status();
-                (status.pooled, Some(status.strata))
-            }
-        }
-    }
-
-    fn stop_reason(&self) -> Option<StopReason> {
-        match self {
-            Engine::Plain(session) => session.stop_reason(),
-            Engine::Stratified(session) => session.stop_reason(),
-        }
-    }
-
-    fn snapshot(&self) -> Result<Vec<u8>, SessionError> {
-        match self {
-            Engine::Plain(session) => session.snapshot(),
-            Engine::Stratified(session) => session.snapshot(),
-        }
-    }
-
-    /// Consumes a stopped engine into its finished form.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the engine has not stopped.
-    fn into_finished(self) -> (StopReason, EvalResult, Option<Vec<StratumReport>>) {
-        match self {
-            Engine::Plain(session) => {
-                let reason = session.stop_reason().expect("engine has stopped");
-                let result = session.into_result().expect("stopped engine has a result");
-                (reason, result, None)
-            }
-            Engine::Stratified(session) => {
-                let reason = session.stop_reason().expect("engine has stopped");
-                let result = session.into_result().expect("stopped engine has a result");
-                (reason, result.pooled, Some(result.strata))
-            }
-        }
-    }
-}
-
 struct Live<'a> {
     spec: SessionSpec,
-    engine: Engine<'a>,
+    /// The engine behind the slot, whichever kind the spec denotes.
+    /// Every lifecycle path (poll, submit, status, suspend, evict,
+    /// finalize) is written once against this trait object.
+    engine: Box<dyn SessionEngine + 'a>,
     /// The outstanding annotation request, kept so a re-poll (e.g. an
     /// annotator that lost the response) is served the identical batch
     /// instead of a protocol error.
@@ -444,6 +363,7 @@ struct Dormant {
     spec: SessionSpec,
     status: SessionStatus,
     strata: Option<Vec<StratumReport>>,
+    methods: Option<Vec<MethodReport>>,
     snapshot_bytes: u64,
 }
 
@@ -452,12 +372,76 @@ struct FinishedSlot {
     reason: StopReason,
     result: EvalResult,
     strata: Option<Vec<StratumReport>>,
+    methods: Option<Vec<MethodReport>>,
 }
 
 enum Slot<'a> {
     Live(Box<Live<'a>>),
     Suspended(Box<Dormant>),
     Finished(Box<FinishedSlot>),
+}
+
+/// Owned engine-construction resources derived from a [`SessionSpec`]
+/// once — the values an [`EngineSpec`] borrows for both fresh builds
+/// and registry-dispatched snapshot resumes.
+enum Blueprint<'a> {
+    Plain {
+        kg: &'a CompactKg,
+        prepared: Arc<PreparedDesign>,
+        config: EvalConfig,
+    },
+    Stratified {
+        kg: &'a CompactKg,
+        stratification: Stratification,
+        config: StratifiedConfig,
+    },
+    Comparative {
+        kg: &'a CompactKg,
+        prepared: Arc<PreparedDesign>,
+        primary: ComparePrimary,
+        config: EvalConfig,
+    },
+}
+
+impl<'a> Blueprint<'a> {
+    fn engine_spec<'r>(&'r self, method: &'r IntervalMethod, seed: u64) -> EngineSpec<'a, 'r> {
+        match self {
+            Blueprint::Plain {
+                kg,
+                prepared,
+                config,
+            } => EngineSpec::Plain {
+                kg: *kg,
+                prepared,
+                method,
+                config,
+                seed,
+            },
+            Blueprint::Stratified {
+                kg,
+                stratification,
+                config,
+            } => EngineSpec::Stratified {
+                kg: *kg,
+                stratification,
+                method,
+                config,
+                seed,
+            },
+            Blueprint::Comparative {
+                kg,
+                prepared,
+                primary,
+                config,
+            } => EngineSpec::Comparative {
+                kg: *kg,
+                prepared,
+                primary: *primary,
+                config,
+                seed,
+            },
+        }
+    }
 }
 
 fn finished_status(reason: StopReason, result: &EvalResult) -> SessionStatus {
@@ -481,19 +465,46 @@ impl Slot<'_> {
         }
     }
 
+    /// The full view, per-row breakdowns included.
     fn view(&self) -> SessionView {
+        self.view_impl(false)
+    }
+
+    /// The poll/submit hot-path view: live engines report the headline
+    /// status only — no per-stratum/per-method rows, each of which
+    /// costs an interval construction per call on a unit-granular
+    /// stream. Dormant and finished slots return their cached rows
+    /// unchanged (a clone, not a computation).
+    fn view_brief(&self) -> SessionView {
+        self.view_impl(true)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn view_impl(&self, brief: bool) -> SessionView {
         let spec = self.spec();
-        let (state, pending, pending_seq, pending_stratum, status, strata, snapshot_bytes) =
+        let (state, pending, pending_seq, pending_stratum, status, strata, methods, snapshot_bytes) =
             match self {
                 Slot::Live(live) => {
-                    let (status, strata) = live.engine.full_status();
+                    // One status call: a stratified/comparative status
+                    // computes every row's interval, so the view must
+                    // not pay twice — and the brief view not at all.
+                    let view = if brief {
+                        kgae_core::SessionStatusView {
+                            primary: live.engine.headline(),
+                            strata: None,
+                            methods: None,
+                        }
+                    } else {
+                        live.engine.status()
+                    };
                     (
                         SessionState::Running,
                         live.pending_labels(),
                         live.pending.as_ref().map(|_| live.seq),
                         live.pending_stratum.clone(),
-                        status,
-                        strata,
+                        view.primary,
+                        view.strata,
+                        view.methods,
                         None,
                     )
                 }
@@ -504,6 +515,7 @@ impl Slot<'_> {
                     None,
                     dormant.status.clone(),
                     dormant.strata.clone(),
+                    dormant.methods.clone(),
                     Some(dormant.snapshot_bytes),
                 ),
                 Slot::Finished(finished) => (
@@ -513,6 +525,7 @@ impl Slot<'_> {
                     None,
                     finished_status(finished.reason, &finished.result),
                     finished.strata.clone(),
+                    finished.methods.clone(),
                     None,
                 ),
             };
@@ -527,6 +540,7 @@ impl Slot<'_> {
             pending_stratum,
             status,
             strata,
+            methods,
             snapshot_bytes,
         }
     }
@@ -541,6 +555,7 @@ fn meta_encode(
     state: SessionState,
     status: &SessionStatus,
     strata: Option<&[StratumReport]>,
+    methods: Option<&[MethodReport]>,
     finished: Option<(StopReason, &EvalResult)>,
 ) -> String {
     let mut doc = Json::obj(vec![
@@ -550,6 +565,9 @@ fn meta_encode(
     ]);
     if let Some(strata) = strata {
         doc.set("strata", api::strata_to_json(strata));
+    }
+    if let Some(methods) = methods {
+        doc.set("methods", api::methods_to_json(methods));
     }
     if let Some((reason, result)) = finished {
         doc.set("reason", Json::str(api::stop_reason_name(reason)));
@@ -563,6 +581,7 @@ struct MetaRecord {
     state: SessionState,
     status: SessionStatus,
     strata: Option<Vec<StratumReport>>,
+    methods: Option<Vec<MethodReport>>,
     finished: Option<(StopReason, EvalResult)>,
 }
 
@@ -591,6 +610,10 @@ fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
         None | Some(Json::Null) => None,
         Some(field) => Some(api::strata_from_json(field).map_err(|e| corrupt(e.to_string()))?),
     };
+    let methods = match doc.get("methods") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(api::methods_from_json(field).map_err(|e| corrupt(e.to_string()))?),
+    };
     let finished = if state == SessionState::Finished {
         let reason = doc
             .get("reason")
@@ -613,6 +636,7 @@ fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
         state,
         status,
         strata,
+        methods,
         finished,
     })
 }
@@ -684,11 +708,6 @@ impl<'a> SessionManager<'a> {
             .clone())
     }
 
-    /// The single-driver design of a non-stratified spec.
-    fn plain_design(spec: &SessionSpec) -> ServiceResult<SamplingDesign> {
-        SamplingDesign::try_from(spec.design).map_err(|e| ServiceError::BadRequest(e.to_string()))
-    }
-
     /// Reconstructs the partition a stratified spec denotes — the
     /// dataset's built-in predicate partition, or a deterministic hash
     /// partition. Both rebuild bit-identically from the spec, which is
@@ -722,35 +741,63 @@ impl<'a> SessionManager<'a> {
         }
     }
 
-    fn build_engine(&self, spec: &SessionSpec) -> ServiceResult<Engine<'a>> {
+    /// Derives the owned engine-construction resources a spec denotes —
+    /// the single spec → engine path shared by `create` (fresh build)
+    /// and rehydration (registry-dispatched resume).
+    fn blueprint(&self, spec: &SessionSpec) -> ServiceResult<Blueprint<'a>> {
         let kg = self
             .registry
             .get(&spec.dataset)
             .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
-        if let Some(cfg) = spec.stratified_config() {
-            let strat = self.resolve_stratification(spec)?;
-            return Ok(Engine::Stratified(Box::new(StratifiedSession::new(
+        match spec.design {
+            DesignSpec::Stratified { .. } => Ok(Blueprint::Stratified {
                 kg,
-                &strat,
-                &spec.method,
-                &cfg,
-                spec.seed,
-            ))));
+                stratification: self.resolve_stratification(spec)?,
+                config: spec
+                    .stratified_config()
+                    .expect("stratified design has a campaign config"),
+            }),
+            DesignSpec::Compare { primary } => {
+                // The primary is named by the design; the spec's method
+                // field must agree so the wire has one source of truth.
+                let expected = &compared_methods()[primary.roster_index()];
+                if spec.method != *expected {
+                    return Err(ServiceError::BadRequest(format!(
+                        "design {:?} designates primary method {:?}; \
+                         the \"method\" field says {:?}",
+                        spec.design.canonical_name(),
+                        expected.canonical_name(),
+                        spec.method.canonical_name()
+                    )));
+                }
+                Ok(Blueprint::Comparative {
+                    kg,
+                    // The comparative wire design fixes the shared
+                    // stream to SRS (the core engine also supports
+                    // cluster streams).
+                    prepared: self.prepared_for(&spec.dataset, SamplingDesign::Srs)?,
+                    primary,
+                    config: spec.eval_config(),
+                })
+            }
+            _ => {
+                let design = SamplingDesign::try_from(spec.design)
+                    .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
+                Ok(Blueprint::Plain {
+                    kg,
+                    prepared: self.prepared_for(&spec.dataset, design)?,
+                    config: spec.eval_config(),
+                })
+            }
         }
-        let prepared = self.prepared_for(&spec.dataset, Self::plain_design(spec)?)?;
-        Ok(Engine::Plain(Box::new(EvaluationSession::from_prepared(
-            kg,
-            &prepared,
-            &spec.method,
-            &spec.eval_config(),
-            SmallRng::seed_from_u64(spec.seed),
-        ))))
     }
 
     fn build_live(&self, spec: &SessionSpec) -> ServiceResult<Live<'a>> {
+        let blueprint = self.blueprint(spec)?;
+        let engine = blueprint.engine_spec(&spec.method, spec.seed).build();
         Ok(Live {
             spec: spec.clone(),
-            engine: self.build_engine(spec)?,
+            engine,
             pending: None,
             pending_stratum: None,
             seq: 0,
@@ -758,32 +805,13 @@ impl<'a> SessionManager<'a> {
     }
 
     fn rehydrate(&self, spec: &SessionSpec, snapshot: &[u8]) -> ServiceResult<Live<'a>> {
-        let kg = self
-            .registry
-            .get(&spec.dataset)
-            .ok_or_else(|| ServiceError::UnknownDataset(spec.dataset.clone()))?;
-        let engine = if let Some(cfg) = spec.stratified_config() {
-            let strat = self.resolve_stratification(spec)?;
-            Engine::Stratified(Box::new(StratifiedSession::resume(
-                kg,
-                &strat,
-                &spec.method,
-                &cfg,
-                snapshot,
-            )?))
-        } else {
-            let prepared = self.prepared_for(&spec.dataset, Self::plain_design(spec)?)?;
-            // The RNG passed here is immediately overwritten from the
-            // snapshot; the seed is irrelevant.
-            Engine::Plain(Box::new(EvaluationSession::resume(
-                kg,
-                &prepared,
-                &spec.method,
-                &spec.eval_config(),
-                SmallRng::seed_from_u64(0),
-                snapshot,
-            )?))
-        };
+        let blueprint = self.blueprint(spec)?;
+        // Registry-dispatched: the snapshot's record tag is validated
+        // against the engine kind the spec denotes before any
+        // kind-specific parsing, and every fingerprint after that.
+        let engine = blueprint
+            .engine_spec(&spec.method, spec.seed)
+            .resume(snapshot)?;
         Ok(Live {
             spec: spec.clone(),
             engine,
@@ -806,6 +834,7 @@ impl<'a> SessionManager<'a> {
                     reason,
                     result,
                     strata: meta.strata,
+                    methods: meta.methods,
                 })))
             }
             _ => {
@@ -860,14 +889,18 @@ impl<'a> SessionManager<'a> {
             unreachable!("finalize requires a live slot")
         };
         let spec = live.spec;
-        let (reason, result, strata) = live.engine.into_finished();
+        let outcome = live
+            .engine
+            .into_outcome()
+            .expect("finalize requires a stopped engine");
         shard.insert(
             id.to_string(),
             Slot::Finished(Box::new(FinishedSlot {
                 spec,
-                reason,
-                result,
-                strata,
+                reason: outcome.reason,
+                result: outcome.result,
+                strata: outcome.strata,
+                methods: outcome.methods,
             })),
         );
     }
@@ -908,6 +941,10 @@ impl<'a> SessionManager<'a> {
     /// original size), so an annotator that lost the response can
     /// recover instead of wedging the campaign.
     ///
+    /// The returned view is the **headline** view: per-stratum /
+    /// per-method rows are omitted on this hot path (each row costs an
+    /// interval construction); read them via [`SessionManager::status`].
+    ///
     /// # Errors
     ///
     /// [`ServiceError::UnknownSession`],
@@ -935,16 +972,16 @@ impl<'a> SessionManager<'a> {
         };
         if let Some(outstanding) = &live.pending {
             let request = outstanding.clone();
-            let view = shard.get(id).expect("slot exists").view();
+            let view = shard.get(id).expect("slot exists").view_brief();
             return Ok((Some(request), view));
         }
         let polled = live.engine.next_request(max_units)?;
         let request = match polled {
-            Some((request, stratum)) => {
+            Some(polled) => {
                 live.seq += 1;
-                live.pending = Some(request.clone());
-                live.pending_stratum = stratum;
-                Some(request)
+                live.pending = Some(polled.request.clone());
+                live.pending_stratum = polled.stratum;
+                Some(polled.request)
             }
             None => {
                 live.pending = None;
@@ -955,7 +992,7 @@ impl<'a> SessionManager<'a> {
                 None
             }
         };
-        let view = shard.get(id).expect("slot exists").view();
+        let view = shard.get(id).expect("slot exists").view_brief();
         Ok((request, view))
     }
 
@@ -967,6 +1004,9 @@ impl<'a> SessionManager<'a> {
     /// drivers racing on one session can never smuggle stale labels
     /// onto a newer batch. `None` skips the check (single-driver
     /// callers).
+    ///
+    /// Like polls, the returned view is the **headline** view (no
+    /// per-stratum / per-method rows).
     ///
     /// # Errors
     ///
@@ -996,7 +1036,7 @@ impl<'a> SessionManager<'a> {
         if live.engine.stop_reason().is_some() {
             Self::finalize(&mut shard, id);
         }
-        Ok(shard.get(id).expect("slot exists").view())
+        Ok(shard.get(id).expect("slot exists").view_brief())
     }
 
     /// The session's current view. Never rehydrates: dormant sessions
@@ -1027,6 +1067,7 @@ impl<'a> SessionManager<'a> {
             pending_stratum: None,
             status: meta.status,
             strata: meta.strata,
+            methods: meta.methods,
             snapshot_bytes: record.snapshot.as_ref().map(|s| s.len() as u64),
         })
     }
@@ -1052,20 +1093,22 @@ impl<'a> SessionManager<'a> {
                     return Err(ServiceError::RequestOutstanding(id.to_string()));
                 }
                 let snapshot = live.engine.snapshot()?;
-                let (status, strata) = live.engine.full_status();
+                let view = live.engine.status();
                 let spec = live.spec.clone();
                 let meta = meta_encode(
                     &spec,
                     SessionState::Suspended,
-                    &status,
-                    strata.as_deref(),
+                    &view.primary,
+                    view.strata.as_deref(),
+                    view.methods.as_deref(),
                     None,
                 );
                 self.store.save(id, &meta, Some(&snapshot))?;
                 let dormant = Dormant {
                     spec,
-                    status,
-                    strata,
+                    status: view.primary,
+                    strata: view.strata,
+                    methods: view.methods,
                     snapshot_bytes: snapshot.len() as u64,
                 };
                 shard.insert(id.to_string(), Slot::Suspended(Box::new(dormant)));
@@ -1136,12 +1179,13 @@ impl<'a> SessionManager<'a> {
                     return Err(ServiceError::RequestOutstanding(id.to_string()));
                 }
                 let snapshot = live.engine.snapshot()?;
-                let (status, strata) = live.engine.full_status();
+                let view = live.engine.status();
                 let meta = meta_encode(
                     &live.spec,
                     SessionState::Suspended,
-                    &status,
-                    strata.as_deref(),
+                    &view.primary,
+                    view.strata.as_deref(),
+                    view.methods.as_deref(),
                     None,
                 );
                 self.store.save(id, &meta, Some(&snapshot))?;
@@ -1160,6 +1204,7 @@ impl<'a> SessionManager<'a> {
                     SessionState::Finished,
                     &status,
                     finished.strata.as_deref(),
+                    finished.methods.as_deref(),
                     Some((finished.reason, &finished.result)),
                 );
                 self.store.save(id, &meta, None)?;

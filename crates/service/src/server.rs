@@ -251,6 +251,9 @@ pub fn view_to_json(view: &SessionView) -> Json {
     if let Some(strata) = &view.strata {
         doc.set("strata", api::strata_to_json(strata));
     }
+    if let Some(methods) = &view.methods {
+        doc.set("methods", api::methods_to_json(methods));
+    }
     doc
 }
 

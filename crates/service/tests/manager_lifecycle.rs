@@ -333,6 +333,74 @@ fn stratified_hash_mode_works_on_any_dataset_and_bad_specs_are_typed() {
 }
 
 #[test]
+fn comparative_campaigns_report_method_rows_and_round_trip_snapshots() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("comparative"), 4);
+    let kg = registry.get("nell").unwrap();
+
+    // The straight-through reference: a plain aHPD/SRS session of the
+    // same seed (the comparative primary must match it bit for bit).
+    manager.create(&spec("solo", "nell", "srs", 23)).unwrap();
+    let (_, solo) = drive(&manager, &registry, "solo", "nell", 16);
+
+    manager
+        .create(&spec("race", "nell", "compare:ahpd", 23))
+        .unwrap();
+    let view = manager.status("race").unwrap();
+    assert_eq!(view.design, "compare:ahpd");
+    let rows = view.methods.as_ref().expect("comparative rows");
+    assert_eq!(rows.len(), 4);
+    assert!(rows[3].primary);
+
+    // Drive with a mid-flight suspend → evict → resume byte-identity
+    // check through the unified engine path.
+    let mut units = 0u64;
+    loop {
+        let (request, view) = manager.next_request("race", 16).unwrap();
+        let Some(request) = request else { break };
+        let labels: Vec<bool> = request
+            .triples
+            .iter()
+            .map(|st| kg.is_correct(st.triple))
+            .collect();
+        manager.submit("race", &labels, view.pending_seq).unwrap();
+        units += 1;
+        if units == 25 {
+            manager.suspend("race").unwrap();
+            let before = manager.snapshot_bytes("race").unwrap();
+            manager.evict("race").unwrap();
+            manager.resume("race").unwrap();
+            manager.suspend("race").unwrap();
+            let after = manager.snapshot_bytes("race").unwrap();
+            assert_eq!(before, after, "comparative snapshot bytes diverged");
+            manager.resume("race").unwrap();
+        }
+    }
+    let (reason, result) = manager.final_result("race").unwrap();
+    assert_eq!(reason, StopReason::MoeSatisfied);
+    assert_eq!(result, solo, "primary diverged from the standalone run");
+
+    // Finished comparative sessions keep their method rows across
+    // eviction (meta-only record).
+    manager.evict("race").unwrap();
+    let view = manager.status("race").unwrap();
+    assert_eq!(view.state, SessionState::Evicted);
+    let rows = view.methods.as_ref().expect("rows survive eviction");
+    assert_eq!(rows.len(), 4);
+    assert!(rows[3].converged && rows[3].stopped_at == Some(result.observations));
+
+    // A comparative spec whose method field disagrees with the design's
+    // primary is a typed 400, not a silent override.
+    let mut bad = spec("bad", "nell", "compare:wald", 1);
+    bad.method = IntervalMethod::ahpd_default();
+    assert!(matches!(
+        manager.create(&bad),
+        Err(ServiceError::BadRequest(_))
+    ));
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+#[test]
 fn error_paths_are_typed() {
     let registry = DatasetRegistry::standard();
     let manager = SessionManager::new(&registry, temp_store("errors"), 2);

@@ -18,7 +18,10 @@
 //!   and HPD intervals with Kerman/Jeffreys/Uniform/informative priors;
 //! * [`core`] — the iterative evaluation framework, the cost model, the
 //!   aHPD algorithm, stratified (per-predicate) campaign coordination,
-//!   and the repeated-run experiment harness;
+//!   comparative multi-method campaigns (one annotation stream racing
+//!   every interval method), the object-safe `SessionEngine` trait
+//!   with its snapshot tag registry, and the repeated-run experiment
+//!   harness;
 //! * [`service`] — the multi-tenant session server: a sharded
 //!   `SessionManager` with snapshot-backed persistence behind a
 //!   std-only HTTP/1.1 + JSON API (`kgae-serve` binary; the
