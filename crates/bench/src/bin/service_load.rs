@@ -12,8 +12,16 @@
 //! compared, and the interrupted campaign's final status must equal an
 //! uninterrupted same-seed run.
 //!
+//! A second, fault-injected leg then reruns campaigns through a seeded
+//! chaos proxy that tears and drops HTTP responses mid-flight; the
+//! clients ride a [`RetryPolicy`] and the submit fence, and every
+//! chaotic campaign's final status must equal a fault-free same-seed
+//! twin — zero lost batches, zero double-applied batches. Its numbers
+//! land in the `fault_load` row of `BENCH_eval.json`.
+//!
 //! ```text
 //! service_load [--clients N] [--reps R] [--batch B] [--workers W]
+//!              [--fault-clients N] [--fault-reps R]
 //!              [--out PATH]            # load mode (default)
 //! service_load --smoke [--port P]     # CI smoke: one campaign + parity
 //! ```
@@ -22,7 +30,7 @@
 //! CI run.
 
 use kgae_bench::arg_value;
-use kgae_client::Client;
+use kgae_client::{Client, ClientError, RetryPolicy};
 use kgae_core::StopReason;
 use kgae_graph::{CompactKg, GroundTruth, TripleId};
 use kgae_service::api::SessionSpec;
@@ -30,7 +38,119 @@ use kgae_service::json::{self, Json};
 use kgae_service::manager::{DatasetRegistry, SessionState};
 use kgae_service::{Server, SessionManager, SnapshotStore};
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A seeded chaos proxy: forwards TCP byte streams between the clients
+/// and the real server, but on a seeded schedule tears a server
+/// response mid-bytes (forwarding a random prefix, possibly empty) and
+/// kills the connection — exactly the ambiguous "did my request
+/// execute?" failure the retry layer must survive. Requests reach the
+/// server verbatim; only the response direction is faulted, so every
+/// injected fault is a *lost response to an executed request*, the
+/// worst case for exactly-once submission.
+mod chaos {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::{Read, Write};
+    use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    pub struct Proxy {
+        addr: SocketAddr,
+        faults: Arc<AtomicU64>,
+        stop: Arc<AtomicBool>,
+    }
+
+    impl Proxy {
+        /// Boots the proxy on an ephemeral port in front of `upstream`.
+        /// Each chunk read from the server fires a fault with
+        /// probability `fault_prob`, drawn from one RNG seeded with
+        /// `seed` (shared across connections, so the schedule is
+        /// reproducible for a single client and statistically stable
+        /// under concurrency).
+        pub fn spawn(upstream: SocketAddr, seed: u64, fault_prob: f64) -> std::io::Result<Proxy> {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            let faults = Arc::new(AtomicU64::new(0));
+            let stop = Arc::new(AtomicBool::new(false));
+            let rng = Arc::new(Mutex::new(SmallRng::seed_from_u64(seed)));
+            {
+                let (faults, stop) = (Arc::clone(&faults), Arc::clone(&stop));
+                std::thread::spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(down) = conn else { continue };
+                        let Ok(up) = TcpStream::connect(upstream) else {
+                            continue;
+                        };
+                        let (Ok(down2), Ok(up2)) = (down.try_clone(), up.try_clone()) else {
+                            continue;
+                        };
+                        // Client → server: forwarded verbatim.
+                        std::thread::spawn(move || pump(down, up, None));
+                        // Server → client: rides the fault schedule.
+                        let schedule = Some((Arc::clone(&rng), fault_prob, Arc::clone(&faults)));
+                        std::thread::spawn(move || pump(up2, down2, schedule));
+                    }
+                });
+            }
+            Ok(Proxy { addr, faults, stop })
+        }
+
+        pub fn addr(&self) -> SocketAddr {
+            self.addr
+        }
+
+        pub fn faults(&self) -> u64 {
+            self.faults.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Drop for Proxy {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so the thread notices the flag.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    type Schedule = (Arc<Mutex<SmallRng>>, f64, Arc<AtomicU64>);
+
+    fn pump(mut from: TcpStream, mut to: TcpStream, schedule: Option<Schedule>) {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let n = match from.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => n,
+            };
+            if let Some((rng, prob, faults)) = &schedule {
+                let (fire, cut) = {
+                    let mut rng = rng
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    (rng.gen_bool(*prob), rng.gen_range(0..n))
+                };
+                if fire {
+                    faults.fetch_add(1, Ordering::SeqCst);
+                    // Tear: a prefix (possibly empty) gets through,
+                    // then the connection dies mid-response.
+                    let _ = to.write_all(&buf[..cut]);
+                    break;
+                }
+            }
+            if to.write_all(&buf[..n]).is_err() {
+                break;
+            }
+        }
+        // Killing both directions of both sockets also stops the
+        // sibling pump thread for this connection.
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    }
+}
 
 fn spec(id: &str, seed: u64) -> SessionSpec {
     SessionSpec {
@@ -43,6 +163,7 @@ fn spec(id: &str, seed: u64) -> SessionSpec {
         epsilon: 0.05,
         max_observations: None,
         stratify: None,
+        tenant: None,
     }
 }
 
@@ -64,11 +185,19 @@ fn run_campaign(
         calls += 1;
         Ok(())
     };
-    timed(&mut || {
-        client
-            .create(&spec(id, seed))
+    timed(&mut || match client.create(&spec(id, seed)) {
+        Ok(_) => Ok(()),
+        // A replayed create after a lost response: 409 `session_exists`
+        // proves the first one landed — confirm by reading it back.
+        Err(ClientError::Api {
+            status: 409,
+            ref code,
+            ..
+        }) if code.as_deref() == Some("session_exists") => client
+            .status(id)
             .map(|_| ())
-            .map_err(|e| format!("create {id}: {e}"))
+            .map_err(|e| format!("create-verify {id}: {e}")),
+        Err(e) => Err(format!("create {id}: {e}")),
     })?;
     loop {
         let mut done = false;
@@ -278,9 +407,123 @@ fn run_load(
     })
 }
 
-/// Merges the `service_load` row into the benchmark JSON, bumping it to
-/// schema 5 (creates a minimal document when the file is absent).
-fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
+struct FaultLoadReport {
+    clients: u64,
+    sessions: u64,
+    faults: u64,
+    fault_prob: f64,
+}
+
+fn chaos_seed(c: u64, r: u64) -> u64 {
+    0xC4A0_0000 + c * 1000 + r
+}
+
+/// The retry posture for clients living behind the chaos proxy: fast,
+/// persistent, and with per-client jitter streams so their backoff
+/// schedules don't synchronize.
+fn chaos_policy(c: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 16,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(50),
+        deadline: Duration::from_secs(120),
+        jitter_seed: 0xC4A0 + c,
+    }
+}
+
+/// The fault-injected leg: `clients × reps` campaigns run behind the
+/// chaos proxy with retry policies attached, then the same seeds rerun
+/// fault-free on a direct connection. Every chaotic campaign's final
+/// status must equal its twin's — a lost batch or a double-applied
+/// batch diverges the observation count or the estimate, so equality is
+/// the zero-lost / zero-duplicated proof.
+fn run_fault_load(
+    addr: SocketAddr,
+    kg: &CompactKg,
+    clients: u64,
+    reps: u64,
+    batch: u64,
+) -> Result<FaultLoadReport, String> {
+    const FAULT_PROB: f64 = 0.12;
+    let proxy = chaos::Proxy::spawn(addr, 0xC4A0_5EED, FAULT_PROB)
+        .map_err(|e| format!("chaos proxy: {e}"))?;
+    let proxied = proxy.addr();
+    let outcomes: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect(proxied)
+                        .map_err(|e| format!("chaos client {c} connect: {e}"))?
+                        .with_retry(chaos_policy(c));
+                    let mut scratch = Vec::new();
+                    for r in 0..reps {
+                        let id = format!("chaos-c{c}-r{r}");
+                        run_campaign(&mut client, kg, &id, chaos_seed(c, r), batch, &mut scratch)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("chaos client thread"))
+            .collect()
+    });
+    for outcome in outcomes {
+        outcome?;
+    }
+    let faults = proxy.faults();
+    drop(proxy);
+    if faults == 0 {
+        return Err("chaos proxy injected zero faults — the leg proved nothing".into());
+    }
+
+    let mut direct = Client::connect(addr).map_err(|e| format!("twin connect: {e}"))?;
+    let mut scratch = Vec::new();
+    for c in 0..clients {
+        for r in 0..reps {
+            let twin_id = format!("chaos-twin-c{c}-r{r}");
+            run_campaign(
+                &mut direct,
+                kg,
+                &twin_id,
+                chaos_seed(c, r),
+                batch,
+                &mut scratch,
+            )?;
+            let chaotic_id = format!("chaos-c{c}-r{r}");
+            let chaotic = direct
+                .status(&chaotic_id)
+                .map_err(|e| format!("status {chaotic_id}: {e}"))?;
+            let twin = direct
+                .status(&twin_id)
+                .map_err(|e| format!("status {twin_id}: {e}"))?;
+            if chaotic.status != twin.status {
+                return Err(format!(
+                    "campaign {chaotic_id} diverged from its fault-free twin under \
+                     injected faults (a batch was lost or double-applied):\n  \
+                     chaotic {:?}\n  twin {:?}",
+                    chaotic.status, twin.status
+                ));
+            }
+        }
+    }
+    Ok(FaultLoadReport {
+        clients,
+        sessions: clients * reps,
+        faults,
+        fault_prob: FAULT_PROB,
+    })
+}
+
+/// Merges the `service_load` and `fault_load` rows into the benchmark
+/// JSON, bumping it to schema 5 (creates a minimal document when the
+/// file is absent).
+fn write_report(
+    out_path: &str,
+    report: &LoadReport,
+    fault: &FaultLoadReport,
+) -> Result<(), String> {
     let mut doc = match std::fs::read_to_string(out_path) {
         Ok(text) => json::parse(&text).map_err(|e| format!("parsing {out_path}: {e}"))?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Json::obj(vec![
@@ -314,6 +557,27 @@ fn write_report(out_path: &str, report: &LoadReport) -> Result<(), String> {
             // Always true in a written report: a parity failure exits
             // non-zero before reporting.
             ("suspend_evict_resume_bit_identical", Json::Bool(true)),
+        ]),
+    );
+    doc.set(
+        "fault_load",
+        Json::obj(vec![
+            ("dataset", Json::str("NELL")),
+            ("design", Json::str("srs")),
+            ("method", Json::str("ahpd")),
+            (
+                "fault",
+                Json::str("seeded chaos proxy: responses torn/dropped mid-flight"),
+            ),
+            ("fault_prob", Json::Num(fault.fault_prob)),
+            ("clients", Json::int(fault.clients)),
+            ("sessions_completed", Json::int(fault.sessions)),
+            ("faults_injected", Json::int(fault.faults)),
+            ("campaigns_lost", Json::int(0)),
+            ("campaigns_duplicated", Json::int(0)),
+            // Always true in a written report: a twin divergence exits
+            // non-zero before reporting.
+            ("fault_free_twin_status_equal", Json::Bool(true)),
         ]),
     );
     std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
@@ -365,6 +629,7 @@ fn run_stratified_smoke(addr: SocketAddr) -> Result<(), String> {
         epsilon: 0.04,
         max_observations: None,
         stratify: None, // predicate partition
+        tenant: None,
     };
     client
         .create(&spec)
@@ -450,6 +715,57 @@ fn run_stratified_smoke(addr: SocketAddr) -> Result<(), String> {
     Ok(())
 }
 
+/// The CI-sized chaos leg: one campaign through the fault proxy, one
+/// fault-free twin, final statuses must match.
+fn run_chaos_smoke(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
+    let proxy =
+        chaos::Proxy::spawn(addr, 0xC4A0_0001, 0.25).map_err(|e| format!("chaos proxy: {e}"))?;
+    let mut stormy = Client::connect(proxy.addr())
+        .map_err(|e| format!("chaos connect: {e}"))?
+        .with_retry(chaos_policy(0));
+    let mut scratch = Vec::new();
+    run_campaign(
+        &mut stormy,
+        kg,
+        "smoke-chaos",
+        0x0051_4011,
+        16,
+        &mut scratch,
+    )?;
+    let faults = proxy.faults();
+    drop(proxy);
+    let mut direct = Client::connect(addr).map_err(|e| format!("twin connect: {e}"))?;
+    run_campaign(
+        &mut direct,
+        kg,
+        "smoke-chaos-twin",
+        0x0051_4011,
+        16,
+        &mut scratch,
+    )?;
+    let chaotic = direct
+        .status("smoke-chaos")
+        .map_err(|e| format!("chaos status: {e}"))?;
+    let twin = direct
+        .status("smoke-chaos-twin")
+        .map_err(|e| format!("twin status: {e}"))?;
+    if chaotic.status != twin.status {
+        return Err(format!(
+            "smoke chaos campaign diverged from its fault-free twin:\n  \
+             chaotic {:?}\n  twin {:?}",
+            chaotic.status, twin.status
+        ));
+    }
+    eprintln!(
+        "smoke: chaos campaign survived {faults} injected connection faults, \
+         final status equals its fault-free twin"
+    );
+    for id in ["smoke-chaos", "smoke-chaos-twin"] {
+        let _ = direct.delete(id);
+    }
+    Ok(())
+}
+
 /// The CI smoke sequence against an already-listening server.
 fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
     let mut latencies = Vec::new();
@@ -473,6 +789,7 @@ fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
     );
     verify_suspend_evict_resume(addr, kg, 16)?;
     run_stratified_smoke(addr)?;
+    run_chaos_smoke(addr, kg)?;
     // Leave nothing behind on a shared server.
     for id in ["smoke-full", "parity-probe", "parity-straight"] {
         let _ = client.delete(id);
@@ -499,6 +816,8 @@ fn run() -> Result<(), String> {
     let reps: u64 = arg_value("--reps").unwrap_or(5);
     let batch: u64 = arg_value("--batch").unwrap_or(32);
     let workers: usize = arg_value("--workers").unwrap_or(clients as usize);
+    let fault_clients: u64 = arg_value("--fault-clients").unwrap_or(4);
+    let fault_reps: u64 = arg_value("--fault-reps").unwrap_or(2);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_eval.json".into());
     if clients < 8 {
         eprintln!("note: acceptance calls for ≥ 8 concurrent clients (got {clients})");
@@ -518,7 +837,13 @@ fn run() -> Result<(), String> {
             report.p50_ms,
             report.p99_ms,
         );
-        write_report(&out_path, &report)
+        let fault = run_fault_load(addr, kg, fault_clients, fault_reps, batch)?;
+        eprintln!(
+            "fault_load: {} campaigns behind the chaos proxy (p = {}), {} faults \
+             injected, every final status equals its fault-free twin",
+            fault.sessions, fault.fault_prob, fault.faults,
+        );
+        write_report(&out_path, &report, &fault)
     })
 }
 

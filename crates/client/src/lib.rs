@@ -7,6 +7,15 @@
 //! connection — the calling pattern of a long-running annotation
 //! worker.
 //!
+//! Attach a [`RetryPolicy`] ([`Client::with_retry`]) and transient
+//! failures — dropped connections, lost responses, and the server's
+//! own 429/503 backpressure answers — are retried on a capped
+//! exponential backoff with seeded jitter, honoring any `Retry-After`
+//! the server sends. Label submission stays exactly-once throughout:
+//! its fencing seq means a replay either lands once or is refused as
+//! stale, and the stale refusal after a lost response is itself proof
+//! the labels landed.
+//!
 //! ```no_run
 //! use kgae_client::Client;
 //! use kgae_service::api::SessionSpec;
@@ -63,6 +72,8 @@ use kgae_service::http;
 use kgae_service::json::{self, Json};
 use kgae_service::manager::SessionState;
 use kgae_service::store::from_hex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -79,6 +90,12 @@ pub enum ClientError {
         status: u16,
         /// The server's error message.
         message: String,
+        /// The machine-readable `code` field of the error body
+        /// (e.g. `"stale_request"`, `"quota_exceeded"`), when present.
+        code: Option<String>,
+        /// The `Retry-After` header in seconds, when the server sent
+        /// one (429 quota and 503 drain refusals do).
+        retry_after: Option<u64>,
     },
     /// The response body did not decode as the expected shape.
     Protocol(String),
@@ -88,7 +105,15 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "transport: {e}"),
-            ClientError::Api { status, message } => write!(f, "server ({status}): {message}"),
+            ClientError::Api {
+                status,
+                message,
+                code: Some(code),
+                ..
+            } => write!(f, "server ({status} {code}): {message}"),
+            ClientError::Api {
+                status, message, ..
+            } => write!(f, "server ({status}): {message}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
         }
     }
@@ -104,6 +129,82 @@ impl From<std::io::Error> for ClientError {
 
 /// Outcome type of every client call.
 pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Retry schedule for transient failures: capped exponential backoff
+/// with deterministic seeded jitter and an overall wall-clock deadline.
+///
+/// Attach one with [`Client::with_retry`]. Idempotent calls — polls,
+/// status reads, suspend/resume/evict, create/delete — then retry
+/// transparently on transport failures and on the server's explicit
+/// 429/503 backpressure answers; label submission replays only under
+/// the protection of its fencing seq (see [`Client::submit`]). When a
+/// refusal names its own pause via a `Retry-After` header, that value
+/// replaces the computed backoff for the step.
+///
+/// The jitter stream is seeded, so a given `(policy, failure sequence)`
+/// pair reproduces the same pauses run after run — retry timing stays
+/// out of the nondeterminism budget of crash tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1: a value of 1
+    /// means "never retry").
+    pub max_attempts: u32,
+    /// Pause before the first retry; doubles on each further retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single computed pause (a server `Retry-After`
+    /// is honored even beyond it — the server knows its own drain).
+    pub max_delay: Duration,
+    /// Wall-clock budget across all attempts; once a pause would cross
+    /// it, the last error is returned even if attempts remain.
+    pub deadline: Duration,
+    /// Seed of the jitter stream — same seed, same schedule.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            deadline: Duration::from_secs(60),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A near-immediate schedule for tests and local tooling: retries
+    /// land within milliseconds instead of pacing a production queue.
+    #[must_use]
+    pub fn aggressive() -> Self {
+        Self {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+            deadline: Duration::from_secs(10),
+            jitter_seed: 0,
+        }
+    }
+
+    /// The pause before retry number `retry` (0-based). A server
+    /// `Retry-After` wins outright; otherwise the backoff doubles from
+    /// [`base_delay`](Self::base_delay), caps at
+    /// [`max_delay`](Self::max_delay), and jitters uniformly into the
+    /// upper half of the capped value so synchronized clients spread
+    /// out instead of stampeding a restarting server.
+    fn pause(&self, retry: u32, retry_after: Option<u64>, jitter: &mut SmallRng) -> Duration {
+        if let Some(secs) = retry_after {
+            return Duration::from_secs(secs);
+        }
+        let capped = self
+            .base_delay
+            .saturating_mul(1u32 << retry.min(20))
+            .min(self.max_delay);
+        let half = capped.div_f64(2.0);
+        half + half.mul_f64(jitter.next_f64())
+    }
+}
 
 /// A session's wire-level view, decoded.
 #[derive(Debug, Clone, PartialEq)]
@@ -220,6 +321,11 @@ pub struct Client {
     /// connections older than the server's idle budget are refreshed
     /// proactively so non-retryable calls never race the reclaim.
     last_used: std::time::Instant,
+    /// Optional schedule for retrying transient failures; `None` keeps
+    /// the bare single-reconnect behavior.
+    retry: Option<RetryPolicy>,
+    /// Jitter stream backing [`RetryPolicy::pause`].
+    jitter: SmallRng,
 }
 
 /// How long the server keeps an idle keep-alive connection
@@ -247,9 +353,27 @@ impl Client {
             timeout: Duration::from_secs(30),
             last_seq: std::collections::HashMap::new(),
             last_used: std::time::Instant::now(),
+            retry: None,
+            jitter: SmallRng::seed_from_u64(0),
         };
         client.reconnect()?;
         Ok(client)
+    }
+
+    /// Attaches a retry schedule (builder-style); see [`RetryPolicy`]
+    /// for what becomes retryable. Resets the jitter stream to the
+    /// policy's seed.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.jitter = SmallRng::seed_from_u64(policy.jitter_seed);
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The attached retry schedule, if any.
+    #[must_use]
+    pub fn retry_policy(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
     }
 
     fn reconnect(&mut self) -> ClientResult<()> {
@@ -260,8 +384,59 @@ impl Client {
         Ok(())
     }
 
+    /// One request/response cycle under the retry policy, when one is
+    /// attached. Transport failures that provably never reached the
+    /// server always retry; lost responses retry only when `retry_read`
+    /// says re-execution is safe; 429/503 refusals retry honoring the
+    /// server's `Retry-After`. Without a policy this is exactly one
+    /// [`Client::call_once`].
+    fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        retry_read: bool,
+    ) -> ClientResult<Json> {
+        let Some(policy) = self.retry.clone() else {
+            return self
+                .call_once(method, path, body, retry_read)
+                .map_err(|(e, _)| e);
+        };
+        let started = std::time::Instant::now();
+        let mut retry = 0u32;
+        loop {
+            let (err, ambiguous) = match self.call_once(method, path, body, retry_read) {
+                Ok(doc) => return Ok(doc),
+                Err(pair) => pair,
+            };
+            let (retryable, retry_after) = match &err {
+                // Never reached the server: always safe to re-send.
+                ClientError::Io(_) if !ambiguous => (true, None),
+                // Lost response: re-send only if re-execution is safe.
+                ClientError::Io(_) | ClientError::Protocol(_) => (ambiguous && retry_read, None),
+                // Explicit "try again later" from the server.
+                ClientError::Api {
+                    status,
+                    retry_after,
+                    ..
+                } => (matches!(*status, 429 | 503), *retry_after),
+            };
+            if !retryable || retry + 1 >= policy.max_attempts {
+                return Err(err);
+            }
+            let pause = policy.pause(retry, retry_after, &mut self.jitter);
+            if started.elapsed() + pause >= policy.deadline {
+                return Err(err);
+            }
+            std::thread::sleep(pause);
+            retry += 1;
+        }
+    }
+
     /// One request/response cycle with a single reconnect-and-retry on
-    /// stale keep-alive connections.
+    /// stale keep-alive connections. The error carries an *ambiguity*
+    /// flag: `true` means the request may have executed server-side and
+    /// only the response was lost.
     ///
     /// A failed **write** never reached the server, so every call may
     /// retry it. A failed **read** is ambiguous — the server may have
@@ -270,14 +445,15 @@ impl Client {
     /// Every endpoint here is safe except label submission: polls
     /// re-serve the identical outstanding batch, suspend/resume/evict
     /// are idempotent, create/delete replays fail with distinguishable
-    /// 409/404s — but a replayed submit would double-apply labels.
-    fn call(
+    /// 409/404s — but a blindly replayed submit would double-apply
+    /// labels ([`Client::submit`] replays only under its fencing seq).
+    fn call_once(
         &mut self,
         method: &str,
         path: &str,
         body: &str,
         retry_read: bool,
-    ) -> ClientResult<Json> {
+    ) -> Result<Json, (ClientError, bool)> {
         if self.last_used.elapsed() >= CONNECTION_REFRESH_AFTER {
             // The server has likely reclaimed this idle connection;
             // rebuild it up front instead of discovering mid-call.
@@ -285,7 +461,7 @@ impl Client {
         }
         for attempt in 0..2 {
             if self.reader.is_none() {
-                self.reconnect()?;
+                self.reconnect().map_err(|e| (e, false))?;
             }
             let reader = self.reader.as_mut().expect("connected");
             if let Err(e) = http::write_request(reader.get_mut(), method, path, body) {
@@ -293,7 +469,7 @@ impl Client {
                 if attempt == 0 {
                     continue; // never reached the server: always retryable
                 }
-                return Err(ClientError::Io(e));
+                return Err((ClientError::Io(e), false));
             }
             match http::read_response(reader) {
                 Ok(response) => {
@@ -301,7 +477,9 @@ impl Client {
                         self.reader = None;
                     }
                     self.last_used = std::time::Instant::now();
-                    return Self::decode(&response);
+                    // A response arrived, so the request executed;
+                    // decode failures are not ambiguous.
+                    return Self::decode(&response).map_err(|e| (e, false));
                 }
                 Err(
                     http::HttpError::Closed | http::HttpError::Io(_) | http::HttpError::IdleTimeout,
@@ -311,19 +489,24 @@ impl Client {
                 }
                 Err(http::HttpError::Closed) => {
                     self.reader = None;
-                    return Err(ClientError::Protocol(
-                        "connection lost before the response; the request may or may not \
-                         have been executed"
-                            .into(),
+                    return Err((
+                        ClientError::Protocol(
+                            "connection lost before the response; the request may or may not \
+                             have been executed"
+                                .into(),
+                        ),
+                        true,
                     ));
                 }
                 Err(http::HttpError::Io(e)) => {
                     self.reader = None;
-                    return Err(ClientError::Io(e));
+                    return Err((ClientError::Io(e), true));
                 }
                 Err(e) => {
+                    // Torn or over-limit response bytes: the request was
+                    // written, so this is just as ambiguous as a close.
                     self.reader = None;
-                    return Err(ClientError::Protocol(e.to_string()));
+                    return Err((ClientError::Protocol(e.to_string()), true));
                 }
             }
         }
@@ -345,6 +528,8 @@ impl Client {
         Err(ClientError::Api {
             status: response.status,
             message,
+            code: doc.get("code").and_then(Json::as_str).map(str::to_string),
+            retry_after: response.retry_after,
         })
     }
 
@@ -465,10 +650,16 @@ impl Client {
     /// order, fenced with the seq of this client's last poll so stale
     /// labels can never land on a newer batch.
     ///
-    /// Submits are the one call that is **not** retried when the
-    /// response is lost (a replay would double-apply); on a transport
-    /// error here, check [`Client::status`] to see whether the labels
-    /// landed.
+    /// Without a [`RetryPolicy`] this is the one call that is **not**
+    /// retried when the response is lost (a blind replay would
+    /// double-apply); on a transport error, check [`Client::status`] to
+    /// see whether the labels landed. With a policy attached the fence
+    /// makes the retry safe: a replayed submit either lands exactly
+    /// once (the lost attempt never executed) or is refused with 409
+    /// `stale_request` (it did execute) — and that refusal, arriving
+    /// after a lost response, is resolved here by fetching the session
+    /// view and returning it as success. Unfenced submits (no prior
+    /// poll on this client) still refuse to replay an ambiguous loss.
     ///
     /// # Errors
     ///
@@ -483,9 +674,63 @@ impl Client {
             pairs.push(("seq", Json::int(seq)));
         }
         let body = Json::obj(pairs).encode();
-        // The one non-retryable read: a replayed submit double-applies.
-        let doc = self.call("POST", &format!("/v1/sessions/{id}/labels"), &body, false)?;
-        info_from_json(&doc)
+        let path = format!("/v1/sessions/{id}/labels");
+        let Some(policy) = self.retry.clone() else {
+            // The one non-retryable read: a replayed submit could
+            // double-apply, and without a policy nothing arbitrates.
+            let doc = self
+                .call_once("POST", &path, &body, false)
+                .map_err(|(e, _)| e)?;
+            return info_from_json(&doc);
+        };
+        let started = std::time::Instant::now();
+        let mut retry = 0u32;
+        // Set once a response was lost after the request may have
+        // executed; from then on a stale-fence refusal is proof the
+        // lost attempt landed, not a caller bug.
+        let mut replayed_after_loss = false;
+        loop {
+            let (err, ambiguous) = match self.call_once("POST", &path, &body, false) {
+                Ok(doc) => return info_from_json(&doc),
+                Err(pair) => pair,
+            };
+            if replayed_after_loss {
+                if let ClientError::Api {
+                    status: 409,
+                    code: Some(code),
+                    ..
+                } = &err
+                {
+                    if code == "stale_request" {
+                        // The fence is stale because the lost submit
+                        // landed; report where the session stands now.
+                        return self.status(id);
+                    }
+                }
+            }
+            let (retryable, retry_after) = match &err {
+                // Never reached the server: always safe to re-send.
+                ClientError::Io(_) if !ambiguous => (true, None),
+                // Lost response: replay only under a fence.
+                ClientError::Io(_) | ClientError::Protocol(_) => (ambiguous && seq.is_some(), None),
+                // Explicit "try again later" from the server.
+                ClientError::Api {
+                    status,
+                    retry_after,
+                    ..
+                } => (matches!(*status, 429 | 503), *retry_after),
+            };
+            if !retryable || retry + 1 >= policy.max_attempts {
+                return Err(err);
+            }
+            let pause = policy.pause(retry, retry_after, &mut self.jitter);
+            if started.elapsed() + pause >= policy.deadline {
+                return Err(err);
+            }
+            std::thread::sleep(pause);
+            retry += 1;
+            replayed_after_loss |= ambiguous;
+        }
     }
 
     /// `POST /v1/sessions/{id}/suspend` — spills the session to disk.
@@ -542,5 +787,53 @@ impl Client {
             .and_then(Json::as_str)
             .ok_or_else(|| ClientError::Protocol("missing hex field".into()))?;
         from_hex(hex).ok_or_else(|| ClientError::Protocol("invalid hex payload".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(400),
+            deadline: Duration::from_secs(60),
+            jitter_seed: 42,
+        };
+        let mut first_rng = SmallRng::seed_from_u64(policy.jitter_seed);
+        let mut second_rng = SmallRng::seed_from_u64(policy.jitter_seed);
+        let first: Vec<Duration> = (0..6)
+            .map(|i| policy.pause(i, None, &mut first_rng))
+            .collect();
+        let second: Vec<Duration> = (0..6)
+            .map(|i| policy.pause(i, None, &mut second_rng))
+            .collect();
+        assert_eq!(first, second, "same seed, same schedule");
+        for (i, pause) in first.iter().enumerate() {
+            let capped = policy
+                .base_delay
+                .saturating_mul(1 << i)
+                .min(policy.max_delay);
+            assert!(
+                *pause >= capped / 2 && *pause <= capped,
+                "retry {i}: {pause:?} outside [{:?}, {capped:?}]",
+                capped / 2
+            );
+        }
+        // Steps 2.. sit in the cap's jitter band, not above it.
+        assert!(first[5] >= Duration::from_millis(200) && first[5] <= Duration::from_millis(400));
+    }
+
+    #[test]
+    fn server_retry_after_overrides_the_computed_backoff() {
+        let policy = RetryPolicy::default();
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(policy.pause(0, Some(3), &mut rng), Duration::from_secs(3));
+        // Even past max_delay, and even when zero.
+        assert_eq!(policy.pause(7, Some(30), &mut rng), Duration::from_secs(30));
+        assert_eq!(policy.pause(7, Some(0), &mut rng), Duration::ZERO);
     }
 }

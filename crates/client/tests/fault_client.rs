@@ -1,0 +1,215 @@
+//! Fault-injected full-stack tests: the server's `conn.write`
+//! failpoint drops or tears submit responses mid-flight, and the
+//! client's [`RetryPolicy`] plus the submit fence must turn every
+//! ambiguous loss into an exactly-once application — never a
+//! double-apply, never a wedged session.
+//!
+//! The whole file needs the `fault-injection` feature
+//! (`cargo test -p kgae-client --features fault-injection`); failpoint
+//! state is process-global, so this binary exists apart from
+//! `http_smoke` and serializes its own tests behind a lock.
+#![cfg(feature = "fault-injection")]
+
+use kgae_client::{Client, ClientError, RetryPolicy};
+use kgae_core::StopReason;
+use kgae_graph::GroundTruth;
+use kgae_service::api::SessionSpec;
+use kgae_service::fault::{self, site};
+use kgae_service::manager::{DatasetRegistry, SessionState};
+use kgae_service::{Server, SessionManager, SnapshotStore};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+/// Failpoint configuration is process-global: one test at a time, and
+/// the faults are cleared even when the previous test panicked.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_faulty_server(tag: &str, f: impl FnOnce(SocketAddr, &DatasetRegistry)) {
+    let _guard = FAULT_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    fault::clear();
+    let dir = std::env::temp_dir().join(format!("kgae-fault-client-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, SnapshotStore::open(&dir).unwrap(), 8);
+    let server = Server::bind("127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| server.run(&manager));
+        f(addr, &registry);
+        fault::clear();
+        handle.shutdown();
+        server_thread.join().unwrap();
+    });
+    fault::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn spec(id: &str, seed: u64) -> SessionSpec {
+    SessionSpec {
+        id: id.into(),
+        dataset: "nell".into(),
+        design: "srs".parse().unwrap(),
+        method: "ahpd".parse().unwrap(),
+        seed,
+        alpha: 0.05,
+        epsilon: 0.05,
+        max_observations: None,
+        stratify: None,
+        tenant: None,
+    }
+}
+
+fn label(registry: &DatasetRegistry, request: &kgae_service::api::WireRequest) -> Vec<bool> {
+    let kg = registry.get("nell").unwrap();
+    request
+        .triples
+        .iter()
+        .map(|t| kg.is_correct(kgae_graph::TripleId(t.triple)))
+        .collect()
+}
+
+/// Finds a seed whose `conn.write@0.5` fire/skip stream starts with
+/// exactly one fire followed by `lookahead - 1` skips — so the faulted
+/// request is the next one written, and the recovery traffic after it
+/// runs clean. Probing consumes the stream; reconfiguring with the
+/// same seed rewinds it.
+fn seed_firing_first_only(lookahead: usize) -> u64 {
+    'seed: for seed in 0..10_000u64 {
+        fault::configure(&format!("conn.write=drop@0.5;seed={seed}")).unwrap();
+        if fault::check(site::CONN_WRITE).is_none() {
+            continue;
+        }
+        for _ in 1..lookahead {
+            if fault::check(site::CONN_WRITE).is_some() {
+                continue 'seed;
+            }
+        }
+        fault::clear();
+        return seed;
+    }
+    panic!("no seed with a lone leading fire in 10k candidates");
+}
+
+/// The designed lost-response path: the submit applies server-side but
+/// its response is dropped; the client's fenced replay draws 409
+/// `stale_request`, which — arriving after an ambiguous loss — is
+/// proof the labels landed, resolved by returning the session view.
+#[test]
+fn dropped_submit_response_applies_exactly_once() {
+    with_faulty_server("drop", |addr, registry| {
+        let mut client = Client::connect(addr)
+            .unwrap()
+            .with_retry(RetryPolicy::aggressive());
+        client.create(&spec("fenced", 11)).unwrap();
+        let request = client.next_request("fenced", 8).unwrap();
+        let labels = label(registry, &request);
+        let seed = seed_firing_first_only(8);
+
+        fault::configure(&format!("conn.write=drop@0.5;seed={seed}")).unwrap();
+        let info = client.submit("fenced", &labels).unwrap();
+        fault::clear();
+
+        // One batch, applied once: a double-apply would show 16.
+        assert_eq!(info.status.observations, 8);
+        assert_eq!(info.pending_labels, 0, "labels still owed after submit");
+        let after = client.status("fenced").unwrap();
+        assert_eq!(after.status.observations, 8);
+        assert_eq!(after.state, SessionState::Running);
+    });
+}
+
+/// Same exactly-once guarantee when the response is torn mid-bytes
+/// instead of dropped whole — the client sees a malformed response,
+/// which is just as ambiguous as a closed connection.
+#[test]
+fn torn_submit_response_applies_exactly_once() {
+    with_faulty_server("torn", |addr, registry| {
+        let mut client = Client::connect(addr)
+            .unwrap()
+            .with_retry(RetryPolicy::aggressive());
+        client.create(&spec("fenced", 12)).unwrap();
+        let request = client.next_request("fenced", 8).unwrap();
+        let labels = label(registry, &request);
+        let seed = seed_firing_first_only(8);
+
+        fault::configure(&format!("conn.write=torn:20@0.5;seed={seed}")).unwrap();
+        let info = client.submit("fenced", &labels).unwrap();
+        fault::clear();
+
+        assert_eq!(info.status.observations, 8);
+        let after = client.status("fenced").unwrap();
+        assert_eq!(after.status.observations, 8);
+    });
+}
+
+/// Without a fence (no prior poll on this client) an ambiguous loss
+/// must surface as an error rather than risk a double-apply — even
+/// with a retry policy attached.
+#[test]
+fn unfenced_submit_refuses_to_replay_a_lost_response() {
+    with_faulty_server("unfenced", |addr, registry| {
+        let mut poller = Client::connect(addr).unwrap();
+        poller.create(&spec("orphan", 13)).unwrap();
+        let request = poller.next_request("orphan", 8).unwrap();
+        let labels = label(registry, &request);
+
+        // A second client that never polled holds no fence for the
+        // session; its submit rides without a seq.
+        let mut blind = Client::connect(addr)
+            .unwrap()
+            .with_retry(RetryPolicy::aggressive());
+        let seed = seed_firing_first_only(8);
+        fault::configure(&format!("conn.write=drop@0.5;seed={seed}")).unwrap();
+        let err = blind.submit("orphan", &labels).unwrap_err();
+        fault::clear();
+        assert!(
+            matches!(err, ClientError::Protocol(_) | ClientError::Io(_)),
+            "expected an ambiguous transport error, got {err}"
+        );
+        // The lost submit still applied server-side — the refusal is
+        // about not *re*-sending, and status tells the operator so.
+        assert_eq!(poller.status("orphan").unwrap().status.observations, 8);
+    });
+}
+
+/// A whole campaign under sustained response drops finishes with the
+/// exact same trajectory as its fault-free twin: no lost batches, no
+/// duplicated batches, identical final state.
+#[test]
+fn campaign_under_sustained_drops_matches_fault_free_twin() {
+    with_faulty_server("storm", |addr, registry| {
+        let run = |id: &str, faulty: bool| {
+            if faulty {
+                fault::configure("conn.write=drop@0.3;seed=7").unwrap();
+            } else {
+                fault::clear();
+            }
+            let mut client = Client::connect(addr)
+                .unwrap()
+                .with_retry(RetryPolicy::aggressive());
+            client.create(&spec(id, 99)).unwrap();
+            loop {
+                let request = client.next_request(id, 16).unwrap();
+                if request.done {
+                    break;
+                }
+                let labels = label(registry, &request);
+                client.submit(id, &labels).unwrap();
+            }
+            fault::clear();
+            let mut clean = Client::connect(addr).unwrap();
+            clean.status(id).unwrap()
+        };
+        let stormy = run("stormy", true);
+        let calm = run("calm", false);
+        assert_eq!(stormy.state, SessionState::Finished);
+        assert_eq!(stormy.status.stopped, Some(StopReason::MoeSatisfied));
+        assert_eq!(
+            stormy.status, calm.status,
+            "fault-injected campaign diverged from its twin"
+        );
+    });
+}

@@ -46,6 +46,7 @@ fn srs_spec(id: &str, seed: u64) -> SessionSpec {
         epsilon: 0.05,
         max_observations: None,
         stratify: None,
+        tenant: None,
     }
 }
 
@@ -174,6 +175,7 @@ fn stratified_campaign_over_http_with_suspend_resume_parity() {
             epsilon: 0.04,
             max_observations: None,
             stratify: None, // defaults to the predicate partition
+            tenant: None,
         };
         let info = client.create(&spec).unwrap();
         assert_eq!(info.design, "stratified:width-greedy");
@@ -261,6 +263,7 @@ fn comparative_campaign_over_http_with_suspend_resume_parity() {
             epsilon: 0.05,
             max_observations: None,
             stratify: None,
+            tenant: None,
         };
         let info = client.create(&spec("race", "compare:ahpd")).unwrap();
         assert_eq!(info.design, "compare:ahpd");
@@ -401,4 +404,82 @@ fn api_errors_map_to_http_statuses() {
             other => panic!("expected 404, got {other:?}"),
         }
     });
+}
+
+/// Graceful shutdown is not an outage: `ServerHandle::shutdown` drains
+/// every live session to the store (withdrawing outstanding batches
+/// exactly), and a second server generation over the same directory
+/// replays the in-flight batch bit-identically and finishes the
+/// campaign — all observed through the client, as an annotator would.
+#[test]
+fn shutdown_drains_and_a_restarted_server_resumes_midflight_sessions() {
+    let dir = std::env::temp_dir().join(format!("kgae-smoke-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = DatasetRegistry::standard();
+    let kg = registry.get("nell").unwrap();
+    let label = |request: &kgae_service::api::WireRequest| -> Vec<bool> {
+        request
+            .triples
+            .iter()
+            .map(|t| kg.is_correct(kgae_graph::TripleId(t.triple)))
+            .collect()
+    };
+
+    // Generation 1: two batches land, a third is left outstanding when
+    // the shutdown arrives.
+    let manager = SessionManager::new(&registry, SnapshotStore::open(&dir).unwrap(), 8);
+    let server = Server::bind("127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let withdrawn = std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| server.run(&manager));
+        let mut client = Client::connect(addr).unwrap();
+        client.create(&srs_spec("phoenix", 77)).unwrap();
+        for _ in 0..2 {
+            let request = client.next_request("phoenix", 8).unwrap();
+            let labels = label(&request);
+            client.submit("phoenix", &labels).unwrap();
+        }
+        let withdrawn = client.next_request("phoenix", 8).unwrap();
+        handle.shutdown();
+        let report = server_thread.join().unwrap();
+        assert_eq!(report.suspended, vec!["phoenix".to_string()]);
+        assert_eq!(report.cancelled, vec!["phoenix".to_string()]);
+        assert!(report.is_clean(), "drain failed: {:?}", report.failed);
+        withdrawn
+    });
+
+    // Generation 2 over the same store: the withdrawn batch replays
+    // bit-identically, and the campaign runs to completion.
+    let manager = SessionManager::new(&registry, SnapshotStore::open(&dir).unwrap(), 8);
+    let server = Server::bind("127.0.0.1:0", 4).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    std::thread::scope(|scope| {
+        let server_thread = scope.spawn(|| server.run(&manager));
+        let mut client = Client::connect(addr)
+            .unwrap()
+            .with_retry(kgae_client::RetryPolicy::default());
+        let replayed = client.next_request("phoenix", 8).unwrap();
+        assert_eq!(
+            replayed.triples, withdrawn.triples,
+            "restart perturbed the in-flight batch"
+        );
+        let labels = label(&replayed);
+        client.submit("phoenix", &labels).unwrap();
+        loop {
+            let request = client.next_request("phoenix", 8).unwrap();
+            if request.done {
+                break;
+            }
+            let labels = label(&request);
+            client.submit("phoenix", &labels).unwrap();
+        }
+        let done = client.status("phoenix").unwrap();
+        assert_eq!(done.state, SessionState::Finished);
+        assert_eq!(done.status.stopped, Some(StopReason::MoeSatisfied));
+        handle.shutdown();
+        server_thread.join().unwrap();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -300,7 +300,7 @@ impl<'a> ComparativeSession<'a> {
         if self.outcome.is_some() {
             return Ok(None);
         }
-        match self.primary.next_request(1)? {
+        match self.primary.next_request_cancellable(1)? {
             Some(request) => Ok(Some(request)),
             None => {
                 // The stream exhausted inside the poll: the primary
@@ -328,6 +328,20 @@ impl<'a> ComparativeSession<'a> {
             self.finalize();
         }
         Ok(())
+    }
+
+    /// Withdraws the outstanding unit by rewinding the primary engine
+    /// to its pre-draw state
+    /// ([`EvaluationSession::cancel_request`]); the rival trackers only
+    /// advance on submit, so they need no rollback. A re-poll after
+    /// cancel regenerates the bit-identical unit.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoRequestPending`] without an outstanding
+    /// request.
+    pub fn cancel_request(&mut self) -> Result<(), SessionError> {
+        self.primary.cancel_request()
     }
 
     /// Replays the just-processed unit through every live rival: SRS

@@ -177,6 +177,18 @@ pub trait SessionEngine: Send {
     /// The headline status alone — what poll/submit hot paths report —
     /// without materializing per-stratum or per-method rows (every row
     /// costs an interval construction). Identical to
+    /// Withdraws the outstanding request, rewinding the engine to its
+    /// exact pre-draw state: afterwards the engine snapshots cleanly
+    /// and a re-poll regenerates the bit-identical batch. This is what
+    /// lets a draining server suspend mid-batch sessions to disk
+    /// without perturbing their evaluation trajectories.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoRequestPending`] without an outstanding
+    /// request.
+    fn cancel_request(&mut self) -> Result<(), SessionError>;
+
     /// [`SessionEngine::status`]'s `primary` field; engines whose rows
     /// are expensive override the default.
     fn headline(&self) -> SessionStatus {
@@ -211,16 +223,25 @@ impl<'a> SessionEngine for EvaluationSession<'a, SmallRng> {
     }
 
     fn next_request(&mut self, max_units: u64) -> Result<Option<EngineRequest>, SessionError> {
+        // The cancellable path: network hosts must be able to withdraw
+        // a batch when draining, and the per-batch capture is noise
+        // next to a network round trip.
         Ok(
-            EvaluationSession::next_request(self, max_units)?.map(|request| EngineRequest {
-                request,
-                stratum: None,
+            EvaluationSession::next_request_cancellable(self, max_units)?.map(|request| {
+                EngineRequest {
+                    request,
+                    stratum: None,
+                }
             }),
         )
     }
 
     fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
         EvaluationSession::submit(self, labels)
+    }
+
+    fn cancel_request(&mut self) -> Result<(), SessionError> {
+        EvaluationSession::cancel_request(self)
     }
 
     fn status(&self) -> SessionStatusView {
@@ -271,6 +292,10 @@ impl<'a> SessionEngine for StratifiedSession<'a> {
 
     fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
         StratifiedSession::submit(self, labels)
+    }
+
+    fn cancel_request(&mut self) -> Result<(), SessionError> {
+        StratifiedSession::cancel_request(self)
     }
 
     fn status(&self) -> SessionStatusView {
@@ -326,6 +351,10 @@ impl<'a> SessionEngine for ComparativeSession<'a> {
 
     fn submit(&mut self, labels: &[bool]) -> Result<(), SessionError> {
         ComparativeSession::submit(self, labels)
+    }
+
+    fn cancel_request(&mut self) -> Result<(), SessionError> {
+        ComparativeSession::cancel_request(self)
     }
 
     fn status(&self) -> SessionStatusView {

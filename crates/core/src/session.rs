@@ -215,6 +215,15 @@ struct SessionOutcome {
     result: EvalResult,
 }
 
+/// Pre-draw sampler state captured by the cancellable poll path:
+/// restoring it makes the outstanding batch as if never drawn, so a
+/// later re-poll regenerates the bit-identical batch.
+#[derive(Debug, Clone)]
+struct BatchOrigin {
+    rng: [u64; 4],
+    driver: Vec<u8>,
+}
+
 /// Poll-based evaluation engine over any KG backend, sampling design
 /// and interval method. See the module docs for the protocol.
 pub struct EvaluationSession<'a, R: RngCore> {
@@ -245,6 +254,7 @@ pub struct EvaluationSession<'a, R: RngCore> {
     batch_requested: HashSet<u64>,
     unit_buf: Vec<SampledTriple>,
     outcome: Option<SessionOutcome>,
+    batch_origin: Option<BatchOrigin>,
 }
 
 impl<'a, R: RngCore> EvaluationSession<'a, R> {
@@ -332,6 +342,7 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
             unit_buf: Vec::new(),
             driver,
             outcome: None,
+            batch_origin: None,
         }
     }
 
@@ -451,6 +462,9 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
         if self.pending {
             return Err(SessionError::RequestPending);
         }
+        // Any rollback point belongs to a previous batch; the
+        // cancellable wrapper re-records one for this batch.
+        self.batch_origin = None;
         let max_units = max_units.max(1);
         self.batch_requested.clear();
         // Within a multi-unit batch, a triple re-drawn by a later unit
@@ -514,6 +528,7 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
             });
         }
         self.pending = false;
+        self.batch_origin = None;
         let mut next_label = 0usize;
         let result = (|| {
             for i in 0..self.batch_units.len() {
@@ -988,6 +1003,74 @@ pub fn peek_snapshot_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionError
 }
 
 impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
+    /// Like [`EvaluationSession::next_request`], but first records a
+    /// rollback point (RNG state + design-driver state), so the
+    /// outstanding request can be withdrawn with
+    /// [`EvaluationSession::cancel_request`]. The rollback point makes
+    /// cancellation *exact*: a re-poll after cancel regenerates the
+    /// bit-identical batch, which is what lets a server drain mid-batch
+    /// sessions to disk without perturbing their trajectories.
+    ///
+    /// The capture costs one driver-state serialization per batch —
+    /// negligible against network polling, which is why the network
+    /// engines use this path while the in-process benchmark loops keep
+    /// the plain one.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvaluationSession::next_request`].
+    pub fn next_request_cancellable(
+        &mut self,
+        max_units: u64,
+    ) -> Result<Option<AnnotationRequest>, SessionError> {
+        if self.outcome.is_some() {
+            return Ok(None);
+        }
+        if self.pending {
+            return Err(SessionError::RequestPending);
+        }
+        let rng = self.rng.save_state();
+        let mut driver = Vec::new();
+        self.driver.save_state(&mut driver);
+        let request = self.next_request(max_units)?;
+        if request.is_some() {
+            self.batch_origin = Some(BatchOrigin { rng, driver });
+        }
+        Ok(request)
+    }
+
+    /// Withdraws the outstanding request by rewinding the RNG and
+    /// design driver to their pre-draw states and discarding the batch
+    /// buffers — afterwards the session snapshots cleanly, and the next
+    /// poll regenerates the bit-identical batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoRequestPending`] without an outstanding
+    /// request; [`SessionError::SnapshotUnavailable`] when the request
+    /// was polled through the plain (non-cancellable) path and no
+    /// rollback point exists.
+    pub fn cancel_request(&mut self) -> Result<(), SessionError> {
+        if !self.pending {
+            return Err(SessionError::NoRequestPending);
+        }
+        let Some(origin) = self.batch_origin.take() else {
+            return Err(SessionError::SnapshotUnavailable(
+                "request was not polled through the cancellable path",
+            ));
+        };
+        self.rng.load_state(origin.rng);
+        self.driver
+            .restore_state(&origin.driver)
+            .map_err(|_| SessionError::CorruptSnapshot("cancel rollback driver state"))?;
+        self.pending = false;
+        self.batch_units.clear();
+        self.batch_triples.clear();
+        self.batch_fresh.clear();
+        self.batch_expected = 0;
+        Ok(())
+    }
+
     /// Serializes the session's complete dynamic state into a compact
     /// binary snapshot. The encoding is canonical: identical logical
     /// state yields identical bytes.

@@ -619,7 +619,7 @@ impl<'a> StratifiedSession<'a> {
             let StratumSlot::Live(session) = &mut self.slots[h] else {
                 unreachable!("allocate returns live strata")
             };
-            match session.next_request(max_units)? {
+            match session.next_request_cancellable(max_units)? {
                 Some(request) => {
                     self.pending = Some(h as u32);
                     return Ok(Some(StratifiedRequest {
@@ -662,6 +662,29 @@ impl<'a> StratifiedSession<'a> {
         session.submit(labels)?;
         self.pending = None;
         self.check_stop()?;
+        Ok(())
+    }
+
+    /// Withdraws the outstanding batch by rewinding the pending
+    /// stratum's engine to its pre-draw state
+    /// ([`EvaluationSession::cancel_request`]). Census conversions made
+    /// while searching for a live stratum stand — they are exact and
+    /// snapshot cleanly — so a re-poll after cancel re-runs the same
+    /// allocation and regenerates the bit-identical batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::NoRequestPending`] without an outstanding
+    /// request.
+    pub fn cancel_request(&mut self) -> Result<(), SessionError> {
+        let Some(h) = self.pending else {
+            return Err(SessionError::NoRequestPending);
+        };
+        let StratumSlot::Live(session) = &mut self.slots[h as usize] else {
+            unreachable!("pending stratum is live")
+        };
+        session.cancel_request()?;
+        self.pending = None;
         Ok(())
     }
 

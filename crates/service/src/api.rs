@@ -69,6 +69,16 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, WireError> {
     }
 }
 
+fn opt_str(v: &Json, key: &str) -> Result<Option<String>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(field) => field
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| wire_err(format!("non-string field {key:?}"))),
+    }
+}
+
 fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, WireError> {
     match v.get(key) {
         None | Some(Json::Null) => Ok(None),
@@ -165,6 +175,9 @@ pub struct SessionSpec {
     /// rejected on the wire) for single-design sessions. `None` with a
     /// stratified design means [`StratifySpec::Predicate`].
     pub stratify: Option<StratifySpec>,
+    /// Owning tenant, for per-tenant admission quotas. `None` counts
+    /// against the shared default tenant.
+    pub tenant: Option<String>,
 }
 
 impl SessionSpec {
@@ -230,6 +243,9 @@ impl SessionSpec {
         if let Some(stratify) = self.stratify {
             doc.set("stratify", stratify.to_json());
         }
+        if let Some(tenant) = &self.tenant {
+            doc.set("tenant", Json::str(tenant));
+        }
         doc
     }
 
@@ -269,6 +285,7 @@ impl SessionSpec {
             epsilon: opt_f64(v, "epsilon")?.unwrap_or(0.05),
             max_observations: opt_u64(v, "max_observations")?,
             stratify,
+            tenant: opt_str(v, "tenant")?,
         })
     }
 }
@@ -682,6 +699,17 @@ pub fn labels_from_json(v: &Json) -> Result<(Vec<bool>, Option<u64>), WireError>
 #[must_use]
 pub fn error_body(message: &str) -> String {
     Json::obj(vec![("error", Json::str(message))]).encode()
+}
+
+/// An error body with a stable machine-readable `code` field, so
+/// clients branch on the code instead of parsing prose.
+#[must_use]
+pub fn error_body_coded(message: &str, code: &str) -> String {
+    Json::obj(vec![
+        ("error", Json::str(message)),
+        ("code", Json::str(code)),
+    ])
+    .encode()
 }
 
 #[cfg(test)]

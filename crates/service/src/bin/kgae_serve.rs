@@ -3,6 +3,8 @@
 //! ```text
 //! kgae-serve [--addr HOST:PORT] [--workers N] [--shards N]
 //!            [--store-dir PATH] [--port-file PATH]
+//!            [--max-sessions N] [--max-per-tenant N] [--retry-after S]
+//!            [--fault SPEC]
 //! kgae-serve --version
 //! ```
 //!
@@ -13,14 +15,28 @@
 //!   8 × available parallelism, at least 32).
 //! * `--shards` — session-registry lock stripes (default 16).
 //! * `--store-dir` — snapshot-store directory (default `kgae-store`).
+//!   On startup the store runs its crash-recovery sweep: orphaned
+//!   temp files are finished or discarded, and corrupt records are
+//!   quarantined (logged below) instead of wedging the boot.
 //! * `--port-file` — write the bound port (decimal, newline) to this
 //!   path once listening; lets scripts coordinate with port 0.
+//! * `--max-sessions` / `--max-per-tenant` — session quota ceilings
+//!   (unlimited when omitted); a full quota answers 429 with a
+//!   `Retry-After` of `--retry-after` seconds (default 1).
+//! * `--fault` — deterministic failpoint spec (also read from the
+//!   `KGAE_FAULT` env var); only honored by builds with the
+//!   `fault-injection` feature, rejected loudly otherwise.
 //! * `--version` — print `kgae-serve <semver>` and exit; the same
 //!   build info a running server reports on `GET /healthz`.
 //!
+//! On SIGTERM/SIGINT (Unix) the server drains instead of dying:
+//! creates answer 503, in-flight requests finish, every live session
+//! is suspended to the store, and the process exits 0 — restarting
+//! over the same `--store-dir` resumes every campaign bit-identically.
+//!
 //! Exits non-zero on any startup failure.
 
-use kgae_service::{DatasetRegistry, Server, SessionManager, SnapshotStore};
+use kgae_service::{DatasetRegistry, ManagerLimits, Server, SessionManager, SnapshotStore};
 
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -30,16 +46,40 @@ fn arg_value(flag: &str) -> Option<String> {
         .cloned()
 }
 
+fn parse_flag<T: std::str::FromStr>(flag: &str) -> Result<Option<T>, String> {
+    match arg_value(flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{flag}: not a number: {v:?}")),
+    }
+}
+
+/// Installs `handler` for SIGTERM and SIGINT via raw `signal(2)` —
+/// enough for a single "start draining" flag flip, with no dependency
+/// beyond std. No-op off Unix.
+#[cfg(unix)]
+fn install_shutdown_signals(handler: extern "C" fn(i32)) {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, handler as usize);
+        signal(SIGINT, handler as usize);
+    }
+}
+
 fn run() -> Result<(), String> {
     if std::env::args().any(|a| a == "--version" || a == "-V") {
         println!("kgae-serve {}", kgae_service::server::VERSION);
         return Ok(());
     }
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7707".into());
-    let workers = match arg_value("--workers") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| format!("--workers: not a number: {v:?}"))?,
+    let workers = match parse_flag::<usize>("--workers")? {
+        Some(v) => v,
         // A worker owns one keep-alive connection for its lifetime, so
         // the count bounds simultaneous clients, not request rate —
         // default well above the core count.
@@ -48,24 +88,71 @@ fn run() -> Result<(), String> {
             .saturating_mul(8)
             .max(32),
     };
-    let shards = match arg_value("--shards") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| format!("--shards: not a number: {v:?}"))?,
-        None => 16,
-    };
+    let shards = parse_flag::<usize>("--shards")?.unwrap_or(16);
     let store_dir = arg_value("--store-dir").unwrap_or_else(|| "kgae-store".into());
+    let limits = ManagerLimits {
+        max_sessions_per_tenant: parse_flag("--max-per-tenant")?,
+        max_total_sessions: parse_flag("--max-sessions")?,
+        retry_after_secs: parse_flag("--retry-after")?.unwrap_or(1),
+    };
+
+    // Failpoints: --fault wins over KGAE_FAULT; both error out loudly
+    // on builds compiled without the fault-injection feature.
+    match arg_value("--fault") {
+        Some(spec) => kgae_service::fault::configure(&spec).map_err(|e| format!("--fault: {e}"))?,
+        None => {
+            kgae_service::fault::configure_from_env().map_err(|e| format!("KGAE_FAULT: {e}"))?
+        }
+    }
+    if kgae_service::fault::enabled() {
+        eprintln!("kgae-serve: FAULT INJECTION ACTIVE — this build is for crash testing");
+    }
 
     eprintln!("kgae-serve: generating the standard datasets...");
     let registry = DatasetRegistry::standard();
     let store =
         SnapshotStore::open(&store_dir).map_err(|e| format!("opening store {store_dir:?}: {e}"))?;
-    let manager = SessionManager::new(&registry, store, shards);
+    let recovery = store.recovery_report();
+    if !recovery.is_clean() {
+        for id in &recovery.promoted {
+            eprintln!("kgae-serve: recovery: promoted orphaned temp file for {id:?}");
+        }
+        for name in &recovery.discarded {
+            eprintln!("kgae-serve: recovery: discarded incomplete temp file {name:?}");
+        }
+        for (id, reason) in &recovery.quarantined {
+            eprintln!("kgae-serve: recovery: quarantined {id:?}: {reason}");
+        }
+    }
+    if !recovery.recovered.is_empty() {
+        eprintln!(
+            "kgae-serve: recovery: {} stored session(s) ready to resume",
+            recovery.recovered.len()
+        );
+    }
+    let manager = SessionManager::with_limits(&registry, store, shards, limits);
 
     let server = Server::bind(&addr, workers).map_err(|e| format!("binding {addr:?}: {e}"))?;
     let local = server
         .local_addr()
         .map_err(|e| format!("reading bound address: {e}"))?;
+    #[cfg(unix)]
+    {
+        // The handler can only flip flags and poke sockets, so it
+        // parks the handle in a global the extern "C" fn can reach.
+        static HANDLE: std::sync::OnceLock<kgae_service::ServerHandle> = std::sync::OnceLock::new();
+        extern "C" fn on_shutdown_signal(_sig: i32) {
+            if let Some(handle) = HANDLE.get() {
+                handle.shutdown();
+            }
+        }
+        let handle = server
+            .handle()
+            .map_err(|e| format!("creating shutdown handle: {e}"))?;
+        if HANDLE.set(handle).is_ok() {
+            install_shutdown_signals(on_shutdown_signal);
+        }
+    }
     if let Some(port_file) = arg_value("--port-file") {
         std::fs::write(&port_file, format!("{}\n", local.port()))
             .map_err(|e| format!("writing {port_file:?}: {e}"))?;
@@ -74,7 +161,19 @@ fn run() -> Result<(), String> {
         "kgae-serve: listening on http://{local} ({workers} workers, {shards} shards, \
          store {store_dir:?})"
     );
-    server.run(&manager);
+    let report = server.run(&manager);
+    eprintln!(
+        "kgae-serve: drained — {} suspended ({} mid-batch), {} finished persisted",
+        report.suspended.len(),
+        report.cancelled.len(),
+        report.finished.len()
+    );
+    if !report.is_clean() {
+        for (id, reason) in &report.failed {
+            eprintln!("kgae-serve: drain FAILED for {id:?}: {reason}");
+        }
+        return Err("drain left unsaved sessions".into());
+    }
     Ok(())
 }
 

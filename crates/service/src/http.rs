@@ -80,6 +80,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// Whether the server will keep the connection open.
     pub keep_alive: bool,
+    /// Seconds from the `Retry-After` header, when the server sent one
+    /// (quota and drain refusals do).
+    pub retry_after: Option<u64>,
 }
 
 fn read_line<R: BufRead>(reader: &mut R, first: bool) -> Result<String, HttpError> {
@@ -127,19 +130,24 @@ fn read_line<R: BufRead>(reader: &mut R, first: bool) -> Result<String, HttpErro
     String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 line"))
 }
 
-/// Header block: returns `(content_length, connection_close_requested,
-/// connection_keep_alive_requested)`.
-fn read_headers<R: BufRead>(reader: &mut R) -> Result<(usize, bool, bool), HttpError> {
-    let mut content_length = 0usize;
-    let mut close = false;
-    let mut keep = false;
+/// The headers this module interprets, decoded from one header block.
+#[derive(Debug, Default)]
+struct HeaderBlock {
+    content_length: usize,
+    close: bool,
+    keep: bool,
+    retry_after: Option<u64>,
+}
+
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<HeaderBlock, HttpError> {
+    let mut headers = HeaderBlock::default();
     for count in 0.. {
         if count > MAX_HEADERS {
             return Err(HttpError::TooLarge("more than MAX_HEADERS headers"));
         }
         let line = read_line(reader, false)?;
         if line.is_empty() {
-            return Ok((content_length, close, keep));
+            return Ok(headers);
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::Malformed("header line without ':'"));
@@ -154,7 +162,7 @@ fn read_headers<R: BufRead>(reader: &mut R) -> Result<(usize, bool, bool), HttpE
                 if n > MAX_BODY {
                     return Err(HttpError::TooLarge("body exceeds MAX_BODY"));
                 }
-                content_length = n;
+                headers.content_length = n;
             }
             "transfer-encoding" => {
                 return Err(HttpError::Malformed(
@@ -164,12 +172,16 @@ fn read_headers<R: BufRead>(reader: &mut R) -> Result<(usize, bool, bool), HttpE
             "connection" => {
                 for token in value.split(',') {
                     match token.trim().to_ascii_lowercase().as_str() {
-                        "close" => close = true,
-                        "keep-alive" => keep = true,
+                        "close" => headers.close = true,
+                        "keep-alive" => headers.keep = true,
                         _ => {}
                     }
                 }
             }
+            // Seconds form only (the HTTP-date form is not worth a
+            // date parser here); unparseable values are ignored rather
+            // than fatal — the header is advisory.
+            "retry-after" => headers.retry_after = value.parse().ok(),
             _ => {}
         }
     }
@@ -215,13 +227,13 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     if !path.starts_with('/') {
         return Err(HttpError::Malformed("request target must be absolute"));
     }
-    let (content_length, close, keep) = read_headers(reader)?;
-    let body = read_body(reader, content_length)?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, headers.content_length)?;
     Ok(Request {
         method: method.to_ascii_uppercase(),
         path: path.to_string(),
         body,
-        keep_alive: if http11 { !close } else { keep },
+        keep_alive: if http11 { !headers.close } else { headers.keep },
     })
 }
 
@@ -243,13 +255,14 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, HttpError> 
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or(HttpError::Malformed("unparseable status code"))?;
-    let (content_length, close, keep) = read_headers(reader)?;
-    let body = read_body(reader, content_length)?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, headers.content_length)?;
     let http11 = version == "HTTP/1.1";
     Ok(Response {
         status,
         body,
-        keep_alive: if http11 { !close } else { keep },
+        keep_alive: if http11 { !headers.close } else { headers.keep },
+        retry_after: headers.retry_after,
     })
 }
 
@@ -263,10 +276,59 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        410 => "Gone",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
+}
+
+/// Renders a complete JSON response to bytes — status line, standard
+/// headers, any `extra` headers, and the body. Split out from
+/// [`write_response_with`] so callers that need byte-level control of
+/// the transmit (fault-injection harnesses writing torn prefixes) share
+/// the exact production formatting.
+#[must_use]
+pub fn format_response(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        reason_phrase(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    out.into_bytes()
+}
+
+/// Writes a JSON response with extra headers (e.g. `Retry-After`).
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response_with<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> std::io::Result<()> {
+    writer.write_all(&format_response(status, body, keep_alive, extra))?;
+    writer.flush()
 }
 
 /// Writes a JSON response.
@@ -280,16 +342,7 @@ pub fn write_response<W: Write>(
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    write!(
-        writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
-        status,
-        reason_phrase(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-        body,
-    )?;
-    writer.flush()
+    write_response_with(writer, status, body, keep_alive, &[])
 }
 
 /// Writes a JSON request (client side). `body` may be empty (`GET`).
@@ -335,6 +388,28 @@ mod tests {
         assert_eq!(resp.status, 201);
         assert_eq!(resp.body, br#"{"ok":true}"#);
         assert!(resp.keep_alive);
+    }
+
+    #[test]
+    fn retry_after_round_trips_and_bad_values_are_ignored() {
+        let mut wire = Vec::new();
+        write_response_with(
+            &mut wire,
+            429,
+            r#"{"error":"quota"}"#,
+            true,
+            &[("Retry-After", "7".to_string())],
+        )
+        .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.retry_after, Some(7));
+
+        let resp = read_response(&mut BufReader::new(
+            &b"HTTP/1.1 200 OK\r\nRetry-After: soon\r\nContent-Length: 0\r\n\r\n"[..],
+        ))
+        .unwrap();
+        assert_eq!(resp.retry_after, None);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`json`] | hand-rolled JSON value, encoder and strict parser |
 //! | [`api`] | typed DTOs ↔ JSON for every endpoint and meta record |
 //! | [`pool`] | fixed-size scoped worker pool (vendored crossbeam pattern) |
+//! | [`fault`] | deterministic failpoints (no-ops without `fault-injection`) |
 //!
 //! The `kgae-serve` binary boots the standard dataset registry behind
 //! this stack; the `kgae-client` crate speaks the same wire format
@@ -50,6 +51,7 @@
 #![warn(clippy::all)]
 
 pub mod api;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod manager;
@@ -59,8 +61,8 @@ pub mod store;
 
 pub use api::{SessionSpec, StratifySpec};
 pub use manager::{
-    DatasetEntry, DatasetRegistry, ServiceError, ServiceResult, SessionManager, SessionState,
-    SessionView,
+    DatasetEntry, DatasetRegistry, DrainReport, ManagerLimits, ServiceError, ServiceResult,
+    SessionManager, SessionState, SessionView,
 };
 pub use server::{Server, ServerHandle};
-pub use store::SnapshotStore;
+pub use store::{RecoveryReport, SnapshotStore};

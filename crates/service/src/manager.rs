@@ -81,6 +81,26 @@ pub enum ServiceError {
     Corrupt(String),
     /// Snapshot-store I/O failed.
     Io(std::io::Error),
+    /// Admission refused: the quota scope is full. Freed by deleting a
+    /// session; clients should back off for `retry_after` seconds.
+    QuotaExceeded {
+        /// Human description of the scope that filled up (a tenant, or
+        /// the whole server).
+        scope: String,
+        /// The configured ceiling.
+        limit: usize,
+        /// Seconds a client should wait before retrying.
+        retry_after: u64,
+    },
+    /// The stored session failed deep validation and was moved to the
+    /// store's quarantine directory; its bytes are preserved for
+    /// inspection but it can no longer be served.
+    Quarantined(String),
+    /// The server is draining for shutdown and refuses new sessions.
+    Draining {
+        /// Seconds a client should wait before retrying (elsewhere).
+        retry_after: u64,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -109,6 +129,21 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Session(e) => write!(f, "session engine: {e}"),
             ServiceError::Corrupt(msg) => write!(f, "corrupt stored session: {msg}"),
             ServiceError::Io(e) => write!(f, "snapshot store I/O: {e}"),
+            ServiceError::QuotaExceeded { scope, limit, .. } => write!(
+                f,
+                "{scope} is at its session quota ({limit}); delete a session or retry later"
+            ),
+            ServiceError::Quarantined(id) => write!(
+                f,
+                "session {id:?} failed validation and was quarantined; its files were \
+                 preserved under the store's quarantine directory for inspection"
+            ),
+            ServiceError::Draining { .. } => {
+                write!(
+                    f,
+                    "server is draining for shutdown; not accepting new sessions"
+                )
+            }
         }
     }
 }
@@ -146,6 +181,44 @@ impl ServiceError {
                 _ => 500,
             },
             ServiceError::Corrupt(_) | ServiceError::Io(_) => 500,
+            ServiceError::Quarantined(_) => 410,
+            ServiceError::QuotaExceeded { .. } => 429,
+            ServiceError::Draining { .. } => 503,
+        }
+    }
+
+    /// Stable machine-readable error code, carried on the wire as the
+    /// `"code"` field of an error body so clients can branch without
+    /// parsing prose.
+    #[must_use]
+    pub fn wire_code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownSession(_) => "unknown_session",
+            ServiceError::SessionExists(_) => "session_exists",
+            ServiceError::UnknownDataset(_) => "unknown_dataset",
+            ServiceError::InvalidId(_) => "invalid_id",
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::RequestOutstanding(_) => "request_outstanding",
+            ServiceError::AlreadyFinished(_) => "already_finished",
+            ServiceError::NotSuspended(_) => "not_suspended",
+            ServiceError::StaleRequest(_) => "stale_request",
+            ServiceError::Session(_) => "engine",
+            ServiceError::Corrupt(_) => "corrupt",
+            ServiceError::Io(_) => "io",
+            ServiceError::QuotaExceeded { .. } => "quota_exceeded",
+            ServiceError::Quarantined(_) => "quarantined",
+            ServiceError::Draining { .. } => "draining",
+        }
+    }
+
+    /// The `Retry-After` value (seconds) this failure should carry, for
+    /// the backpressure-shaped errors (quota, drain).
+    #[must_use]
+    pub fn retry_after(&self) -> Option<u64> {
+        match self {
+            ServiceError::QuotaExceeded { retry_after, .. }
+            | ServiceError::Draining { retry_after } => Some(*retry_after),
+            _ => None,
         }
     }
 }
@@ -645,6 +718,80 @@ fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
 // The manager
 // ---------------------------------------------------------------------
 
+/// Admission-control knobs for a [`SessionManager`]. `None` means
+/// unlimited. Quotas count every session that exists under a tenant —
+/// running, suspended, evicted or finished — and are released only by
+/// [`SessionManager::delete`], so a full quota is an explicit signal to
+/// clean up, not a transient hiccup.
+#[derive(Debug, Clone, Copy)]
+pub struct ManagerLimits {
+    /// Ceiling on sessions per tenant (the spec's `tenant` field;
+    /// specs without one share the default tenant's quota).
+    pub max_sessions_per_tenant: Option<usize>,
+    /// Ceiling on sessions across all tenants.
+    pub max_total_sessions: Option<usize>,
+    /// `Retry-After` seconds attached to quota/drain refusals.
+    pub retry_after_secs: u64,
+}
+
+impl Default for ManagerLimits {
+    fn default() -> Self {
+        Self {
+            max_sessions_per_tenant: None,
+            max_total_sessions: None,
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Live session census backing quota admission: one counter per tenant
+/// plus the server-wide total, kept exact under a dedicated mutex.
+#[derive(Debug, Default)]
+struct Occupancy {
+    per_tenant: HashMap<String, usize>,
+    total: usize,
+}
+
+/// The tenant bucket a spec's sessions count against (the shared
+/// default bucket when the spec names none).
+fn tenant_key(spec: &SessionSpec) -> &str {
+    spec.tenant.as_deref().unwrap_or("")
+}
+
+fn tenant_scope(tenant: &str) -> String {
+    if tenant.is_empty() {
+        "the default tenant".to_string()
+    } else {
+        format!("tenant {tenant:?}")
+    }
+}
+
+/// What [`SessionManager::drain`] did, per session id (each list
+/// sorted). A clean drain has an empty `failed`.
+#[derive(Debug, Default)]
+pub struct DrainReport {
+    /// Sessions persisted as suspended (snapshot + meta on disk),
+    /// resumable bit-identically after restart.
+    pub suspended: Vec<String>,
+    /// Sessions whose outstanding annotation batch was withdrawn via
+    /// the exact-rollback path before suspension — a post-restart
+    /// re-poll regenerates the identical batch.
+    pub cancelled: Vec<String>,
+    /// Finished sessions persisted as meta-only result records.
+    pub finished: Vec<String>,
+    /// Sessions that could not be persisted, with the error text.
+    /// They stay in memory (and are lost when the process exits).
+    pub failed: Vec<(String, String)>,
+}
+
+impl DrainReport {
+    /// `true` when every session was persisted.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
 /// Sharded, lock-striped host for named evaluation sessions. See the
 /// module docs for the state machine.
 pub struct SessionManager<'a> {
@@ -652,14 +799,55 @@ pub struct SessionManager<'a> {
     shards: Box<[Mutex<HashMap<String, Slot<'a>>>]>,
     store: SnapshotStore,
     prepared: Mutex<HashMap<(String, SamplingDesign), Arc<PreparedDesign>>>,
+    limits: ManagerLimits,
+    occupancy: Mutex<Occupancy>,
+    quarantined: Mutex<std::collections::BTreeSet<String>>,
+    draining: std::sync::atomic::AtomicBool,
 }
 
 impl<'a> SessionManager<'a> {
     /// A manager over `registry`, spilling dormant sessions into
-    /// `store`, with `shards` lock stripes (clamped to ≥ 1).
+    /// `store`, with `shards` lock stripes (clamped to ≥ 1) and no
+    /// admission limits.
     #[must_use]
     pub fn new(registry: &'a DatasetRegistry, store: SnapshotStore, shards: usize) -> Self {
+        Self::with_limits(registry, store, shards, ManagerLimits::default())
+    }
+
+    /// [`SessionManager::new`] with admission limits. Quota counters
+    /// and the quarantine set are seeded from the store, so a restarted
+    /// server enforces the same quotas its predecessor did — suspended
+    /// campaigns on disk keep their reservations.
+    #[must_use]
+    pub fn with_limits(
+        registry: &'a DatasetRegistry,
+        store: SnapshotStore,
+        shards: usize,
+        limits: ManagerLimits,
+    ) -> Self {
         let shards = shards.max(1);
+        let mut occupancy = Occupancy::default();
+        // Best-effort census: every stored id takes a quota slot; ids
+        // whose meta won't decode count against the default tenant
+        // (they still occupy disk, and a later access quarantines
+        // them).
+        if let Ok(ids) = store.list() {
+            for id in ids {
+                let tenant = store
+                    .load(&id)
+                    .ok()
+                    .flatten()
+                    .and_then(|record| meta_decode(&id, &record.meta).ok())
+                    .map_or(String::new(), |meta| tenant_key(&meta.spec).to_string());
+                occupancy.total += 1;
+                *occupancy.per_tenant.entry(tenant).or_insert(0) += 1;
+            }
+        }
+        let quarantined = store
+            .quarantined_ids()
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
         Self {
             registry,
             shards: (0..shards)
@@ -668,7 +856,17 @@ impl<'a> SessionManager<'a> {
                 .into_boxed_slice(),
             store,
             prepared: Mutex::new(HashMap::new()),
+            limits,
+            occupancy: Mutex::new(occupancy),
+            quarantined: Mutex::new(quarantined),
+            draining: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// The admission limits this manager enforces.
+    #[must_use]
+    pub fn limits(&self) -> ManagerLimits {
+        self.limits
     }
 
     /// The dataset registry this manager serves.
@@ -688,6 +886,213 @@ impl<'a> SessionManager<'a> {
         id.hash(&mut hasher);
         let index = (hasher.finish() % self.shards.len() as u64) as usize;
         &self.shards[index]
+    }
+
+    /// Takes one quota slot for `tenant`, or refuses with
+    /// [`ServiceError::QuotaExceeded`]. Check-and-increment is atomic
+    /// under the occupancy lock.
+    fn admit(&self, tenant: &str) -> ServiceResult<()> {
+        let mut occupancy = self.occupancy.lock().expect("occupancy lock");
+        if let Some(limit) = self.limits.max_total_sessions {
+            if occupancy.total >= limit {
+                return Err(ServiceError::QuotaExceeded {
+                    scope: "the server".to_string(),
+                    limit,
+                    retry_after: self.limits.retry_after_secs,
+                });
+            }
+        }
+        if let Some(limit) = self.limits.max_sessions_per_tenant {
+            if occupancy.per_tenant.get(tenant).copied().unwrap_or(0) >= limit {
+                return Err(ServiceError::QuotaExceeded {
+                    scope: tenant_scope(tenant),
+                    limit,
+                    retry_after: self.limits.retry_after_secs,
+                });
+            }
+        }
+        occupancy.total += 1;
+        *occupancy.per_tenant.entry(tenant.to_string()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Returns `tenant`'s quota slot (saturating — a release without a
+    /// matching admit cannot underflow the census).
+    fn release(&self, tenant: &str) {
+        let mut occupancy = self.occupancy.lock().expect("occupancy lock");
+        occupancy.total = occupancy.total.saturating_sub(1);
+        if let Some(count) = occupancy.per_tenant.get_mut(tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                occupancy.per_tenant.remove(tenant);
+            }
+        }
+    }
+
+    /// Sessions currently counted against quotas: `(total, this
+    /// tenant's count)`.
+    #[must_use]
+    pub fn occupancy(&self, tenant: &str) -> (usize, usize) {
+        let occupancy = self.occupancy.lock().expect("occupancy lock");
+        (
+            occupancy.total,
+            occupancy.per_tenant.get(tenant).copied().unwrap_or(0),
+        )
+    }
+
+    /// Refuses operations on a quarantined id with
+    /// [`ServiceError::Quarantined`] (the wire's 410: the id existed,
+    /// its bytes are preserved, but it is gone as a servable session).
+    fn check_quarantined(&self, id: &str) -> ServiceResult<()> {
+        if self
+            .quarantined
+            .lock()
+            .expect("quarantine lock")
+            .contains(id)
+        {
+            return Err(ServiceError::Quarantined(id.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Ids quarantined by the startup sweep or by deep validation
+    /// failures since, sorted.
+    #[must_use]
+    pub fn quarantined_sessions(&self) -> Vec<String> {
+        self.quarantined
+            .lock()
+            .expect("quarantine lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Converts a deep-validation failure during rehydration into a
+    /// quarantine: the session's files move into the store's
+    /// quarantine directory (best effort — the in-memory set is the
+    /// authority for serving decisions), the id joins that set, and the
+    /// caller gets [`ServiceError::Quarantined`]. Non-corruption errors
+    /// (I/O, protocol) pass through untouched.
+    fn quarantine_on_corruption(&self, id: &str, e: ServiceError) -> ServiceError {
+        let corrupt = matches!(
+            &e,
+            ServiceError::Corrupt(_)
+                | ServiceError::Session(
+                    SessionError::CorruptSnapshot(_) | SessionError::SnapshotMismatch(_)
+                )
+        );
+        if !corrupt {
+            return e;
+        }
+        let _ = self.store.quarantine(id, &e.to_string());
+        self.quarantined
+            .lock()
+            .expect("quarantine lock")
+            .insert(id.to_string());
+        ServiceError::Quarantined(id.to_string())
+    }
+
+    /// Flips the manager into drain mode: [`SessionManager::create`]
+    /// refuses with [`ServiceError::Draining`] (503) from now on.
+    /// Existing sessions keep serving until [`SessionManager::drain`]
+    /// persists them.
+    pub fn begin_drain(&self) {
+        self.draining
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether drain mode is on.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown sweep: enters drain mode, then persists every
+    /// in-memory session to the store — running sessions are
+    /// snapshotted as suspended (withdrawing an outstanding annotation
+    /// batch first via the exact-rollback cancel, so nothing blocks on
+    /// absent annotators), finished sessions become meta-only result
+    /// records. After a clean drain the store alone reconstructs every
+    /// campaign bit-identically; sessions listed in
+    /// [`DrainReport::failed`] could not be saved and stay in memory.
+    pub fn drain(&self) -> DrainReport {
+        self.begin_drain();
+        let mut report = DrainReport::default();
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard lock");
+            let ids: Vec<String> = shard.keys().cloned().collect();
+            for id in ids {
+                let Some(slot) = shard.get_mut(&id) else {
+                    continue;
+                };
+                match slot {
+                    Slot::Suspended(_) => {
+                        // Snapshot + meta already on disk.
+                        shard.remove(&id);
+                        report.suspended.push(id);
+                    }
+                    Slot::Finished(finished) => {
+                        let status = finished_status(finished.reason, &finished.result);
+                        let meta = meta_encode(
+                            &finished.spec,
+                            SessionState::Finished,
+                            &status,
+                            finished.strata.as_deref(),
+                            finished.methods.as_deref(),
+                            Some((finished.reason, &finished.result)),
+                        );
+                        match self.store.save(&id, &meta, None) {
+                            Ok(()) => {
+                                shard.remove(&id);
+                                report.finished.push(id);
+                            }
+                            Err(e) => report.failed.push((id, e.to_string())),
+                        }
+                    }
+                    Slot::Live(live) => {
+                        if live.engine.has_pending_request() {
+                            match live.engine.cancel_request() {
+                                Ok(()) => {
+                                    live.pending = None;
+                                    live.pending_stratum = None;
+                                    report.cancelled.push(id.clone());
+                                }
+                                Err(e) => {
+                                    report.failed.push((id, e.to_string()));
+                                    continue;
+                                }
+                            }
+                        }
+                        let persisted = (|| -> ServiceResult<()> {
+                            let snapshot = live.engine.snapshot()?;
+                            let view = live.engine.status();
+                            let meta = meta_encode(
+                                &live.spec,
+                                SessionState::Suspended,
+                                &view.primary,
+                                view.strata.as_deref(),
+                                view.methods.as_deref(),
+                                None,
+                            );
+                            self.store.save(&id, &meta, Some(&snapshot))?;
+                            Ok(())
+                        })();
+                        match persisted {
+                            Ok(()) => {
+                                shard.remove(&id);
+                                report.suspended.push(id);
+                            }
+                            Err(e) => report.failed.push((id, e.to_string())),
+                        }
+                    }
+                }
+            }
+        }
+        report.suspended.sort();
+        report.cancelled.sort();
+        report.finished.sort();
+        report.failed.sort();
+        report
     }
 
     /// The per-(dataset, design) [`PreparedDesign`], built once and
@@ -850,7 +1255,10 @@ impl<'a> SessionManager<'a> {
     /// Brings the slot for `id` into the [`Slot::Live`] state inside an
     /// already-held shard, rehydrating from disk if needed.
     /// [`ServiceError::AlreadyFinished`] leaves the finished slot in
-    /// the map so the caller can still read its view.
+    /// the map so the caller can still read its view. A stored record
+    /// that fails deep validation is quarantined (the slot is dropped
+    /// and the caller gets [`ServiceError::Quarantined`]) instead of
+    /// surfacing as a 500 forever.
     fn ensure_live(&self, shard: &mut HashMap<String, Slot<'a>>, id: &str) -> ServiceResult<()> {
         match shard.get(id) {
             Some(Slot::Live(_)) => Ok(()),
@@ -858,21 +1266,37 @@ impl<'a> SessionManager<'a> {
                 Err(ServiceError::AlreadyFinished(finished.spec.id.clone()))
             }
             Some(Slot::Suspended(dormant)) => {
-                let record = self.store.load(id)?.ok_or_else(|| {
-                    ServiceError::Corrupt(format!("session {id:?}: meta vanished"))
-                })?;
-                let snapshot = record.snapshot.as_deref().ok_or_else(|| {
-                    ServiceError::Corrupt(format!("session {id:?}: snapshot vanished"))
-                })?;
-                let live = self.rehydrate(&dormant.spec, snapshot)?;
-                shard.insert(id.to_string(), Slot::Live(Box::new(live)));
-                Ok(())
+                let spec = dormant.spec.clone();
+                let rehydrated = (|| -> ServiceResult<Live<'a>> {
+                    let record = self.store.load(id)?.ok_or_else(|| {
+                        ServiceError::Corrupt(format!("session {id:?}: meta vanished"))
+                    })?;
+                    let snapshot = record.snapshot.as_deref().ok_or_else(|| {
+                        ServiceError::Corrupt(format!("session {id:?}: snapshot vanished"))
+                    })?;
+                    self.rehydrate(&spec, snapshot)
+                })();
+                match rehydrated {
+                    Ok(live) => {
+                        shard.insert(id.to_string(), Slot::Live(Box::new(live)));
+                        Ok(())
+                    }
+                    Err(e) => {
+                        let e = self.quarantine_on_corruption(id, e);
+                        if matches!(e, ServiceError::Quarantined(_)) {
+                            shard.remove(id);
+                        }
+                        Err(e)
+                    }
+                }
             }
             None => {
                 let Some(record) = self.store.load(id)? else {
                     return Err(ServiceError::UnknownSession(id.to_string()));
                 };
-                let slot = self.slot_from_store(id, &record)?;
+                let slot = self
+                    .slot_from_store(id, &record)
+                    .map_err(|e| self.quarantine_on_corruption(id, e))?;
                 let finished = matches!(slot, Slot::Finished(_));
                 shard.insert(id.to_string(), slot);
                 if finished {
@@ -913,17 +1337,32 @@ impl<'a> SessionManager<'a> {
     ///
     /// # Errors
     ///
-    /// [`ServiceError::InvalidId`], [`ServiceError::SessionExists`]
-    /// (in memory or on disk), [`ServiceError::UnknownDataset`].
+    /// [`ServiceError::Draining`] in drain mode,
+    /// [`ServiceError::InvalidId`], [`ServiceError::Quarantined`] on a
+    /// quarantined id (quarantined bytes must be inspected and cleared
+    /// out-of-band before the id can be reused),
+    /// [`ServiceError::SessionExists`] (in memory or on disk),
+    /// [`ServiceError::UnknownDataset`],
+    /// [`ServiceError::QuotaExceeded`] when a tenant or server quota is
+    /// full.
     pub fn create(&self, spec: &SessionSpec) -> ServiceResult<SessionView> {
+        if self.is_draining() {
+            return Err(ServiceError::Draining {
+                retry_after: self.limits.retry_after_secs,
+            });
+        }
         if !valid_session_id(&spec.id) {
             return Err(ServiceError::InvalidId(spec.id.clone()));
         }
+        self.check_quarantined(&spec.id)?;
         let live = self.build_live(spec)?;
         let mut shard = self.shard(&spec.id).lock().expect("shard lock");
         if shard.contains_key(&spec.id) || self.store.contains(&spec.id) {
             return Err(ServiceError::SessionExists(spec.id.clone()));
         }
+        // Admission happens after all other checks while the shard lock
+        // pins the insert: a taken slot is always matched by a session.
+        self.admit(tenant_key(spec))?;
         let slot = Slot::Live(Box::new(live));
         let view = slot.view();
         shard.insert(spec.id.clone(), slot);
@@ -955,6 +1394,7 @@ impl<'a> SessionManager<'a> {
         id: &str,
         max_units: u64,
     ) -> ServiceResult<(Option<AnnotationRequest>, SessionView)> {
+        self.check_quarantined(id)?;
         let max_units = max_units.clamp(1, MAX_BATCH_UNITS);
         let mut shard = self.shard(id).lock().expect("shard lock");
         match self.ensure_live(&mut shard, id) {
@@ -1020,8 +1460,20 @@ impl<'a> SessionManager<'a> {
         labels: &[bool],
         seq: Option<u64>,
     ) -> ServiceResult<SessionView> {
+        self.check_quarantined(id)?;
         let mut shard = self.shard(id).lock().expect("shard lock");
-        self.ensure_live(&mut shard, id)?;
+        if let Err(e) = self.ensure_live(&mut shard, id) {
+            // A *fenced* submit against a finished session is the
+            // replay of the very batch that finished it (the fence can
+            // no longer match anything): answer the same stale-fence
+            // 409 a live replay gets, which clients treat as proof the
+            // original landed. Unfenced submits keep the informative
+            // `already_finished`.
+            if seq.is_some() && matches!(e, ServiceError::AlreadyFinished(_)) {
+                return Err(ServiceError::StaleRequest(id.to_string()));
+            }
+            return Err(e);
+        }
         let Some(Slot::Live(live)) = shard.get_mut(id) else {
             unreachable!("ensure_live left a live slot")
         };
@@ -1047,6 +1499,7 @@ impl<'a> SessionManager<'a> {
     ///
     /// [`ServiceError::UnknownSession`] or a corrupt stored record.
     pub fn status(&self, id: &str) -> ServiceResult<SessionView> {
+        self.check_quarantined(id)?;
         let shard = self.shard(id).lock().expect("shard lock");
         if let Some(slot) = shard.get(id) {
             return Ok(slot.view());
@@ -1055,7 +1508,8 @@ impl<'a> SessionManager<'a> {
         let Some(record) = self.store.load(id)? else {
             return Err(ServiceError::UnknownSession(id.to_string()));
         };
-        let meta = meta_decode(id, &record.meta)?;
+        let meta =
+            meta_decode(id, &record.meta).map_err(|e| self.quarantine_on_corruption(id, e))?;
         Ok(SessionView {
             id: meta.spec.id.clone(),
             dataset: meta.spec.dataset.clone(),
@@ -1082,6 +1536,7 @@ impl<'a> SessionManager<'a> {
     /// [`ServiceError::AlreadyFinished`] after the stop,
     /// [`ServiceError::UnknownSession`], or store I/O failures.
     pub fn suspend(&self, id: &str) -> ServiceResult<SessionView> {
+        self.check_quarantined(id)?;
         let mut shard = self.shard(id).lock().expect("shard lock");
         match shard.get(id) {
             Some(Slot::Suspended(_)) => Ok(shard.get(id).expect("slot exists").view()),
@@ -1135,27 +1590,44 @@ impl<'a> SessionManager<'a> {
     /// [`ServiceError::UnknownSession`], corrupt/mismatched snapshots
     /// ([`ServiceError::Session`] / [`ServiceError::Corrupt`]).
     pub fn resume(&self, id: &str) -> ServiceResult<SessionView> {
+        self.check_quarantined(id)?;
         let mut shard = self.shard(id).lock().expect("shard lock");
         match shard.get(id) {
             Some(Slot::Live(_) | Slot::Finished(_)) => {
                 Ok(shard.get(id).expect("slot exists").view())
             }
             Some(Slot::Suspended(dormant)) => {
-                let record = self.store.load(id)?.ok_or_else(|| {
-                    ServiceError::Corrupt(format!("session {id:?}: meta vanished"))
-                })?;
-                let snapshot = record.snapshot.as_deref().ok_or_else(|| {
-                    ServiceError::Corrupt(format!("session {id:?}: snapshot vanished"))
-                })?;
-                let live = self.rehydrate(&dormant.spec, snapshot)?;
-                shard.insert(id.to_string(), Slot::Live(Box::new(live)));
-                Ok(shard.get(id).expect("slot exists").view())
+                let spec = dormant.spec.clone();
+                let rehydrated = (|| -> ServiceResult<Live<'a>> {
+                    let record = self.store.load(id)?.ok_or_else(|| {
+                        ServiceError::Corrupt(format!("session {id:?}: meta vanished"))
+                    })?;
+                    let snapshot = record.snapshot.as_deref().ok_or_else(|| {
+                        ServiceError::Corrupt(format!("session {id:?}: snapshot vanished"))
+                    })?;
+                    self.rehydrate(&spec, snapshot)
+                })();
+                match rehydrated {
+                    Ok(live) => {
+                        shard.insert(id.to_string(), Slot::Live(Box::new(live)));
+                        Ok(shard.get(id).expect("slot exists").view())
+                    }
+                    Err(e) => {
+                        let e = self.quarantine_on_corruption(id, e);
+                        if matches!(e, ServiceError::Quarantined(_)) {
+                            shard.remove(id);
+                        }
+                        Err(e)
+                    }
+                }
             }
             None => {
                 let Some(record) = self.store.load(id)? else {
                     return Err(ServiceError::UnknownSession(id.to_string()));
                 };
-                let slot = self.slot_from_store(id, &record)?;
+                let slot = self
+                    .slot_from_store(id, &record)
+                    .map_err(|e| self.quarantine_on_corruption(id, e))?;
                 shard.insert(id.to_string(), slot);
                 Ok(shard.get(id).expect("slot exists").view())
             }
@@ -1172,6 +1644,7 @@ impl<'a> SessionManager<'a> {
     /// [`ServiceError::RequestOutstanding`] while labels are owed,
     /// [`ServiceError::UnknownSession`], or store I/O failures.
     pub fn evict(&self, id: &str) -> ServiceResult<()> {
+        self.check_quarantined(id)?;
         let mut shard = self.shard(id).lock().expect("shard lock");
         match shard.get(id) {
             Some(Slot::Live(live)) => {
@@ -1225,15 +1698,33 @@ impl<'a> SessionManager<'a> {
     /// store I/O failures.
     pub fn delete(&self, id: &str) -> ServiceResult<()> {
         let mut shard = self.shard(id).lock().expect("shard lock");
-        let in_memory = shard.remove(id).is_some();
+        let removed = shard.remove(id);
+        let mut tenant = removed
+            .as_ref()
+            .map(|slot| tenant_key(slot.spec()).to_string());
         let on_disk = self.store.contains(id);
         if on_disk {
+            if tenant.is_none() {
+                // Disk-only session: its quota owner is in the meta
+                // record (unreadable meta falls back to the default
+                // tenant, matching the startup census).
+                tenant = Some(
+                    self.store
+                        .load(id)
+                        .ok()
+                        .flatten()
+                        .and_then(|record| meta_decode(id, &record.meta).ok())
+                        .map_or(String::new(), |meta| tenant_key(&meta.spec).to_string()),
+                );
+            }
             self.store.remove(id)?;
         }
-        if in_memory || on_disk {
-            Ok(())
-        } else {
-            Err(ServiceError::UnknownSession(id.to_string()))
+        match tenant {
+            Some(tenant) => {
+                self.release(&tenant);
+                Ok(())
+            }
+            None => Err(ServiceError::UnknownSession(id.to_string())),
         }
     }
 
@@ -1245,6 +1736,7 @@ impl<'a> SessionManager<'a> {
     /// [`ServiceError::NotSuspended`] for live/finished sessions,
     /// [`ServiceError::UnknownSession`], store I/O failures.
     pub fn snapshot_bytes(&self, id: &str) -> ServiceResult<Vec<u8>> {
+        self.check_quarantined(id)?;
         let shard = self.shard(id).lock().expect("shard lock");
         match shard.get(id) {
             Some(Slot::Live(_) | Slot::Finished(_)) => {
@@ -1268,6 +1760,7 @@ impl<'a> SessionManager<'a> {
     /// [`ServiceError::BadRequest`] if the session is still running,
     /// [`ServiceError::UnknownSession`] if nothing exists under `id`.
     pub fn final_result(&self, id: &str) -> ServiceResult<(StopReason, EvalResult)> {
+        self.check_quarantined(id)?;
         {
             let shard = self.shard(id).lock().expect("shard lock");
             match shard.get(id) {

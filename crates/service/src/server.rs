@@ -64,8 +64,10 @@ pub struct ServerHandle {
 
 impl ServerHandle {
     /// Asks the server to stop and wakes its accept loop. Existing
-    /// connections finish their in-flight request; `Server::run`
-    /// returns after the pool drains.
+    /// connections finish their in-flight request; once the pool
+    /// drains, `Server::run` suspends every live session to disk via
+    /// [`SessionManager::drain`] and returns the report — so a SIGTERM
+    /// loses no campaign state.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // The accept loop is blocked in accept(); poke it.
@@ -109,11 +111,18 @@ impl Server {
         })
     }
 
-    /// Serves `manager` until [`ServerHandle::shutdown`] is called.
+    /// Serves `manager` until [`ServerHandle::shutdown`] is called,
+    /// then drains gracefully: the manager stops accepting creates
+    /// (503 + `Retry-After`), in-flight connections finish, and every
+    /// live session is persisted to the snapshot store — outstanding
+    /// annotation batches are withdrawn via the exact-rollback cancel,
+    /// so a post-restart re-poll regenerates them bit-identically.
+    /// Returns the drain report.
+    ///
     /// Blocks the calling thread; connection handling runs on the
     /// worker pool (scoped threads, so `manager` may borrow from the
     /// caller's stack).
-    pub fn run(self, manager: &SessionManager<'_>) {
+    pub fn run(self, manager: &SessionManager<'_>) -> crate::manager::DrainReport {
         let shutdown = Arc::clone(&self.shutdown);
         let (tx, rx) = channel::<TcpStream>();
         crossbeam::scope(|scope| {
@@ -138,10 +147,15 @@ impl Server {
                     Err(_) => continue,
                 }
             }
+            // Refuse new sessions while the in-flight connections wind
+            // down; the full persistence sweep runs after the pool
+            // exits, when no worker can race a session mutation.
+            manager.begin_drain();
             drop(tx); // disconnect: the pool drains and exits
             pool_thread.join().expect("worker pool");
         })
         .expect("server scope");
+        manager.drain()
     }
 }
 
@@ -183,9 +197,41 @@ fn handle_connection(stream: TcpStream, manager: &SessionManager<'_>, shutdown: 
                 return;
             }
         };
+        // Failpoint `conn.read`: the request is discarded before it
+        // reaches the manager — the client sees a dead connection and
+        // must retry a request that was never applied.
+        #[cfg(feature = "fault-injection")]
+        if let Some(action) = crate::fault::check(crate::fault::site::CONN_READ) {
+            match action {
+                crate::fault::FaultAction::Crash => std::process::abort(),
+                _ => return,
+            }
+        }
         let keep_alive = request.keep_alive;
-        let (status, body) = route(&request, manager);
-        if http::write_response(&mut stream, status, &body, keep_alive).is_err() {
+        let (status, body, retry_after) = route(&request, manager);
+        let mut extra: Vec<(&str, String)> = Vec::new();
+        if let Some(secs) = retry_after {
+            extra.push(("Retry-After", secs.to_string()));
+        }
+        // Failpoint `conn.write`: the response dies after the manager
+        // already applied the operation — the lost-response case retry
+        // logic must survive (torn sends a prefix, drop sends nothing).
+        #[cfg(feature = "fault-injection")]
+        if let Some(action) = crate::fault::check(crate::fault::site::CONN_WRITE) {
+            use std::io::Write;
+            match action {
+                crate::fault::FaultAction::Crash => std::process::abort(),
+                crate::fault::FaultAction::Torn(n) => {
+                    let bytes = http::format_response(status, &body, keep_alive, &extra);
+                    let cut = n.min(bytes.len());
+                    let _ = stream.write_all(&bytes[..cut]);
+                    let _ = stream.flush();
+                    return;
+                }
+                _ => return,
+            }
+        }
+        if http::write_response_with(&mut stream, status, &body, keep_alive, &extra).is_err() {
             return;
         }
         if !keep_alive {
@@ -211,8 +257,16 @@ pub fn health_body() -> String {
     .encode()
 }
 
-fn error_response(e: &ServiceError) -> (u16, String) {
-    (e.http_status(), api::error_body(&e.to_string()))
+/// One routed answer: status, JSON body, and the optional
+/// `Retry-After` seconds (quota/drain refusals carry one).
+type Reply = (u16, String, Option<u64>);
+
+fn error_response(e: &ServiceError) -> Reply {
+    (
+        e.http_status(),
+        api::error_body_coded(&e.to_string(), e.wire_code()),
+        e.retry_after(),
+    )
 }
 
 fn view_body(view: &SessionView) -> String {
@@ -257,21 +311,21 @@ pub fn view_to_json(view: &SessionView) -> Json {
     doc
 }
 
-fn parse_body(body: &[u8]) -> Result<Json, (u16, String)> {
+fn parse_body(body: &[u8]) -> Result<Json, Reply> {
     let text =
-        std::str::from_utf8(body).map_err(|_| (400, api::error_body("body is not UTF-8")))?;
+        std::str::from_utf8(body).map_err(|_| (400, api::error_body("body is not UTF-8"), None))?;
     if text.trim().is_empty() {
         return Ok(Json::Obj(Vec::new()));
     }
-    json::parse(text).map_err(|e| (400, api::error_body(&e.to_string())))
+    json::parse(text).map_err(|e| (400, api::error_body(&e.to_string()), None))
 }
 
-/// Dispatches one request; returns `(status, body)`.
-fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String) {
+/// Dispatches one request; returns `(status, body, retry_after)`.
+fn route(request: &http::Request, manager: &SessionManager<'_>) -> Reply {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
-        ("GET", ["healthz"]) => (200, health_body()),
+        ("GET", ["healthz"]) => (200, health_body(), None),
         ("GET", ["v1", "datasets"]) => {
             let datasets: Vec<Json> = manager
                 .registry()
@@ -295,6 +349,7 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
             (
                 200,
                 Json::obj(vec![("datasets", Json::Arr(datasets))]).encode(),
+                None,
             )
         }
         ("GET", ["v1", "sessions"]) => match manager.list() {
@@ -305,6 +360,7 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
                     Json::Arr(views.iter().map(view_to_json).collect()),
                 )])
                 .encode(),
+                None,
             ),
             Err(e) => error_response(&e),
         },
@@ -315,19 +371,23 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
             };
             let spec = match api::SessionSpec::from_json(&body) {
                 Ok(spec) => spec,
-                Err(e) => return (400, api::error_body(&e.to_string())),
+                Err(e) => return (400, api::error_body(&e.to_string()), None),
             };
             match manager.create(&spec) {
-                Ok(view) => (201, view_body(&view)),
+                Ok(view) => (201, view_body(&view), None),
                 Err(e) => error_response(&e),
             }
         }
         ("GET", ["v1", "sessions", id]) => match manager.status(id) {
-            Ok(view) => (200, view_body(&view)),
+            Ok(view) => (200, view_body(&view), None),
             Err(e) => error_response(&e),
         },
         ("DELETE", ["v1", "sessions", id]) => match manager.delete(id) {
-            Ok(()) => (200, Json::obj(vec![("deleted", Json::str(id))]).encode()),
+            Ok(()) => (
+                200,
+                Json::obj(vec![("deleted", Json::str(id))]).encode(),
+                None,
+            ),
             Err(e) => error_response(&e),
         },
         ("POST", ["v1", "sessions", id, "next"]) => {
@@ -343,6 +403,7 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
                         return (
                             400,
                             api::error_body("\"batch\" must be a non-negative integer"),
+                            None,
                         )
                     }
                 },
@@ -359,7 +420,7 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
                     let mut doc =
                         api::request_to_json(request.as_ref(), view.pending_seq, stratum.as_ref());
                     doc.set("session", view_to_json(&view));
-                    (200, doc.encode())
+                    (200, doc.encode(), None)
                 }
                 Err(e) => error_response(&e),
             }
@@ -371,23 +432,27 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
             };
             let (labels, seq) = match api::labels_from_json(&body) {
                 Ok(decoded) => decoded,
-                Err(e) => return (400, api::error_body(&e.to_string())),
+                Err(e) => return (400, api::error_body(&e.to_string()), None),
             };
             match manager.submit(id, &labels, seq) {
-                Ok(view) => (200, view_body(&view)),
+                Ok(view) => (200, view_body(&view), None),
                 Err(e) => error_response(&e),
             }
         }
         ("POST", ["v1", "sessions", id, "suspend"]) => match manager.suspend(id) {
-            Ok(view) => (200, view_body(&view)),
+            Ok(view) => (200, view_body(&view), None),
             Err(e) => error_response(&e),
         },
         ("POST", ["v1", "sessions", id, "resume"]) => match manager.resume(id) {
-            Ok(view) => (200, view_body(&view)),
+            Ok(view) => (200, view_body(&view), None),
             Err(e) => error_response(&e),
         },
         ("POST", ["v1", "sessions", id, "evict"]) => match manager.evict(id) {
-            Ok(()) => (200, Json::obj(vec![("evicted", Json::str(id))]).encode()),
+            Ok(()) => (
+                200,
+                Json::obj(vec![("evicted", Json::str(id))]).encode(),
+                None,
+            ),
             Err(e) => error_response(&e),
         },
         ("GET", ["v1", "sessions", id, "snapshot"]) => match manager.snapshot_bytes(id) {
@@ -398,9 +463,10 @@ fn route(request: &http::Request, manager: &SessionManager<'_>) -> (u16, String)
                     ("hex", Json::Str(to_hex(&bytes))),
                 ])
                 .encode(),
+                None,
             ),
             Err(e) => error_response(&e),
         },
-        _ => (404, api::error_body("no such route")),
+        _ => (404, api::error_body("no such route"), None),
     }
 }

@@ -28,6 +28,7 @@ fn spec(id: &str, dataset: &str, design: &str, seed: u64) -> SessionSpec {
         epsilon: 0.05,
         max_observations: None,
         stratify: None,
+        tenant: None,
     }
 }
 

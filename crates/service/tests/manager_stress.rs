@@ -40,6 +40,7 @@ fn specs() -> Vec<SessionSpec> {
             epsilon: 0.05,
             max_observations: None,
             stratify: None,
+            tenant: None,
         })
         .collect()
 }
