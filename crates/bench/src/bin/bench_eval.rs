@@ -411,7 +411,7 @@ fn run() -> Result<(), String> {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"evaluation_loop\",");
-    let _ = writeln!(out, "  \"schema_version\": 5,");
+    let _ = writeln!(out, "  \"schema_version\": 6,");
     let _ = writeln!(out, "  \"dataset\": \"NELL\",");
     let _ = writeln!(out, "  \"reps_per_cell\": {reps},");
     let _ = writeln!(out, "  \"cells\": [");

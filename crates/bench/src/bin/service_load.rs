@@ -1,7 +1,7 @@
 //! Load generator for the session service: boots a live `kgae-serve`
 //! stack (or targets an already-running one), replays NELL annotation
 //! streams from N concurrent HTTP clients, and reports
-//! throughput/latency into `BENCH_eval.json` (schema_version 5).
+//! throughput/latency into `BENCH_eval.json` (schema_version 6).
 //!
 //! Every client completes whole evaluation campaigns — create → poll →
 //! label (ground truth) → submit → converge — over real TCP with
@@ -19,11 +19,22 @@
 //! twin — zero lost batches, zero double-applied batches. Its numbers
 //! land in the `fault_load` row of `BENCH_eval.json`.
 //!
+//! A third leg exercises the readiness reactor the way thread-per-
+//! connection never could: `--connections` (default 2000) mostly-idle
+//! keep-alive connections are held open on a server with a handful of
+//! workers while active clients run campaigns through the same event
+//! loop. Request latency percentiles under that connection load, and
+//! proof that every idle connection survived, land in the
+//! `reactor_load` row.
+//!
 //! ```text
 //! service_load [--clients N] [--reps R] [--batch B] [--workers W]
 //!              [--fault-clients N] [--fault-reps R]
+//!              [--connections N]       # reactor leg (default 2000)
 //!              [--out PATH]            # load mode (default)
 //! service_load --smoke [--port P]     # CI smoke: one campaign + parity
+//! service_load --reactor-smoke [--port P] [--connections N]
+//!                                      # CI smoke: N idle conns, p99 gate
 //! ```
 //!
 //! Exits non-zero on any failure — a broken server cannot green-wash a
@@ -37,7 +48,8 @@ use kgae_service::api::SessionSpec;
 use kgae_service::json::{self, Json};
 use kgae_service::manager::{DatasetRegistry, SessionState};
 use kgae_service::{Server, SessionManager, SnapshotStore};
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// A seeded chaos proxy: forwards TCP byte streams between the clients
@@ -516,13 +528,251 @@ fn run_fault_load(
     })
 }
 
-/// Merges the `service_load` and `fault_load` rows into the benchmark
-/// JSON, bumping it to schema 5 (creates a minimal document when the
-/// file is absent).
+struct ReactorReport {
+    connections: u64,
+    active_clients: u64,
+    workers: u64,
+    sessions: u64,
+    requests: u64,
+    wall_seconds: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One raw keep-alive health round trip on an already-open socket.
+/// Used for the idle-connection fleet, where a full [`Client`] per
+/// socket would be needless weight.
+fn raw_health(conn: &mut TcpStream) -> Result<(), String> {
+    conn.write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+        .map_err(|e| format!("health write: {e}"))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 2048];
+    loop {
+        if let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let headers = String::from_utf8_lossy(&buf[..header_end]).to_ascii_lowercase();
+            if !headers.starts_with("http/1.1 200") {
+                return Err(format!(
+                    "health status: {}",
+                    headers.lines().next().unwrap_or("")
+                ));
+            }
+            let content_length: usize = headers
+                .lines()
+                .find_map(|l| l.strip_prefix("content-length:"))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0);
+            let total = header_end + 4 + content_length;
+            while buf.len() < total {
+                match conn.read(&mut chunk) {
+                    Ok(0) => return Err("connection closed mid-health-body".into()),
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e) => return Err(format!("health body read: {e}")),
+                }
+            }
+            return Ok(());
+        }
+        match conn.read(&mut chunk) {
+            Ok(0) => return Err("connection closed before health response".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("health read: {e}")),
+        }
+    }
+}
+
+/// Opens `n` keep-alive connections, each proven live with one health
+/// round trip. They then sit idle — costing the reactor one slab slot
+/// and zero threads — until verified and dropped by the caller.
+fn open_idle_fleet(addr: SocketAddr, n: u64) -> Result<Vec<TcpStream>, String> {
+    let mut fleet = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let mut conn = TcpStream::connect(addr)
+            .map_err(|e| format!("idle conn {i}/{n}: connect: {e} (fd limit? raise ulimit -n)"))?;
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("idle conn {i}: timeout: {e}"))?;
+        raw_health(&mut conn).map_err(|e| format!("idle conn {i}: {e}"))?;
+        fleet.push(conn);
+    }
+    Ok(fleet)
+}
+
+/// Verifies every held connection still answers a request — the proof
+/// that the server held all of them concurrently the whole time rather
+/// than shedding quiet ones.
+fn verify_idle_fleet(fleet: &mut [TcpStream]) -> Result<(), String> {
+    for (i, conn) in fleet.iter_mut().enumerate() {
+        raw_health(conn).map_err(|e| format!("idle conn {i} did not survive: {e}"))?;
+    }
+    Ok(())
+}
+
+/// The reactor leg: a server with a handful of workers holds
+/// `connections` mostly-idle keep-alive connections while
+/// `active_clients` clients run campaigns through the same event loop.
+/// Latency percentiles are measured under that connection load; every
+/// idle connection must still answer afterwards, and a sampled campaign
+/// must finish status-identical to a sequential same-seed twin.
+fn run_reactor_load(
+    kg: &CompactKg,
+    connections: u64,
+    active_clients: u64,
+    reps: u64,
+    batch: u64,
+) -> Result<ReactorReport, String> {
+    const REACTOR_WORKERS: usize = 4;
+    let registry = DatasetRegistry::standard();
+    let store_dir = std::env::temp_dir().join(format!("kgae-reactor-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SnapshotStore::open(&store_dir).map_err(|e| format!("store: {e}"))?;
+    let manager = SessionManager::new(&registry, store, 16);
+    // Idle reaping stays on (it is the subsystem under test elsewhere)
+    // but far beyond the run's horizon, so a held connection can only
+    // vanish through a real server defect.
+    let server = Server::bind("127.0.0.1:0", REACTOR_WORKERS)
+        .map_err(|e| format!("bind: {e}"))?
+        .with_idle_timeout(Duration::from_secs(600));
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let handle = server.handle().map_err(|e| format!("handle: {e}"))?;
+    let outcome = std::thread::scope(|scope| -> Result<ReactorReport, String> {
+        let server_thread = scope.spawn(|| server.run(&manager));
+        let result = (|| {
+            let mut fleet = open_idle_fleet(addr, connections)?;
+            let t0 = Instant::now();
+            let outcomes: Vec<Result<(u64, Vec<f64>), String>> = std::thread::scope(|inner| {
+                let handles: Vec<_> = (0..active_clients)
+                    .map(|c| {
+                        inner.spawn(move || -> Result<(u64, Vec<f64>), String> {
+                            let mut client = Client::connect(addr)
+                                .map_err(|e| format!("active client {c}: {e}"))?;
+                            let mut latencies = Vec::new();
+                            let mut requests = 0u64;
+                            for r in 0..reps {
+                                let id = format!("reactor-c{c}-r{r}");
+                                let seed = 0x7EAC_0000 + c * 1000 + r;
+                                requests += run_campaign(
+                                    &mut client,
+                                    kg,
+                                    &id,
+                                    seed,
+                                    batch,
+                                    &mut latencies,
+                                )?;
+                            }
+                            Ok((requests, latencies))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("reactor load client thread"))
+                    .collect()
+            });
+            let wall_seconds = t0.elapsed().as_secs_f64();
+            let mut latencies = Vec::new();
+            let mut requests = 0u64;
+            for outcome in outcomes {
+                let (calls, lats) = outcome?;
+                requests += calls;
+                latencies.extend(lats);
+            }
+            verify_idle_fleet(&mut fleet)?;
+            drop(fleet);
+
+            // Sequential twin: the c0-r0 campaign rerun alone must land
+            // on the same final status it reached under 2000-connection
+            // concurrency.
+            let mut twin_client =
+                Client::connect(addr).map_err(|e| format!("twin connect: {e}"))?;
+            let mut scratch = Vec::new();
+            run_campaign(
+                &mut twin_client,
+                kg,
+                "reactor-twin",
+                0x7EAC_0000,
+                batch,
+                &mut scratch,
+            )?;
+            let loaded = twin_client
+                .status("reactor-c0-r0")
+                .map_err(|e| format!("status reactor-c0-r0: {e}"))?;
+            let twin = twin_client
+                .status("reactor-twin")
+                .map_err(|e| format!("status reactor-twin: {e}"))?;
+            if loaded.status != twin.status {
+                return Err(format!(
+                    "campaign under connection load diverged from its sequential twin:\n  \
+                     loaded {:?}\n  twin {:?}",
+                    loaded.status, twin.status
+                ));
+            }
+
+            latencies.sort_by(f64::total_cmp);
+            Ok(ReactorReport {
+                connections,
+                active_clients,
+                workers: REACTOR_WORKERS as u64,
+                sessions: active_clients * reps,
+                requests,
+                wall_seconds,
+                p50_ms: percentile(&latencies, 0.50) * 1e3,
+                p99_ms: percentile(&latencies, 0.99) * 1e3,
+            })
+        })();
+        handle.shutdown();
+        server_thread.join().expect("reactor load server thread");
+        result
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
+    outcome
+}
+
+/// The CI-sized reactor leg against an already-listening (or local)
+/// server: `connections` idle keep-alive sockets held open, one
+/// campaign driven through the loaded reactor with a hard p99 latency
+/// gate, and every idle socket verified live afterwards.
+fn run_reactor_smoke(addr: SocketAddr, kg: &CompactKg, connections: u64) -> Result<(), String> {
+    const P99_GATE_MS: f64 = 50.0;
+    let mut fleet = open_idle_fleet(addr, connections)?;
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut latencies = Vec::new();
+    run_campaign(
+        &mut client,
+        kg,
+        "reactor-smoke",
+        0x7EAC_500E,
+        16,
+        &mut latencies,
+    )?;
+    verify_idle_fleet(&mut fleet)?;
+    drop(fleet);
+    let _ = client.delete("reactor-smoke");
+    latencies.sort_by(f64::total_cmp);
+    let p50 = percentile(&latencies, 0.50) * 1e3;
+    let p99 = percentile(&latencies, 0.99) * 1e3;
+    eprintln!(
+        "reactor-smoke: {} idle keep-alive connections held and verified, campaign \
+         converged ({} calls), poll/submit latency p50 {p50:.2} ms / p99 {p99:.2} ms",
+        connections,
+        latencies.len(),
+    );
+    if p99 >= P99_GATE_MS {
+        return Err(format!(
+            "poll/submit p99 {p99:.2} ms breaches the {P99_GATE_MS} ms gate \
+             under {connections} idle connections"
+        ));
+    }
+    Ok(())
+}
+
+/// Merges the `service_load`, `fault_load` and `reactor_load` rows into
+/// the benchmark JSON, bumping it to schema 6 (creates a minimal
+/// document when the file is absent).
 fn write_report(
     out_path: &str,
     report: &LoadReport,
     fault: &FaultLoadReport,
+    reactor: &ReactorReport,
 ) -> Result<(), String> {
     let mut doc = match std::fs::read_to_string(out_path) {
         Ok(text) => json::parse(&text).map_err(|e| format!("parsing {out_path}: {e}"))?,
@@ -532,7 +782,7 @@ fn write_report(
         ]),
         Err(e) => return Err(format!("reading {out_path}: {e}")),
     };
-    doc.set("schema_version", Json::int(5));
+    doc.set("schema_version", Json::int(6));
     doc.set(
         "service_load",
         Json::obj(vec![
@@ -580,9 +830,37 @@ fn write_report(
             ("fault_free_twin_status_equal", Json::Bool(true)),
         ]),
     );
+    doc.set(
+        "reactor_load",
+        Json::obj(vec![
+            ("dataset", Json::str("NELL")),
+            ("design", Json::str("srs")),
+            ("method", Json::str("ahpd")),
+            ("idle_connections", Json::int(reactor.connections)),
+            (
+                "peak_connections",
+                Json::int(reactor.connections + reactor.active_clients),
+            ),
+            ("active_clients", Json::int(reactor.active_clients)),
+            ("workers", Json::int(reactor.workers)),
+            ("sessions_completed", Json::int(reactor.sessions)),
+            ("http_requests", Json::int(reactor.requests)),
+            (
+                "requests_per_sec",
+                Json::Num(reactor.requests as f64 / reactor.wall_seconds),
+            ),
+            ("latency_p50_ms", Json::Num(reactor.p50_ms)),
+            ("latency_p99_ms", Json::Num(reactor.p99_ms)),
+            // Always true in a written report: a shed connection or a
+            // sequential-twin divergence exits non-zero before
+            // reporting.
+            ("idle_connections_survived", Json::Bool(true)),
+            ("sequential_twin_status_equal", Json::Bool(true)),
+        ]),
+    );
     std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
-    eprintln!("wrote {out_path} (schema_version 5)");
+    eprintln!("wrote {out_path} (schema_version 6)");
     Ok(())
 }
 
@@ -798,6 +1076,19 @@ fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
+    if std::env::args().any(|a| a == "--reactor-smoke") {
+        let kg = kgae_graph::datasets::nell();
+        let connections: u64 = arg_value("--connections").unwrap_or(512);
+        return match arg_value::<u16>("--port") {
+            Some(port) => {
+                let addr: SocketAddr = format!("127.0.0.1:{port}")
+                    .parse()
+                    .map_err(|e| format!("bad port: {e}"))?;
+                run_reactor_smoke(addr, &kg, connections)
+            }
+            None => with_local_server(4, |addr, kg| run_reactor_smoke(addr, kg, connections)),
+        };
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
         let kg = kgae_graph::datasets::nell();
@@ -818,10 +1109,31 @@ fn run() -> Result<(), String> {
     let workers: usize = arg_value("--workers").unwrap_or(clients as usize);
     let fault_clients: u64 = arg_value("--fault-clients").unwrap_or(4);
     let fault_reps: u64 = arg_value("--fault-reps").unwrap_or(2);
+    let connections: u64 = arg_value("--connections").unwrap_or(2000);
     let out_path: String = arg_value("--out").unwrap_or_else(|| "BENCH_eval.json".into());
     if clients < 8 {
         eprintln!("note: acceptance calls for ≥ 8 concurrent clients (got {clients})");
     }
+
+    // The reactor leg boots its own server (few workers, long idle
+    // timeout) so its connection fleet cannot interfere with the main
+    // throughput numbers.
+    let reactor = {
+        let kg = kgae_graph::datasets::nell();
+        let report = run_reactor_load(&kg, connections, 4, 2, batch)?;
+        eprintln!(
+            "reactor_load: {} idle keep-alive connections held on {} workers while {} \
+             clients ran campaigns — {:.0} requests/s, latency p50 {:.2} ms / p99 {:.2} ms, \
+             all idle connections survived, sequential twin status equal",
+            report.connections,
+            report.workers,
+            report.active_clients,
+            report.requests as f64 / report.wall_seconds,
+            report.p50_ms,
+            report.p99_ms,
+        );
+        report
+    };
 
     with_local_server(workers, |addr, kg| {
         let report = run_load(addr, kg, clients, reps, batch)?;
@@ -843,7 +1155,7 @@ fn run() -> Result<(), String> {
              injected, every final status equals its fault-free twin",
             fault.sessions, fault.fault_prob, fault.faults,
         );
-        write_report(&out_path, &report, &fault)
+        write_report(&out_path, &report, &fault, &reactor)
     })
 }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! kgae-serve [--addr HOST:PORT] [--workers N] [--shards N]
-//!            [--store-dir PATH] [--port-file PATH]
+//!            [--idle-timeout SECS] [--store-dir PATH] [--port-file PATH]
 //!            [--max-sessions N] [--max-per-tenant N] [--retry-after S]
 //!            [--fault SPEC]
 //! kgae-serve --version
@@ -10,9 +10,15 @@
 //!
 //! * `--addr` — bind address; port 0 picks an ephemeral port
 //!   (default `127.0.0.1:7707`).
-//! * `--workers` — connection-handler threads; each owns one keep-alive
-//!   connection, so this bounds simultaneous clients (default:
-//!   8 × available parallelism, at least 32).
+//! * `--workers` — request-executor threads. Connections are
+//!   multiplexed on a readiness reactor and cost no thread while idle,
+//!   so this bounds *in-flight requests*, not clients — thousands of
+//!   keep-alive connections are fine with a handful of workers
+//!   (default: available parallelism, at least 4). Connection capacity
+//!   is bounded by the fd limit instead; raise `ulimit -n` for large
+//!   fleets.
+//! * `--idle-timeout` — seconds without transport progress before the
+//!   reactor reaps a connection (default 30).
 //! * `--shards` — session-registry lock stripes (default 16).
 //! * `--store-dir` — snapshot-store directory (default `kgae-store`).
 //!   On startup the store runs its crash-recovery sweep: orphaned
@@ -80,14 +86,13 @@ fn run() -> Result<(), String> {
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7707".into());
     let workers = match parse_flag::<usize>("--workers")? {
         Some(v) => v,
-        // A worker owns one keep-alive connection for its lifetime, so
-        // the count bounds simultaneous clients, not request rate —
-        // default well above the core count.
+        // Workers execute ready requests; connections idle inside the
+        // reactor for free — the core count is the right default.
         None => std::thread::available_parallelism()
             .map_or(4, std::num::NonZeroUsize::get)
-            .saturating_mul(8)
-            .max(32),
+            .max(4),
     };
+    let idle_timeout = parse_flag::<u64>("--idle-timeout")?.map(std::time::Duration::from_secs);
     let shards = parse_flag::<usize>("--shards")?.unwrap_or(16);
     let store_dir = arg_value("--store-dir").unwrap_or_else(|| "kgae-store".into());
     let limits = ManagerLimits {
@@ -132,14 +137,18 @@ fn run() -> Result<(), String> {
     }
     let manager = SessionManager::with_limits(&registry, store, shards, limits);
 
-    let server = Server::bind(&addr, workers).map_err(|e| format!("binding {addr:?}: {e}"))?;
+    let mut server = Server::bind(&addr, workers).map_err(|e| format!("binding {addr:?}: {e}"))?;
+    if let Some(timeout) = idle_timeout {
+        server = server.with_idle_timeout(timeout);
+    }
     let local = server
         .local_addr()
         .map_err(|e| format!("reading bound address: {e}"))?;
     #[cfg(unix)]
     {
-        // The handler can only flip flags and poke sockets, so it
-        // parks the handle in a global the extern "C" fn can reach.
+        // The handler can only do async-signal-safe work — an atomic
+        // store and one write(2) to the reactor's waker — so it parks
+        // the handle in a global the extern "C" fn can reach.
         static HANDLE: std::sync::OnceLock<kgae_service::ServerHandle> = std::sync::OnceLock::new();
         extern "C" fn on_shutdown_signal(_sig: i32) {
             if let Some(handle) = HANDLE.get() {

@@ -4,6 +4,17 @@
 //! live here so the server ([`crate::server`]) and the `kgae-client`
 //! crate parse the wire identically.
 //!
+//! Two request decoders share the grammar:
+//!
+//! * [`read_request`] — the blocking decoder over a [`BufRead`] stream,
+//!   used by tests and as the behavioral reference.
+//! * [`RequestParser`] — the **resumable** decoder the readiness
+//!   reactor ([`crate::reactor`]) drives: it consumes whatever bytes
+//!   have arrived, carries partial request-line/header/body state
+//!   across readiness events, and enforces every limit incrementally.
+//!   Feeding it the same bytes in any split produces the same requests
+//!   and the same errors as the blocking decoder (property-tested).
+//!
 //! Hard limits protect the server from hostile peers: 8 KiB per line,
 //! 100 headers, 8 MiB bodies. Anything outside the subset (chunked
 //! transfer encoding, upgrades) is rejected loudly rather than
@@ -139,6 +150,47 @@ struct HeaderBlock {
     retry_after: Option<u64>,
 }
 
+/// Folds one non-empty header line into the block — the single header
+/// grammar both the blocking and the resumable decoder apply.
+fn apply_header_line(headers: &mut HeaderBlock, line: &str) -> Result<(), HttpError> {
+    let Some((name, value)) = line.split_once(':') else {
+        return Err(HttpError::Malformed("header line without ':'"));
+    };
+    let name = name.trim().to_ascii_lowercase();
+    let value = value.trim();
+    match name.as_str() {
+        "content-length" => {
+            let n: usize = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+            if n > MAX_BODY {
+                return Err(HttpError::TooLarge("body exceeds MAX_BODY"));
+            }
+            headers.content_length = n;
+        }
+        "transfer-encoding" => {
+            return Err(HttpError::Malformed(
+                "Transfer-Encoding is not supported; send Content-Length",
+            ));
+        }
+        "connection" => {
+            for token in value.split(',') {
+                match token.trim().to_ascii_lowercase().as_str() {
+                    "close" => headers.close = true,
+                    "keep-alive" => headers.keep = true,
+                    _ => {}
+                }
+            }
+        }
+        // Seconds form only (the HTTP-date form is not worth a
+        // date parser here); unparseable values are ignored rather
+        // than fatal — the header is advisory.
+        "retry-after" => headers.retry_after = value.parse().ok(),
+        _ => {}
+    }
+    Ok(())
+}
+
 fn read_headers<R: BufRead>(reader: &mut R) -> Result<HeaderBlock, HttpError> {
     let mut headers = HeaderBlock::default();
     for count in 0.. {
@@ -149,41 +201,7 @@ fn read_headers<R: BufRead>(reader: &mut R) -> Result<HeaderBlock, HttpError> {
         if line.is_empty() {
             return Ok(headers);
         }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(HttpError::Malformed("header line without ':'"));
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        match name.as_str() {
-            "content-length" => {
-                let n: usize = value
-                    .parse()
-                    .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
-                if n > MAX_BODY {
-                    return Err(HttpError::TooLarge("body exceeds MAX_BODY"));
-                }
-                headers.content_length = n;
-            }
-            "transfer-encoding" => {
-                return Err(HttpError::Malformed(
-                    "Transfer-Encoding is not supported; send Content-Length",
-                ));
-            }
-            "connection" => {
-                for token in value.split(',') {
-                    match token.trim().to_ascii_lowercase().as_str() {
-                        "close" => headers.close = true,
-                        "keep-alive" => headers.keep = true,
-                        _ => {}
-                    }
-                }
-            }
-            // Seconds form only (the HTTP-date form is not worth a
-            // date parser here); unparseable values are ignored rather
-            // than fatal — the header is advisory.
-            "retry-after" => headers.retry_after = value.parse().ok(),
-            _ => {}
-        }
+        apply_header_line(&mut headers, &line)?;
     }
     unreachable!("loop returns or errors")
 }
@@ -208,6 +226,21 @@ fn read_body<R: BufRead>(reader: &mut R, len: usize) -> Result<Vec<u8>, HttpErro
 /// See [`HttpError`].
 pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     let line = read_line(reader, true)?;
+    let (method, path, http11) = parse_request_line(&line)?;
+    let headers = read_headers(reader)?;
+    let body = read_body(reader, headers.content_length)?;
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive: request_keep_alive(http11, &headers),
+    })
+}
+
+/// Decodes `METHOD target HTTP/1.x` — shared by both request decoders.
+/// Returns the upper-cased method, the query-stripped absolute path,
+/// and whether the version was HTTP/1.1.
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
     let mut parts = line.split(' ').filter(|p| !p.is_empty());
     let method = parts
         .next()
@@ -227,14 +260,216 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
     if !path.starts_with('/') {
         return Err(HttpError::Malformed("request target must be absolute"));
     }
-    let headers = read_headers(reader)?;
-    let body = read_body(reader, headers.content_length)?;
-    Ok(Request {
-        method: method.to_ascii_uppercase(),
-        path: path.to_string(),
-        body,
-        keep_alive: if http11 { !headers.close } else { headers.keep },
-    })
+    Ok((method.to_ascii_uppercase(), path.to_string(), http11))
+}
+
+/// The keep-alive decision both request decoders share: HTTP/1.1
+/// defaults open unless `Connection: close`; HTTP/1.0 defaults closed
+/// unless `Connection: keep-alive`.
+fn request_keep_alive(http11: bool, headers: &HeaderBlock) -> bool {
+    if http11 {
+        !headers.close
+    } else {
+        headers.keep
+    }
+}
+
+/// How a [`RequestParser::feed`] call left the parser.
+#[derive(Debug)]
+pub enum Parsed {
+    /// The fed bytes were consumed (possibly into partial state) and
+    /// no request completed yet — wait for more readiness.
+    NeedMore,
+    /// A complete request was decoded. Bytes after it were **not**
+    /// consumed (see the `usize` in [`RequestParser::feed`]'s return) —
+    /// they belong to the next pipelined request.
+    Complete(Request),
+}
+
+/// Which message section [`RequestParser`] is accumulating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParseState {
+    RequestLine,
+    Headers,
+    Body,
+}
+
+/// The resumable request decoder: one instance per connection, fed
+/// whatever bytes each readiness event delivered. Grammar, limits and
+/// error texts are byte-for-byte those of [`read_request`] — the two
+/// share `parse_request_line` and `apply_header_line`, and the
+/// `http_incremental` property suite pins the equivalence across
+/// arbitrary byte splits.
+///
+/// After [`Parsed::Complete`] the parser has reset itself and is ready
+/// for the next pipelined request on the same connection. After any
+/// `Err` the connection is poisoned — close it (exactly what the
+/// blocking server did).
+#[derive(Debug)]
+pub struct RequestParser {
+    state: ParseState,
+    line: Vec<u8>,
+    method: String,
+    path: String,
+    http11: bool,
+    headers: HeaderBlock,
+    header_lines: usize,
+    body: Vec<u8>,
+    started: bool,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestParser {
+    /// A parser positioned before the first byte of a request.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: ParseState::RequestLine,
+            line: Vec::with_capacity(64),
+            method: String::new(),
+            path: String::new(),
+            http11: false,
+            headers: HeaderBlock::default(),
+            header_lines: 0,
+            body: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Whether the parser sits between messages — no byte of a new
+    /// request has been consumed. The reactor's keep-alive reaper only
+    /// closes connections in this state or stalled ones; a connection
+    /// actively streaming a body keeps refreshing its deadline.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        !self.started
+    }
+
+    /// Consumes bytes from `input`, advancing the partial-message
+    /// state. Returns how many bytes were consumed and whether a
+    /// request completed; on completion, unconsumed bytes belong to
+    /// the next pipelined request — feed them to the (now reset)
+    /// parser again.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`read_request`] errors for the same byte stream:
+    /// `Malformed` for grammar violations, `TooLarge` for exceeded
+    /// limits. `Closed`/`IdleTimeout`/`Io` never originate here — they
+    /// are transport-level conditions (see [`RequestParser::eof`]).
+    pub fn feed(&mut self, input: &[u8]) -> Result<(usize, Parsed), HttpError> {
+        let mut consumed = 0;
+        while consumed < input.len() {
+            match self.state {
+                ParseState::RequestLine | ParseState::Headers => {
+                    let byte = input[consumed];
+                    consumed += 1;
+                    self.started = true;
+                    self.line.push(byte);
+                    if byte == b'\n' {
+                        if self.take_line()? {
+                            return Ok((consumed, Parsed::Complete(self.complete())));
+                        }
+                    } else if self.line.len() >= MAX_LINE {
+                        return Err(HttpError::TooLarge("line exceeds MAX_LINE"));
+                    }
+                }
+                ParseState::Body => {
+                    let want = self.headers.content_length - self.body.len();
+                    let take = want.min(input.len() - consumed);
+                    self.body
+                        .extend_from_slice(&input[consumed..consumed + take]);
+                    consumed += take;
+                    if self.body.len() == self.headers.content_length {
+                        return Ok((consumed, Parsed::Complete(self.complete())));
+                    }
+                }
+            }
+        }
+        Ok((consumed, Parsed::NeedMore))
+    }
+
+    /// Finishes the just-terminated line in `self.line`. Returns `true`
+    /// when the whole message is complete (headers ended with no body
+    /// owed).
+    fn take_line(&mut self) -> Result<bool, HttpError> {
+        // Same trailing-terminator trim as the blocking read_line.
+        while matches!(self.line.last(), Some(b'\n' | b'\r')) {
+            self.line.pop();
+        }
+        let line = std::str::from_utf8(&self.line)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 line"))?
+            .to_string();
+        self.line.clear();
+        match self.state {
+            ParseState::RequestLine => {
+                let (method, path, http11) = parse_request_line(&line)?;
+                self.method = method;
+                self.path = path;
+                self.http11 = http11;
+                self.state = ParseState::Headers;
+                Ok(false)
+            }
+            ParseState::Headers => {
+                if line.is_empty() {
+                    if self.headers.content_length == 0 {
+                        return Ok(true);
+                    }
+                    self.state = ParseState::Body;
+                    self.body.reserve(self.headers.content_length);
+                    return Ok(false);
+                }
+                self.header_lines += 1;
+                // Order matters for equivalence with `read_headers`:
+                // the blocking loop applies a just-read line *before*
+                // its next-iteration count check, so a malformed
+                // 101st header reports Malformed, not TooLarge.
+                apply_header_line(&mut self.headers, &line)?;
+                if self.header_lines > MAX_HEADERS {
+                    return Err(HttpError::TooLarge("more than MAX_HEADERS headers"));
+                }
+                Ok(false)
+            }
+            ParseState::Body => unreachable!("body bytes are not line-framed"),
+        }
+    }
+
+    /// Assembles the finished request and resets for the next one.
+    fn complete(&mut self) -> Request {
+        let request = Request {
+            method: std::mem::take(&mut self.method),
+            path: std::mem::take(&mut self.path),
+            body: std::mem::take(&mut self.body),
+            keep_alive: request_keep_alive(self.http11, &self.headers),
+        };
+        self.state = ParseState::RequestLine;
+        self.line.clear();
+        self.http11 = false;
+        self.headers = HeaderBlock::default();
+        self.header_lines = 0;
+        self.started = false;
+        request
+    }
+
+    /// The error an end-of-stream at the current position means — the
+    /// same taxonomy the blocking decoder reports: a clean
+    /// [`HttpError::Closed`] between messages, `Malformed` when the
+    /// peer died mid-message.
+    #[must_use]
+    pub fn eof(&self) -> HttpError {
+        if !self.started {
+            HttpError::Closed
+        } else if self.state == ParseState::Body {
+            HttpError::Malformed("body shorter than Content-Length")
+        } else {
+            HttpError::Malformed("unterminated line")
+        }
+    }
 }
 
 /// Reads one response from a connection (client side).

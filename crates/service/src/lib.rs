@@ -11,8 +11,9 @@
 //! |--------|------|
 //! | [`manager`] | sharded, lock-striped [`SessionManager`] + dataset registry |
 //! | [`store`] | [`SnapshotStore`]: dormant sessions as meta + snapshot files |
-//! | [`server`] | `TcpListener` accept loop, worker pool, route table |
-//! | [`http`] | minimal HTTP/1.1 reader/writer (both directions) |
+//! | [`server`] | server front door, route table, shutdown handle |
+//! | [`reactor`] | `poll(2)` readiness event loop, timer wheel, worker dispatch |
+//! | [`http`] | minimal HTTP/1.1: blocking reader/writer + resumable parser |
 //! | [`json`] | hand-rolled JSON value, encoder and strict parser |
 //! | [`api`] | typed DTOs ↔ JSON for every endpoint and meta record |
 //! | [`pool`] | fixed-size scoped worker pool (vendored crossbeam pattern) |
@@ -56,6 +57,7 @@ pub mod http;
 pub mod json;
 pub mod manager;
 pub mod pool;
+pub mod reactor;
 pub mod server;
 pub mod store;
 

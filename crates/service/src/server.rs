@@ -1,6 +1,7 @@
-//! The network front: a `TcpListener` accept loop feeding the worker
-//! pool, and the route table mapping the HTTP/JSON API onto
-//! [`SessionManager`] operations.
+//! The network front: a readiness reactor ([`crate::reactor`])
+//! multiplexing every connection on one event-loop thread, a worker
+//! pool executing ready requests, and the route table mapping the
+//! HTTP/JSON API onto [`SessionManager`] operations.
 //!
 //! ```text
 //! GET    /healthz                      liveness probe
@@ -17,34 +18,38 @@
 //! DELETE /v1/sessions/{id}             remove everywhere
 //! ```
 //!
-//! Connections are keep-alive: one worker owns a connection for its
-//! lifetime and pipelines request → response cycles on it — so the
-//! worker count bounds the number of *simultaneous connections*, not
-//! requests. Size `--workers` at or above your expected client count
-//! (`kgae-serve` defaults generously); idle connections are reclaimed
-//! after [`IDLE_TIMEOUT`]. Shutdown is cooperative —
-//! [`ServerHandle::shutdown`] flips a flag and nudges the accept loop
-//! awake; workers notice within one [`READ_TICK`].
+//! Connections are keep-alive and cost no thread while idle: the
+//! reactor holds each one as parser + buffer state and hands only
+//! fully-parsed requests to the workers. `--workers` therefore bounds
+//! *in-flight requests*, not connections — size it at the concurrency
+//! the session manager should see (CPU count is a good default), even
+//! with thousands of connections held open. Idle connections are
+//! reclaimed by the reactor's timer wheel after the server's idle
+//! timeout ([`IDLE_TIMEOUT`] by default, tunable per server with
+//! [`Server::with_idle_timeout`]). Shutdown is event-driven —
+//! [`ServerHandle::shutdown`] flips a flag and writes one waker byte;
+//! the reactor reacts on the same iteration, no polling tick involved.
 
 use crate::json::Json;
 use crate::manager::{ServiceError, SessionManager, SessionView};
 use crate::store::to_hex;
-use crate::{api, http, json, pool};
+use crate::{api, http, json, reactor};
 use kgae_graph::KnowledgeGraph;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a keep-alive connection may sit idle before the worker
-/// reclaims it.
+/// Default reaping deadline for connections without transport
+/// progress: idle keep-alive sessions and stalled uploads alike.
 pub const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Socket read-timeout tick. Workers wake at this cadence while a
-/// connection idles, so a shutdown request is honored within ~one tick
-/// instead of a full [`IDLE_TIMEOUT`].
+/// Historical shutdown-notice bound of the blocking front, which woke
+/// every connection at this cadence to check the flag. The reactor
+/// needs no tick — the waker delivers shutdown instantly — but the
+/// constant remains the documented upper bound tests hold it to.
 pub const READ_TICK: Duration = Duration::from_secs(1);
 
 /// A bound, not-yet-running server.
@@ -52,42 +57,58 @@ pub const READ_TICK: Duration = Duration::from_secs(1);
 pub struct Server {
     listener: TcpListener,
     workers: usize,
+    idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
+    wake_rx: UnixStream,
+    wake_tx: Arc<UnixStream>,
 }
 
 /// A clonable remote control for a running [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
-    addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    wake_tx: Arc<UnixStream>,
 }
 
 impl ServerHandle {
-    /// Asks the server to stop and wakes its accept loop. Existing
-    /// connections finish their in-flight request; once the pool
-    /// drains, `Server::run` suspends every live session to disk via
-    /// [`SessionManager::drain`] and returns the report — so a SIGTERM
-    /// loses no campaign state.
+    /// Asks the server to stop: flips the flag and writes one byte to
+    /// the reactor's waker, which interrupts its `poll` immediately.
+    /// In-flight requests finish their responses, idle connections
+    /// close at once; when the last connection is gone, `Server::run`
+    /// suspends every live session to disk via [`SessionManager::drain`]
+    /// and returns the report — so a SIGTERM loses no campaign state.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in accept(); poke it.
-        let _ = TcpStream::connect(self.addr);
+        let mut waker = &*self.wake_tx;
+        let _ = waker.write(&[1]);
     }
 }
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port) with
-    /// `workers` connection handlers.
+    /// `workers` request executors.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind (and waker-pair creation) failures.
     pub fn bind(addr: &str, workers: usize) -> std::io::Result<Self> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             workers: workers.max(1),
+            idle_timeout: IDLE_TIMEOUT,
             shutdown: Arc::new(AtomicBool::new(false)),
+            wake_rx,
+            wake_tx: Arc::new(wake_tx),
         })
+    }
+
+    /// Overrides the idle reaping deadline (default [`IDLE_TIMEOUT`]).
+    /// Tests use short timeouts to exercise the reaper quickly.
+    #[must_use]
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
     }
 
     /// The bound address (reports the real port after binding port 0).
@@ -106,137 +127,44 @@ impl Server {
     /// Propagates socket introspection failures.
     pub fn handle(&self) -> std::io::Result<ServerHandle> {
         Ok(ServerHandle {
-            addr: self.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
+            wake_tx: Arc::clone(&self.wake_tx),
         })
     }
 
     /// Serves `manager` until [`ServerHandle::shutdown`] is called,
     /// then drains gracefully: the manager stops accepting creates
-    /// (503 + `Retry-After`), in-flight connections finish, and every
+    /// (503 + `Retry-After`), in-flight requests finish, and every
     /// live session is persisted to the snapshot store — outstanding
     /// annotation batches are withdrawn via the exact-rollback cancel,
     /// so a post-restart re-poll regenerates them bit-identically.
     /// Returns the drain report.
     ///
-    /// Blocks the calling thread; connection handling runs on the
-    /// worker pool (scoped threads, so `manager` may borrow from the
-    /// caller's stack).
+    /// Blocks the calling thread driving the reactor; request
+    /// execution runs on the worker pool (scoped threads, so `manager`
+    /// may borrow from the caller's stack).
     pub fn run(self, manager: &SessionManager<'_>) -> crate::manager::DrainReport {
-        let shutdown = Arc::clone(&self.shutdown);
-        let (tx, rx) = channel::<TcpStream>();
-        crossbeam::scope(|scope| {
-            let pool_shutdown = Arc::clone(&shutdown);
-            let pool_thread = scope.spawn(move |_| {
-                pool::run_pool(self.workers, rx, |stream| {
-                    handle_connection(stream, manager, &pool_shutdown);
-                });
-            });
-            for stream in self.listener.incoming() {
-                if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(stream) => {
-                        let _ = stream.set_read_timeout(Some(READ_TICK));
-                        let _ = stream.set_nodelay(true);
-                        if tx.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    Err(_) => continue,
-                }
-            }
-            // Refuse new sessions while the in-flight connections wind
-            // down; the full persistence sweep runs after the pool
-            // exits, when no worker can race a session mutation.
-            manager.begin_drain();
-            drop(tx); // disconnect: the pool drains and exits
-            pool_thread.join().expect("worker pool");
-        })
-        .expect("server scope");
+        let Server {
+            listener,
+            workers,
+            idle_timeout,
+            shutdown,
+            wake_rx,
+            wake_tx,
+        } = self;
+        reactor::serve(
+            listener,
+            &wake_rx,
+            &wake_tx,
+            &shutdown,
+            reactor::Config {
+                workers,
+                idle_timeout,
+            },
+            || manager.begin_drain(),
+            |request| route(request, manager),
+        );
         manager.drain()
-    }
-}
-
-/// Serves one keep-alive connection to completion.
-fn handle_connection(stream: TcpStream, manager: &SessionManager<'_>, shutdown: &AtomicBool) {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let mut stream = stream;
-    let mut idle = Duration::ZERO;
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let request = match http::read_request(&mut reader) {
-            Ok(request) => {
-                idle = Duration::ZERO;
-                request
-            }
-            Err(http::HttpError::IdleTimeout) => {
-                // Nothing consumed: keep waiting in READ_TICK slices so
-                // the shutdown flag is honored promptly, up to the
-                // connection's idle budget.
-                idle += READ_TICK;
-                if idle >= IDLE_TIMEOUT {
-                    return;
-                }
-                continue;
-            }
-            Err(http::HttpError::Closed) => return,
-            Err(http::HttpError::Io(_)) => return, // mid-message timeout or reset
-            Err(http::HttpError::TooLarge(what)) => {
-                let _ = http::write_response(&mut stream, 413, &api::error_body(what), false);
-                return;
-            }
-            Err(http::HttpError::Malformed(why)) => {
-                let _ = http::write_response(&mut stream, 400, &api::error_body(why), false);
-                return;
-            }
-        };
-        // Failpoint `conn.read`: the request is discarded before it
-        // reaches the manager — the client sees a dead connection and
-        // must retry a request that was never applied.
-        #[cfg(feature = "fault-injection")]
-        if let Some(action) = crate::fault::check(crate::fault::site::CONN_READ) {
-            match action {
-                crate::fault::FaultAction::Crash => std::process::abort(),
-                _ => return,
-            }
-        }
-        let keep_alive = request.keep_alive;
-        let (status, body, retry_after) = route(&request, manager);
-        let mut extra: Vec<(&str, String)> = Vec::new();
-        if let Some(secs) = retry_after {
-            extra.push(("Retry-After", secs.to_string()));
-        }
-        // Failpoint `conn.write`: the response dies after the manager
-        // already applied the operation — the lost-response case retry
-        // logic must survive (torn sends a prefix, drop sends nothing).
-        #[cfg(feature = "fault-injection")]
-        if let Some(action) = crate::fault::check(crate::fault::site::CONN_WRITE) {
-            use std::io::Write;
-            match action {
-                crate::fault::FaultAction::Crash => std::process::abort(),
-                crate::fault::FaultAction::Torn(n) => {
-                    let bytes = http::format_response(status, &body, keep_alive, &extra);
-                    let cut = n.min(bytes.len());
-                    let _ = stream.write_all(&bytes[..cut]);
-                    let _ = stream.flush();
-                    return;
-                }
-                _ => return,
-            }
-        }
-        if http::write_response_with(&mut stream, status, &body, keep_alive, &extra).is_err() {
-            return;
-        }
-        if !keep_alive {
-            return;
-        }
     }
 }
 
