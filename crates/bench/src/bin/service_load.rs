@@ -1,7 +1,7 @@
 //! Load generator for the session service: boots a live `kgae-serve`
 //! stack (or targets an already-running one), replays NELL annotation
 //! streams from N concurrent HTTP clients, and reports
-//! throughput/latency into `BENCH_eval.json` (schema_version 6).
+//! throughput/latency into `BENCH_eval.json` (schema_version 7).
 //!
 //! Every client completes whole evaluation campaigns — create → poll →
 //! label (ground truth) → submit → converge — over real TCP with
@@ -27,6 +27,16 @@
 //! proof that every idle connection survived, land in the
 //! `reactor_load` row.
 //!
+//! Two observability legs close the loop on the `/metrics` registry.
+//! The reactor leg reruns with the registry recording and its p50 must
+//! stay within noise of the metrics-off run (`metrics_overhead` row).
+//! A reconciliation leg then replays campaigns against a server with a
+//! deliberately tight session quota, scrapes `/metrics` before and
+//! after, and requires every counter delta — requests, creations,
+//! finishes, evictions, 429 refusals — to equal the count the clients
+//! themselves kept (`metrics_reconciliation` row). An off-by-one at
+//! any recording site fails the run.
+//!
 //! ```text
 //! service_load [--clients N] [--reps R] [--batch B] [--workers W]
 //!              [--fault-clients N] [--fault-reps R]
@@ -34,7 +44,9 @@
 //!              [--out PATH]            # load mode (default)
 //! service_load --smoke [--port P]     # CI smoke: one campaign + parity
 //! service_load --reactor-smoke [--port P] [--connections N]
-//!                                      # CI smoke: N idle conns, p99 gate
+//!                                      # CI smoke: N idle conns, p99 gate,
+//!                                      # /metrics reconciliation +
+//!                                      # target/smoke-requests.count
 //! ```
 //!
 //! Exits non-zero on any failure — a broken server cannot green-wash a
@@ -47,9 +59,11 @@ use kgae_graph::{CompactKg, GroundTruth, TripleId};
 use kgae_service::api::SessionSpec;
 use kgae_service::json::{self, Json};
 use kgae_service::manager::{DatasetRegistry, SessionState};
-use kgae_service::{Server, SessionManager, SnapshotStore};
+use kgae_service::{ManagerLimits, Metrics, Server, SessionManager, SnapshotStore};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A seeded chaos proxy: forwards TCP byte streams between the clients
@@ -611,25 +625,43 @@ fn verify_idle_fleet(fleet: &mut [TcpStream]) -> Result<(), String> {
 /// Latency percentiles are measured under that connection load; every
 /// idle connection must still answer afterwards, and a sampled campaign
 /// must finish status-identical to a sequential same-seed twin.
+///
+/// With `metrics_on` the whole run additionally records into a live
+/// `/metrics` registry — the rerun the `metrics_overhead` row compares
+/// against the bare run — and the reactor gauges must prove they saw
+/// the fleet (slab high-water ≥ the connection count).
 fn run_reactor_load(
     kg: &CompactKg,
     connections: u64,
     active_clients: u64,
     reps: u64,
     batch: u64,
+    metrics_on: bool,
 ) -> Result<ReactorReport, String> {
     const REACTOR_WORKERS: usize = 4;
     let registry = DatasetRegistry::standard();
-    let store_dir = std::env::temp_dir().join(format!("kgae-reactor-load-{}", std::process::id()));
+    let store_dir = std::env::temp_dir().join(format!(
+        "kgae-reactor-load-{}-{}",
+        if metrics_on { "on" } else { "off" },
+        std::process::id()
+    ));
     let _ = std::fs::remove_dir_all(&store_dir);
     let store = SnapshotStore::open(&store_dir).map_err(|e| format!("store: {e}"))?;
-    let manager = SessionManager::new(&registry, store, 16);
+    let metrics = metrics_on.then(|| Arc::new(Metrics::new()));
+    let mut manager = SessionManager::new(&registry, store, 16);
+    if let Some(reg) = &metrics {
+        manager.set_metrics(Arc::clone(reg));
+    }
+    let manager = manager;
     // Idle reaping stays on (it is the subsystem under test elsewhere)
     // but far beyond the run's horizon, so a held connection can only
     // vanish through a real server defect.
-    let server = Server::bind("127.0.0.1:0", REACTOR_WORKERS)
+    let mut server = Server::bind("127.0.0.1:0", REACTOR_WORKERS)
         .map_err(|e| format!("bind: {e}"))?
         .with_idle_timeout(Duration::from_secs(600));
+    if let Some(reg) = &metrics {
+        server = server.with_metrics(Arc::clone(reg));
+    }
     let addr = server
         .local_addr()
         .map_err(|e| format!("local addr: {e}"))?;
@@ -707,6 +739,25 @@ fn run_reactor_load(
                 ));
             }
 
+            // Metrics-on rerun: the reactor gauges must have watched
+            // the fleet — a slab high-water below the connection count
+            // means the instrumentation missed registrations.
+            if metrics_on {
+                let scrape = twin_client
+                    .metrics()
+                    .map_err(|e| format!("reactor scrape: {e}"))?;
+                let high_water = scrape
+                    .get("kgae_reactor_slab_high_water")
+                    .copied()
+                    .unwrap_or(0.0) as u64;
+                if high_water < connections {
+                    return Err(format!(
+                        "reactor slab high-water {high_water} never covered the \
+                         {connections}-connection fleet"
+                    ));
+                }
+            }
+
             latencies.sort_by(f64::total_cmp);
             Ok(ReactorReport {
                 connections,
@@ -727,10 +778,201 @@ fn run_reactor_load(
     outcome
 }
 
+/// Sums every sample of one counter family in a parsed `/metrics`
+/// scrape (map keys carry their label sets verbatim, so a family is a
+/// bare name plus every `family{...}` labelled variant).
+fn family_sum(scrape: &BTreeMap<String, f64>, family: &str) -> u64 {
+    let labelled = format!("{family}{{");
+    scrape
+        .iter()
+        .filter(|(name, _)| name.as_str() == family || name.starts_with(&labelled))
+        .map(|(_, value)| value)
+        .sum::<f64>()
+        .round() as u64
+}
+
+/// One exactly-reconciled exposition counter, as a rounded integer.
+fn scraped(scrape: &BTreeMap<String, f64>, name: &str) -> u64 {
+    scrape.get(name).copied().unwrap_or(0.0).round() as u64
+}
+
+struct ReconReport {
+    clients: u64,
+    sessions: u64,
+    http_requests: u64,
+    evictions: u64,
+    quota_refusals: u64,
+}
+
+/// The reconciliation leg: campaigns run against a metrics-enabled
+/// server whose session quota leaves only [`QUOTA_HEADROOM`] slots of
+/// slack, `/metrics` is scraped before and after, and every counter
+/// delta must equal the count the clients kept themselves — requests
+/// written to the socket, sessions created, campaigns finished,
+/// evictions performed, 429 refusals observed. The first scrape is
+/// recorded after its own response is built, so it shows up in the
+/// second scrape's delta and the accounting closes exactly.
+fn run_metrics_reconciliation(
+    kg: &CompactKg,
+    clients: u64,
+    reps: u64,
+    batch: u64,
+) -> Result<ReconReport, String> {
+    const QUOTA_HEADROOM: u64 = 2;
+    const QUOTA_ATTEMPTS: u64 = 6;
+    let registry = DatasetRegistry::standard();
+    let store_dir = std::env::temp_dir().join(format!("kgae-recon-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SnapshotStore::open(&store_dir).map_err(|e| format!("store: {e}"))?;
+    let metrics = Arc::new(Metrics::new());
+    let mut manager = SessionManager::with_limits(
+        &registry,
+        store,
+        16,
+        ManagerLimits {
+            max_sessions_per_tenant: None,
+            // Finished sessions hold their quota slot until deleted
+            // (eviction moves bytes, not ownership), so after the
+            // campaigns exactly QUOTA_HEADROOM creates can succeed.
+            max_total_sessions: Some((clients * reps + QUOTA_HEADROOM) as usize),
+            retry_after_secs: 1,
+        },
+    );
+    manager.set_metrics(Arc::clone(&metrics));
+    let manager = manager;
+    let server = Server::bind("127.0.0.1:0", 4)
+        .map_err(|e| format!("bind: {e}"))?
+        .with_metrics(Arc::clone(&metrics));
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    let handle = server.handle().map_err(|e| format!("handle: {e}"))?;
+    let outcome = std::thread::scope(|scope| -> Result<ReconReport, String> {
+        let server_thread = scope.spawn(|| server.run(&manager));
+        let result = (|| {
+            let mut probe = Client::connect(addr).map_err(|e| format!("probe connect: {e}"))?;
+            let before = probe.metrics().map_err(|e| format!("scrape 1: {e}"))?;
+
+            let outcomes: Vec<Result<u64, String>> = std::thread::scope(|inner| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        inner.spawn(move || -> Result<u64, String> {
+                            let mut client = Client::connect(addr)
+                                .map_err(|e| format!("recon client {c}: {e}"))?;
+                            let mut scratch = Vec::new();
+                            for r in 0..reps {
+                                let id = format!("recon-c{c}-r{r}");
+                                let seed = 0x4EC0_0000 + c * 1000 + r;
+                                run_campaign(&mut client, kg, &id, seed, batch, &mut scratch)?;
+                            }
+                            Ok(client.requests_sent())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("recon client thread"))
+                    .collect()
+            });
+            let mut campaign_sent = 0u64;
+            for outcome in outcomes {
+                campaign_sent += outcome?;
+            }
+
+            // Client-side eviction truth: one finished campaign per
+            // client is pushed to disk.
+            let mut evictions = 0u64;
+            for c in 0..clients {
+                probe
+                    .evict(&format!("recon-c{c}-r0"))
+                    .map_err(|e| format!("evict recon-c{c}-r0: {e}"))?;
+                evictions += 1;
+            }
+
+            // Quota truth: the headroom admits a couple more creates,
+            // then the ceiling answers 429 — counted exactly as the
+            // client sees them (no retry policy, one error per send).
+            let (mut quota_created, mut quota_refused) = (0u64, 0u64);
+            for i in 0..QUOTA_ATTEMPTS {
+                match probe.create(&spec(&format!("recon-quota-{i}"), 0x4EC0_4290 + i)) {
+                    Ok(_) => quota_created += 1,
+                    Err(ClientError::Api { status: 429, .. }) => quota_refused += 1,
+                    Err(e) => return Err(format!("quota create {i}: {e}")),
+                }
+            }
+            if quota_refused == 0 {
+                return Err(
+                    "quota ceiling never refused — the 429 counter went unexercised".into(),
+                );
+            }
+
+            // Captured before the second scrape, which therefore counts
+            // neither itself nor this read.
+            let probe_sent = probe.requests_sent();
+            let after = probe.metrics().map_err(|e| format!("scrape 2: {e}"))?;
+
+            let requests_delta = family_sum(&after, "kgae_requests_total")
+                - family_sum(&before, "kgae_requests_total");
+            let delta = |name: &str| scraped(&after, name) - scraped(&before, name);
+            let refused_line = "kgae_requests_total{route=\"session_create\",status=\"429\"}";
+            for (what, registry_says, clients_counted) in [
+                ("http requests", requests_delta, campaign_sent + probe_sent),
+                (
+                    "sessions created",
+                    delta("kgae_sessions_created_total"),
+                    clients * reps + quota_created,
+                ),
+                (
+                    "sessions finished",
+                    delta("kgae_sessions_finished_total"),
+                    clients * reps,
+                ),
+                (
+                    "sessions evicted",
+                    delta("kgae_sessions_evicted_total"),
+                    evictions,
+                ),
+                (
+                    "quota refusals",
+                    delta("kgae_quota_refusals_total"),
+                    quota_refused,
+                ),
+                ("429-status creates", delta(refused_line), quota_refused),
+            ] {
+                if registry_says != clients_counted {
+                    return Err(format!(
+                        "metrics reconciliation: {what}: the registry says {registry_says}, \
+                         the clients counted {clients_counted}"
+                    ));
+                }
+            }
+            Ok(ReconReport {
+                clients,
+                sessions: clients * reps,
+                http_requests: requests_delta,
+                evictions,
+                quota_refusals: quota_refused,
+            })
+        })();
+        handle.shutdown();
+        server_thread.join().expect("recon server thread");
+        result
+    });
+    let _ = std::fs::remove_dir_all(&store_dir);
+    outcome
+}
+
 /// The CI-sized reactor leg against an already-listening (or local)
 /// server: `connections` idle keep-alive sockets held open, one
 /// campaign driven through the loaded reactor with a hard p99 latency
-/// gate, and every idle socket verified live afterwards.
+/// gate, and every idle socket verified live afterwards. The server's
+/// request counter is then reconciled against the exact number of
+/// requests this function sent (the idle fleet costs two health round
+/// trips per connection; everything else goes through the client), and
+/// the counter value the *next* reader will see — CI scrapes `/metrics`
+/// once more before SIGTERM — is written to
+/// `target/smoke-requests.count`. Expects a freshly booted server with
+/// metrics enabled (the default).
 fn run_reactor_smoke(addr: SocketAddr, kg: &CompactKg, connections: u64) -> Result<(), String> {
     const P99_GATE_MS: f64 = 50.0;
     let mut fleet = open_idle_fleet(addr, connections)?;
@@ -746,13 +988,34 @@ fn run_reactor_smoke(addr: SocketAddr, kg: &CompactKg, connections: u64) -> Resu
     )?;
     verify_idle_fleet(&mut fleet)?;
     drop(fleet);
-    let _ = client.delete("reactor-smoke");
+    client
+        .delete("reactor-smoke")
+        .map_err(|e| format!("delete reactor-smoke: {e}"))?;
+    let sent_before_scrape = client.requests_sent();
+    let scrape = client
+        .metrics()
+        .map_err(|e| format!("metrics scrape: {e}"))?;
+    let counter = family_sum(&scrape, "kgae_requests_total");
+    let expected = 2 * connections + sent_before_scrape;
+    if counter != expected {
+        return Err(format!(
+            "kgae_requests_total says {counter} but the smoke sent {expected} requests \
+             before the scrape ({connections} idle connections × 2 health probes + \
+             {sent_before_scrape} client calls)"
+        ));
+    }
+    // The scrape itself is recorded after its body is built, so the
+    // next scraper reads `expected + 1`.
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write("target/smoke-requests.count", format!("{}\n", expected + 1))
+        .map_err(|e| format!("writing target/smoke-requests.count: {e}"))?;
     latencies.sort_by(f64::total_cmp);
     let p50 = percentile(&latencies, 0.50) * 1e3;
     let p99 = percentile(&latencies, 0.99) * 1e3;
     eprintln!(
         "reactor-smoke: {} idle keep-alive connections held and verified, campaign \
-         converged ({} calls), poll/submit latency p50 {p50:.2} ms / p99 {p99:.2} ms",
+         converged ({} calls), poll/submit latency p50 {p50:.2} ms / p99 {p99:.2} ms, \
+         kgae_requests_total reconciled at {counter}",
         connections,
         latencies.len(),
     );
@@ -765,14 +1028,17 @@ fn run_reactor_smoke(addr: SocketAddr, kg: &CompactKg, connections: u64) -> Resu
     Ok(())
 }
 
-/// Merges the `service_load`, `fault_load` and `reactor_load` rows into
-/// the benchmark JSON, bumping it to schema 6 (creates a minimal
-/// document when the file is absent).
+/// Merges the `service_load`, `fault_load`, `reactor_load`,
+/// `metrics_overhead` and `metrics_reconciliation` rows into the
+/// benchmark JSON, bumping it to schema 7 (creates a minimal document
+/// when the file is absent).
 fn write_report(
     out_path: &str,
     report: &LoadReport,
     fault: &FaultLoadReport,
     reactor: &ReactorReport,
+    overhead: &ReactorReport,
+    recon: &ReconReport,
 ) -> Result<(), String> {
     let mut doc = match std::fs::read_to_string(out_path) {
         Ok(text) => json::parse(&text).map_err(|e| format!("parsing {out_path}: {e}"))?,
@@ -782,7 +1048,7 @@ fn write_report(
         ]),
         Err(e) => return Err(format!("reading {out_path}: {e}")),
     };
-    doc.set("schema_version", Json::int(6));
+    doc.set("schema_version", Json::int(7));
     doc.set(
         "service_load",
         Json::obj(vec![
@@ -858,13 +1124,55 @@ fn write_report(
             ("sequential_twin_status_equal", Json::Bool(true)),
         ]),
     );
+    doc.set(
+        "metrics_overhead",
+        Json::obj(vec![
+            ("dataset", Json::str("NELL")),
+            ("design", Json::str("srs")),
+            ("method", Json::str("ahpd")),
+            ("idle_connections", Json::int(overhead.connections)),
+            ("active_clients", Json::int(overhead.active_clients)),
+            ("workers", Json::int(overhead.workers)),
+            ("latency_p50_ms_metrics_off", Json::Num(reactor.p50_ms)),
+            ("latency_p50_ms_metrics_on", Json::Num(overhead.p50_ms)),
+            ("latency_p99_ms_metrics_off", Json::Num(reactor.p99_ms)),
+            ("latency_p99_ms_metrics_on", Json::Num(overhead.p99_ms)),
+            (
+                "overhead_p50_ms",
+                Json::Num(overhead.p50_ms - reactor.p50_ms),
+            ),
+            // Always true in a written report: breaching the noise
+            // gate exits non-zero before reporting.
+            ("p50_within_noise", Json::Bool(true)),
+        ]),
+    );
+    doc.set(
+        "metrics_reconciliation",
+        Json::obj(vec![
+            ("dataset", Json::str("NELL")),
+            ("design", Json::str("srs")),
+            ("method", Json::str("ahpd")),
+            ("clients", Json::int(recon.clients)),
+            ("sessions_completed", Json::int(recon.sessions)),
+            ("http_requests", Json::int(recon.http_requests)),
+            ("evictions", Json::int(recon.evictions)),
+            ("quota_429s", Json::int(recon.quota_refusals)),
+            // Always true in a written report: any scraped counter
+            // delta that disagrees with the client-side count exits
+            // non-zero before reporting.
+            ("counters_reconciled", Json::Bool(true)),
+        ]),
+    );
     std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
-    eprintln!("wrote {out_path} (schema_version 6)");
+    eprintln!("wrote {out_path} (schema_version 7)");
     Ok(())
 }
 
 /// Runs `f` against a fresh in-process server on an ephemeral port.
+/// The server records into a live metrics registry — the production
+/// posture (`kgae-serve` defaults to `--metrics on`), and what lets
+/// the smoke legs scrape `/metrics` without a real binary.
 fn with_local_server(
     workers: usize,
     f: impl FnOnce(SocketAddr, &CompactKg) -> Result<(), String>,
@@ -873,8 +1181,13 @@ fn with_local_server(
     let store_dir = std::env::temp_dir().join(format!("kgae-service-load-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
     let store = SnapshotStore::open(&store_dir).map_err(|e| format!("store: {e}"))?;
-    let manager = SessionManager::new(&registry, store, 16);
-    let server = Server::bind("127.0.0.1:0", workers).map_err(|e| format!("bind: {e}"))?;
+    let metrics = Arc::new(Metrics::new());
+    let mut manager = SessionManager::new(&registry, store, 16);
+    manager.set_metrics(Arc::clone(&metrics));
+    let manager = manager;
+    let server = Server::bind("127.0.0.1:0", workers)
+        .map_err(|e| format!("bind: {e}"))?
+        .with_metrics(metrics);
     let addr = server
         .local_addr()
         .map_err(|e| format!("local addr: {e}"))?;
@@ -1117,10 +1430,11 @@ fn run() -> Result<(), String> {
 
     // The reactor leg boots its own server (few workers, long idle
     // timeout) so its connection fleet cannot interfere with the main
-    // throughput numbers.
+    // throughput numbers. It runs twice — registry off, then on — and
+    // the p50 gap is the measured cost of observability.
+    let kg = kgae_graph::datasets::nell();
     let reactor = {
-        let kg = kgae_graph::datasets::nell();
-        let report = run_reactor_load(&kg, connections, 4, 2, batch)?;
+        let report = run_reactor_load(&kg, connections, 4, 2, batch, false)?;
         eprintln!(
             "reactor_load: {} idle keep-alive connections held on {} workers while {} \
              clients ran campaigns — {:.0} requests/s, latency p50 {:.2} ms / p99 {:.2} ms, \
@@ -1134,6 +1448,28 @@ fn run() -> Result<(), String> {
         );
         report
     };
+    let overhead = run_reactor_load(&kg, connections, 4, 2, batch, true)?;
+    eprintln!(
+        "metrics_overhead: same reactor leg with the registry recording — p50 {:.2} ms \
+         (metrics off: {:.2} ms), p99 {:.2} ms",
+        overhead.p50_ms, reactor.p50_ms, overhead.p99_ms,
+    );
+    // A handful of relaxed atomics per request must vanish into HTTP
+    // round-trip noise; double-plus-a-millisecond is far outside it.
+    if overhead.p50_ms > reactor.p50_ms * 2.0 + 1.0 {
+        return Err(format!(
+            "metrics overhead out of noise: p50 {:.2} ms with the registry on \
+             vs {:.2} ms off",
+            overhead.p50_ms, reactor.p50_ms
+        ));
+    }
+
+    let recon = run_metrics_reconciliation(&kg, 4, 2, batch)?;
+    eprintln!(
+        "metrics_reconciliation: {} campaigns, {} evictions, {} quota 429s — every \
+         scraped counter delta equals the client-side count ({} HTTP requests)",
+        recon.sessions, recon.evictions, recon.quota_refusals, recon.http_requests,
+    );
 
     with_local_server(workers, |addr, kg| {
         let report = run_load(addr, kg, clients, reps, batch)?;
@@ -1155,7 +1491,7 @@ fn run() -> Result<(), String> {
              injected, every final status equals its fault-free twin",
             fault.sessions, fault.fault_prob, fault.faults,
         );
-        write_report(&out_path, &report, &fault, &reactor)
+        write_report(&out_path, &report, &fault, &reactor, &overhead, &recon)
     })
 }
 

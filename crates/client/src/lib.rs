@@ -326,6 +326,10 @@ pub struct Client {
     retry: Option<RetryPolicy>,
     /// Jitter stream backing [`RetryPolicy::pause`].
     jitter: SmallRng,
+    /// Requests this client has successfully written to the server,
+    /// counting every retry and reconnect replay separately — the
+    /// client-side truth a `/metrics` scrape must reconcile with.
+    requests_sent: u64,
 }
 
 /// How long the server keeps an idle keep-alive connection
@@ -355,6 +359,7 @@ impl Client {
             last_used: std::time::Instant::now(),
             retry: None,
             jitter: SmallRng::seed_from_u64(0),
+            requests_sent: 0,
         };
         client.reconnect()?;
         Ok(client)
@@ -454,6 +459,22 @@ impl Client {
         body: &str,
         retry_read: bool,
     ) -> Result<Json, (ClientError, bool)> {
+        let response = self.transport_once(method, path, body, retry_read)?;
+        // A response arrived, so the request executed; decode failures
+        // are not ambiguous.
+        Self::decode(&response).map_err(|e| (e, false))
+    }
+
+    /// The transport half of [`Client::call_once`]: writes the request
+    /// (rebuilding a stale keep-alive connection once) and reads the
+    /// raw response without interpreting its body.
+    fn transport_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        retry_read: bool,
+    ) -> Result<http::Response, (ClientError, bool)> {
         if self.last_used.elapsed() >= CONNECTION_REFRESH_AFTER {
             // The server has likely reclaimed this idle connection;
             // rebuild it up front instead of discovering mid-call.
@@ -471,15 +492,17 @@ impl Client {
                 }
                 return Err((ClientError::Io(e), false));
             }
+            // The full request reached the kernel: whether or not a
+            // response comes back, the server may execute it — this is
+            // the client-side sent count scrapes reconcile against.
+            self.requests_sent += 1;
             match http::read_response(reader) {
                 Ok(response) => {
                     if !response.keep_alive {
                         self.reader = None;
                     }
                     self.last_used = std::time::Instant::now();
-                    // A response arrived, so the request executed;
-                    // decode failures are not ambiguous.
-                    return Self::decode(&response).map_err(|e| (e, false));
+                    return Ok(response);
                 }
                 Err(
                     http::HttpError::Closed | http::HttpError::Io(_) | http::HttpError::IdleTimeout,
@@ -531,6 +554,61 @@ impl Client {
             code: doc.get("code").and_then(Json::as_str).map(str::to_string),
             retry_after: response.retry_after,
         })
+    }
+
+    /// How many requests this client has successfully written to the
+    /// server, counting every retry and reconnect replay separately.
+    /// This is the client-side ground truth the server's
+    /// `kgae_requests_total` counters reconcile against (a request
+    /// whose response was lost is still counted — the server may have
+    /// executed it).
+    #[must_use]
+    pub fn requests_sent(&self) -> u64 {
+        self.requests_sent
+    }
+
+    /// `GET /metrics`, parsed: every sample line of the Prometheus
+    /// text exposition as a `series name (with labels) → value` map.
+    /// `# HELP`/`# TYPE` comment lines are skipped; histogram buckets,
+    /// sums and counts appear as ordinary series (e.g.
+    /// `kgae_request_duration_seconds_count{route="next"}`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, an API error (404 when the server runs with
+    /// `--metrics off`), or an unparsable exposition.
+    pub fn metrics(&mut self) -> ClientResult<std::collections::BTreeMap<String, f64>> {
+        let response = self
+            .transport_once("GET", "/metrics", "", true)
+            .map_err(|(e, _)| e)?;
+        if !(200..300).contains(&response.status) {
+            // Error bodies are the ordinary JSON shape.
+            return match Self::decode(&response) {
+                Err(e) => Err(e),
+                Ok(_) => Err(ClientError::Protocol(format!(
+                    "metrics scrape failed with status {}",
+                    response.status
+                ))),
+            };
+        }
+        let text = std::str::from_utf8(&response.body)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 metrics body".into()))?;
+        let mut series = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // `name{labels} value` — the value never contains a space,
+            // label values may, so split at the *last* space.
+            let (name, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| ClientError::Protocol(format!("unparsable metric line {line:?}")))?;
+            let value: f64 = value
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("non-numeric sample {line:?}")))?;
+            series.insert(name.to_string(), value);
+        }
+        Ok(series)
     }
 
     /// `GET /healthz`.

@@ -4,7 +4,10 @@
 //! kgae-serve [--addr HOST:PORT] [--workers N] [--shards N]
 //!            [--idle-timeout SECS] [--store-dir PATH] [--port-file PATH]
 //!            [--max-sessions N] [--max-per-tenant N] [--retry-after S]
-//!            [--fault SPEC]
+//!            [--metrics on|off] [--log-format json|text]
+//!            [--log-level off|error|warn|info]
+//!            [--janitor-tick SECS] [--janitor-ttl SECS]
+//!            [--janitor-grace SECS] [--fault SPEC]
 //! kgae-serve --version
 //! ```
 //!
@@ -29,6 +32,23 @@
 //! * `--max-sessions` / `--max-per-tenant` — session quota ceilings
 //!   (unlimited when omitted); a full quota answers 429 with a
 //!   `Retry-After` of `--retry-after` seconds (default 1).
+//! * `--metrics` — the observability registry behind `GET /metrics`
+//!   (Prometheus text format; default `on`). `off` removes the route
+//!   (404) and every recording site.
+//! * `--log-format` / `--log-level` — structured per-request logs on
+//!   stderr: one JSON (or text) line per executed request with route,
+//!   tenant, session, status, bytes, latency and worker id. The level
+//!   floor derives from the response status (5xx=error, 4xx=warn,
+//!   else info); default `json` at `warn`, `--log-level off` disables
+//!   request logging entirely.
+//! * `--janitor-tick` — seconds between background maintenance passes
+//!   (default 30; `0` disables the janitor). Each pass garbage-collects
+//!   stale temp files, orphaned snapshots and compactable finished
+//!   records from the store directory, and — with `--janitor-ttl N` —
+//!   suspends sessions idle for N seconds to disk and evicts
+//!   already-suspended idle ones from memory (off by default).
+//!   `--janitor-grace` is the minimum file age before GC touches a
+//!   file (default 60).
 //! * `--fault` — deterministic failpoint spec (also read from the
 //!   `KGAE_FAULT` env var); only honored by builds with the
 //!   `fault-injection` feature, rejected loudly otherwise.
@@ -42,7 +62,12 @@
 //!
 //! Exits non-zero on any startup failure.
 
-use kgae_service::{DatasetRegistry, ManagerLimits, Server, SessionManager, SnapshotStore};
+use kgae_service::{
+    DatasetRegistry, Janitor, JanitorConfig, LogFormat, LogLevel, ManagerLimits, Metrics,
+    RequestLog, Server, SessionManager, SnapshotStore,
+};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn arg_value(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -100,6 +125,24 @@ fn run() -> Result<(), String> {
         max_total_sessions: parse_flag("--max-sessions")?,
         retry_after_secs: parse_flag("--retry-after")?.unwrap_or(1),
     };
+    let metrics_on = match arg_value("--metrics").as_deref() {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => return Err(format!("--metrics: expected on|off, got {other:?}")),
+    };
+    let log_format = match arg_value("--log-format") {
+        None => LogFormat::Json,
+        Some(name) => LogFormat::from_name(&name)
+            .ok_or_else(|| format!("--log-format: expected json|text, got {name:?}"))?,
+    };
+    let log_level = match arg_value("--log-level") {
+        None => LogLevel::Warn,
+        Some(name) => LogLevel::from_name(&name)
+            .ok_or_else(|| format!("--log-level: expected off|error|warn|info, got {name:?}"))?,
+    };
+    let janitor_tick = parse_flag::<u64>("--janitor-tick")?.unwrap_or(30);
+    let janitor_ttl = parse_flag::<u64>("--janitor-ttl")?;
+    let janitor_grace = parse_flag::<u64>("--janitor-grace")?.unwrap_or(60);
 
     // Failpoints: --fault wins over KGAE_FAULT; both error out loudly
     // on builds compiled without the fault-injection feature.
@@ -135,11 +178,22 @@ fn run() -> Result<(), String> {
             recovery.recovered.len()
         );
     }
-    let manager = SessionManager::with_limits(&registry, store, shards, limits);
+    let mut manager = SessionManager::with_limits(&registry, store, shards, limits);
+    let metrics = metrics_on.then(|| Arc::new(Metrics::new()));
+    if let Some(registry) = &metrics {
+        manager.set_metrics(Arc::clone(registry));
+    }
+    let manager = manager;
 
     let mut server = Server::bind(&addr, workers).map_err(|e| format!("binding {addr:?}: {e}"))?;
     if let Some(timeout) = idle_timeout {
         server = server.with_idle_timeout(timeout);
+    }
+    if let Some(registry) = &metrics {
+        server = server.with_metrics(Arc::clone(registry));
+    }
+    if log_level != LogLevel::Off {
+        server = server.with_request_log(Arc::new(RequestLog::new(log_format, log_level)));
     }
     let local = server
         .local_addr()
@@ -170,7 +224,29 @@ fn run() -> Result<(), String> {
         "kgae-serve: listening on http://{local} ({workers} workers, {shards} shards, \
          store {store_dir:?})"
     );
-    let report = server.run(&manager);
+    let janitor = (janitor_tick > 0).then(|| {
+        let config = JanitorConfig {
+            tick: Duration::from_secs(janitor_tick),
+            idle_ttl: janitor_ttl.map(Duration::from_secs),
+            grace: Duration::from_secs(janitor_grace),
+        };
+        match &metrics {
+            Some(registry) => Janitor::new(config).with_metrics(Arc::clone(registry)),
+            None => Janitor::new(config),
+        }
+    });
+    let report = match &janitor {
+        Some(janitor) => crossbeam::scope(|scope| {
+            let stopper = janitor.handle();
+            let ticking = scope.spawn(|_| janitor.run(&manager));
+            let report = server.run(&manager);
+            stopper.stop();
+            ticking.join().expect("janitor thread");
+            report
+        })
+        .expect("janitor scope"),
+        None => server.run(&manager),
+    };
     eprintln!(
         "kgae-serve: drained — {} suspended ({} mid-batch), {} finished persisted",
         report.suspended.len(),

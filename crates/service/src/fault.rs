@@ -229,6 +229,17 @@ pub fn clear() {
     imp::clear();
 }
 
+/// Running count of failpoints that actually fired, surfaced as
+/// `kgae_faults_injected_total` on `/metrics`. Always zero on builds
+/// without the `fault-injection` feature.
+static INJECTIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// How many failpoints have fired since the process started.
+#[must_use]
+pub fn injections() -> u64 {
+    INJECTIONS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Consults the failpoint at `site`: `None` means proceed normally.
 /// Always `None` when the `fault-injection` feature is off — the call
 /// compiles down to nothing.
@@ -237,7 +248,11 @@ pub fn clear() {
 pub fn check(site: &str) -> Option<FaultAction> {
     #[cfg(feature = "fault-injection")]
     {
-        imp::check(site)
+        let action = imp::check(site);
+        if action.is_some() {
+            INJECTIONS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        action
     }
     #[cfg(not(feature = "fault-injection"))]
     {

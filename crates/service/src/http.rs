@@ -532,8 +532,22 @@ pub fn format_response(
     keep_alive: bool,
     extra: &[(&str, String)],
 ) -> Vec<u8> {
+    format_response_with(status, body, keep_alive, "application/json", extra)
+}
+
+/// [`format_response`] with an explicit `Content-Type` — the `/metrics`
+/// route answers `text/plain; version=0.0.4` (the Prometheus text
+/// exposition type) while everything else stays JSON.
+#[must_use]
+pub fn format_response_with(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    content_type: &str,
+    extra: &[(&str, String)],
+) -> Vec<u8> {
     let mut out = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         status,
         reason_phrase(status),
         body.len(),

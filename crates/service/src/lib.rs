@@ -18,6 +18,8 @@
 //! | [`api`] | typed DTOs ↔ JSON for every endpoint and meta record |
 //! | [`pool`] | fixed-size scoped worker pool (vendored crossbeam pattern) |
 //! | [`fault`] | deterministic failpoints (no-ops without `fault-injection`) |
+//! | [`metrics`] | atomic metrics registry, Prometheus encoder, request logs |
+//! | [`janitor`] | background maintenance: TTL aging, orphan GC, compaction |
 //!
 //! The `kgae-serve` binary boots the standard dataset registry behind
 //! this stack; the `kgae-client` crate speaks the same wire format
@@ -54,17 +56,21 @@
 pub mod api;
 pub mod fault;
 pub mod http;
+pub mod janitor;
 pub mod json;
 pub mod manager;
+pub mod metrics;
 pub mod pool;
 pub mod reactor;
 pub mod server;
 pub mod store;
 
 pub use api::{SessionSpec, StratifySpec};
+pub use janitor::{Janitor, JanitorConfig, JanitorHandle, TickReport};
 pub use manager::{
     DatasetEntry, DatasetRegistry, DrainReport, ManagerLimits, ServiceError, ServiceResult,
     SessionManager, SessionState, SessionView,
 };
+pub use metrics::{LogFormat, LogLevel, Metrics, RequestLog};
 pub use server::{Server, ServerHandle};
 pub use store::{RecoveryReport, SnapshotStore};

@@ -30,6 +30,7 @@
 
 use crate::api::{SessionSpec, StratifySpec};
 use crate::json::Json;
+use crate::metrics::{Metrics, ShardSessions};
 use crate::store::{valid_session_id, SnapshotStore, StoredSession};
 use crate::{api, json};
 use kgae_core::{
@@ -45,6 +46,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Hard cap on stage-1 units a single poll may request. Cluster
 /// designs sample with replacement — their unit streams never exhaust —
@@ -424,6 +426,10 @@ struct Live<'a> {
     /// submit carrying a stale seq is rejected instead of silently
     /// applying old labels to a newer batch.
     seq: u64,
+    /// Last request activity (create/poll/submit/resume), the clock the
+    /// janitor's TTL aging reads. Status reads deliberately do not
+    /// refresh it — monitoring must not keep a session warm.
+    touched: Instant,
 }
 
 impl Live<'_> {
@@ -438,6 +444,8 @@ struct Dormant {
     strata: Option<Vec<StratumReport>>,
     methods: Option<Vec<MethodReport>>,
     snapshot_bytes: u64,
+    /// When this stub last saw activity (see [`Live::touched`]).
+    touched: Instant,
 }
 
 struct FinishedSlot {
@@ -446,6 +454,8 @@ struct FinishedSlot {
     result: EvalResult,
     strata: Option<Vec<StratumReport>>,
     methods: Option<Vec<MethodReport>>,
+    /// When this result last saw activity (see [`Live::touched`]).
+    touched: Instant,
 }
 
 enum Slot<'a> {
@@ -535,6 +545,23 @@ impl Slot<'_> {
             Slot::Live(live) => &live.spec,
             Slot::Suspended(dormant) => &dormant.spec,
             Slot::Finished(finished) => &finished.spec,
+        }
+    }
+
+    fn touched(&self) -> Instant {
+        match self {
+            Slot::Live(live) => live.touched,
+            Slot::Suspended(dormant) => dormant.touched,
+            Slot::Finished(finished) => finished.touched,
+        }
+    }
+
+    fn touch(&mut self) {
+        let now = Instant::now();
+        match self {
+            Slot::Live(live) => live.touched = now,
+            Slot::Suspended(dormant) => dormant.touched = now,
+            Slot::Finished(finished) => finished.touched = now,
         }
     }
 
@@ -803,6 +830,9 @@ pub struct SessionManager<'a> {
     occupancy: Mutex<Occupancy>,
     quarantined: Mutex<std::collections::BTreeSet<String>>,
     draining: std::sync::atomic::AtomicBool,
+    /// Lifecycle counters; absent until
+    /// [`SessionManager::set_metrics`] attaches a registry.
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl<'a> SessionManager<'a> {
@@ -860,6 +890,22 @@ impl<'a> SessionManager<'a> {
             occupancy: Mutex::new(occupancy),
             quarantined: Mutex::new(quarantined),
             draining: std::sync::atomic::AtomicBool::new(false),
+            metrics: None,
+        }
+    }
+
+    /// Attaches a metrics registry to this manager **and** its store,
+    /// turning on lifecycle counters (created/suspended/…/429) and the
+    /// store's durability counters. Call before serving traffic.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        self.store.set_metrics(Arc::clone(&metrics));
+        self.metrics = Some(metrics);
+    }
+
+    /// Bumps one lifecycle counter, when a registry is attached.
+    fn bump(&self, pick: fn(&Metrics) -> &std::sync::atomic::AtomicU64) {
+        if let Some(metrics) = &self.metrics {
+            pick(metrics).fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -881,11 +927,83 @@ impl<'a> SessionManager<'a> {
         &self.store
     }
 
-    fn shard(&self, id: &str) -> &Mutex<HashMap<String, Slot<'a>>> {
+    /// Which shard `id` hashes to — also the `shard` label of the
+    /// `kgae_sessions` gauge.
+    fn shard_index(&self, id: &str) -> usize {
         let mut hasher = DefaultHasher::new();
         id.hash(&mut hasher);
-        let index = (hasher.finish() % self.shards.len() as u64) as usize;
-        &self.shards[index]
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    fn shard(&self, id: &str) -> &Mutex<HashMap<String, Slot<'a>>> {
+        &self.shards[self.shard_index(id)]
+    }
+
+    /// Runs `f` while holding `id`'s shard lock, telling it whether the
+    /// id currently occupies an in-memory slot. Every store write for
+    /// an id happens under this same lock, so the janitor uses this to
+    /// garbage-collect a session's files without racing an in-flight
+    /// save.
+    pub(crate) fn with_session_lock<T>(&self, id: &str, f: impl FnOnce(bool) -> T) -> T {
+        let shard = self.shard(id).lock().expect("shard lock");
+        f(shard.contains_key(id))
+    }
+
+    /// Point-in-time census of every session, per shard and lifecycle
+    /// state — the source of the `kgae_sessions` gauges. Exact by
+    /// construction (each shard is counted under its lock; store-only
+    /// ids count as evicted), so the gauges can never drift.
+    #[must_use]
+    pub fn census(&self) -> Vec<ShardSessions> {
+        let mut census = vec![ShardSessions::default(); self.shards.len()];
+        let mut seen = std::collections::HashSet::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let shard = shard.lock().expect("shard lock");
+            for (id, slot) in shard.iter() {
+                seen.insert(id.clone());
+                match slot {
+                    Slot::Live(_) => census[index].live += 1,
+                    Slot::Suspended(_) => census[index].suspended += 1,
+                    Slot::Finished(_) => census[index].finished += 1,
+                }
+            }
+        }
+        for id in self.store.list().unwrap_or_default() {
+            if !seen.contains(&id) {
+                census[self.shard_index(&id)].evicted += 1;
+            }
+        }
+        census
+    }
+
+    /// Sessions idle past `ttl`, with the state they held at scan time
+    /// — the janitor's aging worklist. Live sessions with an
+    /// outstanding annotation request are skipped (labels are owed; a
+    /// suspend would be refused anyway), as are quarantined ids.
+    pub(crate) fn idle_sessions(&self, ttl: Duration) -> Vec<(String, SessionState)> {
+        let now = Instant::now();
+        let mut idle = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            for (id, slot) in shard.iter() {
+                if now.saturating_duration_since(slot.touched()) < ttl {
+                    continue;
+                }
+                let state = match slot {
+                    Slot::Live(live) => {
+                        if live.engine.has_pending_request() {
+                            continue;
+                        }
+                        SessionState::Running
+                    }
+                    Slot::Suspended(_) => SessionState::Suspended,
+                    Slot::Finished(_) => SessionState::Finished,
+                };
+                idle.push((id.clone(), state));
+            }
+        }
+        idle.sort_by(|a, b| a.0.cmp(&b.0));
+        idle
     }
 
     /// Takes one quota slot for `tenant`, or refuses with
@@ -1206,6 +1324,7 @@ impl<'a> SessionManager<'a> {
             pending: None,
             pending_stratum: None,
             seq: 0,
+            touched: Instant::now(),
         })
     }
 
@@ -1223,6 +1342,7 @@ impl<'a> SessionManager<'a> {
             pending: None,
             pending_stratum: None,
             seq: 0,
+            touched: Instant::now(),
         })
     }
 
@@ -1240,6 +1360,7 @@ impl<'a> SessionManager<'a> {
                     result,
                     strata: meta.strata,
                     methods: meta.methods,
+                    touched: Instant::now(),
                 })))
             }
             _ => {
@@ -1279,6 +1400,7 @@ impl<'a> SessionManager<'a> {
                 match rehydrated {
                     Ok(live) => {
                         shard.insert(id.to_string(), Slot::Live(Box::new(live)));
+                        self.bump(|m| &m.sessions_resumed);
                         Ok(())
                     }
                     Err(e) => {
@@ -1302,6 +1424,7 @@ impl<'a> SessionManager<'a> {
                 if finished {
                     return Err(ServiceError::AlreadyFinished(id.to_string()));
                 }
+                self.bump(|m| &m.sessions_resumed);
                 Ok(())
             }
         }
@@ -1325,6 +1448,7 @@ impl<'a> SessionManager<'a> {
                 result: outcome.result,
                 strata: outcome.strata,
                 methods: outcome.methods,
+                touched: Instant::now(),
             })),
         );
     }
@@ -1347,6 +1471,7 @@ impl<'a> SessionManager<'a> {
     /// full.
     pub fn create(&self, spec: &SessionSpec) -> ServiceResult<SessionView> {
         if self.is_draining() {
+            self.bump(|m| &m.draining_refusals);
             return Err(ServiceError::Draining {
                 retry_after: self.limits.retry_after_secs,
             });
@@ -1362,10 +1487,12 @@ impl<'a> SessionManager<'a> {
         }
         // Admission happens after all other checks while the shard lock
         // pins the insert: a taken slot is always matched by a session.
-        self.admit(tenant_key(spec))?;
+        self.admit(tenant_key(spec))
+            .inspect_err(|_| self.bump(|m| &m.quota_refusals))?;
         let slot = Slot::Live(Box::new(live));
         let view = slot.view();
         shard.insert(spec.id.clone(), slot);
+        self.bump(|m| &m.sessions_created);
         Ok(view)
     }
 
@@ -1410,6 +1537,7 @@ impl<'a> SessionManager<'a> {
         let Some(Slot::Live(live)) = shard.get_mut(id) else {
             unreachable!("ensure_live left a live slot")
         };
+        live.touched = Instant::now();
         if let Some(outstanding) = &live.pending {
             let request = outstanding.clone();
             let view = shard.get(id).expect("slot exists").view_brief();
@@ -1429,6 +1557,7 @@ impl<'a> SessionManager<'a> {
                 // Stream exhausted: the session stopped inside the
                 // poll; surface it as Finished.
                 Self::finalize(&mut shard, id);
+                self.bump(|m| &m.sessions_finished);
                 None
             }
         };
@@ -1483,10 +1612,12 @@ impl<'a> SessionManager<'a> {
             }
         }
         live.engine.submit(labels)?;
+        live.touched = Instant::now();
         live.pending = None;
         live.pending_stratum = None;
         if live.engine.stop_reason().is_some() {
             Self::finalize(&mut shard, id);
+            self.bump(|m| &m.sessions_finished);
         }
         Ok(shard.get(id).expect("slot exists").view_brief())
     }
@@ -1565,8 +1696,10 @@ impl<'a> SessionManager<'a> {
                     strata: view.strata,
                     methods: view.methods,
                     snapshot_bytes: snapshot.len() as u64,
+                    touched: Instant::now(),
                 };
                 shard.insert(id.to_string(), Slot::Suspended(Box::new(dormant)));
+                self.bump(|m| &m.sessions_suspended);
                 Ok(shard.get(id).expect("slot exists").view())
             }
             None => {
@@ -1594,7 +1727,9 @@ impl<'a> SessionManager<'a> {
         let mut shard = self.shard(id).lock().expect("shard lock");
         match shard.get(id) {
             Some(Slot::Live(_) | Slot::Finished(_)) => {
-                Ok(shard.get(id).expect("slot exists").view())
+                let slot = shard.get_mut(id).expect("slot exists");
+                slot.touch();
+                Ok(slot.view())
             }
             Some(Slot::Suspended(dormant)) => {
                 let spec = dormant.spec.clone();
@@ -1610,6 +1745,7 @@ impl<'a> SessionManager<'a> {
                 match rehydrated {
                     Ok(live) => {
                         shard.insert(id.to_string(), Slot::Live(Box::new(live)));
+                        self.bump(|m| &m.sessions_resumed);
                         Ok(shard.get(id).expect("slot exists").view())
                     }
                     Err(e) => {
@@ -1628,6 +1764,9 @@ impl<'a> SessionManager<'a> {
                 let slot = self
                     .slot_from_store(id, &record)
                     .map_err(|e| self.quarantine_on_corruption(id, e))?;
+                if matches!(slot, Slot::Live(_)) {
+                    self.bump(|m| &m.sessions_resumed);
+                }
                 shard.insert(id.to_string(), slot);
                 Ok(shard.get(id).expect("slot exists").view())
             }
@@ -1663,11 +1802,13 @@ impl<'a> SessionManager<'a> {
                 );
                 self.store.save(id, &meta, Some(&snapshot))?;
                 shard.remove(id);
+                self.bump(|m| &m.sessions_evicted);
                 Ok(())
             }
             Some(Slot::Suspended(_)) => {
                 // Snapshot + meta already on disk.
                 shard.remove(id);
+                self.bump(|m| &m.sessions_evicted);
                 Ok(())
             }
             Some(Slot::Finished(finished)) => {
@@ -1682,6 +1823,7 @@ impl<'a> SessionManager<'a> {
                 );
                 self.store.save(id, &meta, None)?;
                 shard.remove(id);
+                self.bump(|m| &m.sessions_evicted);
                 Ok(())
             }
             None if self.store.contains(id) => Ok(()),
@@ -1722,6 +1864,7 @@ impl<'a> SessionManager<'a> {
         match tenant {
             Some(tenant) => {
                 self.release(&tenant);
+                self.bump(|m| &m.sessions_deleted);
                 Ok(())
             }
             None => Err(ServiceError::UnknownSession(id.to_string())),

@@ -42,6 +42,7 @@
 //! `READ_TICK` the blocking front needed just to notice the flag.
 
 use crate::http::{self, Parsed, RequestParser};
+use crate::metrics::{self, Metrics, RequestLog, Route};
 use crate::{api, pool};
 use polling::{PollFd, POLLIN, POLLOUT};
 use std::io::{ErrorKind, Read, Write};
@@ -50,18 +51,25 @@ use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Reactor tuning: how many request executors, and how long a
-/// connection may sit without transport progress before the timer
-/// wheel reaps it.
-#[derive(Debug, Clone, Copy)]
+/// Reactor tuning: how many request executors, how long a connection
+/// may sit without transport progress before the timer wheel reaps it,
+/// and where (if anywhere) to report what happened.
+#[derive(Clone)]
 pub(crate) struct Config {
     /// Worker threads executing ready requests — bounds in-flight
     /// requests, **not** connections.
     pub workers: usize,
     /// Keep-alive/stall deadline enforced by the timer wheel.
     pub idle_timeout: Duration,
+    /// Shared metrics registry; request latency is measured around the
+    /// worker's handler call and counted only once the response bytes
+    /// exist (a `/metrics` scrape never counts itself).
+    pub metrics: Option<Arc<Metrics>>,
+    /// Structured request log (one line per executed request).
+    pub log: Option<Arc<RequestLog>>,
 }
 
 /// A ready, fully-parsed request handed to the worker pool.
@@ -223,9 +231,20 @@ pub(crate) fn serve<F>(
     let (job_tx, job_rx) = channel::<Job>();
     let (done_tx, done_rx) = channel::<Done>();
     let _ = wake_tx.set_nonblocking(true);
+    let worker_count = config.workers;
+    let worker_metrics = config.metrics.clone();
+    let worker_log = config.log.clone();
     crossbeam::scope(|scope| {
         let workers = scope.spawn(|_| {
-            run_workers(config.workers, job_rx, &handler, &done_tx, wake_tx);
+            run_workers(
+                worker_count,
+                job_rx,
+                &handler,
+                &done_tx,
+                wake_tx,
+                worker_metrics.as_deref(),
+                worker_log.as_deref(),
+            );
         });
         event_loop(
             listener,
@@ -242,23 +261,35 @@ pub(crate) fn serve<F>(
 }
 
 /// The worker side: drain ready requests, route them, serialize the
-/// response, hand it back, nudge the reactor awake.
+/// response, record metrics and the structured log line, hand the
+/// bytes back, nudge the reactor awake.
 fn run_workers<F>(
     workers: usize,
     jobs: Receiver<Job>,
     handler: &F,
     done_tx: &Sender<Done>,
     waker: &UnixStream,
+    metrics_reg: Option<&Metrics>,
+    log: Option<&RequestLog>,
 ) where
     F: Fn(&http::Request) -> (u16, String, Option<u64>) + Sync,
 {
     pool::run_pool(workers, jobs, |job: Job| {
         let keep_alive = job.request.keep_alive;
+        let route = Route::classify(&job.request.method, &job.request.path);
+        let started = Instant::now();
         let (status, body, retry_after) = handler(&job.request);
         let mut extra: Vec<(&str, String)> = Vec::new();
         if let Some(secs) = retry_after {
             extra.push(("Retry-After", secs.to_string()));
         }
+        // Everything the service answers is JSON except a successful
+        // metrics scrape, which speaks the Prometheus text format.
+        let content_type = if route == Route::Metrics && status == 200 {
+            "text/plain; version=0.0.4"
+        } else {
+            "application/json"
+        };
         // Failpoint `conn.write`: the response dies *after* the
         // manager already applied the operation — torn sends a prefix,
         // drop sends nothing, and either way the connection closes, so
@@ -271,7 +302,8 @@ fn run_workers<F>(
         let done = match injected {
             Some(crate::fault::FaultAction::Crash) => std::process::abort(),
             Some(crate::fault::FaultAction::Torn(n)) => {
-                let mut bytes = http::format_response(status, &body, keep_alive, &extra);
+                let mut bytes =
+                    http::format_response_with(status, &body, keep_alive, content_type, &extra);
                 bytes.truncate(n);
                 Done {
                     token: job.token,
@@ -289,10 +321,32 @@ fn run_workers<F>(
             None => Done {
                 token: job.token,
                 generation: job.generation,
-                bytes: http::format_response(status, &body, keep_alive, &extra),
+                bytes: http::format_response_with(status, &body, keep_alive, content_type, &extra),
                 close: !keep_alive,
             },
         };
+        // Counted only now, with the response bytes already built: a
+        // /metrics scrape observes every request but its own, so the
+        // scraped totals reconcile exactly with client-side truth.
+        let elapsed = started.elapsed();
+        if let Some(reg) = metrics_reg {
+            reg.record_request(route, status, elapsed.as_nanos() as u64, body.len() as u64);
+        }
+        if let Some(log) = log {
+            if log.would_log(status) {
+                let identity = request_identity(route, &job.request);
+                log.record(&metrics::LogEntry {
+                    unix_millis: metrics::unix_millis_now(),
+                    route: route.name(),
+                    tenant: identity.tenant.as_deref(),
+                    session: identity.session.as_deref(),
+                    status,
+                    bytes: body.len() as u64,
+                    micros: elapsed.as_micros() as u64,
+                    worker: metrics::worker_id(),
+                });
+            }
+        }
         if done_tx.send(done).is_ok() {
             // A full waker pipe already guarantees a wake-up; ignore
             // WouldBlock (and a torn-down reactor) here.
@@ -300,6 +354,34 @@ fn run_workers<F>(
             let _ = waker.write(&[1]);
         }
     });
+}
+
+/// Who a request was about, for log lines. Session ids normally sit in
+/// the path; a create carries both its id and tenant in the body.
+#[derive(Default)]
+struct RequestIdentity {
+    session: Option<String>,
+    tenant: Option<String>,
+}
+
+fn request_identity(route: Route, request: &http::Request) -> RequestIdentity {
+    if route == Route::SessionCreate {
+        let Some(spec) = std::str::from_utf8(&request.body)
+            .ok()
+            .and_then(|text| crate::json::parse(text).ok())
+        else {
+            return RequestIdentity::default();
+        };
+        let field = |key: &str| spec.get(key).and_then(|v| v.as_str()).map(str::to_string);
+        return RequestIdentity {
+            session: field("id"),
+            tenant: field("tenant"),
+        };
+    }
+    RequestIdentity {
+        session: metrics::session_id_of(&request.path).map(str::to_string),
+        tenant: None,
+    }
 }
 
 /// Everything the event-loop thread owns.
@@ -312,6 +394,8 @@ struct Loop {
     idle_timeout: Duration,
     draining: bool,
     job_tx: Option<Sender<Job>>,
+    /// Gauge/counter home for connection-lifecycle observability.
+    metrics: Option<Arc<Metrics>>,
 }
 
 fn event_loop(
@@ -338,6 +422,7 @@ fn event_loop(
         idle_timeout: config.idle_timeout,
         draining: false,
         job_tx: Some(job_tx),
+        metrics: config.metrics.clone(),
     };
     let mut fds: Vec<PollFd> = Vec::new();
     let mut tokens: Vec<usize> = Vec::new();
@@ -404,6 +489,9 @@ fn event_loop(
         }
 
         if fds[0].readable() {
+            if let Some(reg) = &state.metrics {
+                reg.waker_wakeups.fetch_add(1, Ordering::Relaxed);
+            }
             drain_waker(wake_rx);
         }
         while let Ok(done) = done_rx.try_recv() {
@@ -488,6 +576,11 @@ impl Loop {
             }
         };
         self.live += 1;
+        if let Some(reg) = &self.metrics {
+            reg.connections_open.fetch_add(1, Ordering::Relaxed);
+            reg.slab_high_water
+                .fetch_max(self.slab.len() as u64, Ordering::Relaxed);
+        }
         self.wheel
             .arm(now + self.idle_timeout, token, self.next_generation);
     }
@@ -496,6 +589,9 @@ impl Loop {
         if self.slab[token].take().is_some() {
             self.live -= 1;
             self.free.push(token);
+            if let Some(reg) = &self.metrics {
+                reg.connections_open.fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -748,7 +844,12 @@ impl Loop {
         };
         match rearm_at {
             Some(deadline) => self.wheel.arm(deadline, token, generation),
-            None => self.close(token),
+            None => {
+                if let Some(reg) = &self.metrics {
+                    reg.timer_reaps.fetch_add(1, Ordering::Relaxed);
+                }
+                self.close(token);
+            }
         }
     }
 }

@@ -32,6 +32,7 @@
 
 use crate::json::Json;
 use crate::manager::{ServiceError, SessionManager, SessionView};
+use crate::metrics::{Metrics, RequestLog};
 use crate::store::to_hex;
 use crate::{api, http, json, reactor};
 use kgae_graph::KnowledgeGraph;
@@ -61,6 +62,8 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     wake_rx: UnixStream,
     wake_tx: Arc<UnixStream>,
+    metrics: Option<Arc<Metrics>>,
+    log: Option<Arc<RequestLog>>,
 }
 
 /// A clonable remote control for a running [`Server`].
@@ -100,6 +103,8 @@ impl Server {
             shutdown: Arc::new(AtomicBool::new(false)),
             wake_rx,
             wake_tx: Arc::new(wake_tx),
+            metrics: None,
+            log: None,
         })
     }
 
@@ -108,6 +113,26 @@ impl Server {
     #[must_use]
     pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
         self.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Attaches the metrics registry: enables `GET /metrics` and turns
+    /// on per-request counters, latency histograms, and the reactor's
+    /// connection gauges. Share the same `Arc` with
+    /// [`SessionManager::set_metrics`] so session and store counters
+    /// land in the same exposition. Without this, `GET /metrics`
+    /// answers 404.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches the structured request log: one line per executed
+    /// request on stderr, filtered by the log's level floor.
+    #[must_use]
+    pub fn with_request_log(mut self, log: Arc<RequestLog>) -> Self {
+        self.log = Some(log);
         self
     }
 
@@ -151,7 +176,10 @@ impl Server {
             shutdown,
             wake_rx,
             wake_tx,
+            metrics,
+            log,
         } = self;
+        let route_metrics = metrics.clone();
         reactor::serve(
             listener,
             &wake_rx,
@@ -160,9 +188,11 @@ impl Server {
             reactor::Config {
                 workers,
                 idle_timeout,
+                metrics,
+                log,
             },
             || manager.begin_drain(),
-            |request| route(request, manager),
+            |request| route(request, manager, route_metrics.as_deref()),
         );
         manager.drain()
     }
@@ -249,11 +279,22 @@ fn parse_body(body: &[u8]) -> Result<Json, Reply> {
 }
 
 /// Dispatches one request; returns `(status, body, retry_after)`.
-fn route(request: &http::Request, manager: &SessionManager<'_>) -> Reply {
+fn route(
+    request: &http::Request,
+    manager: &SessionManager<'_>,
+    metrics: Option<&Metrics>,
+) -> Reply {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = request.method.as_str();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => (200, health_body(), None),
+        ("GET", ["metrics"]) => match metrics {
+            // The session gauges are a point-in-time census taken at
+            // scrape time under the shard locks — they can never drift
+            // from the manager's actual occupancy.
+            Some(reg) => (200, reg.encode(&manager.census()), None),
+            None => (404, api::error_body("metrics not enabled"), None),
+        },
         ("GET", ["v1", "datasets"]) => {
             let datasets: Vec<Json> = manager
                 .registry()

@@ -45,8 +45,11 @@
 use std::collections::BTreeSet;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use crate::fault;
+use crate::metrics::Metrics;
 
 /// Maximum length of a session id.
 pub const MAX_ID_LEN: usize = 64;
@@ -135,6 +138,9 @@ impl RecoveryReport {
 pub struct SnapshotStore {
     dir: PathBuf,
     recovery: RecoveryReport,
+    /// Durability counters (bytes written, fsyncs, quarantines); absent
+    /// until [`SnapshotStore::set_metrics`] attaches a registry.
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl SnapshotStore {
@@ -155,9 +161,20 @@ impl SnapshotStore {
         let mut store = Self {
             dir,
             recovery: RecoveryReport::default(),
+            metrics: None,
         };
         store.recovery = store.recover()?;
         Ok(store)
+    }
+
+    /// Attaches a metrics registry: subsequent writes count bytes and
+    /// fsyncs, quarantines count records, and whatever the recovery
+    /// sweep already quarantined is credited up front.
+    pub fn set_metrics(&mut self, metrics: Arc<Metrics>) {
+        metrics
+            .store_recovery_quarantined
+            .fetch_add(self.recovery.quarantined.len() as u64, Ordering::Relaxed);
+        self.metrics = Some(metrics);
     }
 
     /// The store's root directory.
@@ -172,11 +189,11 @@ impl SnapshotStore {
         &self.recovery
     }
 
-    fn meta_path(&self, id: &str) -> PathBuf {
+    pub(crate) fn meta_path(&self, id: &str) -> PathBuf {
         self.dir.join(format!("{id}.meta.json"))
     }
 
-    fn snap_path(&self, id: &str) -> PathBuf {
+    pub(crate) fn snap_path(&self, id: &str) -> PathBuf {
         self.dir.join(format!("{id}.snap"))
     }
 
@@ -212,6 +229,14 @@ impl SnapshotStore {
         // torn one.
         file.sync_all()?;
         drop(file);
+        if let Some(metrics) = &self.metrics {
+            // Counted only after the sync succeeded: the counters
+            // promise durable bytes, not attempted ones.
+            metrics
+                .store_bytes_written
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            metrics.store_fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
         match fault::check(fault::site::STORE_RENAME) {
             Some(fault::FaultAction::Crash) => std::process::abort(),
             Some(fault::FaultAction::Err) => {
@@ -355,7 +380,11 @@ impl SnapshotStore {
                 Err(e) => return Err(e),
             }
         }
-        std::fs::write(qdir.join(format!("{id}.reason")), format!("{reason}\n"))
+        std::fs::write(qdir.join(format!("{id}.reason")), format!("{reason}\n"))?;
+        if let Some(metrics) = &self.metrics {
+            metrics.store_quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Ids with records in `quarantine/`, sorted — persists across
@@ -508,7 +537,7 @@ impl SnapshotStore {
 /// The two states a persisted meta record can be in. (The manager never
 /// persists a running session.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MetaState {
+pub(crate) enum MetaState {
     Suspended,
     Finished,
 }
@@ -517,7 +546,7 @@ enum MetaState {
 /// names `id`, carries a known state. Full spec decoding stays with
 /// the manager — rehydration re-checks everything and quarantines on
 /// failure; the sweep only needs to catch torn or foreign files.
-fn meta_state(id: &str, bytes: &[u8]) -> Option<MetaState> {
+pub(crate) fn meta_state(id: &str, bytes: &[u8]) -> Option<MetaState> {
     let text = std::str::from_utf8(bytes).ok()?;
     let doc = crate::json::parse(text).ok()?;
     let spec_id = doc.get("spec")?.get("id")?.as_str()?;

@@ -1,0 +1,193 @@
+//! Deterministic janitor maintenance: orphaned files are planted in a
+//! real store directory, idle sessions are parked in a real manager,
+//! ticks run synchronously through [`Janitor::tick`], and the effects
+//! are observed both **on disk** and **in the metrics registry** the
+//! `/metrics` exposition is built from.
+
+use kgae_service::json::Json;
+use kgae_service::manager::DatasetRegistry;
+use kgae_service::{Janitor, JanitorConfig, Metrics, SessionManager, SessionSpec, SnapshotStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("kgae-janitor-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(id: &str, max_observations: Option<u64>) -> SessionSpec {
+    let mut pairs = vec![
+        ("id", Json::str(id)),
+        ("dataset", Json::str("nell")),
+        ("design", Json::str("srs")),
+        ("method", Json::str("wilson")),
+        ("seed", Json::int(11)),
+    ];
+    if let Some(budget) = max_observations {
+        pairs.push(("max_observations", Json::int(budget)));
+    }
+    SessionSpec::from_json(&Json::obj(pairs)).expect("valid spec")
+}
+
+/// Drives `id` to its terminal state by exhausting its budget.
+fn finish(manager: &SessionManager<'_>, id: &str) {
+    loop {
+        let (request, view) = manager.next_request(id, 4).expect("next");
+        let Some(request) = request else {
+            return; // finished
+        };
+        let labels = vec![true; request.triples.len()];
+        manager
+            .submit(id, &labels, view.pending_seq)
+            .expect("submit");
+    }
+}
+
+/// Temp files, orphaned snapshots, and stray finished-session
+/// snapshots are garbage-collected from disk, and the janitor counters
+/// in the `/metrics` exposition report exactly what was removed.
+#[test]
+fn tick_collects_planted_garbage_from_disk_and_reports_it() {
+    let registry = DatasetRegistry::standard();
+    let dir = temp_store("gc");
+    let metrics = Arc::new(Metrics::new());
+    let mut manager = SessionManager::new(&registry, SnapshotStore::open(&dir).expect("store"), 4);
+    manager.set_metrics(Arc::clone(&metrics));
+
+    // A finished session evicted to disk: its record is meta-only, so
+    // a stray snapshot beside it is compactable garbage.
+    manager.create(&spec("fin", Some(4))).expect("create fin");
+    finish(&manager, "fin");
+    manager.evict("fin").expect("evict fin");
+    assert!(dir.join("fin.meta.json").exists());
+
+    // Planted garbage: a junk-named temp, a session-shaped temp for an
+    // id that is nowhere in memory, an orphaned snapshot with no meta,
+    // and the stray snapshot of the finished session.
+    std::fs::write(dir.join("junk.tmp"), b"leftover").unwrap();
+    std::fs::write(dir.join("alpha.meta.json.tmp"), b"torn").unwrap();
+    std::fs::write(dir.join("ghost.snap"), b"orphan").unwrap();
+    std::fs::write(dir.join("fin.snap"), b"stray").unwrap();
+    // Zero grace still compares mtimes; give the files a beat so the
+    // clock comparison cannot land in the future on a coarse clock.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let janitor = Janitor::new(JanitorConfig {
+        tick: Duration::from_millis(1),
+        idle_ttl: None,
+        grace: Duration::ZERO,
+    })
+    .with_metrics(Arc::clone(&metrics));
+
+    let report = janitor.tick(&manager);
+    assert_eq!(report.gc_tmp, 2, "junk.tmp + alpha.meta.json.tmp");
+    assert_eq!(report.gc_orphan_snaps, 1, "ghost.snap");
+    assert_eq!(report.compacted, 1, "fin.snap");
+    assert_eq!(report.aged_suspended, 0, "aging is off");
+    assert_eq!(report.aged_evicted, 0, "aging is off");
+
+    // On disk: every planted file is gone, the real record survives.
+    for gone in ["junk.tmp", "alpha.meta.json.tmp", "ghost.snap", "fin.snap"] {
+        assert!(!dir.join(gone).exists(), "{gone} survived GC");
+    }
+    assert!(
+        dir.join("fin.meta.json").exists(),
+        "compaction must never touch the meta record"
+    );
+
+    // In /metrics: the same counts, through the same registry the
+    // server exposes.
+    let exposition = metrics.encode(&manager.census());
+    for line in [
+        "kgae_janitor_ticks_total 1",
+        "kgae_janitor_gc_files_total 3",
+        "kgae_janitor_compacted_total 1",
+        "kgae_janitor_aged_suspended_total 0",
+    ] {
+        assert!(
+            exposition.contains(&format!("\n{line}\n")),
+            "missing {line:?} in exposition"
+        );
+    }
+
+    // A second tick finds a clean directory.
+    assert!(janitor.tick(&manager).is_idle(), "second tick not idle");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TTL aging: idle live sessions spill to disk, idle dormant ones are
+/// evicted from memory, and a session with an outstanding annotation
+/// batch is never touched — all visible in the census gauges.
+#[test]
+fn ttl_aging_spills_idle_sessions_and_spares_outstanding_work() {
+    let registry = DatasetRegistry::standard();
+    let dir = temp_store("ttl");
+    let metrics = Arc::new(Metrics::new());
+    let mut manager = SessionManager::new(&registry, SnapshotStore::open(&dir).expect("store"), 4);
+    manager.set_metrics(Arc::clone(&metrics));
+
+    manager.create(&spec("idle", None)).expect("create idle");
+    manager.create(&spec("busy", None)).expect("create busy");
+    // `busy` owes labels: an outstanding batch pins it in memory.
+    manager.next_request("busy", 4).expect("poll busy");
+    manager.create(&spec("dormant", None)).expect("create");
+    manager.suspend("dormant").expect("suspend dormant");
+
+    let janitor = Janitor::new(JanitorConfig {
+        tick: Duration::from_millis(1),
+        idle_ttl: Some(Duration::ZERO),
+        // Files stay untouched: this test is about memory aging.
+        grace: Duration::from_secs(3600),
+    })
+    .with_metrics(Arc::clone(&metrics));
+
+    // Tick 1: the idle live session is suspended to disk, the already
+    // dormant one is evicted from memory. `busy` is untouched.
+    let report = janitor.tick(&manager);
+    assert_eq!(report.aged_suspended, 1, "idle → suspended");
+    assert_eq!(report.aged_evicted, 1, "dormant → evicted");
+    assert!(dir.join("idle.meta.json").exists(), "idle not persisted");
+    assert!(dir.join("idle.snap").exists(), "idle snapshot missing");
+
+    // Tick 2: the session suspended by tick 1 is now the idle dormant
+    // one and ages out of memory entirely.
+    let report = janitor.tick(&manager);
+    assert_eq!(report.aged_suspended, 0);
+    assert_eq!(report.aged_evicted, 1, "suspended idle → evicted");
+
+    // The census agrees: one live session (busy), two on disk only.
+    let census = manager.census();
+    let live: u64 = census.iter().map(|s| s.live).sum();
+    let in_memory_suspended: u64 = census.iter().map(|s| s.suspended).sum();
+    let evicted: u64 = census.iter().map(|s| s.evicted).sum();
+    assert_eq!(live, 1, "busy must survive aging");
+    assert_eq!(in_memory_suspended, 0, "aged sessions left memory");
+    assert_eq!(evicted, 2, "idle + dormant live on disk only");
+
+    // Tick 3 has nothing left to age; `busy` still owes labels.
+    assert!(janitor.tick(&manager).is_idle());
+    let view = manager.status("busy").expect("busy status");
+    assert_eq!(view.state.name(), "running", "busy was aged while owed");
+
+    // The evicted sessions resume transparently — aging lost nothing.
+    let view = manager.resume("idle").expect("resume idle");
+    assert_eq!(view.state.name(), "running");
+
+    let exposition = metrics.encode(&manager.census());
+    for line in [
+        "kgae_janitor_aged_suspended_total 1",
+        "kgae_janitor_aged_evicted_total 2",
+        "kgae_janitor_ticks_total 3",
+    ] {
+        assert!(
+            exposition.contains(&format!("\n{line}\n")),
+            "missing {line:?} in exposition"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,7 +10,7 @@ use kgae_core::{EvalResult, IntervalMethod, StopReason};
 use kgae_graph::GroundTruth;
 use kgae_service::api::SessionSpec;
 use kgae_service::manager::{DatasetRegistry, ServiceError, SessionState};
-use kgae_service::{SessionManager, SnapshotStore};
+use kgae_service::{Janitor, JanitorConfig, SessionManager, SnapshotStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
@@ -196,6 +196,67 @@ fn concurrent_chaos_preserves_every_trajectory() {
         assert_eq!(
             result, ref_result,
             "{}: concurrent interleavings changed the final posterior",
+            spec.id
+        );
+    }
+    let _ = std::fs::remove_dir_all(manager.store().dir());
+}
+
+/// The chaos suite with a hostile janitor in the mix: zero idle TTL and
+/// zero grace, ticking as fast as it can, so sessions are aged to disk
+/// and evicted from memory *between* worker operations throughout the
+/// run. Maintenance must be invisible — every final result stays
+/// bit-identical to the single-threaded batch-1 replay.
+#[test]
+fn janitor_interleaving_preserves_every_trajectory() {
+    let registry = DatasetRegistry::standard();
+    let manager = SessionManager::new(&registry, temp_store("janitor"), 4);
+    let specs = specs();
+    for spec in &specs {
+        manager.create(spec).unwrap();
+    }
+    let done: Vec<AtomicBool> = (0..specs.len()).map(|_| AtomicBool::new(false)).collect();
+    let janitor = Janitor::new(JanitorConfig {
+        tick: std::time::Duration::from_millis(1),
+        idle_ttl: Some(std::time::Duration::ZERO),
+        grace: std::time::Duration::ZERO,
+    });
+    let stopper = janitor.handle();
+
+    crossbeam::scope(|scope| {
+        let ticking = scope.spawn(|_| janitor.run(&manager));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let manager = &manager;
+            let registry = &registry;
+            let specs = &specs;
+            let done = &done;
+            handles.push(scope.spawn(move |_| {
+                worker(manager, registry, specs, done, 0xBADCAFE + t as u64);
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("stress worker");
+        }
+        stopper.stop();
+        ticking.join().expect("janitor thread");
+    })
+    .expect("stress scope");
+
+    for spec in &specs {
+        let view = manager.status(&spec.id).unwrap();
+        assert!(
+            matches!(view.state, SessionState::Finished | SessionState::Evicted),
+            "{}: {:?}",
+            spec.id,
+            view.state
+        );
+        let (reason, result) = manager.final_result(&spec.id).unwrap();
+        let (ref_reason, ref_result) = replay(spec, &registry);
+        assert_eq!(reason, ref_reason, "{}", spec.id);
+        assert_eq!(
+            result, ref_result,
+            "{}: janitor interleavings changed the final posterior",
             spec.id
         );
     }
