@@ -10,6 +10,14 @@
 //! ```text
 //! cargo run -p kgae-bench --release --bin dynamic [-- --reps 300]
 //! ```
+//!
+//! The one-shot `evaluate_with_carryover` driver exercised here is
+//! deprecated: a `kgae_core::monitor::MonitorSession` applies the same
+//! carryover across explicit delta batches and re-opens annotation only
+//! when the certificate degrades (see the `monitor_load` row of
+//! `bench_eval`). This binary stays as the isolated A/B of the carryover
+//! prior itself.
+#![allow(deprecated)]
 
 use kgae_bench::reps_from_args;
 use kgae_core::dynamic::evaluate_with_carryover;

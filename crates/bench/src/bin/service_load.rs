@@ -1,7 +1,7 @@
 //! Load generator for the session service: boots a live `kgae-serve`
 //! stack (or targets an already-running one), replays NELL annotation
 //! streams from N concurrent HTTP clients, and reports
-//! throughput/latency into `BENCH_eval.json` (schema_version 7).
+//! throughput/latency into `BENCH_eval.json` (schema_version 8).
 //!
 //! Every client completes whole evaluation campaigns — create → poll →
 //! label (ground truth) → submit → converge — over real TCP with
@@ -42,7 +42,8 @@
 //!              [--fault-clients N] [--fault-reps R]
 //!              [--connections N]       # reactor leg (default 2000)
 //!              [--out PATH]            # load mode (default)
-//! service_load --smoke [--port P]     # CI smoke: one campaign + parity
+//! service_load --smoke [--port P]     # CI smoke: campaigns + parity +
+//!                                      # stratified/monitor/chaos legs
 //! service_load --reactor-smoke [--port P] [--connections N]
 //!                                      # CI smoke: N idle conns, p99 gate,
 //!                                      # /metrics reconciliation +
@@ -54,8 +55,8 @@
 
 use kgae_bench::arg_value;
 use kgae_client::{Client, ClientError, RetryPolicy};
-use kgae_core::StopReason;
-use kgae_graph::{CompactKg, GroundTruth, TripleId};
+use kgae_core::{DeltaBatch, StopReason};
+use kgae_graph::{CompactKg, DeltaKg, GroundTruth, TripleId};
 use kgae_service::api::SessionSpec;
 use kgae_service::json::{self, Json};
 use kgae_service::manager::{DatasetRegistry, SessionState};
@@ -805,7 +806,7 @@ struct ReconReport {
 }
 
 /// The reconciliation leg: campaigns run against a metrics-enabled
-/// server whose session quota leaves only [`QUOTA_HEADROOM`] slots of
+/// server whose session quota leaves only `QUOTA_HEADROOM` slots of
 /// slack, `/metrics` is scraped before and after, and every counter
 /// delta must equal the count the clients kept themselves — requests
 /// written to the socket, sessions created, campaigns finished,
@@ -1048,7 +1049,7 @@ fn write_report(
         ]),
         Err(e) => return Err(format!("reading {out_path}: {e}")),
     };
-    doc.set("schema_version", Json::int(7));
+    doc.set("schema_version", Json::int(8));
     doc.set(
         "service_load",
         Json::obj(vec![
@@ -1165,7 +1166,7 @@ fn write_report(
     );
     std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
-    eprintln!("wrote {out_path} (schema_version 7)");
+    eprintln!("wrote {out_path} (schema_version 8)");
     Ok(())
 }
 
@@ -1306,6 +1307,168 @@ fn run_stratified_smoke(addr: SocketAddr) -> Result<(), String> {
     Ok(())
 }
 
+/// A monitor session over HTTP: certify NELL once, absorb a bulk drift
+/// batch (re-opening annotation), fence a raced submit with 409
+/// `stale_request`, re-certify from the carried posterior, and survive
+/// a suspend → evict → resume disk round trip byte-identically.
+fn run_monitor_smoke(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
+    const ID: &str = "smoke-monitor";
+    let mut truth = DeltaKg::with_truth(kg, kg);
+    let mut client = Client::connect(addr).map_err(|e| format!("monitor connect: {e}"))?;
+    let spec = SessionSpec {
+        id: ID.into(),
+        dataset: "nell".into(),
+        design: "monitor:50".parse().expect("monitor design parses"),
+        method: "ahpd".parse().expect("ahpd parses"),
+        seed: 0x0051_4012,
+        alpha: 0.05,
+        epsilon: 0.05,
+        max_observations: None,
+        stratify: None,
+        tenant: None,
+    };
+    client
+        .create(&spec)
+        .map_err(|e| format!("monitor create: {e}"))?;
+    let drive = |client: &mut Client, truth: &DeltaKg<'_>| -> Result<u64, String> {
+        let mut spent = 0u64;
+        loop {
+            let request = client
+                .next_request(ID, 16)
+                .map_err(|e| format!("monitor next: {e}"))?;
+            if request.done {
+                return Ok(spent);
+            }
+            let labels: Vec<bool> = request
+                .triples
+                .iter()
+                .map(|t| truth.is_correct(TripleId(t.triple)))
+                .collect();
+            spent += labels.len() as u64;
+            client
+                .submit(ID, &labels)
+                .map_err(|e| format!("monitor submit: {e}"))?;
+        }
+    };
+
+    let initial = drive(&mut client, &truth)?;
+    let status = client
+        .status(ID)
+        .map_err(|e| format!("monitor status: {e}"))?;
+    let report = status
+        .monitor
+        .as_ref()
+        .ok_or("monitor session status lost its monitor report")?;
+    if status.state != SessionState::Running || status.status.stopped.is_some() || !report.watching
+    {
+        return Err(format!(
+            "monitor did not settle into watching after its initial campaign: {status:?}"
+        ));
+    }
+
+    // A bulk prune retires enough ledger evidence to degrade the
+    // certificate past the MoE: annotation must re-open.
+    let bulk = DeltaBatch {
+        predicate: Some("bulkPrune".into()),
+        removes: (0..900).collect(),
+        adds: (0..40).map(|k| k % 10 != 0).collect(),
+    };
+    let (outcome, _) = client
+        .push_deltas(ID, &bulk)
+        .map_err(|e| format!("monitor bulk delta: {e}"))?;
+    truth
+        .apply(&bulk.removes, &bulk.adds)
+        .map_err(|e| format!("monitor truth twin: {e}"))?;
+    if !outcome.reopened || outcome.epoch != 1 || outcome.retired_labels == 0 {
+        return Err(format!(
+            "bulk drift must re-open annotation with retired labels, got {outcome:?}"
+        ));
+    }
+
+    // Fencing: a delta racing an outstanding request withdraws it —
+    // the stale submit must bounce with 409 `stale_request`, and a
+    // fresh poll/submit must succeed.
+    let request = client
+        .next_request(ID, 8)
+        .map_err(|e| format!("monitor fence poll: {e}"))?;
+    let stale_labels: Vec<bool> = request
+        .triples
+        .iter()
+        .map(|t| truth.is_correct(TripleId(t.triple)))
+        .collect();
+    let nudge = DeltaBatch {
+        predicate: None,
+        removes: vec![5],
+        adds: vec![],
+    };
+    client
+        .push_deltas(ID, &nudge)
+        .map_err(|e| format!("monitor nudge delta: {e}"))?;
+    truth
+        .apply(&nudge.removes, &nudge.adds)
+        .map_err(|e| format!("monitor truth twin nudge: {e}"))?;
+    match client.submit(ID, &stale_labels) {
+        Err(ClientError::Api {
+            status: 409,
+            ref code,
+            ..
+        }) if code.as_deref() == Some("stale_request") => {}
+        other => {
+            return Err(format!(
+                "stale submit after a delta must 409 stale_request, got {other:?}"
+            ))
+        }
+    }
+    let carryover = drive(&mut client, &truth)?;
+
+    // Suspend → evict → resume: the stored tag-6 snapshot must survive
+    // the disk round trip byte-identically, monitor report included.
+    client
+        .suspend(ID)
+        .map_err(|e| format!("monitor suspend: {e}"))?;
+    let before = client
+        .snapshot(ID)
+        .map_err(|e| format!("monitor snapshot: {e}"))?;
+    client
+        .evict(ID)
+        .map_err(|e| format!("monitor evict: {e}"))?;
+    client
+        .resume(ID)
+        .map_err(|e| format!("monitor resume: {e}"))?;
+    client
+        .suspend(ID)
+        .map_err(|e| format!("monitor re-suspend: {e}"))?;
+    let after = client
+        .snapshot(ID)
+        .map_err(|e| format!("monitor re-snapshot: {e}"))?;
+    if before != after {
+        return Err("monitor snapshot bytes diverged across the disk round trip".into());
+    }
+    client
+        .resume(ID)
+        .map_err(|e| format!("monitor resume 2: {e}"))?;
+
+    let status = client
+        .status(ID)
+        .map_err(|e| format!("monitor final status: {e}"))?;
+    let report = status
+        .monitor
+        .as_ref()
+        .ok_or("resumed monitor lost its monitor report")?;
+    if !report.watching || report.campaigns_reopened < 1 || report.epoch < 2 {
+        return Err(format!(
+            "monitor must be watching after the carryover campaign: {report:?}"
+        ));
+    }
+    eprintln!(
+        "smoke: monitor certified over HTTP ({initial} annotations), bulk drift re-opened \
+         and re-certified from carryover ({carryover} annotations), stale submit fenced \
+         with 409, snapshot byte-identical"
+    );
+    let _ = client.delete(ID);
+    Ok(())
+}
+
 /// The CI-sized chaos leg: one campaign through the fault proxy, one
 /// fault-free twin, final statuses must match.
 fn run_chaos_smoke(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
@@ -1380,6 +1543,7 @@ fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
     );
     verify_suspend_evict_resume(addr, kg, 16)?;
     run_stratified_smoke(addr)?;
+    run_monitor_smoke(addr, kg)?;
     run_chaos_smoke(addr, kg)?;
     // Leave nothing behind on a shared server.
     for id in ["smoke-full", "parity-probe", "parity-straight"] {

@@ -66,7 +66,9 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
-use kgae_core::{MethodReport, SessionStatus, StratumReport};
+use kgae_core::{
+    DeltaBatch, DeltaOutcome, MethodReport, MonitorReport, SessionStatus, StratumReport,
+};
 use kgae_service::api::{self, SessionSpec, WireRequest};
 use kgae_service::http;
 use kgae_service::json::{self, Json};
@@ -230,6 +232,9 @@ pub struct SessionInfo {
     pub strata: Option<Vec<StratumReport>>,
     /// Per-method rows (comparative sessions only).
     pub methods: Option<Vec<MethodReport>>,
+    /// Monitoring report — epoch, drift rows, alarms (monitor sessions
+    /// only; the poll/submit hot-path views omit it).
+    pub monitor: Option<MonitorReport>,
     /// Snapshot size on disk, for suspended/evicted sessions.
     pub snapshot_bytes: Option<u64>,
 }
@@ -268,6 +273,13 @@ fn info_from_json(v: &Json) -> ClientResult<SessionInfo> {
             Some(api::methods_from_json(field).map_err(|e| ClientError::Protocol(e.to_string()))?)
         }
     };
+    let monitor = match v.get("monitor") {
+        None | Some(Json::Null) => None,
+        Some(field) => Some(
+            api::monitor_report_from_json(field)
+                .map_err(|e| ClientError::Protocol(e.to_string()))?,
+        ),
+    };
     Ok(SessionInfo {
         id: field("id")?,
         dataset: field("dataset")?,
@@ -282,6 +294,7 @@ fn info_from_json(v: &Json) -> ClientResult<SessionInfo> {
         status,
         strata,
         methods,
+        monitor,
         snapshot_bytes,
     })
 }
@@ -809,6 +822,39 @@ impl Client {
             retry += 1;
             replayed_after_loss |= ambiguous;
         }
+    }
+
+    /// `POST /v1/sessions/{id}/deltas` — pushes a KG delta batch into a
+    /// monitor session. Returns what the batch did (labels retired,
+    /// annotation re-opened or still watching) plus the post-delta
+    /// session view with its monitoring report.
+    ///
+    /// The fencing seq of any outstanding poll is deliberately kept: a
+    /// delta withdraws the batch server-side, so a later [`Client::submit`]
+    /// against it is refused 409 `stale_request` — the signal to
+    /// re-poll. Applying a delta batch is **not** idempotent (a replay
+    /// would double its adds), so a lost response is never blindly
+    /// replayed even under a [`RetryPolicy`]; failed writes that
+    /// provably never reached the server still retry.
+    ///
+    /// # Errors
+    ///
+    /// Transport/API/decoding failures; 400 `bad_request` on a
+    /// non-monitor session or a rejected batch.
+    pub fn push_deltas(
+        &mut self,
+        id: &str,
+        batch: &DeltaBatch,
+    ) -> ClientResult<(DeltaOutcome, SessionInfo)> {
+        let body = api::delta_batch_to_json(batch).encode();
+        let doc = self.call("POST", &format!("/v1/sessions/{id}/deltas"), &body, false)?;
+        let outcome =
+            api::delta_outcome_from_json(&doc).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let info = info_from_json(
+            doc.get("session")
+                .ok_or_else(|| ClientError::Protocol("missing session view".into()))?,
+        )?;
+        Ok((outcome, info))
     }
 
     /// `POST /v1/sessions/{id}/suspend` — spills the session to disk.

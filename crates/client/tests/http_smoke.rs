@@ -5,7 +5,7 @@
 //! surface of the API.
 
 use kgae_client::{Client, ClientError};
-use kgae_core::StopReason;
+use kgae_core::{DeltaBatch, StopReason};
 use kgae_graph::{GroundTruth, KnowledgeGraph};
 use kgae_service::api::SessionSpec;
 use kgae_service::manager::{DatasetRegistry, SessionState};
@@ -355,6 +355,170 @@ fn comparative_campaign_over_http_with_suspend_resume_parity() {
         );
         client.delete("race").unwrap();
         client.delete("solo").unwrap();
+    });
+}
+
+/// The monitor lifecycle end to end over real TCP: create a `monitor`
+/// design, drive the initial campaign to its certificate, push churn
+/// batches — small ones are absorbed at zero annotation cost, a bulk
+/// load re-opens annotation — verify the 409 `stale_request` fencing
+/// when a delta withdraws an outstanding re-opened batch, and
+/// suspend → evict → resume mid-monitoring with byte-identical
+/// snapshots. Oracle labels come from a `DeltaKg::with_truth` twin fed
+/// the same batches, so view ids resolve exactly as on the server.
+#[test]
+fn monitor_session_over_http_with_deltas_fencing_and_suspend_resume() {
+    with_server("monitor", |addr, registry| {
+        let kg = registry.get("nell").unwrap();
+        let mut truth = kgae_graph::DeltaKg::with_truth(kg, kg);
+        let mut client = Client::connect(addr).unwrap();
+        let spec = SessionSpec {
+            id: "watch".into(),
+            dataset: "nell".into(),
+            design: "monitor:50".parse().unwrap(),
+            method: "ahpd".parse().unwrap(),
+            seed: 20_250_809,
+            alpha: 0.05,
+            epsilon: 0.05,
+            max_observations: None,
+            stratify: None,
+            tenant: None,
+        };
+        let info = client.create(&spec).unwrap();
+        assert_eq!(info.state, SessionState::Running);
+        assert_eq!(info.design, "monitor:50");
+        let report = info.monitor.as_ref().expect("monitor views carry a report");
+        assert_eq!(report.epoch, 0);
+        assert!(!report.watching, "a fresh monitor is annotating");
+
+        // Only monitor designs accept deltas.
+        client.create(&srs_spec("flat", 9)).unwrap();
+        match client.push_deltas("flat", &DeltaBatch::default()) {
+            Err(ClientError::Api { status: 400, .. }) => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+        client.delete("flat").unwrap();
+
+        let drive = |client: &mut Client, truth: &kgae_graph::DeltaKg<'_>| loop {
+            let request = client.next_request("watch", 16).unwrap();
+            if request.done {
+                break;
+            }
+            let labels: Vec<bool> = request
+                .triples
+                .iter()
+                .map(|t| truth.is_correct(kgae_graph::TripleId(t.triple)))
+                .collect();
+            client.submit("watch", &labels).unwrap();
+        };
+        drive(&mut client, &truth);
+
+        // A monitor out of work is *watching*, not finished: the slot
+        // stays live with a certified interval and no stop reason.
+        let watching = client.status("watch").unwrap();
+        assert_eq!(watching.state, SessionState::Running);
+        assert_eq!(watching.status.stopped, None);
+        assert!(watching.status.interval.unwrap().moe() <= 0.05 + 1e-12);
+        let report = watching.monitor.as_ref().unwrap();
+        assert!(report.watching);
+        assert_eq!(report.epoch, 0);
+
+        // Small churn is absorbed at zero annotation cost.
+        let small = DeltaBatch {
+            predicate: Some("smallFix".into()),
+            removes: vec![0, 1, 2],
+            adds: vec![],
+        };
+        let (outcome, view) = client.push_deltas("watch", &small).unwrap();
+        truth.apply(&small.removes, &small.adds).unwrap();
+        assert!(!outcome.reopened && outcome.watching);
+        assert_eq!(outcome.epoch, 0);
+        let row = &view.monitor.as_ref().unwrap().drift[0];
+        assert_eq!(row.predicate, "smallFix");
+        assert_eq!(row.removes, 3);
+        assert!(!row.alarm);
+        assert!(client.next_request("watch", 8).unwrap().done);
+
+        // A bulk load degrades the interval and re-opens annotation.
+        let bulk = DeltaBatch {
+            predicate: Some("bulkLoad".into()),
+            removes: (0..800).collect(),
+            adds: vec![true; 2500],
+        };
+        let (outcome, view) = client.push_deltas("watch", &bulk).unwrap();
+        truth.apply(&bulk.removes, &bulk.adds).unwrap();
+        assert!(outcome.reopened && !outcome.watching);
+        assert_eq!(outcome.epoch, 1);
+        assert!(outcome.retired_labels > 0, "800 removes must retire labels");
+        assert!(
+            view.monitor.as_ref().unwrap().drift[1].alarm,
+            "3300 churned triples over ~1860 must alarm"
+        );
+
+        // Fencing on the re-opened campaign: a delta pushed while a
+        // batch is outstanding withdraws it server-side, so submitting
+        // those labels is refused 409 stale_request; a re-poll serves a
+        // fresh batch.
+        let withdrawn = client.next_request("watch", 8).unwrap();
+        assert!(!withdrawn.done);
+        let labels: Vec<bool> = withdrawn
+            .triples
+            .iter()
+            .map(|t| truth.is_correct(kgae_graph::TripleId(t.triple)))
+            .collect();
+        let nudge = DeltaBatch {
+            predicate: None,
+            removes: vec![5],
+            adds: vec![],
+        };
+        let (outcome, _) = client.push_deltas("watch", &nudge).unwrap();
+        truth.apply(&nudge.removes, &nudge.adds).unwrap();
+        assert!(
+            !outcome.watching,
+            "mid-campaign churn keeps annotation open"
+        );
+        match client.submit("watch", &labels) {
+            Err(ClientError::Api {
+                status: 409, code, ..
+            }) => assert_eq!(code.as_deref(), Some("stale_request")),
+            other => panic!("expected 409 stale_request, got {other:?}"),
+        }
+        let fresh = client.next_request("watch", 8).unwrap();
+        assert!(!fresh.done);
+        let labels: Vec<bool> = fresh
+            .triples
+            .iter()
+            .map(|t| truth.is_correct(kgae_graph::TripleId(t.triple)))
+            .collect();
+        client.submit("watch", &labels).unwrap();
+
+        // Mid-monitoring suspend → evict → resume: the dormant and
+        // evicted views keep the monitor report, and the disk round
+        // trip reproduces the exact snapshot bytes.
+        let suspended = client.suspend("watch").unwrap();
+        assert_eq!(suspended.state, SessionState::Suspended);
+        assert!(suspended.monitor.as_ref().unwrap().campaigns_reopened >= 1);
+        let before = client.snapshot("watch").unwrap();
+        client.evict("watch").unwrap();
+        let evicted = client.status("watch").unwrap();
+        assert_eq!(evicted.state, SessionState::Evicted);
+        assert!(evicted.monitor.is_some(), "evicted view lost the report");
+        client.resume("watch").unwrap();
+        client.suspend("watch").unwrap();
+        let after = client.snapshot("watch").unwrap();
+        assert_eq!(before, after, "monitor snapshot bytes diverged");
+        client.resume("watch").unwrap();
+
+        // The carryover campaign converges to a fresh certificate —
+        // and the monitor is again watching, still not finished.
+        drive(&mut client, &truth);
+        let done = client.status("watch").unwrap();
+        assert_eq!(done.state, SessionState::Running);
+        let report = done.monitor.as_ref().unwrap();
+        assert!(report.watching);
+        assert!(report.campaigns_reopened >= 2);
+        assert!(done.status.interval.unwrap().moe() <= 0.05 + 1e-12);
+        client.delete("watch").unwrap();
     });
 }
 

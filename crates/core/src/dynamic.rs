@@ -7,6 +7,16 @@
 //! while the uninformative candidates keep a safety net when the update
 //! changed the accuracy drastically — the "massive deceptive update"
 //! limitation the paper warns about.
+//!
+//! This module has been absorbed by [`crate::monitor`]: a
+//! [`MonitorSession`](crate::monitor::MonitorSession) tracks the KG
+//! *through* its edits (retiring removed labels, charging drift,
+//! re-opening annotation only when the pruned certificate actually
+//! degrades) instead of unconditionally re-auditing from a hand-carried
+//! posterior. [`posterior_as_prior`] remains the live carryover kernel —
+//! the monitor calls it when it re-opens a campaign — while the one-shot
+//! [`evaluate_with_carryover`] driver is deprecated in favor of the
+//! monitor.
 
 use crate::annotator::Annotator;
 use crate::framework::{evaluate, EvalConfig, EvalResult, SamplingDesign};
@@ -43,6 +53,19 @@ pub fn posterior_as_prior(posterior: &Beta, equivalent_n: f64) -> Result<BetaPri
 /// Evaluates an updated KG with aHPD seeded by the previous posterior
 /// (weighted to `carry_weight` pseudo-observations) *plus* the standard
 /// uninformative priors as a hedge.
+///
+/// Deprecated: this re-audits unconditionally on every update. A
+/// [`MonitorSession`](crate::monitor::MonitorSession) applies the same
+/// carryover (same kernel, same hedge priors) but first retires removed
+/// labels and re-appraises the surviving evidence, re-opening annotation
+/// only when the certificate no longer holds — the common small-drift
+/// case then costs zero annotations.
+#[deprecated(
+    since = "0.1.0",
+    note = "use kgae_core::monitor::MonitorSession, which carries the posterior \
+            across deltas and only re-opens annotation when the pruned \
+            certificate degrades"
+)]
 pub fn evaluate_with_carryover<K, A, R>(
     kg_updated: &K,
     annotator: &A,
@@ -71,6 +94,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated driver keeps its behavioral pins until removal
 mod tests {
     use super::*;
     use crate::annotator::OracleAnnotator;

@@ -2,11 +2,13 @@
 //! session kind, and the snapshot **tag registry** that lets hosts
 //! dispatch on stored bytes instead of caller-chosen entry points.
 //!
-//! Three engines implement the poll → submit → status → snapshot
+//! Four engines implement the poll → submit → status → snapshot
 //! lifecycle today — the single-design [`EvaluationSession`], the
-//! [`StratifiedSession`] coordinator and the multi-method
-//! [`ComparativeSession`] — and session hosts (the `kgae-service`
-//! manager, benches, tests) should not care which one they are driving.
+//! [`StratifiedSession`] coordinator, the multi-method
+//! [`ComparativeSession`] and the long-lived
+//! [`MonitorSession`] — and session
+//! hosts (the `kgae-service` manager, benches, tests) should not care
+//! which one they are driving.
 //! [`SessionEngine`] captures exactly the surface a host needs, object
 //! safely, so a host stores `Box<dyn SessionEngine>` and writes every
 //! lifecycle path once:
@@ -45,7 +47,8 @@
 //! Every suspended engine serializes into the shared `KGAESNAP`
 //! container, whose header carries a **record tag**: tags 0–3 are the
 //! four single-session designs, tag 4 the stratified coordinator, tag 5
-//! the comparative session. The [`registry`] maps each tag to its
+//! the comparative session, tag 6 the continuous accuracy monitor. The
+//! [`registry`] maps each tag to its
 //! engine kind and header parser, so [`peek_any_header`] identifies any
 //! snapshot without the caller guessing an entry point — and
 //! [`EngineSpec::resume`] validates the stored tag against the engine
@@ -57,9 +60,14 @@ use crate::comparative::{
 };
 use crate::framework::{EvalConfig, EvalResult, PreparedDesign};
 use crate::method::IntervalMethod;
+use crate::monitor::{
+    peek_monitor_header, DeltaBatch, DeltaOutcome, MonitorReport, MonitorSession,
+    MonitorSnapshotHeader,
+};
 use crate::session::{
     peek_plain_header, read_record_prefix, AnnotationRequest, EvaluationSession, SessionError,
-    SessionStatus, SnapshotHeader, StopReason, COMPARATIVE_SNAPSHOT_TAG, STRATIFIED_SNAPSHOT_TAG,
+    SessionStatus, SnapshotHeader, StopReason, COMPARATIVE_SNAPSHOT_TAG, MONITOR_SNAPSHOT_TAG,
+    STRATIFIED_SNAPSHOT_TAG,
 };
 use crate::snapshot::Reader;
 use crate::stratified::{
@@ -82,17 +90,21 @@ pub enum EngineKind {
     Stratified,
     /// The multi-method [`ComparativeSession`].
     Comparative,
+    /// The long-lived continuous-accuracy
+    /// [`MonitorSession`].
+    Monitor,
 }
 
 impl EngineKind {
     /// Human-readable name (`"plain"`, `"stratified"`,
-    /// `"comparative"`).
+    /// `"comparative"`, `"monitor"`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
             EngineKind::Plain => "plain",
             EngineKind::Stratified => "stratified",
             EngineKind::Comparative => "comparative",
+            EngineKind::Monitor => "monitor",
         }
     }
 }
@@ -121,6 +133,9 @@ pub struct SessionStatusView {
     pub strata: Option<Vec<StratumReport>>,
     /// Per-method rows (comparative engines only).
     pub methods: Option<Vec<MethodReport>>,
+    /// Monitoring rows — epoch, drift alarms, retirement counters
+    /// (monitor engines only).
+    pub monitor: Option<MonitorReport>,
 }
 
 /// A stopped engine's final outcome, in the same unified shape as
@@ -211,6 +226,19 @@ pub trait SessionEngine: Send {
     /// Consumes a stopped engine into its final outcome (`None` if it
     /// has not stopped).
     fn into_outcome(self: Box<Self>) -> Option<EngineOutcome>;
+
+    /// Applies a KG delta batch — monitor engines only; every other
+    /// kind evaluates a frozen KG.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::DeltasUnsupported`] unless overridden;
+    /// [`SessionError::RequestPending`] while labels are owed;
+    /// [`SessionError::DeltaRejected`] on an invalid batch.
+    fn apply_deltas(&mut self, batch: &DeltaBatch) -> Result<DeltaOutcome, SessionError> {
+        let _ = batch;
+        Err(SessionError::DeltasUnsupported)
+    }
 }
 
 impl<'a> SessionEngine for EvaluationSession<'a, SmallRng> {
@@ -249,6 +277,7 @@ impl<'a> SessionEngine for EvaluationSession<'a, SmallRng> {
             primary: EvaluationSession::status(self),
             strata: None,
             methods: None,
+            monitor: None,
         }
     }
 
@@ -304,6 +333,7 @@ impl<'a> SessionEngine for StratifiedSession<'a> {
             primary: status.pooled,
             strata: Some(status.strata),
             methods: None,
+            monitor: None,
         }
     }
 
@@ -363,6 +393,7 @@ impl<'a> SessionEngine for ComparativeSession<'a> {
             primary: status.primary,
             strata: None,
             methods: Some(status.methods),
+            monitor: None,
         }
     }
 
@@ -403,6 +434,8 @@ pub enum AnyHeader {
     Stratified(StratifiedSnapshotHeader),
     /// A comparative session snapshot (record tag 5).
     Comparative(ComparativeSnapshotHeader),
+    /// A continuous-monitor snapshot (record tag 6).
+    Monitor(MonitorSnapshotHeader),
 }
 
 impl AnyHeader {
@@ -413,17 +446,20 @@ impl AnyHeader {
             AnyHeader::Plain(_) => EngineKind::Plain,
             AnyHeader::Stratified(_) => EngineKind::Stratified,
             AnyHeader::Comparative(_) => EngineKind::Comparative,
+            AnyHeader::Monitor(_) => EngineKind::Monitor,
         }
     }
 
     /// `num_triples` of the KG the snapshot belongs to — every record
-    /// kind fingerprints it.
+    /// kind fingerprints it (the **base** KG for monitor snapshots,
+    /// whose delta overlay is part of the record body).
     #[must_use]
     pub fn num_triples(&self) -> u64 {
         match self {
             AnyHeader::Plain(h) => h.num_triples,
             AnyHeader::Stratified(h) => h.num_triples,
             AnyHeader::Comparative(h) => h.num_triples,
+            AnyHeader::Monitor(h) => h.num_triples,
         }
     }
 }
@@ -450,7 +486,11 @@ fn peek_comparative(bytes: &[u8]) -> Result<AnyHeader, SessionError> {
     peek_comparative_header(bytes).map(AnyHeader::Comparative)
 }
 
-static REGISTRY: [TagEntry; 6] = [
+fn peek_monitor(bytes: &[u8]) -> Result<AnyHeader, SessionError> {
+    peek_monitor_header(bytes).map(AnyHeader::Monitor)
+}
+
+static REGISTRY: [TagEntry; 7] = [
     TagEntry {
         tag: 0,
         kind: EngineKind::Plain,
@@ -480,6 +520,11 @@ static REGISTRY: [TagEntry; 6] = [
         tag: COMPARATIVE_SNAPSHOT_TAG,
         kind: EngineKind::Comparative,
         peek: peek_comparative,
+    },
+    TagEntry {
+        tag: MONITOR_SNAPSHOT_TAG,
+        kind: EngineKind::Monitor,
+        peek: peek_monitor,
     },
 ];
 
@@ -587,6 +632,20 @@ pub enum EngineSpec<'k, 'r> {
         /// RNG seed of the shared sampling stream.
         seed: u64,
     },
+    /// A long-lived continuous accuracy monitor (SRS campaigns over a
+    /// delta-applying view of the base KG).
+    Monitor {
+        /// The **base** KG the monitor overlays with deltas.
+        kg: &'k dyn KnowledgeGraph,
+        /// The interval method of the initial campaign.
+        method: &'r IntervalMethod,
+        /// The per-campaign evaluation configuration.
+        config: &'r EvalConfig,
+        /// Cap on the pseudo-observations carried between campaigns.
+        carry_weight: f64,
+        /// RNG seed the per-epoch sampling streams derive from.
+        seed: u64,
+    },
 }
 
 impl<'k> EngineSpec<'k, '_> {
@@ -597,6 +656,7 @@ impl<'k> EngineSpec<'k, '_> {
             EngineSpec::Plain { .. } => EngineKind::Plain,
             EngineSpec::Stratified { .. } => EngineKind::Stratified,
             EngineSpec::Comparative { .. } => EngineKind::Comparative,
+            EngineSpec::Monitor { .. } => EngineKind::Monitor,
         }
     }
 
@@ -637,6 +697,13 @@ impl<'k> EngineSpec<'k, '_> {
                 config,
                 seed,
             } => Box::new(ComparativeSession::new(kg, prepared, primary, config, seed)),
+            EngineSpec::Monitor {
+                kg,
+                method,
+                config,
+                carry_weight,
+                seed,
+            } => Box::new(MonitorSession::new(kg, method, config, carry_weight, seed)),
         }
     }
 
@@ -696,6 +763,20 @@ impl<'k> EngineSpec<'k, '_> {
             } => Box::new(ComparativeSession::resume(
                 kg, prepared, primary, config, bytes,
             )?),
+            EngineSpec::Monitor {
+                kg,
+                method,
+                config,
+                carry_weight,
+                seed,
+            } => Box::new(MonitorSession::resume(
+                kg,
+                method,
+                config,
+                carry_weight,
+                seed,
+                bytes,
+            )?),
         })
     }
 }
@@ -732,9 +813,10 @@ mod tests {
     #[test]
     fn registry_covers_every_tag_once() {
         let tags: Vec<u8> = registry().iter().map(|e| e.tag).collect();
-        assert_eq!(tags, [0, 1, 2, 3, 4, 5]);
+        assert_eq!(tags, [0, 1, 2, 3, 4, 5, 6]);
         assert_eq!(registry()[4].kind, EngineKind::Stratified);
         assert_eq!(registry()[5].kind, EngineKind::Comparative);
+        assert_eq!(registry()[6].kind, EngineKind::Monitor);
     }
 
     #[test]
@@ -786,6 +868,16 @@ mod tests {
                 },
                 EngineKind::Comparative,
             ),
+            (
+                EngineSpec::Monitor {
+                    kg: &kg,
+                    method: &method,
+                    config: &cfg,
+                    carry_weight: 50.0,
+                    seed: 9,
+                },
+                EngineKind::Monitor,
+            ),
         ];
         for (spec, kind) in &specs {
             assert_eq!(spec.kind(), *kind);
@@ -823,6 +915,10 @@ mod tests {
         ));
         assert!(matches!(
             specs[2].0.resume(&plain_snap),
+            Err(SessionError::SnapshotMismatch(_))
+        ));
+        assert!(matches!(
+            specs[3].0.resume(&plain_snap),
             Err(SessionError::SnapshotMismatch(_))
         ));
 
@@ -901,6 +997,13 @@ mod tests {
                 config: &cfg,
                 seed: 4,
             },
+            EngineSpec::Monitor {
+                kg: &kg,
+                method: &method,
+                config: &cfg,
+                carry_weight: 50.0,
+                seed: 4,
+            },
         ];
         for spec in &specs {
             let mut engine = spec.build();
@@ -938,8 +1041,27 @@ mod tests {
         let mut engine = spec.build();
         drive_batches(&kg, engine.as_mut(), 3, 8);
         let view = engine.status();
-        assert!(view.strata.is_none() && view.methods.is_none());
+        assert!(view.strata.is_none() && view.methods.is_none() && view.monitor.is_none());
         assert!(view.primary.observations > 0);
+        // Non-monitor engines refuse deltas with a typed error.
+        assert!(matches!(
+            engine.apply_deltas(&DeltaBatch::default()),
+            Err(SessionError::DeltasUnsupported)
+        ));
+
+        let spec = EngineSpec::Monitor {
+            kg: &kg,
+            method: &method,
+            config: &cfg,
+            carry_weight: 50.0,
+            seed: 1,
+        };
+        let mut engine = spec.build();
+        drive_batches(&kg, engine.as_mut(), 3, 8);
+        let view = engine.status();
+        let report = view.monitor.expect("monitor engines carry monitor rows");
+        assert_eq!(report.epoch, 0);
+        assert!(view.strata.is_none() && view.methods.is_none());
 
         let spec = EngineSpec::Comparative {
             kg: &kg,

@@ -93,17 +93,21 @@ impl TryFrom<DesignSpec> for SamplingDesign {
     /// of per-stratum SRS engines
     /// ([`crate::stratified::StratifiedSession`]) and
     /// [`DesignSpec::Compare`] a shared SRS stream raced by the full
-    /// method roster ([`crate::comparative::ComparativeSession`]), not
-    /// one driver.
+    /// method roster ([`crate::comparative::ComparativeSession`]), and
+    /// [`DesignSpec::Monitor`] a long-lived SRS campaign sequence over
+    /// an evolving view ([`crate::monitor::MonitorSession`]) — not one
+    /// driver.
     fn try_from(spec: DesignSpec) -> Result<Self, Self::Error> {
         match spec {
             DesignSpec::Srs => Ok(SamplingDesign::Srs),
             DesignSpec::Twcs { m } => Ok(SamplingDesign::Twcs { m }),
             DesignSpec::Wcs => Ok(SamplingDesign::Wcs),
             DesignSpec::Scs => Ok(SamplingDesign::Scs),
-            DesignSpec::Stratified { .. } | DesignSpec::Compare { .. } => Err(
-                kgae_sampling::driver::DesignParseError(spec.canonical_name()),
-            ),
+            DesignSpec::Stratified { .. }
+            | DesignSpec::Compare { .. }
+            | DesignSpec::Monitor { .. } => Err(kgae_sampling::driver::DesignParseError(
+                spec.canonical_name(),
+            )),
         }
     }
 }

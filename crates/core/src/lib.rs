@@ -44,7 +44,8 @@
 //! | [`annotator`] | oracle / noisy / majority-vote panels (§6.5) |
 //! | [`runner`] | 1000-repetition parallel harness + t-tests |
 //! | [`coverage`] | exact fixed-n coverage probabilities (§3.3 ablation) |
-//! | [`dynamic`] | evolving-KG carryover priors (§8 future work) |
+//! | [`dynamic`] | carryover-prior kernel (§8); one-shot driver deprecated for [`monitor`] |
+//! | [`monitor`] | continuous monitoring engine over KG delta batches |
 //! | [`report`] | table rendering for the experiment binaries |
 
 #![deny(missing_docs)]
@@ -59,6 +60,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod framework;
 pub mod method;
+pub mod monitor;
 pub mod report;
 pub mod runner;
 pub mod session;
@@ -82,6 +84,10 @@ pub use framework::{
     StoppingPolicy,
 };
 pub use method::{IntervalMethod, MethodParseError, MethodState};
+pub use monitor::{
+    peek_monitor_header, DeltaBatch, DeltaOutcome, DriftReport, MonitorReport, MonitorSession,
+    MonitorSnapshotHeader,
+};
 pub use runner::{cost_t_test, repeat_evaluation, triples_t_test, RepeatedRuns};
 #[allow(deprecated)]
 pub use session::peek_snapshot_header;

@@ -104,6 +104,13 @@ pub enum SessionError {
     SnapshotMismatch(&'static str),
     /// Interval construction failed (propagated from the solver).
     Interval(IntervalError),
+    /// A delta batch was handed to an engine kind with no delta
+    /// semantics (only [`crate::monitor::MonitorSession`] accepts
+    /// deltas).
+    DeltasUnsupported,
+    /// A delta batch failed validation against the current KG view;
+    /// nothing was applied.
+    DeltaRejected(kgae_graph::DeltaError),
 }
 
 impl std::fmt::Display for SessionError {
@@ -125,6 +132,10 @@ impl std::fmt::Display for SessionError {
             SessionError::CorruptSnapshot(why) => write!(f, "corrupt snapshot: {why}"),
             SessionError::SnapshotMismatch(why) => write!(f, "snapshot mismatch: {why}"),
             SessionError::Interval(e) => write!(f, "interval construction failed: {e}"),
+            SessionError::DeltasUnsupported => {
+                write!(f, "this engine kind does not accept KG deltas")
+            }
+            SessionError::DeltaRejected(e) => write!(f, "delta batch rejected: {e}"),
         }
     }
 }
@@ -833,6 +844,10 @@ pub(crate) const STRATIFIED_SNAPSHOT_TAG: u8 = 4;
 /// snapshot (`crate::comparative`).
 pub(crate) const COMPARATIVE_SNAPSHOT_TAG: u8 = 5;
 
+/// Snapshot record-tag value marking a *continuous monitor* snapshot
+/// (`crate::monitor`).
+pub(crate) const MONITOR_SNAPSHOT_TAG: u8 = 6;
+
 pub(crate) fn method_tag(method: &IntervalMethod) -> u8 {
     match method {
         IntervalMethod::Wald => 0,
@@ -843,7 +858,7 @@ pub(crate) fn method_tag(method: &IntervalMethod) -> u8 {
     }
 }
 
-fn stopping_tag(policy: StoppingPolicy) -> u8 {
+pub(crate) fn stopping_tag(policy: StoppingPolicy) -> u8 {
     match policy {
         StoppingPolicy::EveryUnit => 0,
         StoppingPolicy::CertifiedLookahead => 1,
@@ -971,7 +986,10 @@ pub(crate) fn peek_plain_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionE
     let corrupt = SessionError::CorruptSnapshot;
     let mut r = Reader::new(bytes);
     let tag = read_record_prefix(&mut r)?;
-    if tag == STRATIFIED_SNAPSHOT_TAG || tag == COMPARATIVE_SNAPSHOT_TAG {
+    if tag == STRATIFIED_SNAPSHOT_TAG
+        || tag == COMPARATIVE_SNAPSHOT_TAG
+        || tag == MONITOR_SNAPSHOT_TAG
+    {
         return Err(SessionError::SnapshotMismatch(
             "not a single-session snapshot; identify it with engine::peek_any_header",
         ));

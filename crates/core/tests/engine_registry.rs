@@ -5,12 +5,15 @@
 //! **identical bytes**, across seeds × datasets × batch sizes, and the
 //! resumed engine finishes bit-identically to the uninterrupted one.
 
-use kgae_core::engine::{peek_any_header, snapshot_engine_kind, EngineSpec, SessionEngine};
+use kgae_core::engine::{
+    peek_any_header, snapshot_engine_kind, EngineKind, EngineSpec, SessionEngine,
+};
 use kgae_core::{
-    EvalConfig, EvalResult, IntervalMethod, PreparedDesign, SamplingDesign, StratifiedConfig,
+    DeltaBatch, EvalConfig, EvalResult, IntervalMethod, MonitorReport, PreparedDesign,
+    SamplingDesign, StratifiedConfig,
 };
 use kgae_graph::stratify::Stratification;
-use kgae_graph::{CompactKg, GroundTruth};
+use kgae_graph::{CompactKg, DeltaKg, GroundTruth, KnowledgeGraph};
 use kgae_sampling::ComparePrimary;
 use proptest::prelude::*;
 
@@ -162,5 +165,145 @@ proptest! {
         let interrupted = finish(&resources.kg, resumed);
         let straight = finish(&resources.kg, engine);
         prop_assert_eq!(interrupted, straight);
+    }
+}
+
+/// Drives a monitor engine with oracle labels from the truth twin for
+/// up to `batches` polls; returns false once the monitor reports no
+/// work (it is watching — monitors never stop).
+fn drive_monitor(
+    truth: &DeltaKg<'_>,
+    engine: &mut dyn SessionEngine,
+    batches: u64,
+    batch: u64,
+) -> bool {
+    let mut labels = Vec::new();
+    for _ in 0..batches {
+        let Some(polled) = engine.next_request(batch).unwrap() else {
+            return false;
+        };
+        labels.clear();
+        labels.extend(
+            polled
+                .request
+                .triples
+                .iter()
+                .map(|st| truth.is_correct(st.triple)),
+        );
+        engine.submit(&labels).unwrap();
+    }
+    true
+}
+
+/// (estimate bits, interval bits, observations, triples, entities, report).
+type MonitorFingerprint = (
+    Option<u64>,
+    Option<(u64, u64)>,
+    u64,
+    u64,
+    u64,
+    Option<MonitorReport>,
+);
+
+/// Bit-level identity of a monitor's full status view.
+fn monitor_fingerprint(engine: &dyn SessionEngine) -> MonitorFingerprint {
+    let view = engine.status();
+    (
+        view.primary.estimate.map(f64::to_bits),
+        view.primary
+            .interval
+            .map(|i| (i.lower().to_bits(), i.upper().to_bits())),
+        view.primary.observations,
+        view.primary.annotated_triples,
+        view.primary.cost_seconds.to_bits(),
+        view.monitor,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tag-6 (monitor) suspend/resume through the registry: snapshot →
+    /// resume-via-registry → snapshot is byte-identical while the
+    /// initial campaign is open, while watching, and **mid-delta** —
+    /// after a degrading batch has re-opened annotation — and the
+    /// interrupted line converges to a bit-identical watching state.
+    /// Oracle labels for the re-opened campaign come from a truth twin:
+    /// a `DeltaKg::with_truth` overlay fed the same batches, so view
+    /// ids resolve identically to the monitor's internal view.
+    #[test]
+    fn monitor_snapshots_resume_via_registry_byte_identically(
+        ds in datasets(),
+        seed in 0u64..10_000,
+        batch in prop_oneof![Just(1u64), Just(7), Just(32)],
+        warmup in 1u64..6,
+        churn in 1u64..4,
+    ) {
+        let kg = dataset(ds);
+        let method = IntervalMethod::ahpd_default();
+        let cfg = EvalConfig::default();
+        let spec = EngineSpec::Monitor {
+            kg: &kg,
+            method: &method,
+            config: &cfg,
+            carry_weight: 50.0,
+            seed,
+        };
+        let mut truth = DeltaKg::with_truth(&kg, &kg);
+        let mut engine = spec.build();
+
+        // Suspend mid-initial-campaign (or just past it).
+        drive_monitor(&truth, engine.as_mut(), warmup, batch);
+        let snap = engine.snapshot().unwrap();
+        prop_assert_eq!(snapshot_engine_kind(&snap).unwrap(), EngineKind::Monitor);
+        prop_assert_eq!(peek_any_header(&snap).unwrap().kind(), EngineKind::Monitor);
+        let mut resumed = spec.resume(&snap).unwrap();
+        prop_assert_eq!(resumed.snapshot().unwrap(), snap);
+
+        // Both lines converge to the same watching certificate.
+        drive_monitor(&truth, engine.as_mut(), u64::MAX, batch);
+        drive_monitor(&truth, resumed.as_mut(), u64::MAX, batch);
+        prop_assert_eq!(
+            monitor_fingerprint(engine.as_ref()),
+            monitor_fingerprint(resumed.as_ref())
+        );
+
+        // The same degrading batch lands identically on both, and on
+        // the truth twin.
+        let n = truth.num_triples();
+        let delta = DeltaBatch {
+            predicate: Some("drift".into()),
+            removes: (0..n * churn / 8).collect(),
+            adds: vec![true; usize::try_from(n * churn / 6).unwrap()],
+        };
+        let on_straight = engine.apply_deltas(&delta).unwrap();
+        let on_resumed = resumed.apply_deltas(&delta).unwrap();
+        truth.apply(&delta.removes, &delta.adds).unwrap();
+        prop_assert_eq!(on_straight, on_resumed);
+
+        // Mid-delta suspension: snapshot the resumed line after the
+        // batch (and, when annotation re-opened, part-way into the
+        // carryover campaign).
+        if !on_resumed.watching {
+            drive_monitor(&truth, resumed.as_mut(), warmup, batch);
+        }
+        let snap = resumed.snapshot().unwrap();
+        prop_assert_eq!(peek_any_header(&snap).unwrap().kind(), EngineKind::Monitor);
+        let mut resumed_again = spec.resume(&snap).unwrap();
+        prop_assert_eq!(resumed_again.snapshot().unwrap(), snap);
+
+        // All three lines end watching with identical certificates,
+        // epochs and drift rows.
+        drive_monitor(&truth, engine.as_mut(), u64::MAX, batch);
+        drive_monitor(&truth, resumed.as_mut(), u64::MAX, batch);
+        drive_monitor(&truth, resumed_again.as_mut(), u64::MAX, batch);
+        prop_assert_eq!(
+            monitor_fingerprint(engine.as_ref()),
+            monitor_fingerprint(resumed.as_ref())
+        );
+        prop_assert_eq!(
+            monitor_fingerprint(engine.as_ref()),
+            monitor_fingerprint(resumed_again.as_ref())
+        );
     }
 }

@@ -30,6 +30,7 @@
 pub mod bitvec;
 pub mod compact;
 pub mod datasets;
+pub mod delta;
 pub mod hash;
 mod ids;
 pub mod kg;
@@ -41,6 +42,7 @@ pub mod tsv;
 
 pub use bitvec::LabelCache;
 pub use compact::{CompactKg, LabelStore};
+pub use delta::{AppliedDelta, DeltaError, DeltaKg, StableId};
 pub use ids::{ClusterId, TripleId};
 pub use kg::{ClusterIndex, GroundTruth, KnowledgeGraph};
 pub use memory::{InMemoryKg, InMemoryKgBuilder, Triple};

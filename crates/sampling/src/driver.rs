@@ -249,7 +249,20 @@ pub enum DesignSpec {
         /// The method whose convergence stops the shared stream.
         primary: ComparePrimary,
     },
+    /// Continuous accuracy monitoring: a long-lived SRS engine
+    /// (`kgae-core`'s `MonitorSession`) over a delta-applying view of
+    /// the KG, re-opening annotation only when updates degrade the
+    /// credible interval. A *session-level* design like
+    /// [`DesignSpec::Stratified`], so [`build_driver`] rejects it.
+    Monitor {
+        /// Cap on the pseudo-observations carried between campaigns.
+        carry: u64,
+    },
 }
+
+/// Default pseudo-observation cap of `monitor` designs when the grammar
+/// omits `:<carry>`.
+pub const DEFAULT_MONITOR_CARRY: u64 = 50;
 
 impl DesignSpec {
     /// The canonical lower-case wire name (`"srs"`, `"twcs:3"`, ...).
@@ -265,6 +278,7 @@ impl DesignSpec {
                 format!("stratified:{}", allocation.canonical_name())
             }
             DesignSpec::Compare { primary } => format!("compare:{}", primary.canonical_name()),
+            DesignSpec::Monitor { carry } => format!("monitor:{carry}"),
         }
     }
 }
@@ -301,8 +315,10 @@ impl std::str::FromStr for DesignSpec {
     /// `srs`, `wcs`, `scs`, `twcs:<m>` (canonical), the display form
     /// `twcs(m=<m>)` used in the paper tables,
     /// `stratified[:<allocation>]` (allocation defaults to
-    /// `width-greedy`), and `compare:<primary>` (primary ∈
-    /// `wald|wilson|et|ahpd`, always explicit). `m` must be ≥ 1.
+    /// `width-greedy`), `compare:<primary>` (primary ∈
+    /// `wald|wilson|et|ahpd`, always explicit), and
+    /// `monitor[:<carry>]` (carry ≥ 1 pseudo-observations, default
+    /// [`DEFAULT_MONITOR_CARRY`]). `m` must be ≥ 1.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let lower = s.trim().to_ascii_lowercase();
         let err = || DesignParseError(s.to_string());
@@ -315,6 +331,11 @@ impl std::str::FromStr for DesignSpec {
                     allocation: AllocationPolicy::default(),
                 })
             }
+            "monitor" => {
+                return Ok(DesignSpec::Monitor {
+                    carry: DEFAULT_MONITOR_CARRY,
+                })
+            }
             _ => {}
         }
         if let Some(alloc) = lower.strip_prefix("stratified:") {
@@ -324,6 +345,13 @@ impl std::str::FromStr for DesignSpec {
         if let Some(primary) = lower.strip_prefix("compare:") {
             let primary = primary.parse().map_err(|_| err())?;
             return Ok(DesignSpec::Compare { primary });
+        }
+        if let Some(carry) = lower.strip_prefix("monitor:") {
+            let carry: u64 = carry.parse().map_err(|_| err())?;
+            if carry == 0 {
+                return Err(err());
+            }
+            return Ok(DesignSpec::Monitor { carry });
         }
         let m_str = lower
             .strip_prefix("twcs:")
@@ -377,6 +405,11 @@ pub fn build_driver<'a>(
         }
         DesignSpec::Compare { .. } => {
             panic!("comparative designs are coordinated per method (ComparativeSession), not built as one driver")
+        }
+        DesignSpec::Monitor { .. } => {
+            panic!(
+                "monitor designs are long-lived sessions (MonitorSession), not built as one driver"
+            )
         }
     }
 }

@@ -9,8 +9,9 @@
 
 use crate::json::Json;
 use kgae_core::{
-    AnnotationRequest, EvalConfig, EvalResult, IntervalMethod, MethodReport, SessionStatus,
-    StopReason, StratifiedConfig, StratumReport,
+    AnnotationRequest, DeltaBatch, DeltaOutcome, DriftReport, EvalConfig, EvalResult,
+    IntervalMethod, MethodReport, MonitorReport, SessionStatus, StopReason, StratifiedConfig,
+    StratumReport,
 };
 use kgae_intervals::Interval;
 use kgae_sampling::driver::DesignSpec;
@@ -553,6 +554,163 @@ pub fn methods_from_json(v: &Json) -> Result<Vec<MethodReport>, WireError> {
         .iter()
         .map(method_report_from_json)
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// Monitor sessions: drift rows, reports, delta batches
+// ---------------------------------------------------------------------
+
+/// Encodes one per-predicate drift row of a monitor session's status.
+#[must_use]
+pub fn drift_report_to_json(report: &DriftReport) -> Json {
+    Json::obj(vec![
+        ("predicate", Json::str(&report.predicate)),
+        ("adds", Json::int(report.adds)),
+        ("removes", Json::int(report.removes)),
+        ("retired_labels", Json::int(report.retired_labels)),
+        ("alarm", Json::Bool(report.alarm)),
+    ])
+}
+
+/// Decodes one drift row.
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields.
+pub fn drift_report_from_json(v: &Json) -> Result<DriftReport, WireError> {
+    Ok(DriftReport {
+        predicate: req_str(v, "predicate")?,
+        adds: req_u64(v, "adds")?,
+        removes: req_u64(v, "removes")?,
+        retired_labels: req_u64(v, "retired_labels")?,
+        alarm: req_bool(v, "alarm")?,
+    })
+}
+
+/// Encodes the monitoring report of a monitor session's status.
+#[must_use]
+pub fn monitor_report_to_json(report: &MonitorReport) -> Json {
+    Json::obj(vec![
+        ("epoch", Json::int(report.epoch)),
+        ("campaigns_reopened", Json::int(report.campaigns_reopened)),
+        ("retired_labels", Json::int(report.retired_labels)),
+        ("watching", Json::Bool(report.watching)),
+        (
+            "drift",
+            Json::Arr(report.drift.iter().map(drift_report_to_json).collect()),
+        ),
+    ])
+}
+
+/// Decodes a monitoring report.
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields or malformed drift rows.
+pub fn monitor_report_from_json(v: &Json) -> Result<MonitorReport, WireError> {
+    let drift = v
+        .get("drift")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| wire_err("missing or non-array field \"drift\""))?
+        .iter()
+        .map(drift_report_from_json)
+        .collect::<Result<Vec<_>, WireError>>()?;
+    Ok(MonitorReport {
+        epoch: req_u64(v, "epoch")?,
+        campaigns_reopened: req_u64(v, "campaigns_reopened")?,
+        retired_labels: req_u64(v, "retired_labels")?,
+        watching: req_bool(v, "watching")?,
+        drift,
+    })
+}
+
+/// Encodes a delta batch (client side). Additions carry only their
+/// simulated ground truth (`correct`), which the estimator never reads
+/// — it exists so the oracle annotator of a later re-opened campaign
+/// can label the triple.
+#[must_use]
+pub fn delta_batch_to_json(batch: &DeltaBatch) -> Json {
+    let mut doc = Json::obj(vec![
+        (
+            "removes",
+            Json::Arr(batch.removes.iter().copied().map(Json::int).collect()),
+        ),
+        (
+            "adds",
+            Json::Arr(
+                batch
+                    .adds
+                    .iter()
+                    .map(|&correct| Json::obj(vec![("correct", Json::Bool(correct))]))
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(predicate) = &batch.predicate {
+        doc.set("predicate", Json::str(predicate));
+    }
+    doc
+}
+
+/// Decodes a delta batch from a `POST .../deltas` body. Both `removes`
+/// and `adds` may be omitted (treated as empty); `removes` must be
+/// current dense triple ids, `adds` objects with a boolean `correct`.
+///
+/// # Errors
+///
+/// [`WireError`] on mistyped fields.
+pub fn delta_batch_from_json(v: &Json) -> Result<DeltaBatch, WireError> {
+    let removes = match v.get("removes") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(field) => field
+            .as_arr()
+            .ok_or_else(|| wire_err("\"removes\" must be an array of triple ids"))?
+            .iter()
+            .map(|id| {
+                id.as_u64()
+                    .ok_or_else(|| wire_err("non-integer triple id in \"removes\""))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+    };
+    let adds = match v.get("adds") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(field) => field
+            .as_arr()
+            .ok_or_else(|| wire_err("\"adds\" must be an array of objects"))?
+            .iter()
+            .map(|entry| req_bool(entry, "correct"))
+            .collect::<Result<Vec<_>, WireError>>()?,
+    };
+    Ok(DeltaBatch {
+        predicate: opt_str(v, "predicate")?,
+        removes,
+        adds,
+    })
+}
+
+/// Encodes the outcome of an applied delta batch.
+#[must_use]
+pub fn delta_outcome_to_json(outcome: &DeltaOutcome) -> Json {
+    Json::obj(vec![
+        ("retired_labels", Json::int(outcome.retired_labels)),
+        ("reopened", Json::Bool(outcome.reopened)),
+        ("epoch", Json::int(outcome.epoch)),
+        ("watching", Json::Bool(outcome.watching)),
+    ])
+}
+
+/// Decodes a delta outcome (client side).
+///
+/// # Errors
+///
+/// [`WireError`] on missing/mistyped fields.
+pub fn delta_outcome_from_json(v: &Json) -> Result<DeltaOutcome, WireError> {
+    Ok(DeltaOutcome {
+        retired_labels: req_u64(v, "retired_labels")?,
+        reopened: req_bool(v, "reopened")?,
+        epoch: req_u64(v, "epoch")?,
+        watching: req_bool(v, "watching")?,
+    })
 }
 
 // ---------------------------------------------------------------------

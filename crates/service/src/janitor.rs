@@ -22,7 +22,7 @@
 //!
 //! Every store write the manager performs happens **under the session
 //! id's shard lock**. The janitor takes the same lock (through
-//! [`SessionManager::with_session_lock`]) before touching any file
+//! `SessionManager::with_session_lock`) before touching any file
 //! that belongs to a session id, so it can never see — or delete — a
 //! half-written record of an in-flight save. Files whose id is
 //! currently in memory are left alone entirely, and every deletion

@@ -34,9 +34,9 @@ use crate::metrics::{Metrics, ShardSessions};
 use crate::store::{valid_session_id, SnapshotStore, StoredSession};
 use crate::{api, json};
 use kgae_core::{
-    compared_methods, AnnotationRequest, EngineSpec, EvalConfig, EvalResult, IntervalMethod,
-    MethodReport, PreparedDesign, SamplingDesign, SessionEngine, SessionError, SessionStatus,
-    StopReason, StratifiedConfig, StratumReport,
+    compared_methods, AnnotationRequest, DeltaBatch, DeltaOutcome, EngineSpec, EvalConfig,
+    EvalResult, IntervalMethod, MethodReport, MonitorReport, PreparedDesign, SamplingDesign,
+    SessionEngine, SessionError, SessionStatus, StopReason, StratifiedConfig, StratumReport,
 };
 use kgae_graph::stratify::Stratification;
 use kgae_graph::{CompactKg, KnowledgeGraph};
@@ -406,6 +406,9 @@ pub struct SessionView {
     pub strata: Option<Vec<StratumReport>>,
     /// Per-method rows (comparative sessions only).
     pub methods: Option<Vec<MethodReport>>,
+    /// Monitoring report — epoch, drift rows, alarms (monitor sessions
+    /// only; omitted on the brief poll/submit views).
+    pub monitor: Option<MonitorReport>,
     /// Snapshot size on disk, for suspended/evicted sessions.
     pub snapshot_bytes: Option<u64>,
 }
@@ -443,6 +446,7 @@ struct Dormant {
     status: SessionStatus,
     strata: Option<Vec<StratumReport>>,
     methods: Option<Vec<MethodReport>>,
+    monitor: Option<MonitorReport>,
     snapshot_bytes: u64,
     /// When this stub last saw activity (see [`Live::touched`]).
     touched: Instant,
@@ -484,6 +488,11 @@ enum Blueprint<'a> {
         primary: ComparePrimary,
         config: EvalConfig,
     },
+    Monitor {
+        kg: &'a CompactKg,
+        config: EvalConfig,
+        carry_weight: f64,
+    },
 }
 
 impl<'a> Blueprint<'a> {
@@ -521,6 +530,17 @@ impl<'a> Blueprint<'a> {
                 prepared,
                 primary: *primary,
                 config,
+                seed,
+            },
+            Blueprint::Monitor {
+                kg,
+                config,
+                carry_weight,
+            } => EngineSpec::Monitor {
+                kg: *kg,
+                method,
+                config,
+                carry_weight: *carry_weight,
                 seed,
             },
         }
@@ -582,53 +602,66 @@ impl Slot<'_> {
     #[allow(clippy::type_complexity)]
     fn view_impl(&self, brief: bool) -> SessionView {
         let spec = self.spec();
-        let (state, pending, pending_seq, pending_stratum, status, strata, methods, snapshot_bytes) =
-            match self {
-                Slot::Live(live) => {
-                    // One status call: a stratified/comparative status
-                    // computes every row's interval, so the view must
-                    // not pay twice — and the brief view not at all.
-                    let view = if brief {
-                        kgae_core::SessionStatusView {
-                            primary: live.engine.headline(),
-                            strata: None,
-                            methods: None,
-                        }
-                    } else {
-                        live.engine.status()
-                    };
-                    (
-                        SessionState::Running,
-                        live.pending_labels(),
-                        live.pending.as_ref().map(|_| live.seq),
-                        live.pending_stratum.clone(),
-                        view.primary,
-                        view.strata,
-                        view.methods,
-                        None,
-                    )
-                }
-                Slot::Suspended(dormant) => (
-                    SessionState::Suspended,
-                    0,
+        let (
+            state,
+            pending,
+            pending_seq,
+            pending_stratum,
+            status,
+            strata,
+            methods,
+            monitor,
+            snapshot_bytes,
+        ) = match self {
+            Slot::Live(live) => {
+                // One status call: a stratified/comparative status
+                // computes every row's interval, so the view must
+                // not pay twice — and the brief view not at all.
+                let view = if brief {
+                    kgae_core::SessionStatusView {
+                        primary: live.engine.headline(),
+                        strata: None,
+                        methods: None,
+                        monitor: None,
+                    }
+                } else {
+                    live.engine.status()
+                };
+                (
+                    SessionState::Running,
+                    live.pending_labels(),
+                    live.pending.as_ref().map(|_| live.seq),
+                    live.pending_stratum.clone(),
+                    view.primary,
+                    view.strata,
+                    view.methods,
+                    view.monitor,
                     None,
-                    None,
-                    dormant.status.clone(),
-                    dormant.strata.clone(),
-                    dormant.methods.clone(),
-                    Some(dormant.snapshot_bytes),
-                ),
-                Slot::Finished(finished) => (
-                    SessionState::Finished,
-                    0,
-                    None,
-                    None,
-                    finished_status(finished.reason, &finished.result),
-                    finished.strata.clone(),
-                    finished.methods.clone(),
-                    None,
-                ),
-            };
+                )
+            }
+            Slot::Suspended(dormant) => (
+                SessionState::Suspended,
+                0,
+                None,
+                None,
+                dormant.status.clone(),
+                dormant.strata.clone(),
+                dormant.methods.clone(),
+                dormant.monitor.clone(),
+                Some(dormant.snapshot_bytes),
+            ),
+            Slot::Finished(finished) => (
+                SessionState::Finished,
+                0,
+                None,
+                None,
+                finished_status(finished.reason, &finished.result),
+                finished.strata.clone(),
+                finished.methods.clone(),
+                None,
+                None,
+            ),
+        };
         SessionView {
             id: spec.id.clone(),
             dataset: spec.dataset.clone(),
@@ -641,6 +674,7 @@ impl Slot<'_> {
             status,
             strata,
             methods,
+            monitor,
             snapshot_bytes,
         }
     }
@@ -656,6 +690,7 @@ fn meta_encode(
     status: &SessionStatus,
     strata: Option<&[StratumReport]>,
     methods: Option<&[MethodReport]>,
+    monitor: Option<&MonitorReport>,
     finished: Option<(StopReason, &EvalResult)>,
 ) -> String {
     let mut doc = Json::obj(vec![
@@ -668,6 +703,9 @@ fn meta_encode(
     }
     if let Some(methods) = methods {
         doc.set("methods", api::methods_to_json(methods));
+    }
+    if let Some(monitor) = monitor {
+        doc.set("monitor", api::monitor_report_to_json(monitor));
     }
     if let Some((reason, result)) = finished {
         doc.set("reason", Json::str(api::stop_reason_name(reason)));
@@ -682,6 +720,7 @@ struct MetaRecord {
     status: SessionStatus,
     strata: Option<Vec<StratumReport>>,
     methods: Option<Vec<MethodReport>>,
+    monitor: Option<MonitorReport>,
     finished: Option<(StopReason, EvalResult)>,
 }
 
@@ -714,6 +753,12 @@ fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
         None | Some(Json::Null) => None,
         Some(field) => Some(api::methods_from_json(field).map_err(|e| corrupt(e.to_string()))?),
     };
+    let monitor = match doc.get("monitor") {
+        None | Some(Json::Null) => None,
+        Some(field) => {
+            Some(api::monitor_report_from_json(field).map_err(|e| corrupt(e.to_string()))?)
+        }
+    };
     let finished = if state == SessionState::Finished {
         let reason = doc
             .get("reason")
@@ -737,6 +782,7 @@ fn meta_decode(id: &str, meta: &str) -> ServiceResult<MetaRecord> {
         status,
         strata,
         methods,
+        monitor,
         finished,
     })
 }
@@ -904,8 +950,13 @@ impl<'a> SessionManager<'a> {
 
     /// Bumps one lifecycle counter, when a registry is attached.
     fn bump(&self, pick: fn(&Metrics) -> &std::sync::atomic::AtomicU64) {
+        self.bump_by(pick, 1);
+    }
+
+    /// Adds `n` to one lifecycle counter, when a registry is attached.
+    fn bump_by(&self, pick: fn(&Metrics) -> &std::sync::atomic::AtomicU64, n: u64) {
         if let Some(metrics) = &self.metrics {
-            pick(metrics).fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            pick(metrics).fetch_add(n, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
@@ -1157,6 +1208,7 @@ impl<'a> SessionManager<'a> {
                             &status,
                             finished.strata.as_deref(),
                             finished.methods.as_deref(),
+                            None,
                             Some((finished.reason, &finished.result)),
                         );
                         match self.store.save(&id, &meta, None) {
@@ -1190,6 +1242,7 @@ impl<'a> SessionManager<'a> {
                                 &view.primary,
                                 view.strata.as_deref(),
                                 view.methods.as_deref(),
+                                view.monitor.as_ref(),
                                 None,
                             );
                             self.store.save(&id, &meta, Some(&snapshot))?;
@@ -1303,6 +1356,13 @@ impl<'a> SessionManager<'a> {
                     config: spec.eval_config(),
                 })
             }
+            DesignSpec::Monitor { carry } => Ok(Blueprint::Monitor {
+                kg,
+                config: spec.eval_config(),
+                // The wire carry is a whole pseudo-observation count;
+                // the engine works in f64 evidence mass.
+                carry_weight: carry as f64,
+            }),
             _ => {
                 let design = SamplingDesign::try_from(spec.design)
                     .map_err(|e| ServiceError::BadRequest(e.to_string()))?;
@@ -1554,10 +1614,15 @@ impl<'a> SessionManager<'a> {
             None => {
                 live.pending = None;
                 live.pending_stratum = None;
-                // Stream exhausted: the session stopped inside the
-                // poll; surface it as Finished.
-                Self::finalize(&mut shard, id);
-                self.bump(|m| &m.sessions_finished);
+                if live.engine.stop_reason().is_some() {
+                    // Stream exhausted: the session stopped inside the
+                    // poll; surface it as Finished.
+                    Self::finalize(&mut shard, id);
+                    self.bump(|m| &m.sessions_finished);
+                }
+                // Otherwise the engine owes no labels without having
+                // stopped — a monitor in its watching state. The slot
+                // stays live: a later delta batch may re-open it.
                 None
             }
         };
@@ -1622,6 +1687,57 @@ impl<'a> SessionManager<'a> {
         Ok(shard.get(id).expect("slot exists").view_brief())
     }
 
+    /// Applies a KG delta batch to a monitor session: removed triples'
+    /// labels are retired from the evidence, additions join the sampled
+    /// population, and the monitor re-appraises its credible interval —
+    /// re-opening annotation only when the interval no longer meets the
+    /// MoE target.
+    ///
+    /// An outstanding annotation batch is withdrawn first via the
+    /// exact-rollback cancel: its fencing seq dies with it, so a driver
+    /// still holding that batch gets [`ServiceError::StaleRequest`]
+    /// (409) on submit and must re-poll against the post-delta
+    /// population.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::BadRequest`] for non-monitor sessions or a
+    /// rejected batch (out-of-range/duplicate removes),
+    /// [`ServiceError::UnknownSession`],
+    /// [`ServiceError::AlreadyFinished`], or rehydration failures.
+    pub fn apply_deltas(
+        &self,
+        id: &str,
+        batch: &DeltaBatch,
+    ) -> ServiceResult<(DeltaOutcome, SessionView)> {
+        self.check_quarantined(id)?;
+        let mut shard = self.shard(id).lock().expect("shard lock");
+        self.ensure_live(&mut shard, id)?;
+        let Some(Slot::Live(live)) = shard.get_mut(id) else {
+            unreachable!("ensure_live left a live slot")
+        };
+        if live.engine.has_pending_request() {
+            live.engine.cancel_request()?;
+            live.pending = None;
+            live.pending_stratum = None;
+        }
+        let outcome = live.engine.apply_deltas(batch).map_err(|e| match e {
+            SessionError::DeltasUnsupported => ServiceError::BadRequest(format!(
+                "session {id:?} does not accept deltas; only \"monitor\" designs do"
+            )),
+            SessionError::DeltaRejected(reject) => {
+                ServiceError::BadRequest(format!("delta batch rejected: {reject}"))
+            }
+            other => ServiceError::Session(other),
+        })?;
+        live.touched = Instant::now();
+        if outcome.reopened {
+            self.bump(|m| &m.monitor_campaigns_reopened);
+        }
+        self.bump_by(|m| &m.monitor_labels_retired, outcome.retired_labels);
+        Ok((outcome, shard.get(id).expect("slot exists").view()))
+    }
+
     /// The session's current view. Never rehydrates: dormant sessions
     /// report their suspension-time status straight from the cached
     /// meta record.
@@ -1653,6 +1769,7 @@ impl<'a> SessionManager<'a> {
             status: meta.status,
             strata: meta.strata,
             methods: meta.methods,
+            monitor: meta.monitor,
             snapshot_bytes: record.snapshot.as_ref().map(|s| s.len() as u64),
         })
     }
@@ -1687,6 +1804,7 @@ impl<'a> SessionManager<'a> {
                     &view.primary,
                     view.strata.as_deref(),
                     view.methods.as_deref(),
+                    view.monitor.as_ref(),
                     None,
                 );
                 self.store.save(id, &meta, Some(&snapshot))?;
@@ -1695,6 +1813,7 @@ impl<'a> SessionManager<'a> {
                     status: view.primary,
                     strata: view.strata,
                     methods: view.methods,
+                    monitor: view.monitor,
                     snapshot_bytes: snapshot.len() as u64,
                     touched: Instant::now(),
                 };
@@ -1798,6 +1917,7 @@ impl<'a> SessionManager<'a> {
                     &view.primary,
                     view.strata.as_deref(),
                     view.methods.as_deref(),
+                    view.monitor.as_ref(),
                     None,
                 );
                 self.store.save(id, &meta, Some(&snapshot))?;
@@ -1819,6 +1939,7 @@ impl<'a> SessionManager<'a> {
                     &status,
                     finished.strata.as_deref(),
                     finished.methods.as_deref(),
+                    None,
                     Some((finished.reason, &finished.result)),
                 );
                 self.store.save(id, &meta, None)?;

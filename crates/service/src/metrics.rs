@@ -63,12 +63,14 @@ pub enum Route {
     Evict,
     /// `GET /v1/sessions/{id}/snapshot`.
     Snapshot,
+    /// `POST /v1/sessions/{id}/deltas`.
+    Deltas,
     /// Anything else.
     Other,
 }
 
 /// Every route, in the order metric families are encoded.
-pub const ROUTES: [Route; 14] = [
+pub const ROUTES: [Route; 15] = [
     Route::Healthz,
     Route::Metrics,
     Route::Datasets,
@@ -82,6 +84,7 @@ pub const ROUTES: [Route; 14] = [
     Route::Resume,
     Route::Evict,
     Route::Snapshot,
+    Route::Deltas,
     Route::Other,
 ];
 
@@ -103,6 +106,7 @@ impl Route {
             Route::Resume => "resume",
             Route::Evict => "evict",
             Route::Snapshot => "snapshot",
+            Route::Deltas => "deltas",
             Route::Other => "other",
         }
     }
@@ -127,6 +131,7 @@ impl Route {
             ("POST", ["v1", "sessions", _, "resume"]) => Route::Resume,
             ("POST", ["v1", "sessions", _, "evict"]) => Route::Evict,
             ("GET", ["v1", "sessions", _, "snapshot"]) => Route::Snapshot,
+            ("POST", ["v1", "sessions", _, "deltas"]) => Route::Deltas,
             _ => Route::Other,
         }
     }
@@ -269,6 +274,12 @@ pub struct Metrics {
     pub(crate) sessions_finished: AtomicU64,
     /// Sessions deleted everywhere.
     pub(crate) sessions_deleted: AtomicU64,
+    /// Monitor campaigns re-opened by interval degradation after a
+    /// delta batch.
+    pub(crate) monitor_campaigns_reopened: AtomicU64,
+    /// Monitor ledger labels retired because their triples were
+    /// removed.
+    pub(crate) monitor_labels_retired: AtomicU64,
     /// Creates refused 429 over quota.
     pub(crate) quota_refusals: AtomicU64,
     /// Requests refused 503 while draining.
@@ -317,6 +328,8 @@ impl Metrics {
             sessions_evicted: AtomicU64::new(0),
             sessions_finished: AtomicU64::new(0),
             sessions_deleted: AtomicU64::new(0),
+            monitor_campaigns_reopened: AtomicU64::new(0),
+            monitor_labels_retired: AtomicU64::new(0),
             quota_refusals: AtomicU64::new(0),
             draining_refusals: AtomicU64::new(0),
             janitor_ticks: AtomicU64::new(0),
@@ -359,7 +372,7 @@ impl Metrics {
         self.encode_requests(&mut out);
         self.encode_latency(&mut out);
         encode_sessions(&mut out, census);
-        let counters: [(&str, &str, u64); 22] = [
+        let counters: [(&str, &str, u64); 24] = [
             (
                 "kgae_reactor_connections_open",
                 "gauge Connections currently registered in the reactor slab.",
@@ -429,6 +442,16 @@ impl Metrics {
                 "kgae_sessions_deleted_total",
                 "counter Sessions deleted from memory and store.",
                 self.sessions_deleted.load(Ordering::Relaxed),
+            ),
+            (
+                "kgae_monitor_campaigns_reopened_total",
+                "counter Monitor campaigns re-opened by interval degradation.",
+                self.monitor_campaigns_reopened.load(Ordering::Relaxed),
+            ),
+            (
+                "kgae_monitor_labels_retired_total",
+                "counter Monitor ledger labels retired by triple removals.",
+                self.monitor_labels_retired.load(Ordering::Relaxed),
             ),
             (
                 "kgae_quota_refusals_total",
@@ -849,6 +872,8 @@ mod tests {
             ("POST", "/v1/sessions/abc/resume", Route::Resume),
             ("POST", "/v1/sessions/abc/evict", Route::Evict),
             ("GET", "/v1/sessions/abc/snapshot", Route::Snapshot),
+            ("POST", "/v1/sessions/abc/deltas", Route::Deltas),
+            ("GET", "/v1/sessions/abc/deltas", Route::Other),
             ("POST", "/healthz", Route::Other),
             ("GET", "/v1/sessions/abc/nope", Route::Other),
             ("PUT", "/v1/sessions", Route::Other),

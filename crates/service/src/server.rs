@@ -14,6 +14,7 @@
 //! POST   /v1/sessions/{id}/suspend     spill to disk
 //! POST   /v1/sessions/{id}/resume      rehydrate from disk
 //! POST   /v1/sessions/{id}/evict       drop in-memory state
+//! POST   /v1/sessions/{id}/deltas      apply KG churn  {removes,adds,predicate?}
 //! GET    /v1/sessions/{id}/snapshot    stored snapshot bytes, hex
 //! DELETE /v1/sessions/{id}             remove everywhere
 //! ```
@@ -266,6 +267,9 @@ pub fn view_to_json(view: &SessionView) -> Json {
     if let Some(methods) = &view.methods {
         doc.set("methods", api::methods_to_json(methods));
     }
+    if let Some(monitor) = &view.monitor {
+        doc.set("monitor", api::monitor_report_to_json(monitor));
+    }
     doc
 }
 
@@ -424,6 +428,24 @@ fn route(
             ),
             Err(e) => error_response(&e),
         },
+        ("POST", ["v1", "sessions", id, "deltas"]) => {
+            let body = match parse_body(&request.body) {
+                Ok(body) => body,
+                Err(err) => return err,
+            };
+            let batch = match api::delta_batch_from_json(&body) {
+                Ok(batch) => batch,
+                Err(e) => return (400, api::error_body(&e.to_string()), None),
+            };
+            match manager.apply_deltas(id, &batch) {
+                Ok((outcome, view)) => {
+                    let mut doc = api::delta_outcome_to_json(&outcome);
+                    doc.set("session", view_to_json(&view));
+                    (200, doc.encode(), None)
+                }
+                Err(e) => error_response(&e),
+            }
+        }
         ("GET", ["v1", "sessions", id, "snapshot"]) => match manager.snapshot_bytes(id) {
             Ok(bytes) => (
                 200,

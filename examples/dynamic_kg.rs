@@ -8,6 +8,11 @@
 //! ```text
 //! cargo run --release --example dynamic_kg
 //! ```
+//!
+//! This shows the carryover *mechanism* in isolation via the deprecated
+//! one-shot driver; the maintained workflow is a long-lived
+//! `MonitorSession` fed delta batches — see `monitor_audit.rs`.
+#![allow(deprecated)]
 
 use kgae::core::dynamic::evaluate_with_carryover;
 use kgae::prelude::*;
