@@ -23,6 +23,11 @@
 //!   single-method campaigns — the shared stream must use strictly
 //!   fewer annotations and the primary must stay bit-identical to the
 //!   standalone aHPD runs;
+//! * the kernel-cache A/B (`kernel_cache`): the shared posterior-kernel
+//!   memo table on vs. off, on the aHPD/SRS, comparative and
+//!   stratified cells — cache-on must win every cell (≥ 1.25× on
+//!   aHPD/SRS) while stopping bit-identically, and the steady-state
+//!   hit rate is recorded;
 //! * monitor carryover load (`monitor_load`): long-lived
 //!   `MonitorSession`s absorb a removal-heavy drift of the NELL twin
 //!   and re-certify from the surviving posterior — the carryover
@@ -35,15 +40,18 @@
 use kgae_bench::{arg_value, drive_session_oracle, reps_from_args};
 use kgae_core::comparative::ComparativeSession;
 use kgae_core::{
-    compared_methods, evaluate, evaluate_prepared, repeat_evaluation, DeltaBatch, EvalConfig,
-    EvalResult, IntervalMethod, MonitorSession, OracleAnnotator, PreparedDesign, SamplingDesign,
-    SessionEngine, StoppingPolicy, StratifiedConfig, StratifiedSession,
+    compared_methods, evaluate, evaluate_prepared, repeat_evaluation, AnnotationRequest,
+    ComparativeResult, DeltaBatch, EvalConfig, EvalResult, EvaluationSession, IntervalMethod,
+    MonitorSession, OracleAnnotator, PreparedDesign, SamplingDesign, SessionEngine, StoppingPolicy,
+    StratifiedConfig, StratifiedResult, StratifiedSession,
 };
 use kgae_graph::{CompactKg, DeltaKg, GroundTruth, KnowledgeGraph};
+use kgae_intervals::KernelCache;
 use kgae_sampling::{AllocationPolicy, ComparePrimary};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 struct CellStats {
@@ -389,6 +397,184 @@ fn run() -> Result<(), String> {
     );
 
     // ------------------------------------------------------------------
+    // Kernel-cache A/B: the shared posterior-kernel memo table on vs.
+    // off, in the deployment shape the service uses (one cache shared
+    // by every campaign of a tenant pool). The cache memoizes exact
+    // solver outputs keyed by the full method configuration, so a hit
+    // returns the same f64 bits a fresh solve would — cached and
+    // uncached arms must therefore stop bit-identically, and the gate
+    // below enforces it. Each on-arm reuses one cache across all reps
+    // (after a warm-up rep), so the numbers are steady-state hit
+    // rates, not cold-start.
+    // ------------------------------------------------------------------
+    struct CacheAbRow {
+        cell: &'static str,
+        reps: u64,
+        off_wall: f64,
+        on_wall: f64,
+        off_observations: u64,
+        on_observations: u64,
+        hit_rate: f64,
+        identical: bool,
+    }
+    impl CacheAbRow {
+        fn speedup(&self) -> f64 {
+            self.off_wall / self.on_wall
+        }
+
+        fn off_ns(&self) -> f64 {
+            self.off_wall * 1e9 / self.off_observations as f64
+        }
+
+        fn on_ns(&self) -> f64 {
+            self.on_wall * 1e9 / self.on_observations as f64
+        }
+    }
+    // Times one arm: a warm-up run, then `arm_reps` seeded campaigns.
+    fn time_arm<R>(arm_reps: u64, base_seed: u64, run: impl Fn(u64) -> R) -> (f64, Vec<R>) {
+        let _ = run(base_seed);
+        let t0 = Instant::now();
+        let results: Vec<R> = (0..arm_reps)
+            .map(|rep| run(base_seed.wrapping_add(rep)))
+            .collect();
+        (t0.elapsed().as_secs_f64(), results)
+    }
+    let mut cache_rows: Vec<CacheAbRow> = Vec::new();
+
+    // Cell 1: aHPD/SRS poll-driven sessions, batch 1 — one interval
+    // solve per annotation, the per-poll regime the cache targets.
+    {
+        let drive_plain = |kernel: Option<&Arc<KernelCache>>, seed: u64| -> EvalResult {
+            let mut session = EvaluationSession::from_prepared(
+                &kg,
+                &prepared_srs,
+                &ahpd,
+                &lookahead_cfg,
+                SmallRng::seed_from_u64(seed),
+            );
+            if let Some(kernel) = kernel {
+                session.set_kernel_cache(Arc::clone(kernel));
+            }
+            let mut request = AnnotationRequest::default();
+            let mut labels: Vec<bool> = Vec::new();
+            while session
+                .next_request_into(1, &mut request)
+                .expect("session protocol")
+            {
+                labels.clear();
+                labels.extend(request.triples.iter().map(|st| kg.is_correct(st.triple)));
+                session.submit(&labels).expect("label submission");
+            }
+            session.into_result().expect("stopped session has a result")
+        };
+        let (off_wall, off_results) = time_arm(reps, base_seed, |seed| drive_plain(None, seed));
+        let cache = Arc::new(KernelCache::new());
+        let (on_wall, on_results) =
+            time_arm(reps, base_seed, |seed| drive_plain(Some(&cache), seed));
+        cache_rows.push(CacheAbRow {
+            cell: "aHPD/SRS",
+            reps,
+            off_wall,
+            on_wall,
+            off_observations: off_results.iter().map(|r| r.observations).sum(),
+            on_observations: on_results.iter().map(|r| r.observations).sum(),
+            hit_rate: cache.stats().hit_rate(),
+            identical: off_results == on_results,
+        });
+    }
+
+    // Cell 2: comparative campaigns — four solvers share one SRS
+    // stream, so every annotation pays several interval solves and the
+    // roster revisits the same (τ, n) grid across methods and reps.
+    {
+        let drive_comp = |kernel: Option<&Arc<KernelCache>>, seed: u64| -> ComparativeResult {
+            let mut session =
+                ComparativeSession::new(&kg, &prepared_srs, comp_primary, &lookahead_cfg, seed);
+            if let Some(kernel) = kernel {
+                session.set_kernel_cache(kernel);
+            }
+            let mut labels = Vec::new();
+            while let Some(request) = session.next_request(1).expect("comparative poll") {
+                labels.clear();
+                labels.extend(request.triples.iter().map(|st| kg.is_correct(st.triple)));
+                session.submit(&labels).expect("comparative submit");
+            }
+            session.into_result().expect("comparative result")
+        };
+        let (off_wall, off_results) = time_arm(comp_reps, base_seed, |seed| drive_comp(None, seed));
+        let cache = Arc::new(KernelCache::new());
+        let (on_wall, on_results) =
+            time_arm(comp_reps, base_seed, |seed| drive_comp(Some(&cache), seed));
+        cache_rows.push(CacheAbRow {
+            cell: "comparative",
+            reps: comp_reps,
+            off_wall,
+            on_wall,
+            off_observations: off_results.iter().map(|r| r.primary.observations).sum(),
+            on_observations: on_results.iter().map(|r| r.primary.observations).sum(),
+            hit_rate: cache.stats().hit_rate(),
+            identical: off_results == on_results,
+        });
+    }
+
+    // Cell 3: stratified campaigns — every stratum is an SRS session,
+    // and low-variance strata retrace the same short posterior paths.
+    {
+        let strat_cfg = StratifiedConfig {
+            allocation: AllocationPolicy::WidthGreedy,
+            epsilon: strat_epsilon,
+            ..StratifiedConfig::default()
+        };
+        let drive_strat = |kernel: Option<&Arc<KernelCache>>, seed: u64| -> StratifiedResult {
+            let mut session =
+                StratifiedSession::new(&pred_kg, &pred_strat, &ahpd, &strat_cfg, seed);
+            if let Some(kernel) = kernel {
+                session.set_kernel_cache(kernel);
+            }
+            let mut labels = Vec::new();
+            while let Some(req) = session.next_request(8).expect("stratified poll") {
+                labels.clear();
+                labels.extend(
+                    req.request
+                        .triples
+                        .iter()
+                        .map(|st| pred_kg.is_correct(st.triple)),
+                );
+                session.submit(&labels).expect("stratified submit");
+            }
+            session.into_result().expect("stratified result")
+        };
+        let (off_wall, off_results) =
+            time_arm(strat_reps, base_seed, |seed| drive_strat(None, seed));
+        let cache = Arc::new(KernelCache::new());
+        let (on_wall, on_results) = time_arm(strat_reps, base_seed, |seed| {
+            drive_strat(Some(&cache), seed)
+        });
+        cache_rows.push(CacheAbRow {
+            cell: "stratified",
+            reps: strat_reps,
+            off_wall,
+            on_wall,
+            off_observations: off_results.iter().map(|r| r.pooled.observations).sum(),
+            on_observations: on_results.iter().map(|r| r.pooled.observations).sum(),
+            hit_rate: cache.stats().hit_rate(),
+            identical: off_results == on_results,
+        });
+    }
+    for row in &cache_rows {
+        eprintln!(
+            "kernel_cache {:<11}: off {:>7.0} ns/annotation vs on {:>7.0} → {:.2}× \
+             (hit rate {:.1}%, identical stopping: {})",
+            row.cell,
+            row.off_ns(),
+            row.on_ns(),
+            row.speedup(),
+            100.0 * row.hit_rate,
+            row.identical,
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Monitor carryover load: long-lived monitors over a drifting NELL
     // vs. restart-from-scratch audits. Each rep certifies the base twin,
     // absorbs a removal-heavy drift (most of the graph pruned, a small
@@ -499,7 +685,7 @@ fn run() -> Result<(), String> {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"evaluation_loop\",");
-    let _ = writeln!(out, "  \"schema_version\": 8,");
+    let _ = writeln!(out, "  \"schema_version\": 9,");
     let _ = writeln!(out, "  \"dataset\": \"NELL\",");
     let _ = writeln!(out, "  \"reps_per_cell\": {reps},");
     let _ = writeln!(out, "  \"cells\": [");
@@ -627,6 +813,30 @@ fn run() -> Result<(), String> {
     }
     let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"kernel_cache\": {{");
+    let _ = writeln!(out, "    \"cells\": [");
+    for (i, row) in cache_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "      {{\"cell\": \"{}\", \"reps\": {}, \
+             \"off_ns_per_annotation\": {:.1}, \"on_ns_per_annotation\": {:.1}, \
+             \"speedup\": {:.3}, \"hit_rate\": {:.4}, \"identical_stopping\": {}}}",
+            row.cell,
+            row.reps,
+            row.off_ns(),
+            row.on_ns(),
+            row.speedup(),
+            row.hit_rate,
+            row.identical,
+        );
+        out.push_str(if i + 1 < cache_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = writeln!(out, "    ]");
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"monitor_load\": {{");
     let _ = writeln!(out, "    \"dataset\": \"NELL\",");
     let _ = writeln!(out, "    \"reps\": {monitor_reps},");
@@ -689,6 +899,30 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "shared-stream comparison ({shared_mean:.1} annotations/campaign) failed to \
              beat four independent campaigns ({independent_mean:.1})"
+        ));
+    }
+    for row in &cache_rows {
+        if !row.identical {
+            return Err(format!(
+                "kernel_cache: cached {} campaigns diverged from uncached — \
+                 bit-identity violated",
+                row.cell
+            ));
+        }
+        if row.speedup() <= 1.0 {
+            return Err(format!(
+                "kernel_cache: {} cache-on arm ({:.2}×) failed to beat cache-off",
+                row.cell,
+                row.speedup()
+            ));
+        }
+    }
+    let ahpd_cache_row = &cache_rows[0];
+    if ahpd_cache_row.speedup() < 1.25 {
+        return Err(format!(
+            "kernel_cache: aHPD/SRS speedup {:.2}× is below the 1.25× floor the \
+             cache is meant to clear",
+            ahpd_cache_row.speedup()
         ));
     }
     if monitor_reopened * 2 < monitor_reps {

@@ -1,7 +1,7 @@
 //! Load generator for the session service: boots a live `kgae-serve`
 //! stack (or targets an already-running one), replays NELL annotation
 //! streams from N concurrent HTTP clients, and reports
-//! throughput/latency into `BENCH_eval.json` (schema_version 8).
+//! throughput/latency into `BENCH_eval.json` (schema_version 9).
 //!
 //! Every client completes whole evaluation campaigns — create → poll →
 //! label (ground truth) → submit → converge — over real TCP with
@@ -1049,7 +1049,7 @@ fn write_report(
         ]),
         Err(e) => return Err(format!("reading {out_path}: {e}")),
     };
-    doc.set("schema_version", Json::int(8));
+    doc.set("schema_version", Json::int(9));
     doc.set(
         "service_load",
         Json::obj(vec![
@@ -1166,7 +1166,7 @@ fn write_report(
     );
     std::fs::write(out_path, format!("{}\n", doc.encode_pretty()))
         .map_err(|e| format!("writing {out_path}: {e}"))?;
-    eprintln!("wrote {out_path} (schema_version 8)");
+    eprintln!("wrote {out_path} (schema_version 9)");
     Ok(())
 }
 
@@ -1545,6 +1545,25 @@ fn run_smoke_against(addr: SocketAddr, kg: &CompactKg) -> Result<(), String> {
     run_stratified_smoke(addr)?;
     run_monitor_smoke(addr, kg)?;
     run_chaos_smoke(addr, kg)?;
+    // Close the loop on the shared posterior-kernel cache: every smoke
+    // campaign above ran through one per-manager memo table, so the
+    // scraped hit rate is real traffic, not a synthetic probe.
+    match client.metrics() {
+        Ok(scrape) => {
+            let hits = scraped(&scrape, "kgae_kernel_cache_hits_total");
+            let lookups = scraped(&scrape, "kgae_kernel_cache_lookups_total");
+            if lookups > 0 {
+                eprintln!(
+                    "smoke: shared kernel cache answered {hits}/{lookups} posterior \
+                     solves from memo ({:.1}% hit rate)",
+                    100.0 * hits as f64 / lookups as f64
+                );
+            } else {
+                eprintln!("smoke: kernel cache saw no lookups");
+            }
+        }
+        Err(e) => eprintln!("smoke: /metrics unavailable, skipping cache hit-rate report ({e})"),
+    }
     // Leave nothing behind on a shared server.
     for id in ["smoke-full", "parity-probe", "parity-straight"] {
         let _ = client.delete(id);

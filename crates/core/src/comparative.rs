@@ -233,6 +233,18 @@ impl<'a> ComparativeSession<'a> {
         }
     }
 
+    /// Attaches a shared posterior-kernel cache to the primary session
+    /// and every rival solver. The four-method roster re-solves the same
+    /// `(τ, n)` kernels against each other, so the comparative engine is
+    /// the cache's biggest single-campaign winner. Purely a cost lever:
+    /// outputs stay bit-identical.
+    pub fn set_kernel_cache(&mut self, kernel: &std::sync::Arc<kgae_intervals::KernelCache>) {
+        self.primary.set_kernel_cache(std::sync::Arc::clone(kernel));
+        for rival in &mut self.rivals {
+            rival.solver.attach_kernel(std::sync::Arc::clone(kernel));
+        }
+    }
+
     /// The primary method (the campaign's stopping authority).
     #[must_use]
     pub fn primary_method(&self) -> &IntervalMethod {
@@ -377,7 +389,7 @@ impl<'a> ComparativeSession<'a> {
             let construct = !lookahead
                 || rival
                     .method
-                    .stop_possible_now(state, cfg.alpha, cfg.epsilon, &mut rival.solver);
+                    .stop_possible_now(state, cfg.alpha, cfg.epsilon, &rival.solver);
             if construct {
                 let interval =
                     rival
@@ -394,11 +406,12 @@ impl<'a> ComparativeSession<'a> {
             }
             if lookahead {
                 rival.skip_left = match kind {
-                    DesignKind::Srs => {
-                        rival
-                            .method
-                            .certified_skip_srs(state, cfg.alpha, cfg.epsilon)
-                    }
+                    DesignKind::Srs => rival.method.certified_skip_srs(
+                        state,
+                        cfg.alpha,
+                        cfg.epsilon,
+                        &rival.solver,
+                    ),
                     DesignKind::Cluster => rival.method.certified_skip_cluster(
                         state,
                         cfg.alpha,

@@ -76,9 +76,11 @@ use crate::stratified::{
 };
 use kgae_graph::stratify::Stratification;
 use kgae_graph::KnowledgeGraph;
+use kgae_intervals::KernelCache;
 use kgae_sampling::ComparePrimary;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Which engine implementation is behind a [`SessionEngine`] object or
 /// a snapshot record tag.
@@ -239,6 +241,16 @@ pub trait SessionEngine: Send {
         let _ = batch;
         Err(SessionError::DeltasUnsupported)
     }
+
+    /// Attaches the host's shared posterior-kernel cache; subsequent
+    /// SRS interval constructions and lookahead certificates memoize
+    /// through it. Purely a cost lever — every engine's outputs
+    /// (stopping decisions, intervals, snapshot bytes) are bit-identical
+    /// with or without a cache attached, so hosts may inject it
+    /// unconditionally after `build`/`resume`. Deliberately without a
+    /// default body: a new engine kind must decide how the cache reaches
+    /// its inner sessions.
+    fn set_kernel_cache(&mut self, kernel: Arc<KernelCache>);
 }
 
 impl<'a> SessionEngine for EvaluationSession<'a, SmallRng> {
@@ -298,6 +310,10 @@ impl<'a> SessionEngine for EvaluationSession<'a, SmallRng> {
             strata: None,
             methods: None,
         })
+    }
+
+    fn set_kernel_cache(&mut self, kernel: Arc<KernelCache>) {
+        EvaluationSession::set_kernel_cache(self, kernel);
     }
 }
 
@@ -359,6 +375,10 @@ impl<'a> SessionEngine for StratifiedSession<'a> {
             methods: None,
         })
     }
+
+    fn set_kernel_cache(&mut self, kernel: Arc<KernelCache>) {
+        StratifiedSession::set_kernel_cache(self, &kernel);
+    }
 }
 
 impl<'a> SessionEngine for ComparativeSession<'a> {
@@ -418,6 +438,10 @@ impl<'a> SessionEngine for ComparativeSession<'a> {
             strata: None,
             methods: Some(result.methods),
         })
+    }
+
+    fn set_kernel_cache(&mut self, kernel: Arc<KernelCache>) {
+        ComparativeSession::set_kernel_cache(self, &kernel);
     }
 }
 

@@ -89,15 +89,11 @@ pub use monitor::{
     MonitorSnapshotHeader,
 };
 pub use runner::{cost_t_test, repeat_evaluation, triples_t_test, RepeatedRuns};
-#[allow(deprecated)]
-pub use session::peek_snapshot_header;
 pub use session::{
     AnnotationRequest, EvaluationSession, SessionError, SessionStatus, SnapshotHeader, SnapshotRng,
     StopReason,
 };
 pub use state::{DesignKind, EffectiveSample, SampleState};
-#[allow(deprecated)]
-pub use stratified::peek_stratified_header;
 pub use stratified::{
     StratifiedConfig, StratifiedRequest, StratifiedResult, StratifiedSession,
     StratifiedSnapshotHeader, StratifiedStatus, StratumReport,

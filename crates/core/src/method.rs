@@ -3,11 +3,15 @@
 //!
 //! Two hot-path mechanisms live here alongside the dispatch:
 //!
-//! * **Incremental posteriors** ([`MethodState`]): under SRS the
-//!   posterior of every candidate prior advances by exactly one
-//!   Bernoulli observation per annotation, so the state carries each
-//!   posterior forward via [`Beta::observe`] (two `ln`s per prior) and
-//!   interval construction never re-derives normalization constants.
+//! * **The posterior kernel** ([`Kernel`]): under SRS every interval and
+//!   certificate is a pure function of the integer counts `(τ, n)` plus
+//!   the `(prior, α)` configuration, so all SRS solves route through
+//!   [`kgae_intervals::kernel`]'s canonical count-keyed functions. When a
+//!   shared [`KernelCache`] is attached to the [`MethodState`] the solves
+//!   are memoized process-wide; without one the same functions run
+//!   directly, so cached and uncached runs are bit-identical by
+//!   construction. (Cluster designs have fractional effective counts and
+//!   stay on the warm-started SLSQP path.)
 //! * **Certified multi-step lookahead**
 //!   ([`IntervalMethod::certified_skip_srs`] /
 //!   [`IntervalMethod::certified_skip_cluster`]): from Theorem 1's width
@@ -22,9 +26,10 @@ use crate::ahpd::{ahpd_select_posteriors, posteriors_for_state};
 use crate::state::{DesignKind, SampleState};
 use kgae_intervals::{
     et_interval, hpd_interval_warm, hpd_width_achievable, wald_from_variance, wilson, BetaPrior,
-    Interval, IntervalError,
+    Interval, IntervalError, Kernel, KernelCache,
 };
 use kgae_stats::dist::Beta;
+use std::sync::Arc;
 
 /// Hard cap on a single certified skip, bounding the cost of one
 /// lookahead computation. Re-derived after the cap is reached, so larger
@@ -32,18 +37,41 @@ use kgae_stats::dist::Beta;
 const MAX_SKIP: u64 = 1 << 16;
 
 /// Per-run solver state carried across the framework's successive calls:
-/// SLSQP warm starts (the optimum is unique, so warm starting changes
-/// cost, not results) and the incrementally-advanced per-prior
-/// posteriors for SRS samples.
+/// SLSQP warm starts for the cluster paths (the optimum is unique, so
+/// warm starting changes cost, not results), the incrementally-advanced
+/// per-prior posteriors for SRS samples, and an optional handle on the
+/// process-wide posterior-kernel cache.
 #[derive(Debug, Clone, Default)]
 pub struct MethodState {
     pub(crate) warm: Vec<Option<(f64, f64)>>,
     /// Per-prior posteriors `Beta(a + τ, b + n − τ)`, advanced by
     /// [`IntervalMethod::record_observation`]. Empty for methods without
-    /// posteriors (Wald, Wilson).
+    /// posteriors (Wald, Wilson). SRS interval construction routes
+    /// through the count-keyed kernel instead of reading these, but the
+    /// state keeps tracking them: they are part of the snapshot wire
+    /// format, so byte-stable resumability does not depend on whether a
+    /// kernel cache is attached.
     pub(crate) posteriors: Vec<Beta>,
     /// The `(τ, n)` the cached posteriors reflect.
     pub(crate) tracked: (u64, u64),
+    /// Shared posterior-kernel cache. `None` solves every kernel
+    /// directly through the same canonical functions — identical bits,
+    /// no memoization. Never serialized: a resumed session re-attaches
+    /// the host's cache (or none).
+    pub(crate) kernel: Option<Arc<KernelCache>>,
+}
+
+impl MethodState {
+    /// The dispatch handle for this state's SRS kernel solves.
+    pub(crate) fn kernel(&self) -> Kernel<'_> {
+        Kernel::new(self.kernel.as_deref())
+    }
+
+    /// Attaches the shared posterior-kernel cache; subsequent SRS solves
+    /// memoize through it.
+    pub(crate) fn attach_kernel(&mut self, kernel: Arc<KernelCache>) {
+        self.kernel = Some(kernel);
+    }
 }
 
 /// An interval-estimation method under evaluation.
@@ -111,6 +139,7 @@ impl IntervalMethod {
                 .map(|p| Beta::new(p.a, p.b).expect("priors have positive parameters"))
                 .collect(),
             tracked: (0, 0),
+            kernel: None,
         }
     }
 
@@ -132,28 +161,6 @@ impl IntervalMethod {
         if success {
             cache.tracked.0 += 1;
         }
-    }
-
-    /// Resynchronizes the cached SRS posteriors from integer counts if
-    /// the cache has not tracked this state (e.g. a fresh
-    /// [`Self::interval`] call mid-run). After the call,
-    /// `cache.posteriors` reflects `(state.tau(), state.n())`.
-    fn resync_srs_posteriors(&self, state: &SampleState, cache: &mut MethodState) {
-        let counts = (state.tau(), state.n());
-        if cache.tracked != counts || cache.posteriors.is_empty() {
-            let priors = self.priors().unwrap_or(&[]);
-            cache.posteriors = priors
-                .iter()
-                .map(|p| p.posterior(counts.0, counts.1))
-                .collect();
-            cache.tracked = counts;
-        }
-    }
-
-    /// [`Self::resync_srs_posteriors`] returning the slice.
-    fn srs_posteriors<'c>(&self, state: &SampleState, cache: &'c mut MethodState) -> &'c [Beta] {
-        self.resync_srs_posteriors(state, cache);
-        &cache.posteriors
     }
 
     /// Builds the `1-α` interval from the current sample.
@@ -186,59 +193,73 @@ impl IntervalMethod {
                     alpha,
                 )?)
             }
-            IntervalMethod::Wilson => {
-                let eff = state.effective();
-                if state.kind() == DesignKind::Cluster && state.draws() < 2 {
-                    return Ok(Interval::new(eff.mu - 0.5, eff.mu + 0.5));
+            IntervalMethod::Wilson => match state.kind() {
+                DesignKind::Srs => cache.kernel().wilson(state.tau(), state.n(), alpha),
+                DesignKind::Cluster => {
+                    let eff = state.effective();
+                    if state.draws() < 2 {
+                        return Ok(Interval::new(eff.mu - 0.5, eff.mu + 0.5));
+                    }
+                    Ok(wilson(eff.mu, eff.n_eff, alpha)?)
                 }
-                Ok(wilson(eff.mu, eff.n_eff, alpha)?)
-            }
-            IntervalMethod::Et(prior) => {
-                let post = match state.kind() {
-                    DesignKind::Srs => self.srs_posteriors(state, cache)[0],
-                    DesignKind::Cluster => {
-                        let eff = state.effective();
-                        prior.posterior_effective(eff.mu, eff.n_eff)?
+            },
+            IntervalMethod::Et(prior) => match state.kind() {
+                DesignKind::Srs => cache.kernel().et(prior, state.tau(), state.n(), alpha),
+                DesignKind::Cluster => {
+                    let eff = state.effective();
+                    et_interval(&prior.posterior_effective(eff.mu, eff.n_eff)?, alpha)
+                }
+            },
+            IntervalMethod::Hpd(prior) => match state.kind() {
+                DesignKind::Srs => {
+                    match cache.kernel().hpd(prior, state.tau(), state.n(), alpha) {
+                        Ok(i) => Ok(i),
+                        // No single HPD interval exists (U-shaped
+                        // posterior from near-zero evidence): report the
+                        // maximally uninformative sentinel so the loop
+                        // keeps sampling instead of aborting.
+                        Err(IntervalError::UShapedPosterior { .. }) => Ok(Interval::new(0.0, 1.0)),
+                        Err(e) => Err(e),
                     }
-                };
-                et_interval(&post, alpha)
-            }
-            IntervalMethod::Hpd(prior) => {
-                let post = match state.kind() {
-                    DesignKind::Srs => self.srs_posteriors(state, cache)[0],
-                    DesignKind::Cluster => {
-                        let eff = state.effective();
-                        prior.posterior_effective(eff.mu, eff.n_eff)?
-                    }
-                };
-                let warm = cache.warm.first().copied().flatten();
-                match hpd_interval_warm(&post, alpha, warm) {
-                    Ok(i) => {
-                        if let Some(slot) = cache.warm.first_mut() {
-                            *slot = Some((i.lower(), i.upper()));
+                }
+                DesignKind::Cluster => {
+                    let eff = state.effective();
+                    let post = prior.posterior_effective(eff.mu, eff.n_eff)?;
+                    let warm = cache.warm.first().copied().flatten();
+                    match hpd_interval_warm(&post, alpha, warm) {
+                        Ok(i) => {
+                            if let Some(slot) = cache.warm.first_mut() {
+                                *slot = Some((i.lower(), i.upper()));
+                            }
+                            Ok(i)
                         }
-                        Ok(i)
+                        Err(IntervalError::UShapedPosterior { .. }) => Ok(Interval::new(0.0, 1.0)),
+                        Err(e) => Err(e),
                     }
-                    // No single HPD interval exists (U-shaped posterior
-                    // from near-zero effective evidence): report the
-                    // maximally uninformative sentinel so the loop keeps
-                    // sampling instead of aborting.
-                    Err(IntervalError::UShapedPosterior { .. }) => Ok(Interval::new(0.0, 1.0)),
-                    Err(e) => Err(e),
                 }
-            }
+            },
             IntervalMethod::AHpd(priors) => match state.kind() {
                 DesignKind::Srs => {
                     // Match ahpd_select_warm's loud failure on an empty
                     // sample — a prior-only "posterior" interval would
                     // look plausible and hide the caller's bug.
                     assert!(state.n() > 0, "aHPD needs at least one annotation");
-                    self.resync_srs_posteriors(state, cache);
-                    // Split borrows: posteriors immutably, warm mutably.
-                    let MethodState {
-                        warm, posteriors, ..
-                    } = cache;
-                    Ok(ahpd_select_posteriors(posteriors, alpha, warm)?.interval)
+                    let kernel = cache.kernel();
+                    let (tau, n) = (state.tau(), state.n());
+                    // Strict `<` keeps the first minimal prior as winner,
+                    // matching ahpd_select_posteriors' min_by tie-break.
+                    let mut best: Option<Interval> = None;
+                    for prior in priors {
+                        let interval = match kernel.hpd(prior, tau, n, alpha) {
+                            Ok(i) => i,
+                            Err(IntervalError::UShapedPosterior { .. }) => Interval::new(0.0, 1.0),
+                            Err(e) => return Err(e),
+                        };
+                        if best.is_none_or(|b| interval.width() < b.width()) {
+                            best = Some(interval);
+                        }
+                    }
+                    Ok(best.expect("aHPD requires at least one prior"))
                 }
                 DesignKind::Cluster => {
                     let posteriors = posteriors_for_state(state, priors)?;
@@ -264,17 +285,19 @@ impl IntervalMethod {
         state: &SampleState,
         alpha: f64,
         epsilon: f64,
-        cache: &mut MethodState,
+        cache: &MethodState,
     ) -> bool {
         let Some(priors) = self.priors() else {
             return true;
         };
         let width = 2.0 * epsilon;
         match state.kind() {
-            DesignKind::Srs => self
-                .srs_posteriors(state, cache)
-                .iter()
-                .any(|post| hpd_width_achievable(post, alpha, width)),
+            DesignKind::Srs => {
+                let kernel = cache.kernel();
+                priors
+                    .iter()
+                    .any(|prior| kernel.achievable(prior, state.tau(), state.n(), alpha, width))
+            }
             DesignKind::Cluster => {
                 let eff = state.effective();
                 priors.iter().any(|prior| {
@@ -303,13 +326,20 @@ impl IntervalMethod {
     /// Returns 0 (check the very next annotation) for methods without a
     /// certified bound (Wald, Wilson).
     #[must_use]
-    pub fn certified_skip_srs(&self, state: &SampleState, alpha: f64, epsilon: f64) -> u64 {
+    pub fn certified_skip_srs(
+        &self,
+        state: &SampleState,
+        alpha: f64,
+        epsilon: f64,
+        cache: &MethodState,
+    ) -> u64 {
         let Some(priors) = self.priors() else {
             return 0;
         };
         debug_assert_eq!(state.kind(), DesignKind::Srs);
         let (tau, n) = (state.tau(), state.n());
-        find_certified_skip(|k| srs_stoppable_at(priors, tau, n, k, alpha, epsilon))
+        let kernel = cache.kernel();
+        find_certified_skip(|k| srs_stoppable_at(priors, &kernel, tau, n, k, alpha, epsilon))
     }
 
     /// Certified cluster lookahead: the number of further stage-1 draws
@@ -430,9 +460,12 @@ impl std::str::FromStr for IntervalMethod {
 /// Whether `MoE ≤ ε` is achievable at horizon `k` under SRS: the exact
 /// best-window predicate evaluated over priors and the extreme
 /// achievable outcomes (plus their one-step-inside neighbors, covering
-/// the monotone-shape transitions).
+/// the monotone-shape transitions). Verdicts route through the kernel,
+/// so a shared cache memoizes them across campaigns — the lookahead loop
+/// no longer reconstructs a `Beta` per polled count.
 fn srs_stoppable_at(
     priors: &[BetaPrior],
+    kernel: &Kernel<'_>,
     tau: u64,
     n: u64,
     k: u64,
@@ -449,9 +482,7 @@ fn srs_stoppable_at(
         }
         prev = t;
         for prior in priors {
-            let post = Beta::new(prior.a + t as f64, prior.b + (n_k - t) as f64)
-                .expect("positive posterior parameters");
-            if hpd_width_achievable(&post, alpha, 2.0 * epsilon) {
+            if kernel.achievable(prior, t, n_k, alpha, 2.0 * epsilon) {
                 return true;
             }
         }
@@ -592,7 +623,9 @@ mod tests {
     #[test]
     fn incremental_posteriors_match_fresh_construction() {
         // Drive the cache one observation at a time; intervals must
-        // agree with a cold cache resynced from integer counts.
+        // agree with a cold state, and the incrementally-observed
+        // posteriors (kept for snapshot-byte stability) must track the
+        // fresh count construction.
         let method = IntervalMethod::ahpd_default();
         let mut cache = method.new_state();
         let mut state = SampleState::new_srs();
@@ -600,6 +633,7 @@ mod tests {
             let label = i % 11 != 5;
             state.record_triple(label);
             method.record_observation(&mut cache, label);
+            assert_eq!(cache.tracked, (state.tau(), state.n()));
             if i >= 29 && i % 13 == 0 {
                 let warm = method.interval_stateful(&state, 0.05, &mut cache).unwrap();
                 let cold = method.interval(&state, 0.05).unwrap();
@@ -608,8 +642,55 @@ mod tests {
                         && (warm.upper() - cold.upper()).abs() < 1e-9,
                     "step {i}: warm {warm} vs cold {cold}"
                 );
+                for (post, prior) in cache.posteriors.iter().zip(BetaPrior::UNINFORMATIVE) {
+                    let fresh = prior.posterior(state.tau(), state.n());
+                    assert!(
+                        (post.alpha() - fresh.alpha()).abs() < 1e-9
+                            && (post.beta() - fresh.beta()).abs() < 1e-9,
+                        "step {i}: incremental posterior drifted from counts"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn cached_and_uncached_states_agree_bit_for_bit() {
+        // The tentpole invariant at the dispatch layer: attaching a
+        // shared kernel cache changes cost, not a single output bit.
+        let shared = Arc::new(KernelCache::new());
+        let methods = [
+            IntervalMethod::Wilson,
+            IntervalMethod::Et(BetaPrior::KERMAN),
+            IntervalMethod::Hpd(BetaPrior::JEFFREYS),
+            IntervalMethod::ahpd_default(),
+        ];
+        for method in methods {
+            let mut plain = method.new_state();
+            let mut cached = method.new_state();
+            cached.attach_kernel(Arc::clone(&shared));
+            for (tau, n) in [(1u64, 1u64), (5, 30), (27, 30), (30, 30), (88, 100)] {
+                let state = srs_state(tau, n);
+                let a = method.interval_stateful(&state, 0.05, &mut plain).unwrap();
+                let b = method.interval_stateful(&state, 0.05, &mut cached).unwrap();
+                assert_eq!(
+                    (a.lower().to_bits(), a.upper().to_bits()),
+                    (b.lower().to_bits(), b.upper().to_bits()),
+                    "{} at (τ={tau}, n={n}): {a} vs {b}",
+                    method.name()
+                );
+                assert_eq!(
+                    method.stop_possible_now(&state, 0.05, 0.05, &plain),
+                    method.stop_possible_now(&state, 0.05, 0.05, &cached),
+                );
+                assert_eq!(
+                    method.certified_skip_srs(&state, 0.05, 0.05, &plain),
+                    method.certified_skip_srs(&state, 0.05, 0.05, &cached),
+                );
+            }
+        }
+        let stats = shared.stats();
+        assert!(stats.lookups() > 0, "cached states never hit the kernel");
     }
 
     #[test]
@@ -623,7 +704,7 @@ mod tests {
                 IntervalMethod::Et(BetaPrior::UNIFORM),
             ] {
                 let state = srs_state(tau, n);
-                let skip = method.certified_skip_srs(&state, 0.05, 0.05);
+                let skip = method.certified_skip_srs(&state, 0.05, 0.05, &method.new_state());
                 // Brute-force: for each skipped horizon k and each
                 // achievable τ', the constructed interval is wider than ε.
                 for k in 1..=skip.min(60) {
@@ -649,15 +730,18 @@ mod tests {
         // (μ̂ = 0.5 needs ~380 annotations to stop at ε = 0.05) should
         // certify a long skip even under the loose f(mode) bound.
         let state = srs_state(15, 30);
-        let skip = IntervalMethod::ahpd_default().certified_skip_srs(&state, 0.05, 0.05);
+        let ahpd = IntervalMethod::ahpd_default();
+        let skip = ahpd.certified_skip_srs(&state, 0.05, 0.05, &ahpd.new_state());
         assert!(skip >= 30, "skip = {skip} is uselessly small");
         // And frequentist methods certify nothing.
+        let wald = IntervalMethod::Wald;
         assert_eq!(
-            IntervalMethod::Wald.certified_skip_srs(&state, 0.05, 0.05),
+            wald.certified_skip_srs(&state, 0.05, 0.05, &wald.new_state()),
             0
         );
+        let wilson = IntervalMethod::Wilson;
         assert_eq!(
-            IntervalMethod::Wilson.certified_skip_srs(&state, 0.05, 0.05),
+            wilson.certified_skip_srs(&state, 0.05, 0.05, &wilson.new_state()),
             0
         );
     }

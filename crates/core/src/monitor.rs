@@ -227,6 +227,10 @@ pub struct MonitorSession<'a> {
     /// Current ids of the outstanding batch's triples, for ledgering
     /// the consumed prefix at submit.
     pending_triples: Vec<u64>,
+    /// Shared posterior-kernel cache, re-attached to every campaign the
+    /// monitor opens (the inner session is recreated on re-open after
+    /// deltas, so the handle must outlive individual campaigns).
+    kernel: Option<std::sync::Arc<kgae_intervals::KernelCache>>,
 }
 
 impl std::fmt::Debug for MonitorSession<'_> {
@@ -298,7 +302,18 @@ impl<'a> MonitorSession<'a> {
             drift: Vec::new(),
             watched: None,
             pending_triples: Vec::new(),
+            kernel: None,
         }
+    }
+
+    /// Attaches a shared posterior-kernel cache: the current campaign
+    /// and every future re-opened campaign memoize their SRS solves
+    /// through it. Purely a cost lever — outputs are bit-identical.
+    pub fn set_kernel_cache(&mut self, kernel: std::sync::Arc<kgae_intervals::KernelCache>) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.set_kernel_cache(std::sync::Arc::clone(&kernel));
+        }
+        self.kernel = Some(kernel);
     }
 
     #[allow(clippy::borrowed_box)] // see forged_view
@@ -559,7 +574,11 @@ impl<'a> MonitorSession<'a> {
                 self.watched = None;
                 let method = self.campaign_method();
                 let rng = SmallRng::seed_from_u64(mix2(self.seed, self.epoch));
-                self.inner = Some(Self::open_campaign(&self.view, &method, &self.cfg, rng));
+                let mut inner = Self::open_campaign(&self.view, &method, &self.cfg, rng);
+                if let Some(kernel) = &self.kernel {
+                    inner.set_kernel_cache(std::sync::Arc::clone(kernel));
+                }
+                self.inner = Some(inner);
                 Ok(DeltaOutcome {
                     retired_labels: retired,
                     reopened: true,
@@ -848,6 +867,7 @@ impl<'a> MonitorSession<'a> {
             drift,
             watched,
             pending_triples: Vec::new(),
+            kernel: None,
         };
         if annotating {
             let child_len = r.len_capped(cap).map_err(corrupt)?;
@@ -993,6 +1013,10 @@ impl SessionEngine for MonitorSession<'_> {
 
     fn apply_deltas(&mut self, batch: &DeltaBatch) -> Result<DeltaOutcome, SessionError> {
         MonitorSession::apply_deltas(self, batch)
+    }
+
+    fn set_kernel_cache(&mut self, kernel: std::sync::Arc<kgae_intervals::KernelCache>) {
+        MonitorSession::set_kernel_cache(self, kernel);
     }
 }
 

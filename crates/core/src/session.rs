@@ -54,7 +54,7 @@ use crate::method::{IntervalMethod, MethodState};
 use crate::snapshot::{Reader, Writer, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 use crate::state::{DesignKind, SampleState};
 use kgae_graph::{KnowledgeGraph, LabelCache};
-use kgae_intervals::{Interval, IntervalError};
+use kgae_intervals::{Interval, IntervalError, KernelCache};
 use kgae_sampling::driver::{build_driver, DesignDriver, UnitEstimator};
 use kgae_sampling::SampledTriple;
 use kgae_stats::descriptive::OnlineMoments;
@@ -62,6 +62,7 @@ use kgae_stats::dist::Beta;
 use rand::rngs::SmallRng;
 use rand::RngCore;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Why a session stopped handing out annotation requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -355,6 +356,14 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
             outcome: None,
             batch_origin: None,
         }
+    }
+
+    /// Attaches a shared posterior-kernel cache: subsequent SRS interval
+    /// constructions and lookahead certificates memoize through it.
+    /// Purely a cost lever — outputs are bit-identical with or without
+    /// one attached, and the cache is never serialized into snapshots.
+    pub fn set_kernel_cache(&mut self, kernel: Arc<KernelCache>) {
+        self.solver.attach_kernel(kernel);
     }
 
     /// The session's sampling design.
@@ -759,7 +768,7 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
                         &self.state,
                         self.cfg.alpha,
                         self.cfg.epsilon,
-                        &mut self.solver,
+                        &self.solver,
                     );
                 if construct {
                     let interval = self.method.interval_stateful(
@@ -779,6 +788,7 @@ impl<'a, R: RngCore> EvaluationSession<'a, R> {
                             &self.state,
                             self.cfg.alpha,
                             self.cfg.epsilon,
+                            &self.solver,
                         ),
                         DesignKind::Cluster => self.method.certified_skip_cluster(
                             &self.state,
@@ -962,6 +972,7 @@ pub(crate) fn read_solver(r: &mut Reader<'_>, priors: usize) -> Result<MethodSta
         warm,
         posteriors,
         tracked,
+        kernel: None,
     })
 }
 
@@ -1002,22 +1013,6 @@ pub(crate) fn peek_plain_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionE
         num_triples: r.u64().map_err(corrupt)?,
         num_clusters: r.u32().map_err(corrupt)?,
     })
-}
-
-/// Parses the identity prefix of a *plain session* snapshot without
-/// reconstructing a session.
-///
-/// # Errors
-///
-/// [`SessionError::CorruptSnapshot`] on bad magic, a truncated header
-/// or an unknown design tag; [`SessionError::SnapshotMismatch`] on an
-/// unsupported snapshot version or a non-plain record tag.
-#[deprecated(
-    since = "0.1.0",
-    note = "dispatch on the record tag instead: `kgae_core::engine::peek_any_header`"
-)]
-pub fn peek_snapshot_header(bytes: &[u8]) -> Result<SnapshotHeader, SessionError> {
-    peek_plain_header(bytes)
 }
 
 impl<'a, R: SnapshotRng> EvaluationSession<'a, R> {
@@ -1704,7 +1699,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the deprecated wrapper's behavior
     fn snapshot_header_peek_reports_identity_without_resume() {
         let kg = kgae_graph::datasets::nell();
         let method = IntervalMethod::ahpd_default();
@@ -1719,25 +1713,28 @@ mod tests {
             .collect();
         s.submit(&labels).unwrap();
         let snap = s.snapshot().unwrap();
-        let header = peek_snapshot_header(&snap).unwrap();
+        let header = match crate::engine::peek_any_header(&snap).unwrap() {
+            crate::engine::AnyHeader::Plain(h) => h,
+            other => panic!("plain snapshot identified as {:?}", other.kind()),
+        };
         assert_eq!(header.design, design);
         assert_eq!(header.num_triples, kg.num_triples());
         assert_eq!(header.num_clusters, kg.num_clusters());
         // Corrupt / truncated prefixes fail loudly.
         assert!(matches!(
-            peek_snapshot_header(&snap[..9]),
+            crate::engine::peek_any_header(&snap[..9]),
             Err(SessionError::CorruptSnapshot(_))
         ));
         let mut bad_magic = snap.clone();
         bad_magic[0] ^= 0xFF;
         assert!(matches!(
-            peek_snapshot_header(&bad_magic),
+            crate::engine::peek_any_header(&bad_magic),
             Err(SessionError::CorruptSnapshot(_))
         ));
         let mut bad_tag = snap;
         bad_tag[10] = 200; // design tag byte
         assert!(matches!(
-            peek_snapshot_header(&bad_tag),
+            crate::engine::peek_any_header(&bad_tag),
             Err(SessionError::CorruptSnapshot(_))
         ));
     }

@@ -263,6 +263,19 @@ impl<'a> StratifiedSession<'a> {
         }
     }
 
+    /// Attaches a shared posterior-kernel cache to every live stratum
+    /// session (strata are SRS by construction, the cache's sweet spot).
+    /// Purely a cost lever: outputs stay bit-identical. Per-stratum
+    /// sessions are only created in [`Self::new`] and [`Self::resume`],
+    /// so attaching once after construction covers the whole campaign.
+    pub fn set_kernel_cache(&mut self, kernel: &std::sync::Arc<kgae_intervals::KernelCache>) {
+        for slot in &mut self.slots {
+            if let StratumSlot::Live(session) = slot {
+                session.set_kernel_cache(std::sync::Arc::clone(kernel));
+            }
+        }
+    }
+
     /// Number of strata.
     #[must_use]
     pub fn num_strata(&self) -> u32 {
@@ -859,22 +872,6 @@ pub struct StratifiedSnapshotHeader {
     pub stratification_fingerprint: u64,
 }
 
-/// Parses the identity prefix of a stratified snapshot without
-/// reconstructing the campaign.
-///
-/// # Errors
-///
-/// [`SessionError::CorruptSnapshot`] on malformed bytes;
-/// [`SessionError::SnapshotMismatch`] when the bytes are a
-/// (non-stratified) session snapshot or an unsupported version.
-#[deprecated(
-    since = "0.1.0",
-    note = "dispatch on the record tag instead: `kgae_core::engine::peek_any_header`"
-)]
-pub fn peek_stratified_header(bytes: &[u8]) -> Result<StratifiedSnapshotHeader, SessionError> {
-    peek_stratified_header_impl(bytes)
-}
-
 /// Header parser behind the stratified (tag 4) row of the snapshot tag
 /// registry.
 pub(crate) fn peek_stratified_header_impl(
@@ -1089,7 +1086,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // pins the deprecated peek wrappers' behavior
     fn resume_rejects_wrong_setup() {
         let (kg, strat) = kgae_graph::datasets::nell_by_predicate();
         let method = IntervalMethod::ahpd_default();
@@ -1103,13 +1099,16 @@ mod tests {
         let bytes = session.snapshot().unwrap();
 
         // Header peek works and reports identity.
-        let header = peek_stratified_header(&bytes).unwrap();
+        let header = match crate::engine::peek_any_header(&bytes).unwrap() {
+            crate::engine::AnyHeader::Stratified(h) => h,
+            other => panic!("stratified snapshot identified as {:?}", other.kind()),
+        };
         assert_eq!(header.num_strata, 8);
         assert_eq!(header.num_triples, kg.num_triples());
         assert_eq!(header.stratification_fingerprint, strat.fingerprint());
         // A plain session peek refuses it with a mismatch, not garbage.
         assert!(matches!(
-            crate::session::peek_snapshot_header(&bytes),
+            crate::session::peek_plain_header(&bytes),
             Err(SessionError::SnapshotMismatch(_))
         ));
 

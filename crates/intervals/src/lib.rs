@@ -36,6 +36,7 @@ mod et;
 pub mod expected;
 mod frequentist;
 mod hpd;
+pub mod kernel;
 pub mod pooled;
 mod prior;
 mod types;
@@ -49,6 +50,7 @@ pub use hpd::{
     hpd_interval, hpd_interval_exact, hpd_interval_warm, hpd_width_achievable,
     hpd_width_lower_bound,
 };
+pub use kernel::{Kernel, KernelCache, KernelCacheStats};
 pub use pooled::{pooled_interval, pooled_point, pooled_variance, StratumSummary};
 pub use prior::BetaPrior;
 pub use types::Interval;

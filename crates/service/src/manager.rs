@@ -40,6 +40,7 @@ use kgae_core::{
 };
 use kgae_graph::stratify::Stratification;
 use kgae_graph::{CompactKg, KnowledgeGraph};
+use kgae_intervals::{KernelCache, KernelCacheStats};
 use kgae_sampling::driver::DesignSpec;
 use kgae_sampling::ComparePrimary;
 use std::collections::hash_map::DefaultHasher;
@@ -879,6 +880,11 @@ pub struct SessionManager<'a> {
     /// Lifecycle counters; absent until
     /// [`SessionManager::set_metrics`] attaches a registry.
     metrics: Option<Arc<Metrics>>,
+    /// The process-wide posterior-kernel cache, injected into every
+    /// engine this manager builds or rehydrates — all tenants share one
+    /// memo table (keys are self-describing, so cross-tenant sharing is
+    /// sound and cross-campaign hits are the point).
+    kernel: Arc<KernelCache>,
 }
 
 impl<'a> SessionManager<'a> {
@@ -937,7 +943,15 @@ impl<'a> SessionManager<'a> {
             quarantined: Mutex::new(quarantined),
             draining: std::sync::atomic::AtomicBool::new(false),
             metrics: None,
+            kernel: Arc::new(KernelCache::new()),
         }
+    }
+
+    /// Counter snapshot of the shared posterior-kernel cache, for
+    /// metrics exposition.
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelCacheStats {
+        self.kernel.stats()
     }
 
     /// Attaches a metrics registry to this manager **and** its store,
@@ -1377,7 +1391,8 @@ impl<'a> SessionManager<'a> {
 
     fn build_live(&self, spec: &SessionSpec) -> ServiceResult<Live<'a>> {
         let blueprint = self.blueprint(spec)?;
-        let engine = blueprint.engine_spec(&spec.method, spec.seed).build();
+        let mut engine = blueprint.engine_spec(&spec.method, spec.seed).build();
+        engine.set_kernel_cache(Arc::clone(&self.kernel));
         Ok(Live {
             spec: spec.clone(),
             engine,
@@ -1393,9 +1408,10 @@ impl<'a> SessionManager<'a> {
         // Registry-dispatched: the snapshot's record tag is validated
         // against the engine kind the spec denotes before any
         // kind-specific parsing, and every fingerprint after that.
-        let engine = blueprint
+        let mut engine = blueprint
             .engine_spec(&spec.method, spec.seed)
             .resume(snapshot)?;
+        engine.set_kernel_cache(Arc::clone(&self.kernel));
         Ok(Live {
             spec: spec.clone(),
             engine,

@@ -29,6 +29,7 @@
 //! `healthz` hits produces a nonzero sum — CI asserts that.
 
 use crate::json::Json;
+use kgae_intervals::KernelCacheStats;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::SystemTime;
 
@@ -364,14 +365,21 @@ impl Metrics {
 
     /// Encodes the registry in the Prometheus text exposition format.
     /// `census` supplies the point-in-time per-shard session gauges
-    /// (pass `&[]` to omit them, e.g. in unit tests without a manager).
+    /// (pass `&[]` to omit them, e.g. in unit tests without a manager);
+    /// `kernel` supplies the shared posterior-kernel cache counters
+    /// (`None` omits the `kgae_kernel_cache_*` family). The kernel
+    /// series are derived from one [`KernelCacheStats`] snapshot, so
+    /// `hits + misses == lookups` reconciles exactly in every scrape.
     #[must_use]
     #[allow(clippy::too_many_lines)]
-    pub fn encode(&self, census: &[ShardSessions]) -> String {
+    pub fn encode(&self, census: &[ShardSessions], kernel: Option<&KernelCacheStats>) -> String {
         let mut out = String::with_capacity(8 * 1024);
         self.encode_requests(&mut out);
         self.encode_latency(&mut out);
         encode_sessions(&mut out, census);
+        if let Some(stats) = kernel {
+            encode_kernel_cache(&mut out, stats);
+        }
         let counters: [(&str, &str, u64); 24] = [
             (
                 "kgae_reactor_connections_open",
@@ -594,6 +602,54 @@ fn encode_sessions(out: &mut String, census: &[ShardSessions]) {
                 "kgae_sessions{{shard=\"{shard}\",state=\"{state}\"}} {value}\n",
             ));
         }
+    }
+}
+
+/// The shared posterior-kernel cache family. All six series come from
+/// the same stats snapshot and `lookups` is emitted as `hits + misses`,
+/// so the scrape-level reconciliation
+/// `hits_total + misses_total == lookups_total` holds exactly — any
+/// drift means an encoder bug, not scrape timing.
+fn encode_kernel_cache(out: &mut String, stats: &KernelCacheStats) {
+    let series: [(&str, &str, u64); 6] = [
+        (
+            "kgae_kernel_cache_lookups_total",
+            "counter Posterior-kernel solves requested (hits + misses).",
+            stats.lookups(),
+        ),
+        (
+            "kgae_kernel_cache_hits_total",
+            "counter Posterior-kernel solves answered from the memo table.",
+            stats.hits,
+        ),
+        (
+            "kgae_kernel_cache_misses_total",
+            "counter Posterior-kernel solves that ran the solver.",
+            stats.misses,
+        ),
+        (
+            "kgae_kernel_cache_evictions_total",
+            "counter Memoized kernel entries dropped by shard-clearing evictions.",
+            stats.evictions,
+        ),
+        (
+            "kgae_kernel_cache_insertions_total",
+            "counter Kernel entries inserted into the memo table.",
+            stats.insertions,
+        ),
+        (
+            "kgae_kernel_cache_entries",
+            "gauge Kernel entries resident at scrape time.",
+            stats.entries,
+        ),
+    ];
+    for (name, kind_help, value) in series {
+        let (kind, help) = kind_help.split_once(' ').expect("kind help");
+        push_header(out, name, kind, help);
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
     }
 }
 
@@ -897,7 +953,14 @@ mod tests {
             finished: 0,
             evicted: 3,
         }];
-        let text = metrics.encode(&census);
+        let kernel = kgae_intervals::KernelCacheStats {
+            hits: 7,
+            misses: 3,
+            evictions: 1,
+            insertions: 3,
+            entries: 2,
+        };
+        let text = metrics.encode(&census, Some(&kernel));
         // Every series line's family has HELP and TYPE lines, in that
         // order, before the first sample.
         let mut seen_families: Vec<&str> = Vec::new();
@@ -934,6 +997,14 @@ mod tests {
         assert!(text.contains("kgae_requests_total{route=\"session_create\",status=\"429\"} 1\n"));
         assert!(text.contains("kgae_sessions{shard=\"0\",state=\"live\"} 2\n"));
         assert!(text.contains("kgae_sessions{shard=\"0\",state=\"evicted\"} 3\n"));
+        // The kernel-cache families are present and the lookup counter is
+        // derived as hits + misses, so the exposition reconciles exactly.
+        assert!(text.contains("kgae_kernel_cache_lookups_total 10\n"));
+        assert!(text.contains("kgae_kernel_cache_hits_total 7\n"));
+        assert!(text.contains("kgae_kernel_cache_misses_total 3\n"));
+        assert!(text.contains("kgae_kernel_cache_evictions_total 1\n"));
+        assert!(text.contains("kgae_kernel_cache_insertions_total 3\n"));
+        assert!(text.contains("kgae_kernel_cache_entries 2\n"));
     }
 
     #[test]
@@ -943,7 +1014,7 @@ mod tests {
         metrics.record_request(Route::Next, 200, 1_500, 10);
         metrics.record_request(Route::Next, 200, 700_000_000, 10);
         metrics.record_request(Route::Next, 200, 300_000_000, 10);
-        let text = metrics.encode(&[]);
+        let text = metrics.encode(&[], None);
         let mut last = 0u64;
         let mut inf = None;
         let mut count = None;

@@ -296,7 +296,11 @@ fn route(
             // The session gauges are a point-in-time census taken at
             // scrape time under the shard locks — they can never drift
             // from the manager's actual occupancy.
-            Some(reg) => (200, reg.encode(&manager.census()), None),
+            Some(reg) => (
+                200,
+                reg.encode(&manager.census(), Some(&manager.kernel_stats())),
+                None,
+            ),
             None => (404, api::error_body("metrics not enabled"), None),
         },
         ("GET", ["v1", "datasets"]) => {

@@ -100,7 +100,7 @@ fn tick_collects_planted_garbage_from_disk_and_reports_it() {
 
     // In /metrics: the same counts, through the same registry the
     // server exposes.
-    let exposition = metrics.encode(&manager.census());
+    let exposition = metrics.encode(&manager.census(), Some(&manager.kernel_stats()));
     for line in [
         "kgae_janitor_ticks_total 1",
         "kgae_janitor_gc_files_total 3",
@@ -177,7 +177,7 @@ fn ttl_aging_spills_idle_sessions_and_spares_outstanding_work() {
     let view = manager.resume("idle").expect("resume idle");
     assert_eq!(view.state.name(), "running");
 
-    let exposition = metrics.encode(&manager.census());
+    let exposition = metrics.encode(&manager.census(), Some(&manager.kernel_stats()));
     for line in [
         "kgae_janitor_aged_suspended_total 1",
         "kgae_janitor_aged_evicted_total 2",

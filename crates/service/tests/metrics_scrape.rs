@@ -283,6 +283,94 @@ fn scrape_deltas_reconcile_exactly_with_a_known_request_mix() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn ahpd_create_body(id: &str) -> String {
+    Json::obj(vec![
+        ("id", Json::str(id)),
+        ("dataset", Json::str("nell")),
+        ("design", Json::str("srs")),
+        ("method", Json::str("ahpd")),
+        ("seed", Json::int(7)),
+    ])
+    .encode()
+}
+
+/// Drives the session to convergence over HTTP with all-true labels.
+fn drive_to_convergence(addr: SocketAddr, id: &str) {
+    loop {
+        let (status, doc) = call(
+            addr,
+            "POST",
+            &format!("/v1/sessions/{id}/next"),
+            &Json::obj(vec![("batch", Json::int(64))]).encode(),
+        );
+        assert_eq!(status, 200, "next: {}", doc.encode());
+        if doc.get("done").and_then(Json::as_bool).unwrap_or(false) {
+            return;
+        }
+        let seq = doc.get("seq").and_then(Json::as_u64).expect("seq");
+        let count = doc
+            .get("triples")
+            .and_then(Json::as_arr)
+            .expect("triples")
+            .len();
+        let labels = Json::Arr(vec![Json::Bool(true); count]);
+        let body = Json::obj(vec![("labels", labels), ("seq", Json::int(seq))]).encode();
+        let (status, doc) = call(addr, "POST", &format!("/v1/sessions/{id}/labels"), &body);
+        assert_eq!(status, 200, "labels: {}", doc.encode());
+    }
+}
+
+/// The shared posterior-kernel cache is visible in `/metrics` and its
+/// counters reconcile *exactly* after real traffic: an aHPD campaign
+/// (the cache's target workload) is driven to convergence, then an
+/// identical twin replays the same trajectory so every solve the first
+/// campaign inserted is answered from memo. `lookups` is derived as
+/// `hits + misses` by construction, and `entries` must equal
+/// `insertions - evictions` — no slack on either identity.
+#[test]
+fn kernel_cache_counters_appear_and_reconcile_after_a_campaign() {
+    let dir = temp_dir("kernel");
+    let serve = spawn_serve(&dir, "kernel", &[]);
+    let addr = serve.addr;
+
+    let (status, doc) = call(addr, "POST", "/v1/sessions", &ahpd_create_body("kernel-a"));
+    assert_eq!(status, 201, "{}", doc.encode());
+    drive_to_convergence(addr, "kernel-a");
+    let (status, doc) = call(addr, "POST", "/v1/sessions", &ahpd_create_body("kernel-b"));
+    assert_eq!(status, 201, "{}", doc.encode());
+    drive_to_convergence(addr, "kernel-b");
+
+    let after = scrape(addr);
+    let lookups = at(&after, "kgae_kernel_cache_lookups_total");
+    let hits = at(&after, "kgae_kernel_cache_hits_total");
+    let misses = at(&after, "kgae_kernel_cache_misses_total");
+    let insertions = at(&after, "kgae_kernel_cache_insertions_total");
+    let evictions = at(&after, "kgae_kernel_cache_evictions_total");
+    let entries = at(&after, "kgae_kernel_cache_entries");
+    assert!(
+        lookups > 0.0,
+        "an aHPD/SRS campaign must route solves through the kernel cache"
+    );
+    assert_eq!(
+        hits + misses,
+        lookups,
+        "hits + misses must equal lookups exactly"
+    );
+    assert_eq!(
+        insertions - evictions,
+        entries,
+        "resident entries must equal insertions - evictions exactly"
+    );
+    assert!(entries > 0.0, "converged campaigns left no memo entries");
+    assert!(
+        hits > 0.0,
+        "the twin campaign retraced kernel-a's trajectory yet never hit"
+    );
+
+    drop(serve);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A successful scrape answers the Prometheus text content type; the
 /// JSON routes keep `application/json`.
 #[test]
